@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! Comparator systems from the paper's evaluation (Section 7).
+//!
+//! Every pipeline baseline is a [`varuna_exec::policy::SchedulePolicy`]
+//! executed by the same discrete-event engine as Varuna, so comparisons
+//! isolate scheduling and memory-discipline differences:
+//!
+//! - [`gpipe`]: GPipe — all forwards, then reverse-order recompute+backward
+//!   (Table 5).
+//! - [`onef1b`]: the 1F1B schedules of Megatron-LM and DeepSpeed
+//!   (Table 6); the DeepSpeed variant runs with blocking sends.
+//! - [`pipedream`]: PipeDream — asynchronous, stores activations and `P`
+//!   weight versions, so it OOMs on massive models (Table 6).
+//! - [`megatron`]: Megatron's intra-layer (tensor) parallelism, modeled
+//!   analytically from the same network and GPU primitives (Figures 5-6,
+//!   Table 4).
+//! - [`dataparallel`]: pure data-parallel training for models that fit one
+//!   GPU (the BERT-large baseline).
+
+pub mod dataparallel;
+pub mod gpipe;
+pub mod megatron;
+pub mod onef1b;
+pub mod pipedream;
+
+pub use gpipe::GPipePolicy;
+pub use megatron::{min_tensor_parallel, simulate_intra_layer, IntraLayerConfig};
+pub use onef1b::OneF1BPolicy;
+pub use pipedream::PipeDreamPolicy;

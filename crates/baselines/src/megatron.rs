@@ -1,0 +1,297 @@
+//! Megatron-style intra-layer (tensor) parallelism, modeled analytically.
+//!
+//! Each layer's matrix multiplications are split `t` ways; every forward,
+//! backward, *and* recompute pass performs two blocking allreduces per
+//! layer of `m × s × h` half-precision activations (paper Section 3.1,
+//! Observation 1). Because the allreduces are synchronous, compute waits on
+//! communication — the structural reason intra-layer partitioning collapses
+//! on commodity networks (Figures 5-6) and trails pipeline parallelism even
+//! on NVLink (Table 4).
+
+use serde::{Deserialize, Serialize};
+use varuna_exec::metrics::Throughput;
+use varuna_models::config::TransformerConfig;
+use varuna_models::efficiency::GpuModel;
+use varuna_models::flops::{head_forward_flops, layer_forward_flops};
+use varuna_models::memory::intra_layer_memory;
+use varuna_net::collective::{allreduce_time, AllreduceSpec};
+use varuna_net::Topology;
+
+/// An intra-layer training configuration: `t`-way tensor parallelism with
+/// `d` data-parallel replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntraLayerConfig {
+    /// Tensor-parallel degree (GPUs sharing one layer).
+    pub t: usize,
+    /// Data-parallel replicas of the `t`-GPU group.
+    pub d: usize,
+    /// Micro-batch size processed by one group at a time.
+    pub m: usize,
+    /// Gradient-accumulation steps per replica per mini-batch.
+    pub n_micro: usize,
+}
+
+impl IntraLayerConfig {
+    /// GPUs used: `t × d`.
+    pub fn gpus(&self) -> usize {
+        self.t * self.d
+    }
+
+    /// Examples per mini-batch.
+    pub fn minibatch_examples(&self) -> usize {
+        self.m * self.n_micro * self.d
+    }
+}
+
+/// Smallest power-of-two tensor-parallel degree whose per-GPU footprint
+/// fits `gpu_memory` bytes, or `None` if even 64-way does not fit.
+pub fn min_tensor_parallel(config: &TransformerConfig, m: usize, gpu_memory: f64) -> Option<usize> {
+    [1usize, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .find(|&t| intra_layer_memory(config, t, m).fits(gpu_memory))
+}
+
+/// Predicts mini-batch time and throughput of intra-layer training.
+///
+/// The `t`-way allreduce ring runs over the intra-node fabric when the
+/// group fits one node, and over the inter-node fabric (serializing twice
+/// through each node's NIC) when it spans nodes — the paper's 16-way
+/// (single DGX-2) vs forced 18-way (cross-node, 10x slower) contrast in
+/// Table 4.
+pub fn simulate_intra_layer(
+    config: &TransformerConfig,
+    gpu: &GpuModel,
+    cfg: IntraLayerConfig,
+    topo: &Topology,
+) -> Throughput {
+    assert!(cfg.t >= 1 && cfg.d >= 1 && cfg.m >= 1 && cfg.n_micro >= 1);
+    let gpn = topo.gpus_per_node();
+    let spans_nodes = cfg.t > gpn;
+    // When the group packs whole nodes (t divisible by gpus-per-node) the
+    // collective library builds a clean hierarchical ring: a local reduce
+    // over the intra-node fabric, then one boundary flow per NIC across
+    // nodes. A group that straddles node boundaries unevenly (the paper's
+    // forced 18-way on 16-GPU DGX-2s) degenerates to a flat ring whose
+    // members all push chunks through their node's NIC each step — the
+    // 10x cliff of Table 4.
+    let aligned = spans_nodes && cfg.t.is_multiple_of(gpn);
+
+    // Per-GPU shard efficiency: splitting shrinks the effective GEMM size.
+    let shard_hidden = (config.hidden / cfg.t).max(1);
+
+    // Compute: forward + recompute + backward = 4x forward FLOPs, split t
+    // ways.
+    let layer_flops = 4.0 * layer_forward_flops(config) * cfg.m as f64 / cfg.t as f64;
+    let head_flops = 3.0 * head_forward_flops(config) * cfg.m as f64 / cfg.t as f64;
+    let compute = config.layers as f64 * gpu.compute_time(layer_flops, cfg.m, shard_hidden)
+        + gpu.compute_time(head_flops, cfg.m, shard_hidden);
+
+    // Communication: 2 blocking allreduces per layer per pass (forward,
+    // backward, recompute) of m*s*h fp16 activations.
+    let ar_bytes = (cfg.m * config.seq_len * config.hidden * 2) as f64;
+    let per_ar = if !spans_nodes {
+        allreduce_time(
+            AllreduceSpec {
+                bytes: ar_bytes,
+                ring_size: cfg.t,
+                in_flight: 1,
+            },
+            if cfg.t == 1 {
+                topo.inter_link()
+            } else {
+                topo.intra_link()
+            },
+        )
+    } else if aligned {
+        varuna_net::collective::hierarchical_allreduce_time(
+            ar_bytes,
+            gpn,
+            cfg.t / gpn,
+            topo.intra_link(),
+            topo.inter_link(),
+            1,
+        )
+    } else {
+        allreduce_time(
+            AllreduceSpec {
+                bytes: ar_bytes,
+                ring_size: cfg.t,
+                in_flight: gpn.max(2),
+            },
+            topo.inter_link(),
+        )
+    };
+    let comm = 6.0 * config.layers as f64 * per_ar;
+
+    let per_micro = compute + comm;
+    let mut minibatch = cfg.n_micro as f64 * per_micro;
+
+    // Data-parallel gradient allreduce of the 1/t parameter shard; all
+    // GPUs of a node sync concurrently.
+    if cfg.d > 1 {
+        let grad_bytes = config.total_params() as f64 * 2.0 / cfg.t as f64;
+        minibatch += allreduce_time(
+            AllreduceSpec {
+                bytes: grad_bytes,
+                ring_size: cfg.d,
+                in_flight: topo.gpus_per_node(),
+            },
+            topo.inter_link(),
+        );
+    }
+
+    Throughput::from_time(
+        config,
+        cfg.minibatch_examples() as f64,
+        cfg.gpus(),
+        minibatch,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varuna_models::ModelZoo;
+
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn min_t_matches_paper_configurations() {
+        // Commodity 16 GiB cards: 2.5B fits at t=4 (one NC24 VM), 8.3B
+        // needs t=16 (spanning four VMs).
+        assert_eq!(
+            min_tensor_parallel(&ModelZoo::gpt2_2_5b(), 4, 16.0 * GIB),
+            Some(4)
+        );
+        assert_eq!(
+            min_tensor_parallel(&ModelZoo::gpt2_8_3b(), 4, 16.0 * GIB),
+            Some(16)
+        );
+        // DGX-2 cards: 8.3B fits at t=8, matching Megatron's published
+        // 8-way config.
+        assert_eq!(
+            min_tensor_parallel(&ModelZoo::gpt2_8_3b(), 8, 25.0 * GIB),
+            Some(8)
+        );
+    }
+
+    #[test]
+    fn commodity_intra_layer_is_catastrophically_slow() {
+        // Figure 5: Megatron 8.3B on commodity VMs is ~18x slower than
+        // pipeline parallelism; the blocking Ethernet allreduces dominate.
+        let c = ModelZoo::gpt2_8_3b();
+        let gpu = GpuModel::v100();
+        let commodity = simulate_intra_layer(
+            &c,
+            &gpu,
+            IntraLayerConfig {
+                t: 16,
+                d: 4,
+                m: 4,
+                n_micro: 32,
+            },
+            &Topology::commodity_4gpu(16),
+        );
+        let hyper = simulate_intra_layer(
+            &c,
+            &gpu,
+            IntraLayerConfig {
+                t: 8,
+                d: 8,
+                m: 8,
+                n_micro: 16,
+            },
+            &Topology::hypercluster(4),
+        );
+        let ratio = hyper.examples_per_sec_per_gpu / commodity.examples_per_sec_per_gpu;
+        assert!(ratio > 8.0, "hypercluster/commodity ratio only {ratio:.1}");
+    }
+
+    #[test]
+    fn cross_node_ring_cliffs_performance() {
+        // Table 4: forcing Megatron from 16-way (inside a DGX-2) to 18-way
+        // (crossing nodes) drops performance ~10x.
+        let c = ModelZoo::gpt2_20b();
+        let gpu = GpuModel::v100();
+        let topo = Topology::hypercluster(16);
+        let inside = simulate_intra_layer(
+            &c,
+            &gpu,
+            IntraLayerConfig {
+                t: 16,
+                d: 16,
+                m: 4,
+                n_micro: 8,
+            },
+            &topo,
+        );
+        let forced = simulate_intra_layer(
+            &c,
+            &gpu,
+            IntraLayerConfig {
+                t: 18,
+                d: 14,
+                m: 4,
+                n_micro: 8,
+            },
+            &topo,
+        );
+        let ratio = inside.examples_per_sec_per_gpu / forced.examples_per_sec_per_gpu;
+        assert!(
+            (4.0..30.0).contains(&ratio),
+            "16-way vs 18-way ratio {ratio:.1} (paper: ~10x)"
+        );
+    }
+
+    #[test]
+    fn hypercluster_tflops_in_plausible_band() {
+        // Megatron 8.3B on DGX-2s reaches ~0.4-0.5 ex/s/GPU in the paper.
+        let c = ModelZoo::gpt2_8_3b();
+        let t = simulate_intra_layer(
+            &c,
+            &GpuModel::v100(),
+            IntraLayerConfig {
+                t: 8,
+                d: 32,
+                m: 8,
+                n_micro: 4,
+            },
+            &Topology::hypercluster(16),
+        );
+        assert!(
+            (0.25..0.8).contains(&t.examples_per_sec_per_gpu),
+            "ex/s/GPU {:.3}",
+            t.examples_per_sec_per_gpu
+        );
+    }
+
+    #[test]
+    fn throughput_scales_with_replicas() {
+        let c = ModelZoo::gpt2_2_5b();
+        let gpu = GpuModel::v100();
+        let topo = Topology::commodity_4gpu(32);
+        let one = simulate_intra_layer(
+            &c,
+            &gpu,
+            IntraLayerConfig {
+                t: 4,
+                d: 1,
+                m: 4,
+                n_micro: 16,
+            },
+            &topo,
+        );
+        let eight = simulate_intra_layer(
+            &c,
+            &gpu,
+            IntraLayerConfig {
+                t: 4,
+                d: 8,
+                m: 4,
+                n_micro: 16,
+            },
+            &topo,
+        );
+        assert!(eight.examples_per_sec > 6.0 * one.examples_per_sec);
+    }
+}

@@ -1,0 +1,115 @@
+//! PipeDream (SOSP'19): asynchronous 1F1B without recompute.
+//!
+//! PipeDream stores full activations for in-flight micro-batches and one
+//! weight *version* per in-flight mini-batch — up to `P` fp32 copies —
+//! which is why it cannot fit massive models (paper Table 6 reports OOM for
+//! both GPT-2 2.5B and 8.3B). It also abandons synchronous-SGD semantics;
+//! the staleness consequence is demonstrated for real in `varuna-train`.
+//!
+//! Run this policy with [`SimOptions::recompute`] = false.
+//!
+//! [`SimOptions::recompute`]: varuna_exec::pipeline::SimOptions
+
+use varuna_exec::op::{Op, OpKind};
+use varuna_exec::policy::{SchedulePolicy, StageView};
+
+/// PipeDream's steady-state 1F1B discipline (no recompute).
+#[derive(Debug, Default, Clone)]
+pub struct PipeDreamPolicy;
+
+impl SchedulePolicy for PipeDreamPolicy {
+    fn pick(&mut self, view: &StageView<'_>) -> Option<Op> {
+        let warmup = (view.p - view.stage).min(view.n_micro);
+        let nf = view.forwards_done;
+        let nb = (0..view.n_micro)
+            .filter(|&mb| view.backwards_done[mb])
+            .count();
+        if nf < view.n_micro && nf - nb < warmup && view.forward_ready() {
+            return Some(Op::new(OpKind::Forward, nf));
+        }
+        let mb = view.next_fifo_backward()?;
+        view.backward_ready(mb)
+            .then_some(Op::new(OpKind::Backward, mb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varuna_exec::job::PlacedJob;
+    use varuna_exec::oom::check_pipedream;
+    use varuna_exec::pipeline::{simulate_minibatch, SimOptions};
+    use varuna_exec::placement::Placement;
+    use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
+    use varuna_net::Topology;
+
+    #[test]
+    fn pipedream_runs_without_recompute() {
+        let graph = CutpointGraph::from_transformer(&ModelZoo::gpt2_355m());
+        let job = PlacedJob::uniform_from_graph(
+            &graph,
+            &GpuModel::v100(),
+            4,
+            1,
+            4,
+            8,
+            Topology::commodity_1gpu(4),
+            Placement::one_stage_per_gpu(4, 1),
+        );
+        let opts = SimOptions {
+            recompute: false,
+            record_trace: true,
+            ..SimOptions::default()
+        };
+        let res = simulate_minibatch(&job, &|_, _| Box::new(PipeDreamPolicy), &opts).unwrap();
+        let recs = res
+            .trace
+            .iter()
+            .filter(|t| t.op.kind == varuna_exec::op::OpKind::Recompute)
+            .count();
+        assert_eq!(recs, 0, "PipeDream stores activations, never recomputes");
+    }
+
+    #[test]
+    fn pipedream_is_faster_per_minibatch_when_it_fits() {
+        // Without the 33% recompute overhead PipeDream's pipeline phase is
+        // shorter — its costs are memory and staleness, not speed.
+        let graph = CutpointGraph::from_transformer(&ModelZoo::gpt2_355m());
+        let job = PlacedJob::uniform_from_graph(
+            &graph,
+            &GpuModel::v100(),
+            4,
+            1,
+            4,
+            16,
+            Topology::commodity_1gpu(4),
+            Placement::one_stage_per_gpu(4, 1),
+        );
+        let pd = simulate_minibatch(
+            &job,
+            &|_, _| Box::new(PipeDreamPolicy),
+            &SimOptions {
+                recompute: false,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        let greedy = simulate_minibatch(
+            &job,
+            &|_, _| Box::new(varuna_exec::policy::GreedyPolicy),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert!(pd.pipeline_time < greedy.pipeline_time);
+    }
+
+    #[test]
+    fn table6_models_oom() {
+        // Table 6: PipeDream reported OOM for 8.3B at 18x4 and 2.5B at 9x8.
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        let c83 = ModelZoo::gpt2_8_3b();
+        assert!(check_pipedream(&c83, c83.total_params() / 18, 4, 4, 18, 16.0 * GIB).is_err());
+        let c25 = ModelZoo::gpt2_2_5b();
+        assert!(check_pipedream(&c25, c25.total_params() / 9, 6, 4, 9, 16.0 * GIB).is_err());
+    }
+}

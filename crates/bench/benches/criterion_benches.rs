@@ -1,0 +1,163 @@
+//! Criterion micro-benchmarks for the performance-critical paths: the fast
+//! simulator (re-planning latency, §7.2), the schedule generator, the
+//! partitioning DP, the discrete-event emulator, the data-plane ring
+//! allreduce, and one real training step of the miniature engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use varuna::calibrate::Calibration;
+use varuna::partition::balanced_partition;
+use varuna::planner::Planner;
+use varuna::schedule::generate_schedule;
+use varuna::simulator::{estimate_minibatch_time, SimInput};
+use varuna::VarunaCluster;
+use varuna_models::ModelZoo;
+
+fn bench_fast_simulator(c: &mut Criterion) {
+    let model = ModelZoo::gpt2_8_3b();
+    let calib = Calibration::profile(&model, &VarunaCluster::commodity_1gpu(128));
+    let mut group = c.benchmark_group("fast_simulator");
+    group.sample_size(20);
+    for p in [18usize, 24, 36] {
+        let asg = balanced_partition(&calib.graph, p);
+        let d = 128 / p;
+        let n_micro = 8192 / (4 * d);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| {
+                estimate_minibatch_time(&SimInput {
+                    calib: &calib,
+                    assignment: &asg,
+                    d,
+                    m: 4,
+                    n_micro,
+                    offload: false,
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_planner_sweep(c: &mut Criterion) {
+    let model = ModelZoo::gpt2_2_5b();
+    let calib = Calibration::profile(&model, &VarunaCluster::commodity_1gpu(64));
+    let planner = Planner::new(&model, &calib).batch_size(8192).micro_batch(4);
+    let mut group = c.benchmark_group("planner");
+    group.sample_size(10);
+    group.bench_function("best_config_64gpus", |b| {
+        b.iter(|| planner.best_config(64).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_enumeration");
+    group.sample_size(10);
+    for (p, n) in [(8usize, 64usize), (18, 128), (49, 341)] {
+        group.bench_with_input(
+            BenchmarkId::new("p_n", format!("{p}x{n}")),
+            &(p, n),
+            |b, _| b.iter(|| generate_schedule(p, n, 64)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition_dp(c: &mut Criterion) {
+    let graph = varuna_models::CutpointGraph::from_transformer(&ModelZoo::gpt2_200b());
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(20);
+    group.bench_function("balanced_partition_100cuts_50stages", |b| {
+        b.iter(|| balanced_partition(&graph, 50))
+    });
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let model = ModelZoo::gpt2_2_5b();
+    let cluster = VarunaCluster::commodity_1gpu(64);
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(20);
+    group.bench_function("profile_2_5b", |b| {
+        b.iter(|| Calibration::profile(&model, &cluster))
+    });
+    group.finish();
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    use varuna_exec::pipeline::{simulate_minibatch, SimOptions};
+    use varuna_exec::policy::GreedyPolicy;
+    let graph = varuna_models::CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());
+    let job = varuna_exec::job::PlacedJob::uniform_from_graph(
+        &graph,
+        &varuna_models::GpuModel::v100(),
+        9,
+        2,
+        4,
+        32,
+        varuna_net::Topology::commodity_1gpu(18),
+        varuna_exec::placement::Placement::one_stage_per_gpu(9, 2),
+    );
+    let mut group = c.benchmark_group("emulator");
+    group.sample_size(20);
+    group.bench_function("emulator_9x2_32ubatches", |b| {
+        b.iter(|| {
+            simulate_minibatch(&job, &|_, _| Box::new(GreedyPolicy), &SimOptions::default())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_ring_allreduce(c: &mut Criterion) {
+    use varuna_net::ring::ring_allreduce_mean;
+    let mut group = c.benchmark_group("ring_allreduce_1m_floats");
+    group.sample_size(20);
+    for d in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let bufs: Vec<Vec<f32>> = (0..d).map(|r| vec![r as f32; 1_000_000]).collect();
+            b.iter(|| {
+                let mut work = bufs.clone();
+                ring_allreduce_mean(&mut work);
+                work
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    use varuna_train::data::{Corpus, VOCAB};
+    use varuna_train::model::ModelConfig;
+    use varuna_train::single::Trainer;
+    let cfg = ModelConfig {
+        vocab: VOCAB,
+        seq: 16,
+        dim: 32,
+        heads: 4,
+        layers: 4,
+        tied: true,
+        seed: 1,
+    };
+    let corpus = Corpus::synthetic(10_000, 1);
+    let mut group = c.benchmark_group("train");
+    group.sample_size(20);
+    group.bench_function("minigpt_train_minibatch_b8", |b| {
+        let mut t = Trainer::new(cfg, corpus.clone(), 0.1, 8);
+        b.iter(|| t.train_minibatch(4))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fast_simulator,
+    bench_planner_sweep,
+    bench_schedule_generation,
+    bench_partition_dp,
+    bench_calibration,
+    bench_emulator,
+    bench_ring_allreduce,
+    bench_training_step
+);
+criterion_main!(benches);

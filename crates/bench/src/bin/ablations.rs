@@ -1,0 +1,15 @@
+//! Prints the design-choice ablations (DESIGN.md §7).
+
+fn main() {
+    println!("Ablations: each Varuna mechanism on vs off\n");
+    for a in varuna_bench::ablations::run_all() {
+        println!(
+            "{:<42} {:>10.3} vs {:>10.3} {:<42} ({:+.1}%)",
+            a.name,
+            a.with_mechanism,
+            a.without_mechanism,
+            a.metric,
+            a.gain() * 100.0
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Prints Figure 4: Varuna's micro-batch schedule vs GPipe's.
+
+fn main() {
+    let r = varuna_bench::fig4::run();
+    println!("Figure 4: 4-stage pipeline, 5 micro-batches (F=R=1 unit, B=2)");
+    println!("\nVaruna schedule (makespan {} units):", r.varuna.makespan);
+    print_schedule(&r.varuna);
+    println!("\nGPipe schedule (makespan {} units):", r.gpipe.makespan);
+    print_schedule(&r.gpipe);
+    println!(
+        "\nVaruna is {} unit(s) shorter offline (paper: 1 unit at this size).",
+        r.gpipe.makespan - r.varuna.makespan
+    );
+    println!(
+        "Executed on the emulator with Ethernet jitter (BERT-72, 4x16): \
+         Varuna {:.2}s vs GPipe {:.2}s ({:+.1}%).",
+        r.varuna_jitter_time,
+        r.gpipe_jitter_time,
+        (r.gpipe_jitter_time / r.varuna_jitter_time - 1.0) * 100.0
+    );
+}
+
+fn print_schedule(s: &varuna::schedule::StaticSchedule) {
+    for (stage, ops) in s.per_stage.iter().enumerate().rev() {
+        let line: Vec<String> = ops
+            .iter()
+            .map(|o| format!("{}{}", o.kind.code(), o.micro + 1))
+            .collect();
+        println!("  S{}: {}", stage + 1, line.join(" "));
+    }
+}

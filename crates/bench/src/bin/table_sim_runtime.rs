@@ -1,0 +1,9 @@
+//! Prints §7.2's simulator-runtime measurement.
+
+fn main() {
+    println!("Simulator runtime: 8.3B, 128 GPUs, mini-batch 8192 (paper: 660/376/391 ms)\n");
+    for (p, ms) in varuna_bench::tables_misc::simulator_runtime() {
+        println!("  P = {p:>2}: {ms:>7.1} ms per configuration");
+    }
+    println!("\nFast enough to re-plan on every spot preemption.");
+}

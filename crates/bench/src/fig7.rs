@@ -1,0 +1,90 @@
+//! Figure 7: Gantt chart of one Varuna mini-batch on the GPT-2 20B model
+//! (49 stages x 6 replicas).
+
+use varuna::calibrate::Calibration;
+use varuna::job::TrainingJob;
+use varuna::planner::Planner;
+use varuna::VarunaCluster;
+use varuna_exec::op::OpSpan;
+use varuna_exec::pipeline::SimOptions;
+use varuna_models::ModelZoo;
+
+/// The Figure 7 result: the execution trace of one replica plus summary
+/// timings.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Spans of replica 0 (all stages).
+    pub trace: Vec<OpSpan>,
+    /// Pipeline phase duration, seconds.
+    pub pipeline_time: f64,
+    /// End-to-end mini-batch time (including the allreduce region at the
+    /// right of the chart), seconds.
+    pub total_time: f64,
+    /// Per-stage allreduce durations (the purple region).
+    pub allreduce: Vec<f64>,
+    /// Pipeline depth.
+    pub p: usize,
+}
+
+/// Runs one traced mini-batch of the 20B model at 49x6.
+pub fn run() -> Fig7 {
+    let model = ModelZoo::gpt2_20b();
+    let cluster = VarunaCluster::commodity_1gpu(294);
+    let calib = Calibration::profile(&model, &cluster);
+    let cfg = Planner::new(&model, &calib)
+        .batch_size(8192)
+        .micro_batch(4)
+        .evaluate(49, 6)
+        .expect("the paper's 49x6 20B configuration is feasible");
+    let job = TrainingJob::build(&calib, &cluster, cfg).unwrap();
+    let opts = SimOptions {
+        record_trace: true,
+        ..SimOptions::default()
+    };
+    let (res, _) = job.run_minibatch(&opts).unwrap();
+    let trace: Vec<OpSpan> = res
+        .trace
+        .iter()
+        .filter(|t| t.replica == 0)
+        .copied()
+        .collect();
+    Fig7 {
+        trace,
+        pipeline_time: res.pipeline_time,
+        total_time: res.total_time,
+        allreduce: res.allreduce,
+        p: 49,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varuna_exec::op::OpKind;
+
+    #[test]
+    fn gantt_has_the_papers_structure() {
+        let r = run();
+        // 49 stages all appear; every stage runs forwards and backwards.
+        for s in 0..r.p {
+            assert!(
+                r.trace
+                    .iter()
+                    .any(|t| t.stage == s && t.op.kind == OpKind::Forward),
+                "stage {s} missing forwards"
+            );
+            assert!(r
+                .trace
+                .iter()
+                .any(|t| t.stage == s && t.op.kind == OpKind::Backward));
+        }
+        // The last stage never recomputes (the paper's schedule property).
+        assert!(!r
+            .trace
+            .iter()
+            .any(|t| t.stage == r.p - 1 && t.op.kind == OpKind::Recompute));
+        // The allreduce region exists and sits at the far right.
+        assert!(r.allreduce.iter().all(|&a| a > 0.0));
+        assert!(r.total_time > r.pipeline_time);
+    }
+}

@@ -1,0 +1,132 @@
+//! Figures 9 and 10: convergence experiments on the *real* miniature
+//! training engine.
+//!
+//! Figure 9's claim: a 16x larger mini-batch trained for 16x fewer
+//! iterations (same examples) reaches the same loss. Figure 10's claim:
+//! PipeDream-2BW's stale updates destabilize training that synchronous SGD
+//! handles fine. Both are optimization-semantics claims, reproduced here
+//! at laptop scale on the synthetic corpus.
+
+use varuna_train::data::{Corpus, VOCAB};
+use varuna_train::model::ModelConfig;
+use varuna_train::single::Trainer;
+use varuna_train::stale::StaleTrainer;
+
+fn model_cfg() -> ModelConfig {
+    ModelConfig {
+        vocab: VOCAB,
+        seq: 16,
+        dim: 32,
+        heads: 4,
+        layers: 3,
+        tied: true,
+        seed: 17,
+    }
+}
+
+/// Figure 9 result: small-batch vs 16x-batch training on equal examples.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// Eval loss after small-batch training.
+    pub small_batch_loss: f32,
+    /// Eval loss after 16x-batch training on the same number of examples.
+    pub large_batch_loss: f32,
+    /// The unigram-entropy baseline both must beat.
+    pub unigram: f32,
+    /// Loss curve (per mini-batch) of the large-batch run.
+    pub large_curve: Vec<f32>,
+}
+
+/// Trains the same model twice: batch 8 for 480 steps vs batch 128 for 30
+/// steps (equal examples), with linearly scaled learning rate.
+pub fn run_fig9() -> Fig9 {
+    let corpus = Corpus::synthetic(120_000, 9);
+    let unigram = corpus.unigram_entropy() as f32;
+
+    let mut small = Trainer::new(model_cfg(), corpus.clone(), 0.05, 8);
+    for _ in 0..480 {
+        small.train_minibatch(8);
+    }
+    let small_batch_loss = small.eval(4);
+
+    // 16x batch, 16x fewer steps, learning rate scaled up (sqrt scaling,
+    // the conservative large-batch recipe).
+    let mut large = Trainer::new(model_cfg(), corpus, 0.05 * 4.0, 128);
+    let large_curve: Vec<f32> = (0..30).map(|_| large.train_minibatch(16)).collect();
+    let large_batch_loss = large.eval(4);
+
+    Fig9 {
+        small_batch_loss,
+        large_batch_loss,
+        unigram,
+        large_curve,
+    }
+}
+
+/// Figure 10 result: loss trajectories under synchronous vs stale updates.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// Synchronous-SGD loss curve.
+    pub sync_curve: Vec<f32>,
+    /// Stale-update (PipeDream-2BW-style) loss curve.
+    pub stale_curve: Vec<f32>,
+}
+
+/// Trains with synchronous vs 1-step-stale updates at a learning rate
+/// where sync is stable.
+pub fn run_fig10() -> Fig10 {
+    let corpus = Corpus::synthetic(60_000, 10);
+    let lr = 0.55;
+    let momentum = 0.9;
+    let steps = 80;
+
+    let mut sync = Trainer::new(model_cfg(), corpus.clone(), lr, 16);
+    sync.opt.momentum = momentum;
+    let sync_curve: Vec<f32> = (0..steps).map(|_| sync.train_minibatch(16)).collect();
+
+    let mut stale = StaleTrainer::new(model_cfg(), corpus, lr, momentum, 16);
+    let stale_curve: Vec<f32> = (0..steps).map(|_| stale.train_minibatch()).collect();
+
+    Fig10 {
+        sync_curve,
+        stale_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tail_mean(v: &[f32], k: usize) -> f32 {
+        let t = &v[v.len().saturating_sub(k)..];
+        t.iter().sum::<f32>() / t.len() as f32
+    }
+
+    #[test]
+    fn fig9_large_batch_matches_small_batch_accuracy() {
+        // The paper's 2.5B/8192-batch result in miniature: same examples,
+        // 16x batch, same converged quality.
+        let r = run_fig9();
+        assert!(r.small_batch_loss < r.unigram, "small-batch run must learn");
+        assert!(r.large_batch_loss < r.unigram, "large-batch run must learn");
+        let gap = (r.large_batch_loss - r.small_batch_loss).abs() / r.small_batch_loss;
+        assert!(
+            gap < 0.12,
+            "losses should match within ~10%: small {:.3} vs large {:.3}",
+            r.small_batch_loss,
+            r.large_batch_loss
+        );
+    }
+
+    #[test]
+    fn fig10_stale_updates_are_visibly_worse() {
+        let r = run_fig10();
+        let sync_tail = tail_mean(&r.sync_curve, 10);
+        let stale_tail = tail_mean(&r.stale_curve, 10);
+        assert!(sync_tail.is_finite() && sync_tail < r.sync_curve[0]);
+        assert!(
+            !stale_tail.is_finite() || stale_tail > 1.1 * sync_tail,
+            "stale {stale_tail} vs sync {sync_tail}"
+        );
+    }
+}

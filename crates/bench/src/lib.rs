@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! The benchmark harness: one module per table/figure of the paper's
+//! evaluation (Section 7), plus shared helpers.
+//!
+//! Every experiment exposes a `run()` returning structured rows so that
+//! (a) the corresponding binary can print them, (b) `all_experiments` can
+//! sweep everything, and (c) tests can assert the paper's qualitative
+//! claims (who wins, by roughly what factor) against the reproduced
+//! numbers. EXPERIMENTS.md records paper-vs-measured for each.
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5_fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9_fig10;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod tables_misc;
+pub mod util;

@@ -1,0 +1,194 @@
+//! The remaining evaluation artifacts: Table 1 (feature matrix), Table 2
+//! (calibration parameters), the BERT-large and 200B headline runs
+//! (§7.1.1), simulator runtime (§7.2), and the 1-GPU vs 4-GPU VM
+//! comparison (Observation 4 / §7.2).
+
+use std::time::Instant;
+
+use varuna::calibrate::Calibration;
+use varuna::planner::Planner;
+use varuna::VarunaCluster;
+use varuna_baselines::dataparallel::simulate_data_parallel;
+use varuna_models::efficiency::GpuModel;
+use varuna_models::ModelZoo;
+use varuna_net::Topology;
+
+use crate::util::varuna_throughput;
+
+/// Table 1's qualitative feature matrix, reproduced verbatim.
+pub fn table1() -> Vec<[&'static str; 6]> {
+    vec![
+        [
+            "System",
+            "Intra-Layer",
+            "Inter-Layer",
+            "Sync-SGD",
+            "User-Ease",
+            "Low-Pri",
+        ],
+        ["Mesh-TensorFlow", "yes", "no", "yes", "yes", "no"],
+        ["Megatron/Turing", "yes", "yes*", "yes", "yes", "no"],
+        ["GPipe", "no", "yes", "yes", "no", "no"],
+        ["Pipe(Dream/Mare)", "no", "yes", "no", "yes*", "no"],
+        ["ZeRO/DeepSpeed", "yes", "yes*", "yes", "no", "no"],
+        ["Varuna", "no", "yes", "yes", "yes", "yes"],
+    ]
+}
+
+/// The calibrated Table 2 parameters for a model/cluster pair.
+pub fn table2() -> Calibration {
+    Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(36))
+}
+
+/// BERT-large results (§7.1.1): Varuna 4x8 on 32 commodity GPUs vs the
+/// fully data-parallel baseline. Returns (varuna ex/s, data-parallel
+/// ex/s). The paper reports 710 ex/s vs NVIDIA's 700 on DGX-1.
+pub fn bert_large() -> (f64, f64) {
+    let model = ModelZoo::bert_large();
+    let varuna = varuna_throughput(
+        &model,
+        &VarunaCluster::commodity_1gpu(32),
+        4,
+        8,
+        8,
+        32_768,
+        false,
+    );
+    let dp = simulate_data_parallel(
+        &model,
+        &GpuModel::v100(),
+        32,
+        8,
+        128,
+        &Topology::commodity_1gpu(32),
+    );
+    (varuna.examples_per_sec, dp.examples_per_sec)
+}
+
+/// The 200B run (§7.1.1): 100 stages, micro-batch 1, batch 512, optimizer
+/// state offloaded to CPU. Returns (ex/s/GPU, TFLOP/s/GPU); the paper
+/// reports 0.022 and 27.3.
+pub fn run_200b() -> (f64, f64) {
+    let model = ModelZoo::gpt2_200b();
+    let t = varuna_throughput(
+        &model,
+        &VarunaCluster::commodity_1gpu(102),
+        100,
+        1,
+        1,
+        512,
+        true,
+    );
+    (t.examples_per_sec_per_gpu, t.tflops_per_gpu)
+}
+
+/// Simulator runtime (§7.2): milliseconds to estimate one configuration of
+/// a 128-GPU, 8192-batch 8.3B job at depths 36 / 24 / 18. The paper
+/// reports 660 / 376 / 391 ms.
+pub fn simulator_runtime() -> Vec<(usize, f64)> {
+    let model = ModelZoo::gpt2_8_3b();
+    let calib = Calibration::profile(&model, &VarunaCluster::commodity_1gpu(128));
+    let planner = Planner::new(&model, &calib).batch_size(8192).micro_batch(4);
+    [36usize, 24, 18]
+        .into_iter()
+        .map(|p| {
+            let d = 128 / p;
+            let start = Instant::now();
+            let _ = planner.evaluate(p, d).unwrap();
+            (p, start.elapsed().as_secs_f64() * 1e3)
+        })
+        .collect()
+}
+
+/// Observation 4 follow-up (§7.2): GPT-2 2.5B on 72 GPUs as 1-GPU VMs vs
+/// 4-GPU VMs. Returns (ex/s/GPU on 1-GPU VMs, ex/s/GPU on 4-GPU VMs); the
+/// paper reports 1.77 vs 1.81 — a ~2% difference.
+pub fn vm_granularity() -> (f64, f64) {
+    let model = ModelZoo::gpt2_2_5b();
+    let one = varuna_throughput(
+        &model,
+        &VarunaCluster::commodity_1gpu(72),
+        9,
+        8,
+        4,
+        8192,
+        false,
+    );
+    let four = varuna_throughput(
+        &model,
+        &VarunaCluster::commodity_4gpu(18),
+        9,
+        8,
+        4,
+        8192,
+        false,
+    );
+    (one.examples_per_sec_per_gpu, four.examples_per_sec_per_gpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_varuna_is_the_only_low_pri_system() {
+        let t = table1();
+        let lowpri: Vec<&str> = t[1..]
+            .iter()
+            .filter(|r| r[5] == "yes")
+            .map(|r| r[0])
+            .collect();
+        assert_eq!(lowpri, vec!["Varuna"]);
+    }
+
+    #[test]
+    fn bert_large_lands_near_the_dgx1_figure() {
+        // Paper: 710 ex/s on 32 commodity GPUs (vs NVIDIA's 700 on a
+        // DGX-1). Band: same order, hundreds of ex/s.
+        let (varuna, dp) = bert_large();
+        assert!(
+            (350.0..1400.0).contains(&varuna),
+            "BERT-large Varuna {varuna:.0} ex/s (paper: 710)"
+        );
+        // Pipeline 4x8 should be at least competitive with pure DP at 32
+        // GPUs (smaller allreduce rings).
+        assert!(
+            varuna > 0.75 * dp,
+            "varuna {varuna:.0} vs data-parallel {dp:.0}"
+        );
+    }
+
+    #[test]
+    fn the_200b_model_trains_at_paper_scale_efficiency() {
+        let (ex_s_gpu, tflops) = run_200b();
+        // Paper: 0.022 ex/s/GPU and 27.3 TFLOP/s/GPU.
+        assert!(
+            (0.008..0.06).contains(&ex_s_gpu),
+            "200B {ex_s_gpu:.4} ex/s/GPU (paper 0.022)"
+        );
+        assert!(
+            (12.0..55.0).contains(&tflops),
+            "200B {tflops:.1} TFLOP/s/GPU (paper 27.3)"
+        );
+    }
+
+    #[test]
+    fn simulator_is_subsecond_per_configuration() {
+        for (p, ms) in simulator_runtime() {
+            assert!(ms < 1000.0, "P={p} took {ms:.0} ms (paper: <700 ms)");
+        }
+    }
+
+    #[test]
+    fn one_gpu_vms_cost_only_a_few_percent() {
+        // Observation 4: Varuna's thrifty networking makes 1-GPU VMs
+        // nearly as fast as 4-GPU VMs (paper: 1.77 vs 1.81 ex/s/GPU).
+        let (one, four) = vm_granularity();
+        let penalty = 1.0 - one / four;
+        assert!(
+            penalty < 0.10,
+            "1-GPU VMs lost {:.1}% (paper: ~2%)",
+            penalty * 100.0
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared helpers for the experiment harness.
+
+use varuna::calibrate::Calibration;
+use varuna::job::TrainingJob;
+use varuna::planner::Planner;
+use varuna::VarunaCluster;
+use varuna_exec::metrics::Throughput;
+use varuna_exec::pipeline::SimOptions;
+use varuna_models::config::TransformerConfig;
+
+/// Runs one Varuna mini-batch for an explicit `(p, d, m)` on `cluster` and
+/// returns its throughput.
+///
+/// # Panics
+///
+/// Panics if the configuration is infeasible — experiment configs come
+/// from the paper and must work.
+pub fn varuna_throughput(
+    model: &TransformerConfig,
+    cluster: &VarunaCluster,
+    p: usize,
+    d: usize,
+    m: usize,
+    m_total: usize,
+    offload: bool,
+) -> Throughput {
+    let calib = Calibration::profile(model, cluster);
+    let cfg = Planner::new(model, &calib)
+        .batch_size(m_total)
+        .micro_batch(m)
+        .offload(offload)
+        .evaluate(p, d)
+        .unwrap_or_else(|e| panic!("{}: {p}x{d} m={m}: {e}", model.name));
+    let job = TrainingJob::build(&calib, cluster, cfg)
+        .unwrap_or_else(|e| panic!("{}: building {p}x{d}: {e}", model.name));
+    let (_, tput) = job
+        .run_minibatch(&SimOptions::default())
+        .unwrap_or_else(|e| panic!("{}: running {p}x{d}: {e}", model.name));
+    tput
+}
+
+/// A minimal markdown-ish table printer for experiment binaries.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, |c| c.len()))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
+    for r in rows {
+        println!("{}", fmt_row(r.clone()));
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varuna_models::ModelZoo;
+
+    #[test]
+    fn varuna_throughput_runs_a_paper_config() {
+        let t = varuna_throughput(
+            &ModelZoo::gpt2_2_5b(),
+            &VarunaCluster::commodity_1gpu(63),
+            9,
+            7,
+            4,
+            8192,
+            false,
+        );
+        assert_eq!(t.gpus, 63);
+        assert!(t.examples_per_sec_per_gpu > 0.0);
+    }
+
+    #[test]
+    fn table_printer_does_not_panic_on_ragged_rows() {
+        print_table(
+            "t",
+            &["a", "bb"],
+            &[vec!["1".into()], vec!["22".into(), "3".into()]],
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Live cluster state: the set of VMs a job currently holds.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sku::VmSku;
+use crate::trace::{ClusterEvent, ClusterEventKind};
+
+/// Identifier of a VM within a cluster (stable across its lifetime).
+pub type VmId = u64;
+
+/// One VM the job holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmState {
+    /// GPUs on the VM.
+    pub gpus: usize,
+    /// Fail-stutter slowdown factor: 1.0 = healthy, 1.3 = 30% slower
+    /// (Section 4.6 reports slowdowns "often by as much as 30%").
+    pub stutter: f64,
+    /// Time the VM was granted, hours.
+    pub granted_at: f64,
+}
+
+/// The set of VMs currently held, with SKU and health information.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    sku: VmSku,
+    vms: BTreeMap<VmId, VmState>,
+    now_hours: f64,
+}
+
+impl Cluster {
+    /// An empty cluster of homogeneous `sku` VMs.
+    pub fn new(sku: VmSku) -> Self {
+        Cluster {
+            sku,
+            vms: BTreeMap::new(),
+            now_hours: 0.0,
+        }
+    }
+
+    /// A cluster pre-populated with `n` healthy VMs (for static
+    /// experiments that do not replay a trace).
+    pub fn with_vms(sku: VmSku, n: usize) -> Self {
+        let mut c = Cluster::new(sku);
+        for vm in 0..n as u64 {
+            c.grant(vm, c.sku.gpus);
+        }
+        c
+    }
+
+    /// The homogeneous SKU of this cluster.
+    pub fn sku(&self) -> &VmSku {
+        &self.sku
+    }
+
+    /// Current time in hours.
+    pub fn now_hours(&self) -> f64 {
+        self.now_hours
+    }
+
+    /// Grants a VM. Idempotent for repeated grants of the same id.
+    pub fn grant(&mut self, vm: VmId, gpus: usize) {
+        self.vms.entry(vm).or_insert(VmState {
+            gpus,
+            stutter: 1.0,
+            granted_at: self.now_hours,
+        });
+    }
+
+    /// Removes a VM (preemption or manual release). Returns whether the VM
+    /// was held.
+    pub fn preempt(&mut self, vm: VmId) -> bool {
+        self.vms.remove(&vm).is_some()
+    }
+
+    /// Applies one trace event, advancing the clock to the event's time.
+    pub fn apply(&mut self, e: &ClusterEvent) {
+        self.now_hours = self.now_hours.max(e.time_hours);
+        match e.kind {
+            ClusterEventKind::Granted { gpus } => self.grant(e.vm, gpus),
+            ClusterEventKind::Preempted => {
+                self.preempt(e.vm);
+            }
+            ClusterEventKind::StutterStart { factor } => {
+                if self.vms.contains_key(&e.vm) {
+                    self.set_stutter(e.vm, factor);
+                }
+            }
+            ClusterEventKind::StutterEnd => {
+                if self.vms.contains_key(&e.vm) {
+                    self.set_stutter(e.vm, 1.0);
+                }
+            }
+        }
+    }
+
+    /// Marks a VM as fail-stutter slow by `factor` (e.g. 1.3 = 30% slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM is not held or `factor < 1.0`.
+    pub fn set_stutter(&mut self, vm: VmId, factor: f64) {
+        assert!(factor >= 1.0, "stutter factor must be >= 1.0");
+        self.vms
+            .get_mut(&vm)
+            .unwrap_or_else(|| panic!("VM {vm} not held"))
+            .stutter = factor;
+    }
+
+    /// Stutter factor of a VM (1.0 if unknown).
+    pub fn stutter_of(&self, vm: VmId) -> f64 {
+        self.vms.get(&vm).map_or(1.0, |v| v.stutter)
+    }
+
+    /// Number of VMs held.
+    pub fn num_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Total GPUs held.
+    pub fn num_gpus(&self) -> usize {
+        self.vms.values().map(|v| v.gpus).sum()
+    }
+
+    /// IDs of held VMs, sorted.
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        self.vms.keys().copied().collect()
+    }
+
+    /// IDs of VMs whose stutter factor exceeds `threshold`, sorted.
+    pub fn stuttering_vms(&self, threshold: f64) -> Vec<VmId> {
+        self.vms
+            .iter()
+            .filter(|(_, v)| v.stutter > threshold)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ClusterTrace;
+
+    #[test]
+    fn with_vms_populates_gpu_counts() {
+        let c = Cluster::with_vms(VmSku::nc24_v3(), 8);
+        assert_eq!(c.num_vms(), 8);
+        assert_eq!(c.num_gpus(), 32);
+    }
+
+    #[test]
+    fn apply_replays_a_trace_consistently() {
+        let t = ClusterTrace::generate_spot_1gpu(40, 50, 10.0, 5.0, 17);
+        let mut c = Cluster::new(VmSku::nc6_v3());
+        for e in &t.events {
+            c.apply(e);
+        }
+        assert_eq!(c.num_gpus(), t.gpus_at(t.duration_hours));
+        assert_eq!(c.now_hours(), t.events.last().unwrap().time_hours);
+    }
+
+    #[test]
+    fn preempting_unknown_vm_is_harmless() {
+        let mut c = Cluster::with_vms(VmSku::nc6_v3(), 2);
+        assert!(!c.preempt(99));
+        assert_eq!(c.num_vms(), 2);
+    }
+
+    #[test]
+    fn stutter_tracking_flags_outliers() {
+        let mut c = Cluster::with_vms(VmSku::nc6_v3(), 5);
+        c.set_stutter(2, 1.3);
+        assert_eq!(c.stuttering_vms(1.1), vec![2]);
+        assert_eq!(c.stutter_of(2), 1.3);
+        assert_eq!(c.stutter_of(0), 1.0);
+    }
+
+    #[test]
+    fn grant_is_idempotent() {
+        let mut c = Cluster::new(VmSku::nc6_v3());
+        c.grant(7, 1);
+        c.set_stutter(7, 1.2);
+        c.grant(7, 1);
+        assert_eq!(c.stutter_of(7), 1.2, "re-grant must not reset state");
+    }
+
+    #[test]
+    #[should_panic(expected = "not held")]
+    fn stutter_of_unknown_vm_panics() {
+        let mut c = Cluster::new(VmSku::nc6_v3());
+        c.set_stutter(0, 1.5);
+    }
+}

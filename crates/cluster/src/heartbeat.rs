@@ -1,0 +1,171 @@
+//! Heartbeats, preemption detection, and fail-stutter outlier detection.
+//!
+//! Paper Section 4.6: "Each task sends a heartbeat to the manager that
+//! contains the GPU compute time per micro-batch for the forward and
+//! backward pass. If the manager detects any outliers, it omits that VM
+//! when scheduling task replicas", and the manager "detects preemptions
+//! when it has not received a heartbeat from a VM".
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::VmId;
+
+/// One heartbeat from a training task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Sender VM.
+    pub vm: VmId,
+    /// Send time, seconds since job start.
+    pub time: f64,
+    /// Measured forward compute time per micro-batch, seconds.
+    pub fwd_time: f64,
+    /// Measured backward compute time per micro-batch, seconds.
+    pub bwd_time: f64,
+}
+
+/// Tracks heartbeats and classifies VM health.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor {
+    /// Most recent heartbeat per VM.
+    last: BTreeMap<VmId, Heartbeat>,
+    /// A VM is presumed preempted after this many seconds of silence.
+    timeout: f64,
+    /// A VM is a fail-stutter outlier when its compute time exceeds the
+    /// median by this factor.
+    outlier_factor: f64,
+}
+
+impl HeartbeatMonitor {
+    /// Creates a monitor with the given silence timeout (seconds) and
+    /// outlier factor (e.g. 1.2 = 20% above median flags an outlier).
+    pub fn new(timeout: f64, outlier_factor: f64) -> Self {
+        assert!(timeout > 0.0 && outlier_factor > 1.0);
+        HeartbeatMonitor {
+            last: BTreeMap::new(),
+            timeout,
+            outlier_factor,
+        }
+    }
+
+    /// Default tuning: 60 s silence timeout, 20% outlier threshold.
+    pub fn default_tuning() -> Self {
+        HeartbeatMonitor::new(60.0, 1.2)
+    }
+
+    /// Records a heartbeat.
+    pub fn record(&mut self, hb: Heartbeat) {
+        self.last.insert(hb.vm, hb);
+    }
+
+    /// Forgets a VM (after the manager has handled its loss).
+    pub fn forget(&mut self, vm: VmId) {
+        self.last.remove(&vm);
+    }
+
+    /// VMs that have been silent longer than the timeout at time `now`.
+    pub fn silent_vms(&self, now: f64) -> Vec<VmId> {
+        self.last
+            .iter()
+            .filter(|(_, hb)| now - hb.time > self.timeout)
+            .map(|(vm, _)| *vm)
+            .collect()
+    }
+
+    /// VMs whose per-micro-batch compute time is an outlier versus the
+    /// median of all reporting VMs — the fail-stutter set.
+    ///
+    /// Returns an empty vector until at least three VMs have reported
+    /// (a median over fewer is meaningless).
+    pub fn stutter_outliers(&self) -> Vec<VmId> {
+        if self.last.len() < 3 {
+            return Vec::new();
+        }
+        let mut totals: Vec<f64> = self
+            .last
+            .values()
+            .map(|hb| hb.fwd_time + hb.bwd_time)
+            .collect();
+        totals.sort_by(|a, b| a.partial_cmp(b).expect("compute times are finite"));
+        let median = totals[totals.len() / 2];
+        self.last
+            .iter()
+            .filter(|(_, hb)| hb.fwd_time + hb.bwd_time > self.outlier_factor * median)
+            .map(|(vm, _)| *vm)
+            .collect()
+    }
+
+    /// Number of VMs currently reporting.
+    pub fn reporting(&self) -> usize {
+        self.last.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb(vm: VmId, time: f64, total: f64) -> Heartbeat {
+        Heartbeat {
+            vm,
+            time,
+            fwd_time: total / 3.0,
+            bwd_time: 2.0 * total / 3.0,
+        }
+    }
+
+    #[test]
+    fn silence_past_timeout_marks_preemption() {
+        let mut m = HeartbeatMonitor::new(60.0, 1.2);
+        m.record(hb(0, 0.0, 1.0));
+        m.record(hb(1, 50.0, 1.0));
+        assert_eq!(m.silent_vms(100.0), vec![0]);
+        assert!(m.silent_vms(40.0).is_empty());
+    }
+
+    #[test]
+    fn thirty_percent_slower_vm_is_an_outlier() {
+        // The paper's reported fail-stutter magnitude.
+        let mut m = HeartbeatMonitor::default_tuning();
+        for vm in 0..6 {
+            m.record(hb(vm, 0.0, 1.0));
+        }
+        m.record(hb(6, 0.0, 1.3));
+        assert_eq!(m.stutter_outliers(), vec![6]);
+    }
+
+    #[test]
+    fn no_outliers_among_uniform_vms() {
+        let mut m = HeartbeatMonitor::default_tuning();
+        for vm in 0..8 {
+            m.record(hb(vm, 0.0, 1.0 + 0.01 * vm as f64));
+        }
+        assert!(m.stutter_outliers().is_empty());
+    }
+
+    #[test]
+    fn outlier_detection_needs_quorum() {
+        let mut m = HeartbeatMonitor::default_tuning();
+        m.record(hb(0, 0.0, 1.0));
+        m.record(hb(1, 0.0, 9.0));
+        assert!(m.stutter_outliers().is_empty(), "two VMs give no median");
+    }
+
+    #[test]
+    fn forget_removes_vm_from_tracking() {
+        let mut m = HeartbeatMonitor::default_tuning();
+        m.record(hb(0, 0.0, 1.0));
+        m.forget(0);
+        assert_eq!(m.reporting(), 0);
+        assert!(m.silent_vms(1000.0).is_empty());
+    }
+
+    #[test]
+    fn newer_heartbeat_replaces_older() {
+        let mut m = HeartbeatMonitor::new(60.0, 1.2);
+        m.record(hb(0, 0.0, 1.0));
+        m.record(hb(0, 90.0, 1.0));
+        assert!(m.silent_vms(120.0).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Spot-VM cluster substrate for the Varuna reproduction.
+//!
+//! Varuna's defining capability is training on "low-priority" VMs that are
+//! 4-5x cheaper than dedicated GPUs but can be preempted at any time
+//! (paper Sections 1, 4). The manager only ever observes this world through
+//! VM grant/preempt events, heartbeats, and provisioning calls — so a
+//! faithful substitute is a generator of exactly those signals:
+//!
+//! - [`sku`]: the VM types of the paper's testbeds (NC6_v3, NC24_v3, DGX-2)
+//!   with GPU counts, memory, NIC speed, and dedicated/spot pricing.
+//! - [`spot`]: a slot-occupancy model of spot capacity reproducing the
+//!   paper's Figure 3 observation that 1-GPU VMs are more available than
+//!   4-GPU VMs.
+//! - [`trace`]: replayable grant/preempt event traces.
+//! - [`cluster`]: the live cluster state machine and provisioning API.
+//! - [`heartbeat`]: heartbeat records, preemption detection, and
+//!   fail-stutter outlier detection (Section 4.6).
+//! - [`pricing`]: dollar-cost accounting for runs.
+
+pub mod cluster;
+pub mod heartbeat;
+pub mod pricing;
+pub mod sku;
+pub mod spot;
+pub mod trace;
+
+pub use cluster::{Cluster, VmId};
+pub use heartbeat::{Heartbeat, HeartbeatMonitor};
+pub use sku::VmSku;
+pub use spot::SpotMarket;
+pub use trace::{ClusterEvent, ClusterEventKind, ClusterTrace};

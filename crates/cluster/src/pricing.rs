@@ -1,0 +1,86 @@
+//! Dollar-cost accounting.
+//!
+//! The paper's headline economics: spot VMs cost 4-5x less per GPU-hour, so
+//! a system that trains at comparable throughput on spot capacity cuts the
+//! cost of a training run by the same factor (Sections 1 and 7.1.1, e.g.
+//! "the cost-performance is thus 5.85x better for Varuna").
+
+use serde::{Deserialize, Serialize};
+
+use crate::sku::VmSku;
+
+/// Cost summary of a (possibly partial) training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunCost {
+    /// GPU-hours consumed.
+    pub gpu_hours: f64,
+    /// Total dollars at the priced rate.
+    pub dollars: f64,
+    /// Dollars per 1000 examples processed (NaN if none were).
+    pub dollars_per_kexample: f64,
+}
+
+/// Prices a run of `gpu_hours` GPU-hours that processed `examples` examples
+/// on `sku` VMs, at spot or dedicated rates.
+pub fn price_run(sku: &VmSku, gpu_hours: f64, examples: f64, spot: bool) -> RunCost {
+    assert!(gpu_hours >= 0.0 && examples >= 0.0);
+    let rate = if spot {
+        sku.spot_price_per_gpu_hour()
+    } else {
+        sku.dedicated_price_per_gpu_hour()
+    };
+    let dollars = rate * gpu_hours;
+    RunCost {
+        gpu_hours,
+        dollars,
+        dollars_per_kexample: dollars / (examples / 1000.0),
+    }
+}
+
+/// Cost-performance advantage of configuration A over B: how many times
+/// cheaper A is per unit of work.
+///
+/// `throughput` values are in examples/sec/GPU; `rate` values in dollars
+/// per GPU-hour. This reproduces the paper's "5.85x better cost-performance"
+/// arithmetic: `(tputA / rateA) / (tputB / rateB)`.
+pub fn cost_performance_ratio(tput_a: f64, rate_a: f64, tput_b: f64, rate_b: f64) -> f64 {
+    assert!(tput_a > 0.0 && tput_b > 0.0 && rate_a > 0.0 && rate_b > 0.0);
+    (tput_a / rate_a) / (tput_b / rate_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spot_run_is_about_5x_cheaper() {
+        let sku = VmSku::nc6_v3();
+        let spot = price_run(&sku, 1000.0, 1e6, true);
+        let dedicated = price_run(&sku, 1000.0, 1e6, false);
+        let ratio = dedicated.dollars / spot.dollars;
+        assert!((4.0..=5.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn paper_fig5_cost_performance_example() {
+        // Section 7.1.1: Varuna on spot (0.56 ex/s/GPU at 1/5 the price)
+        // vs Megatron on hypercluster (0.48): 17% faster and 5x cheaper
+        // gives ~5.85x cost-performance.
+        let r = cost_performance_ratio(0.56, 1.0, 0.48, 5.0);
+        assert!((r - 5.83).abs() < 0.1, "cost-performance {r}");
+    }
+
+    #[test]
+    fn dollars_per_kexample_scales_with_price() {
+        let sku = VmSku::nc24_v3();
+        let a = price_run(&sku, 100.0, 50_000.0, true);
+        let b = price_run(&sku, 100.0, 50_000.0, false);
+        assert!(b.dollars_per_kexample > a.dollars_per_kexample);
+        assert!((a.dollars - sku.spot_price_per_gpu_hour() * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_dollars_same_work_is_ratio_one() {
+        assert_eq!(cost_performance_ratio(1.0, 2.0, 1.0, 2.0), 1.0);
+    }
+}

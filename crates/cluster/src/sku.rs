@@ -1,0 +1,138 @@
+//! VM types of the paper's testbeds.
+//!
+//! Paper Section 7: the low-priority setup uses Azure NC6_v3 (1x V100,
+//! 16 GB, 10 Gbps Ethernet) and NC24_v3 (4x V100) spot VMs at a 4-5x
+//! discount; the hypercluster uses DGX-2 nodes (16x V100 32 GB, NVLink,
+//! 200 Gbps InfiniBand).
+
+use serde::{Deserialize, Serialize};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// A virtual machine type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmSku {
+    /// SKU name, e.g. `"NC6_v3"`.
+    pub name: String,
+    /// GPUs per VM.
+    pub gpus: usize,
+    /// Usable GPU memory per GPU in bytes.
+    pub gpu_memory: f64,
+    /// NIC line rate in Gbps.
+    pub nic_gbps: f64,
+    /// CPU cores.
+    pub cores: usize,
+    /// CPU RAM in GiB.
+    pub ram_gib: f64,
+    /// Price per hour as a dedicated VM, USD.
+    pub price_dedicated: f64,
+    /// Price per hour as a low-priority / spot VM, USD.
+    pub price_spot: f64,
+}
+
+impl VmSku {
+    /// Azure NC6_v3: 1x V100 16 GB, 6 Xeon cores, 112 GB RAM, 10 Gbps.
+    pub fn nc6_v3() -> Self {
+        VmSku {
+            name: "NC6_v3".to_string(),
+            gpus: 1,
+            gpu_memory: 16.0 * GIB,
+            nic_gbps: 10.0,
+            cores: 6,
+            ram_gib: 112.0,
+            price_dedicated: 3.06,
+            price_spot: 0.612,
+        }
+    }
+
+    /// Azure NC24_v3: 4x V100 16 GB.
+    pub fn nc24_v3() -> Self {
+        VmSku {
+            name: "NC24_v3".to_string(),
+            gpus: 4,
+            gpu_memory: 16.0 * GIB,
+            nic_gbps: 24.0,
+            cores: 24,
+            ram_gib: 448.0,
+            price_dedicated: 12.24,
+            price_spot: 2.448,
+        }
+    }
+
+    /// DGX-2: 16x V100 32 GB on NVLink. The usable per-GPU memory is set to
+    /// 25 GiB — the share left after cudnn workspaces, NCCL buffers and
+    /// allocator fragmentation on the 32 GiB card (see the memory model in
+    /// `varuna-models`).
+    pub fn dgx2() -> Self {
+        VmSku {
+            name: "DGX-2".to_string(),
+            gpus: 16,
+            gpu_memory: 25.0 * GIB,
+            nic_gbps: 200.0,
+            cores: 96,
+            ram_gib: 1500.0,
+            // Hypercluster nodes are never sold as spot capacity; the spot
+            // price is listed equal to dedicated to make cost comparisons
+            // well-defined.
+            price_dedicated: 48.96,
+            price_spot: 48.96,
+        }
+    }
+
+    /// Ratio of dedicated to spot price.
+    pub fn spot_discount(&self) -> f64 {
+        self.price_dedicated / self.price_spot
+    }
+
+    /// Spot price per GPU-hour.
+    pub fn spot_price_per_gpu_hour(&self) -> f64 {
+        self.price_spot / self.gpus as f64
+    }
+
+    /// Dedicated price per GPU-hour.
+    pub fn dedicated_price_per_gpu_hour(&self) -> f64 {
+        self.price_dedicated / self.gpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spot_discount_is_4_to_5x() {
+        // Paper Section 1: spot VMs are "4-5x cheaper".
+        for sku in [VmSku::nc6_v3(), VmSku::nc24_v3()] {
+            let d = sku.spot_discount();
+            assert!((4.0..=5.5).contains(&d), "{} discount {d}", sku.name);
+        }
+    }
+
+    #[test]
+    fn nc6_matches_paper_description() {
+        // Section 7: "Each 1-GPU VM has Nvidia Volta-100 GPU with 16GB
+        // memory, 6 Xeon cores, 112GB of CPU RAM and 10 Gbps ethernet."
+        let s = VmSku::nc6_v3();
+        assert_eq!(s.gpus, 1);
+        assert_eq!(s.cores, 6);
+        assert_eq!(s.ram_gib, 112.0);
+        assert_eq!(s.nic_gbps, 10.0);
+        assert_eq!(s.gpu_memory, 16.0 * GIB);
+    }
+
+    #[test]
+    fn dgx2_has_16_gpus_with_larger_memory() {
+        let s = VmSku::dgx2();
+        assert_eq!(s.gpus, 16);
+        assert!(s.gpu_memory > VmSku::nc6_v3().gpu_memory);
+    }
+
+    #[test]
+    fn per_gpu_hour_prices_divide_by_gpu_count() {
+        let s = VmSku::nc24_v3();
+        assert!((s.spot_price_per_gpu_hour() - s.price_spot / 4.0).abs() < 1e-12);
+        // 1-GPU and 4-GPU spot prices per GPU are comparable.
+        let r = s.spot_price_per_gpu_hour() / VmSku::nc6_v3().spot_price_per_gpu_hour();
+        assert!((0.9..=1.1).contains(&r));
+    }
+}

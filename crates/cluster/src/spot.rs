@@ -1,0 +1,261 @@
+//! Spot capacity model.
+//!
+//! Reproduces the paper's Figure 3 observation (Observation 4): when
+//! low-priority 1-GPU and 4-GPU VMs are requested alternately, far more
+//! aggregate GPU capacity is available as 1-GPU VMs, because a 4-GPU VM
+//! needs four co-located free slots on one host while a 1-GPU VM can use
+//! any free slot anywhere.
+//!
+//! The model is a pool of 4-slot hosts shared with background (dedicated)
+//! tenants. Background demand follows a diurnal wave with noise; background
+//! arrivals take free slots and, when a host is full, evict spot slots —
+//! which is exactly how low-priority VMs get preempted.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Slots per physical host (GPUs per node in the pool).
+pub const SLOTS_PER_HOST: usize = 4;
+
+/// State of the spot capacity pool.
+#[derive(Debug, Clone)]
+pub struct SpotMarket {
+    /// Background-occupied slots per host.
+    bg: Vec<usize>,
+    /// Spot (our) slots per host.
+    ours: Vec<usize>,
+    rng: StdRng,
+    /// Current simulation time in hours.
+    now_hours: f64,
+    /// Mean background occupancy fraction the process reverts to.
+    base_load: f64,
+    /// Amplitude of the diurnal load wave (fraction of capacity).
+    wave: f64,
+    /// Background departure rate per occupied slot per hour.
+    depart_rate: f64,
+}
+
+/// A preemption of `gpus` spot GPUs on host `host`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preemption {
+    /// Host on which slots were evicted.
+    pub host: usize,
+    /// Number of spot GPUs evicted there.
+    pub gpus: usize,
+}
+
+impl SpotMarket {
+    /// Creates a pool of `hosts` hosts with a deterministic seed, starting
+    /// at the mean background load.
+    pub fn new(hosts: usize, seed: u64) -> Self {
+        assert!(hosts > 0, "market needs at least one host");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base_load = 0.62;
+        let bg = (0..hosts)
+            .map(|_| {
+                (0..SLOTS_PER_HOST)
+                    .filter(|_| rng.gen_bool(base_load))
+                    .count()
+            })
+            .collect();
+        SpotMarket {
+            bg,
+            ours: vec![0; hosts],
+            rng,
+            now_hours: 0.0,
+            base_load,
+            wave: 0.22,
+            depart_rate: 0.9,
+        }
+    }
+
+    /// Number of hosts in the pool.
+    pub fn hosts(&self) -> usize {
+        self.bg.len()
+    }
+
+    /// Current simulation time in hours.
+    pub fn now_hours(&self) -> f64 {
+        self.now_hours
+    }
+
+    /// Instantaneous background target load (diurnal wave).
+    fn target_load(&self) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * self.now_hours / 24.0;
+        (self.base_load + self.wave * phase.sin()).clamp(0.05, 0.98)
+    }
+
+    /// Free slots on host `h`.
+    fn free(&self, h: usize) -> usize {
+        SLOTS_PER_HOST - self.bg[h] - self.ours[h]
+    }
+
+    /// Aggregate GPUs available right now to 1-GPU VM requests.
+    pub fn available_1gpu(&self) -> usize {
+        (0..self.hosts()).map(|h| self.free(h)).sum()
+    }
+
+    /// Aggregate GPUs available right now to 4-GPU VM requests (only fully
+    /// free hosts qualify).
+    pub fn available_4gpu(&self) -> usize {
+        (0..self.hosts())
+            .filter(|&h| self.free(h) == SLOTS_PER_HOST)
+            .count()
+            * SLOTS_PER_HOST
+    }
+
+    /// Advances background demand by `dt_hours`, returning any preemptions
+    /// of spot slots it caused.
+    pub fn step(&mut self, dt_hours: f64) -> Vec<Preemption> {
+        assert!(dt_hours > 0.0, "time must advance");
+        self.now_hours += dt_hours;
+        let hosts = self.hosts();
+
+        // Background departures: each occupied slot frees independently.
+        let p_depart = (self.depart_rate * dt_hours).min(1.0);
+        for h in 0..hosts {
+            let leaving = (0..self.bg[h])
+                .filter(|_| self.rng.gen_bool(p_depart))
+                .count();
+            self.bg[h] -= leaving;
+        }
+
+        // Background arrivals: drive occupancy toward the diurnal target.
+        let capacity = hosts * SLOTS_PER_HOST;
+        let occupied: usize = self.bg.iter().sum();
+        let target = (self.target_load() * capacity as f64) as usize;
+        let deficit = target.saturating_sub(occupied);
+        // Arrivals replace departures plus close a fraction of the deficit.
+        let arrivals = (deficit as f64 * (2.0 * dt_hours).min(1.0)).round() as usize;
+
+        let mut preemptions: Vec<Preemption> = Vec::new();
+        for _ in 0..arrivals {
+            let h = self.rng.gen_range(0..hosts);
+            if self.free(h) > 0 {
+                self.bg[h] += 1;
+            } else if self.ours[h] > 0 {
+                // Dedicated demand evicts a low-priority slot.
+                self.ours[h] -= 1;
+                self.bg[h] += 1;
+                match preemptions.iter_mut().find(|p| p.host == h) {
+                    Some(p) => p.gpus += 1,
+                    None => preemptions.push(Preemption { host: h, gpus: 1 }),
+                }
+            }
+            // A fully busy host with no spot slots blocks the arrival.
+        }
+        preemptions
+    }
+
+    /// Tries to acquire one 1-GPU spot VM; returns the host, if any.
+    pub fn request_1gpu(&mut self) -> Option<usize> {
+        let h = (0..self.hosts()).find(|&h| self.free(h) > 0)?;
+        self.ours[h] += 1;
+        Some(h)
+    }
+
+    /// Tries to acquire one 4-GPU spot VM; returns the host, if any.
+    pub fn request_4gpu(&mut self) -> Option<usize> {
+        let h = (0..self.hosts()).find(|&h| self.free(h) == SLOTS_PER_HOST)?;
+        self.ours[h] += SLOTS_PER_HOST;
+        Some(h)
+    }
+
+    /// Releases `gpus` of our slots on `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if we do not hold that many slots there.
+    pub fn release(&mut self, host: usize, gpus: usize) {
+        assert!(self.ours[host] >= gpus, "releasing slots we do not hold");
+        self.ours[host] -= gpus;
+    }
+
+    /// Total spot GPUs we currently hold.
+    pub fn held(&self) -> usize {
+        self.ours.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_gpu_availability_dominates_four_gpu() {
+        // The Figure 3 observation, integrated over 16 hours.
+        let mut m = SpotMarket::new(100, 7);
+        let mut sum1 = 0usize;
+        let mut sum4 = 0usize;
+        let steps = 16 * 12; // 5-minute steps over 16 hours.
+        for _ in 0..steps {
+            m.step(1.0 / 12.0);
+            sum1 += m.available_1gpu();
+            sum4 += m.available_4gpu();
+        }
+        assert!(sum1 > 0);
+        assert!(
+            sum1 as f64 > 1.8 * sum4 as f64,
+            "1-GPU capacity ({sum1}) should far exceed 4-GPU capacity ({sum4})"
+        );
+    }
+
+    #[test]
+    fn availability_is_reproducible() {
+        let run = |seed| {
+            let mut m = SpotMarket::new(50, seed);
+            (0..48)
+                .map(|_| m.step(0.25).len() + m.available_1gpu())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn grants_reduce_availability_and_release_restores_it() {
+        let mut m = SpotMarket::new(10, 1);
+        let before = m.available_1gpu();
+        let h = m.request_1gpu().expect("pool should have a free slot");
+        assert_eq!(m.available_1gpu(), before - 1);
+        assert_eq!(m.held(), 1);
+        m.release(h, 1);
+        assert_eq!(m.available_1gpu(), before);
+        assert_eq!(m.held(), 0);
+    }
+
+    #[test]
+    fn four_gpu_grant_takes_a_whole_host() {
+        let mut m = SpotMarket::new(200, 2);
+        if let Some(h) = m.request_4gpu() {
+            assert_eq!(m.ours[h], SLOTS_PER_HOST);
+            assert_eq!(m.free(h), 0);
+        } else {
+            panic!("a 200-host pool should have at least one free host");
+        }
+    }
+
+    #[test]
+    fn load_spikes_cause_preemptions_of_held_vms() {
+        let mut m = SpotMarket::new(40, 11);
+        // Grab everything that's free.
+        while m.request_1gpu().is_some() {}
+        let held = m.held();
+        assert!(held > 0);
+        // Run a full diurnal cycle; rising background demand must evict
+        // some of our slots.
+        let mut preempted = 0;
+        for _ in 0..(24 * 12) {
+            preempted += m.step(1.0 / 12.0).iter().map(|p| p.gpus).sum::<usize>();
+        }
+        assert!(preempted > 0, "no preemptions over a full load cycle");
+        assert_eq!(m.held(), held - preempted);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not hold")]
+    fn over_release_panics() {
+        let mut m = SpotMarket::new(4, 1);
+        m.release(0, 1);
+    }
+}

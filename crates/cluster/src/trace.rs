@@ -1,0 +1,286 @@
+//! Replayable cluster event traces.
+//!
+//! Every morphing experiment is driven by a trace of VM grants and
+//! preemptions. Traces can be generated from the [`crate::spot`] market
+//! (stochastic but seeded) or scripted by hand, and serialize to JSON so an
+//! exact run can be replayed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spot::SpotMarket;
+
+/// What happened to a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClusterEventKind {
+    /// The cloud granted us a VM with this many GPUs.
+    Granted {
+        /// GPUs on the granted VM.
+        gpus: usize,
+    },
+    /// The cloud preempted a VM we held.
+    Preempted,
+    /// The VM began fail-stutter behavior: its compute slowed by `factor`
+    /// (paper §4.6: "often by as much as 30%"). Detected by the manager
+    /// through heartbeat timing outliers.
+    StutterStart {
+        /// Compute slowdown factor (> 1.0).
+        factor: f64,
+    },
+    /// The VM recovered to full speed.
+    StutterEnd,
+}
+
+/// One timestamped cluster event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEvent {
+    /// Time in hours since trace start.
+    pub time_hours: f64,
+    /// VM identifier, unique within the trace.
+    pub vm: u64,
+    /// What happened.
+    pub kind: ClusterEventKind,
+}
+
+/// A time-ordered sequence of cluster events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTrace {
+    /// Events sorted by time.
+    pub events: Vec<ClusterEvent>,
+    /// Total duration covered by the trace, hours.
+    pub duration_hours: f64,
+}
+
+impl ClusterTrace {
+    /// Generates a trace by running a job that greedily holds up to
+    /// `target_gpus` worth of 1-GPU spot VMs against a seeded market for
+    /// `hours`, polling every `poll_minutes`.
+    ///
+    /// This is the workload of the paper's Figure 8: the manager
+    /// "periodically keeps trying to grow the cluster" while the market
+    /// preempts VMs as background demand rises.
+    pub fn generate_spot_1gpu(
+        hosts: usize,
+        target_gpus: usize,
+        hours: f64,
+        poll_minutes: f64,
+        seed: u64,
+    ) -> Self {
+        let mut market = SpotMarket::new(hosts, seed);
+        let mut events = Vec::new();
+        let mut next_vm: u64 = 0;
+        // Host -> list of (vm id) we hold there, to map preemptions back.
+        let mut held: Vec<Vec<u64>> = vec![Vec::new(); hosts];
+        let dt = poll_minutes / 60.0;
+        let steps = (hours / dt).ceil() as usize;
+        // Fail-stutter injection: a held VM goes ~30% slow for a while.
+        use rand::{Rng, SeedableRng};
+        let mut stutter_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x57A7);
+        let mut stuttering: Option<(u64, usize)> = None; // (vm, steps left)
+
+        for step in 0..steps {
+            let t = step as f64 * dt;
+            // Resolve or start stutter episodes (~one VM slow at a time,
+            // episodes of ~1h, starting with ~2%/poll probability).
+            match &mut stuttering {
+                Some((vm, left)) => {
+                    *left -= 1;
+                    if *left == 0 {
+                        events.push(ClusterEvent {
+                            time_hours: t,
+                            vm: *vm,
+                            kind: ClusterEventKind::StutterEnd,
+                        });
+                        stuttering = None;
+                    }
+                }
+                None => {
+                    if stutter_rng.gen_bool(0.02) {
+                        if let Some(vm) = held.iter().flat_map(|v| v.iter()).copied().next() {
+                            let episode = (1.0 / dt).ceil() as usize;
+                            events.push(ClusterEvent {
+                                time_hours: t,
+                                vm,
+                                kind: ClusterEventKind::StutterStart { factor: 1.3 },
+                            });
+                            stuttering = Some((vm, episode.max(1)));
+                        }
+                    }
+                }
+            }
+            // Background demand moves first; it may preempt us.
+            for p in market.step(dt) {
+                for _ in 0..p.gpus {
+                    if let Some(vm) = held[p.host].pop() {
+                        if stuttering.map(|(sv, _)| sv) == Some(vm) {
+                            stuttering = None;
+                        }
+                        events.push(ClusterEvent {
+                            time_hours: t,
+                            vm,
+                            kind: ClusterEventKind::Preempted,
+                        });
+                    }
+                }
+            }
+            // Then we try to grow back to target.
+            while market.held() < target_gpus {
+                match market.request_1gpu() {
+                    Some(h) => {
+                        let vm = next_vm;
+                        next_vm += 1;
+                        held[h].push(vm);
+                        events.push(ClusterEvent {
+                            time_hours: t,
+                            vm,
+                            kind: ClusterEventKind::Granted { gpus: 1 },
+                        });
+                    }
+                    None => break,
+                }
+            }
+        }
+        ClusterTrace {
+            events,
+            duration_hours: hours,
+        }
+    }
+
+    /// A scripted trace from explicit `(time_hours, vm, kind)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the events are not time-ordered.
+    pub fn scripted(events: Vec<ClusterEvent>, duration_hours: f64) -> Self {
+        for w in events.windows(2) {
+            assert!(
+                w[0].time_hours <= w[1].time_hours,
+                "trace must be time-ordered"
+            );
+        }
+        ClusterTrace {
+            events,
+            duration_hours,
+        }
+    }
+
+    /// Number of GPUs held at time `t` (after applying all events ≤ `t`).
+    pub fn gpus_at(&self, t: f64) -> usize {
+        let mut held: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for e in &self.events {
+            if e.time_hours > t {
+                break;
+            }
+            match e.kind {
+                ClusterEventKind::Granted { gpus } => {
+                    held.insert(e.vm, gpus);
+                }
+                ClusterEventKind::Preempted => {
+                    held.remove(&e.vm);
+                }
+                ClusterEventKind::StutterStart { .. } | ClusterEventKind::StutterEnd => {}
+            }
+        }
+        held.values().sum()
+    }
+
+    /// Count of preemption events in the trace.
+    pub fn preemptions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, ClusterEventKind::Preempted))
+            .count()
+    }
+
+    /// Serializes the trace to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parses a trace from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_trace_is_time_ordered_and_reproducible() {
+        let a = ClusterTrace::generate_spot_1gpu(60, 100, 8.0, 5.0, 13);
+        let b = ClusterTrace::generate_spot_1gpu(60, 100, 8.0, 5.0, 13);
+        assert_eq!(a, b);
+        for w in a.events.windows(2) {
+            assert!(w[0].time_hours <= w[1].time_hours);
+        }
+        assert!(!a.events.is_empty());
+    }
+
+    #[test]
+    fn long_trace_contains_preemptions_and_regrowth() {
+        let t = ClusterTrace::generate_spot_1gpu(60, 120, 60.0, 5.0, 21);
+        assert!(t.preemptions() > 5, "60h of spot should see preemptions");
+        // The job should hold a meaningful number of GPUs most of the time.
+        let samples = [5.0, 15.0, 25.0, 35.0, 45.0, 55.0];
+        let min = samples.iter().map(|&t0| t.gpus_at(t0)).min().unwrap();
+        let max = samples.iter().map(|&t0| t.gpus_at(t0)).max().unwrap();
+        assert!(min > 0, "cluster dropped to zero GPUs");
+        assert!(max > min, "trace shows no capacity variation");
+    }
+
+    #[test]
+    fn gpus_at_applies_grants_and_preemptions() {
+        let t = ClusterTrace::scripted(
+            vec![
+                ClusterEvent {
+                    time_hours: 0.0,
+                    vm: 0,
+                    kind: ClusterEventKind::Granted { gpus: 4 },
+                },
+                ClusterEvent {
+                    time_hours: 1.0,
+                    vm: 1,
+                    kind: ClusterEventKind::Granted { gpus: 1 },
+                },
+                ClusterEvent {
+                    time_hours: 2.0,
+                    vm: 0,
+                    kind: ClusterEventKind::Preempted,
+                },
+            ],
+            3.0,
+        );
+        assert_eq!(t.gpus_at(0.5), 4);
+        assert_eq!(t.gpus_at(1.5), 5);
+        assert_eq!(t.gpus_at(2.5), 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = ClusterTrace::generate_spot_1gpu(20, 30, 2.0, 10.0, 5);
+        let j = t.to_json();
+        let back = ClusterTrace::from_json(&j).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_scripted_trace_panics() {
+        let _ = ClusterTrace::scripted(
+            vec![
+                ClusterEvent {
+                    time_hours: 1.0,
+                    vm: 0,
+                    kind: ClusterEventKind::Preempted,
+                },
+                ClusterEvent {
+                    time_hours: 0.0,
+                    vm: 1,
+                    kind: ClusterEventKind::Preempted,
+                },
+            ],
+            2.0,
+        );
+    }
+}

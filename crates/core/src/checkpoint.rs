@@ -1,0 +1,101 @@
+//! Continuous checkpointing policy (paper §4.5).
+//!
+//! Varuna checkpoints model state every few mini-batches, at mini-batch
+//! boundaries for cross-stage consistency. Each layer checkpoints
+//! independently (so a resume may remap layers to different stages — the
+//! mechanism itself is exercised in `varuna-train::checkpoint`), writes go
+//! to local SSD and copy to cloud storage in the background, and the write
+//! is sharded across data-parallel replicas since they hold identical
+//! state. This module prices that policy for the manager's timeline.
+
+use serde::{Deserialize, Serialize};
+
+/// The checkpointing policy and its cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointPolicy {
+    /// Checkpoint every this many mini-batches.
+    pub interval_minibatches: u64,
+    /// Local SSD write bandwidth, bytes/s.
+    pub ssd_bandwidth: f64,
+    /// Background cloud-upload bandwidth, bytes/s (does not stall
+    /// training; bounds how stale the cloud copy can be).
+    pub cloud_bandwidth: f64,
+}
+
+impl CheckpointPolicy {
+    /// Default tuning: every 16 mini-batches, 1 GB/s SSD, 200 MB/s cloud.
+    pub fn default_tuning() -> Self {
+        CheckpointPolicy {
+            interval_minibatches: 16,
+            ssd_bandwidth: 1.0e9,
+            cloud_bandwidth: 200.0e6,
+        }
+    }
+
+    /// Foreground pause per checkpoint: each GPU writes its stage's
+    /// parameter state (16 bytes/param), sharded `1/d` across replicas.
+    pub fn pause_seconds(&self, stage_params: u64, d: usize) -> f64 {
+        assert!(d > 0);
+        stage_params as f64 * 16.0 / d as f64 / self.ssd_bandwidth
+    }
+
+    /// Seconds for the background cloud copy of one full checkpoint.
+    pub fn upload_seconds(&self, total_params: u64) -> f64 {
+        total_params as f64 * 16.0 / self.cloud_bandwidth
+    }
+
+    /// Whether mini-batch `step` ends with a checkpoint.
+    pub fn is_checkpoint_step(&self, step: u64) -> bool {
+        step > 0 && step.is_multiple_of(self.interval_minibatches)
+    }
+
+    /// Mini-batches of work lost if preempted at `step` (work since the
+    /// last completed checkpoint).
+    pub fn lost_minibatches(&self, step: u64) -> u64 {
+        step % self.interval_minibatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_divides_the_pause() {
+        let p = CheckpointPolicy::default_tuning();
+        let solo = p.pause_seconds(1_000_000_000, 1);
+        let sharded = p.pause_seconds(1_000_000_000, 8);
+        assert!((solo / sharded - 8.0).abs() < 1e-9);
+        // A 2.5B/9-stage shard over 7 replicas pauses well under a second.
+        assert!(p.pause_seconds(2_500_000_000 / 9, 7) < 1.0);
+    }
+
+    #[test]
+    fn checkpoint_steps_fire_on_the_interval() {
+        let p = CheckpointPolicy {
+            interval_minibatches: 4,
+            ..CheckpointPolicy::default_tuning()
+        };
+        let steps: Vec<u64> = (0..=12).filter(|&s| p.is_checkpoint_step(s)).collect();
+        assert_eq!(steps, vec![4, 8, 12]);
+    }
+
+    #[test]
+    fn lost_work_is_bounded_by_the_interval() {
+        let p = CheckpointPolicy {
+            interval_minibatches: 16,
+            ..CheckpointPolicy::default_tuning()
+        };
+        assert_eq!(p.lost_minibatches(16), 0);
+        assert_eq!(p.lost_minibatches(20), 4);
+        for s in 0..100 {
+            assert!(p.lost_minibatches(s) < 16);
+        }
+    }
+
+    #[test]
+    fn cloud_upload_is_slower_than_local_write() {
+        let p = CheckpointPolicy::default_tuning();
+        assert!(p.upload_seconds(1_000_000_000) > p.pause_seconds(1_000_000_000, 1));
+    }
+}

@@ -1,0 +1,217 @@
+//! Automatic cut-point identification from an op-level profile (paper §5.1).
+//!
+//! "Based on the desired number of cut-points, Varuna uses compute time to
+//! shortlist end points for each code section, and picks those with lowest
+//! activation size to maintain a high compute-communication ratio." The
+//! finder also "checks that there is no overlap of parameters across
+//! cut-point boundaries, and parameters that are reused across boundaries
+//! are marked as shared parameters".
+//!
+//! Given an [`OpGraph`], the finder:
+//! 1. walks the ops accumulating compute, closing a section when it has
+//!    gathered ≈ `total / k` FLOPs;
+//! 2. within a tolerance band around each target boundary, snaps the cut to
+//!    the op with the smallest output activation;
+//! 3. reports parameter tensors referenced on both sides of any cut as
+//!    shared.
+
+use serde::{Deserialize, Serialize};
+use varuna_models::opgraph::OpGraph;
+
+/// One identified cut-point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FoundCut {
+    /// Index of the last op of the section (the cut sits after it).
+    pub after_op: usize,
+    /// Name of that op.
+    pub op_name: String,
+    /// Bytes that would cross this cut per example.
+    pub activation_bytes: f64,
+    /// Forward FLOPs of the section ending here.
+    pub section_flops: f64,
+}
+
+/// The finder's full report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutReport {
+    /// The `k - 1` interior cuts, in op order (the final section ends at
+    /// the last op and needs no cut).
+    pub cuts: Vec<FoundCut>,
+    /// Parameter ids referenced on both sides of some cut — these must be
+    /// synchronized every mini-batch (§5.2).
+    pub shared_params: Vec<u64>,
+}
+
+/// Identifies `k` equally heavy, low-activation sections in `graph`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the op count.
+pub fn find_cutpoints(graph: &OpGraph, k: usize) -> CutReport {
+    let n = graph.ops.len();
+    assert!(k >= 1 && k <= n, "cannot cut {n} ops into {k} sections");
+    let total: f64 = graph.total_flops();
+    let target = total / k as f64;
+
+    // Prefix compute sums; cut candidates are op boundaries.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for op in &graph.ops {
+        prefix.push(prefix.last().unwrap() + op.fwd_flops);
+    }
+
+    let mut cuts = Vec::with_capacity(k.saturating_sub(1));
+    let mut section_start_flops = 0.0;
+    for cut_idx in 1..k {
+        let goal = cut_idx as f64 * target;
+        // The compute-balanced boundary.
+        let balanced = match prefix.binary_search_by(|x| x.total_cmp(&goal)) {
+            Ok(i) => i,
+            Err(i) => i.min(n) - 1,
+        };
+        // Snap to the lowest-activation op within ±10% of total compute
+        // around the balanced point, staying after the previous cut.
+        let band = total * 0.10;
+        let lo_bound = cuts.last().map(|c: &FoundCut| c.after_op + 1).unwrap_or(0);
+        let mut best = balanced.max(lo_bound).min(n - 2);
+        for i in lo_bound..n - 1 {
+            if (prefix[i + 1] - goal).abs() > band {
+                continue;
+            }
+            if graph.ops[i].out_bytes < graph.ops[best].out_bytes
+                || ((graph.ops[i].out_bytes == graph.ops[best].out_bytes)
+                    && (prefix[i + 1] - goal).abs() < (prefix[best + 1] - goal).abs())
+            {
+                best = i;
+            }
+        }
+        let section_flops = prefix[best + 1] - section_start_flops;
+        section_start_flops = prefix[best + 1];
+        cuts.push(FoundCut {
+            after_op: best,
+            op_name: graph.ops[best].name.clone(),
+            activation_bytes: graph.ops[best].out_bytes,
+            section_flops,
+        });
+    }
+
+    // Parameters referenced in more than one section are shared.
+    let mut shared = Vec::new();
+    for &id in &graph.shared_param_ids() {
+        let sections: std::collections::BTreeSet<usize> = graph
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.param_ids.contains(&id))
+            .map(|(i, _)| section_of(&cuts, i))
+            .collect();
+        if sections.len() > 1 {
+            shared.push(id);
+        }
+    }
+    CutReport {
+        cuts,
+        shared_params: shared,
+    }
+}
+
+/// Which section (0-based) op `i` falls in.
+fn section_of(cuts: &[FoundCut], i: usize) -> usize {
+    cuts.iter().take_while(|c| c.after_op < i).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varuna_models::opgraph::OpGraph;
+    use varuna_models::ModelZoo;
+
+    #[test]
+    fn cuts_land_on_block_boundaries() {
+        // For a transformer, low-activation points are exactly the
+        // residual-stream boundaries (mlp.down / attn.proj / ln outputs),
+        // never the 4x-wide MLP hidden or the attention score maps.
+        let c = ModelZoo::gpt2_2_5b();
+        let g = OpGraph::profile_transformer(&c);
+        let report = find_cutpoints(&g, 9);
+        assert_eq!(report.cuts.len(), 8);
+        let boundary = c.boundary_activation_bytes();
+        for cut in &report.cuts {
+            assert!(
+                cut.activation_bytes <= boundary,
+                "cut after {} carries {} bytes (> boundary {})",
+                cut.op_name,
+                cut.activation_bytes,
+                boundary
+            );
+            assert!(
+                !cut.op_name.contains("mlp.up")
+                    && !cut.op_name.contains("gelu")
+                    && !cut.op_name.contains("qkv")
+                    && !cut.op_name.contains("scores"),
+                "cut must avoid fat interior activations, landed on {}",
+                cut.op_name
+            );
+        }
+    }
+
+    #[test]
+    fn sections_are_compute_balanced() {
+        let g = OpGraph::profile_transformer(&ModelZoo::gpt2_8_3b());
+        let k = 18;
+        let report = find_cutpoints(&g, k);
+        let target = g.total_flops() / k as f64;
+        for cut in &report.cuts {
+            let err = (cut.section_flops - target).abs() / target;
+            assert!(
+                err < 0.25,
+                "section ending at {} is {err:.0}% off target",
+                cut.op_name
+            );
+        }
+    }
+
+    #[test]
+    fn tied_embedding_is_reported_as_shared() {
+        let g = OpGraph::profile_transformer(&ModelZoo::gpt2_2_5b());
+        let report = find_cutpoints(&g, 4);
+        assert_eq!(
+            report.shared_params.len(),
+            1,
+            "the tied embedding spans the first and last sections"
+        );
+        let mut untied = ModelZoo::gpt2_2_5b();
+        untied.tied_embeddings = false;
+        let g2 = OpGraph::profile_transformer(&untied);
+        assert!(find_cutpoints(&g2, 4).shared_params.is_empty());
+    }
+
+    #[test]
+    fn single_section_needs_no_cuts() {
+        let g = OpGraph::profile_transformer(&ModelZoo::gpt2_355m());
+        let report = find_cutpoints(&g, 1);
+        assert!(report.cuts.is_empty());
+        assert!(
+            report.shared_params.is_empty(),
+            "one section shares nothing"
+        );
+    }
+
+    #[test]
+    fn cuts_are_strictly_ordered() {
+        let g = OpGraph::profile_transformer(&ModelZoo::gpt2_20b());
+        let report = find_cutpoints(&g, 49);
+        for w in report.cuts.windows(2) {
+            assert!(w[0].after_op < w[1].after_op);
+        }
+    }
+
+    #[test]
+    fn max_cutpoints_matches_block_count_practically() {
+        // Asking for as many sections as blocks lands ~one cut per block.
+        let c = ModelZoo::gpt2_355m();
+        let g = OpGraph::profile_transformer(&c);
+        let report = find_cutpoints(&g, c.layers);
+        assert_eq!(report.cuts.len(), c.layers - 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! The Varuna manager (paper §4.6).
+//!
+//! Runs on a dedicated VM and watches the job: it detects preemptions (no
+//! heartbeat), corrects fail-stutter VMs (outlier compute times → excluded
+//! from placement), keeps trying to grow the cluster, and triggers
+//! morphing whenever the available GPU set changes. Replaying a cluster
+//! trace through the manager produces the dynamic timeline of the paper's
+//! Figure 8.
+
+use serde::{Deserialize, Serialize};
+use varuna_cluster::cluster::VmId;
+use varuna_cluster::heartbeat::{Heartbeat, HeartbeatMonitor};
+use varuna_cluster::trace::{ClusterEventKind, ClusterTrace};
+
+use crate::calibrate::Calibration;
+use crate::checkpoint::CheckpointPolicy;
+use crate::error::VarunaError;
+use crate::morph::MorphController;
+
+/// What happened at a timeline point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimelineEvent {
+    /// The job reconfigured to a new `P x D` shape.
+    Morph {
+        /// New pipeline depth.
+        p: usize,
+        /// New data-parallel width.
+        d: usize,
+    },
+    /// Capacity changed but the best shape did not (the paper's `p`
+    /// markers: a preempted VM was replaced).
+    Replacement,
+    /// A periodic checkpoint (the paper's throughput spikes).
+    Checkpoint,
+    /// Steady-state sample.
+    Steady,
+}
+
+/// One sample of the dynamic training timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// Hours since job start.
+    pub t_hours: f64,
+    /// GPUs currently granted by the cloud.
+    pub gpus_held: usize,
+    /// GPUs the active configuration actually uses (`P x D`).
+    pub gpus_used: usize,
+    /// Active pipeline depth.
+    pub p: usize,
+    /// Active data-parallel width.
+    pub d: usize,
+    /// Training throughput at this point, examples/sec (0 during
+    /// reconfiguration downtime).
+    pub ex_per_sec: f64,
+    /// Per-GPU throughput over the GPUs in use.
+    pub ex_per_sec_per_gpu: f64,
+    /// What this sample marks.
+    pub event: TimelineEvent,
+}
+
+/// The manager: heartbeat tracking plus morph orchestration.
+pub struct Manager<'a> {
+    morph: MorphController<'a>,
+    monitor: HeartbeatMonitor,
+    checkpoint: CheckpointPolicy,
+    excluded: Vec<VmId>,
+}
+
+impl<'a> Manager<'a> {
+    /// A manager for a job calibrated as `calib` with fixed `m_total`.
+    pub fn new(calib: &'a Calibration, m_total: usize, micro: usize) -> Self {
+        Manager {
+            morph: MorphController::new(calib, m_total).micro_batch(micro),
+            monitor: HeartbeatMonitor::default_tuning(),
+            checkpoint: CheckpointPolicy::default_tuning(),
+            excluded: Vec::new(),
+        }
+    }
+
+    /// Ingests task heartbeats; returns VMs newly excluded for
+    /// fail-stutter behavior.
+    pub fn handle_heartbeats(&mut self, hbs: &[Heartbeat]) -> Vec<VmId> {
+        for hb in hbs {
+            self.monitor.record(*hb);
+        }
+        let outliers = self.monitor.stutter_outliers();
+        let new: Vec<VmId> = outliers
+            .into_iter()
+            .filter(|vm| !self.excluded.contains(vm))
+            .collect();
+        self.excluded.extend(&new);
+        new
+    }
+
+    /// VMs excluded from scheduling.
+    pub fn excluded_vms(&self) -> &[VmId] {
+        &self.excluded
+    }
+
+    /// VMs presumed preempted because they went silent.
+    pub fn silent_vms(&self, now: f64) -> Vec<VmId> {
+        self.monitor.silent_vms(now)
+    }
+
+    /// Replays a cluster trace, morphing on every capacity change, and
+    /// returns the Figure 8 timeline.
+    ///
+    /// # Errors
+    ///
+    /// Fails if at some point no configuration fits the surviving GPUs.
+    pub fn replay(&mut self, trace: &ClusterTrace) -> Result<Vec<TimelinePoint>, VarunaError> {
+        let mut timeline = Vec::new();
+        let mut held: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut stuttering: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut step: f64 = 0.0;
+        let mut last_t = 0.0f64;
+        let mut last_ckpt_step: u64 = 0;
+
+        // Group events by timestamp.
+        let mut i = 0;
+        while i < trace.events.len() {
+            let t = trace.events[i].time_hours;
+            // Advance training between last_t and t under the current
+            // config, emitting periodic checkpoint markers.
+            if let Some(cfg) = self.morph.current() {
+                let dt_sec = (t - last_t) * 3600.0;
+                let steps_done = dt_sec / cfg.est_minibatch_time;
+                step += steps_done;
+                let interval = self.checkpoint.interval_minibatches;
+                while step as u64 >= last_ckpt_step + interval {
+                    last_ckpt_step += interval;
+                    timeline.push(TimelinePoint {
+                        t_hours: last_t
+                            + (t - last_t)
+                                * ((last_ckpt_step as f64 - (step - steps_done))
+                                    / steps_done.max(1e-9)),
+                        gpus_held: held.values().sum(),
+                        gpus_used: cfg.gpus_used(),
+                        p: cfg.p,
+                        d: cfg.d,
+                        ex_per_sec: cfg.throughput(),
+                        ex_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                        event: TimelineEvent::Checkpoint,
+                    });
+                }
+            }
+            last_t = t;
+            // Apply all events at this timestamp.
+            while i < trace.events.len() && trace.events[i].time_hours == t {
+                let e = &trace.events[i];
+                match e.kind {
+                    ClusterEventKind::Granted { gpus } => {
+                        held.insert(e.vm, gpus);
+                    }
+                    ClusterEventKind::Preempted => {
+                        held.remove(&e.vm);
+                        stuttering.remove(&e.vm);
+                        self.monitor.forget(e.vm);
+                    }
+                    // §4.6: outlier heartbeat timings get the VM omitted
+                    // from scheduling; it counts as lost capacity until it
+                    // recovers or is replaced.
+                    ClusterEventKind::StutterStart { .. } => {
+                        stuttering.insert(e.vm);
+                    }
+                    ClusterEventKind::StutterEnd => {
+                        stuttering.remove(&e.vm);
+                    }
+                }
+                i += 1;
+            }
+            let gpus: usize = held
+                .iter()
+                .filter(|(vm, _)| !stuttering.contains(*vm))
+                .map(|(_, g)| *g)
+                .sum();
+            if gpus == 0 {
+                continue;
+            }
+            let decision = self.morph.on_resources_changed(gpus, step as u64)?;
+            let cfg = &decision.config;
+            timeline.push(TimelinePoint {
+                t_hours: t,
+                gpus_held: gpus,
+                gpus_used: cfg.gpus_used(),
+                p: cfg.p,
+                d: cfg.d,
+                ex_per_sec: cfg.throughput(),
+                ex_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                event: if decision.reconfigured {
+                    TimelineEvent::Morph { p: cfg.p, d: cfg.d }
+                } else {
+                    TimelineEvent::Replacement
+                },
+            });
+        }
+        Ok(timeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarunaCluster;
+    use varuna_models::ModelZoo;
+
+    fn calib() -> Calibration {
+        Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(160))
+    }
+
+    #[test]
+    fn replay_produces_morphs_and_checkpoints() {
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let trace = varuna_cluster::trace::ClusterTrace::generate_spot_1gpu(60, 120, 20.0, 5.0, 3);
+        let timeline = mgr.replay(&trace).unwrap();
+        assert!(!timeline.is_empty());
+        let morphs = timeline
+            .iter()
+            .filter(|p| matches!(p.event, TimelineEvent::Morph { .. }))
+            .count();
+        let ckpts = timeline
+            .iter()
+            .filter(|p| p.event == TimelineEvent::Checkpoint)
+            .count();
+        assert!(morphs >= 1, "capacity swings must trigger morphs");
+        assert!(ckpts >= 1, "periodic checkpoints must appear");
+        // Configurations never exceed held GPUs.
+        for p in &timeline {
+            assert!(p.gpus_used <= p.gpus_held, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn per_gpu_throughput_is_far_more_stable_than_total() {
+        // Figure 8's takeaway: total ex/s swings ~5x with capacity while
+        // ex/s/GPU varies only ~15%.
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        // A small, heavily contended pool over two diurnal cycles produces
+        // the large capacity swings of the paper's Figure 8.
+        let trace = varuna_cluster::trace::ClusterTrace::generate_spot_1gpu(40, 160, 48.0, 10.0, 9);
+        let timeline = mgr.replay(&trace).unwrap();
+        let totals: Vec<f64> = timeline.iter().map(|p| p.ex_per_sec).collect();
+        let per_gpu: Vec<f64> = timeline.iter().map(|p| p.ex_per_sec_per_gpu).collect();
+        let spread = |v: &[f64]| {
+            let max = v.iter().fold(f64::MIN, |a, &b| a.max(b));
+            let min = v.iter().fold(f64::MAX, |a, &b| a.min(b));
+            max / min
+        };
+        assert!(
+            spread(&totals) > 1.5 * spread(&per_gpu),
+            "total spread {:.2} vs per-gpu spread {:.2}",
+            spread(&totals),
+            spread(&per_gpu)
+        );
+        assert!(
+            spread(&per_gpu) < 2.0,
+            "per-GPU throughput should be stable"
+        );
+    }
+
+    #[test]
+    fn stuttering_vms_are_omitted_from_scheduling_in_replay() {
+        use varuna_cluster::trace::{ClusterEvent, ClusterEventKind, ClusterTrace};
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let mut events = Vec::new();
+        for vm in 0..30u64 {
+            events.push(ClusterEvent {
+                time_hours: 0.0,
+                vm,
+                kind: ClusterEventKind::Granted { gpus: 1 },
+            });
+        }
+        events.push(ClusterEvent {
+            time_hours: 1.0,
+            vm: 5,
+            kind: ClusterEventKind::StutterStart { factor: 1.3 },
+        });
+        events.push(ClusterEvent {
+            time_hours: 2.0,
+            vm: 5,
+            kind: ClusterEventKind::StutterEnd,
+        });
+        let trace = ClusterTrace::scripted(events, 3.0);
+        let timeline = mgr.replay(&trace).unwrap();
+        // While VM 5 stutters the job schedules on 29 GPUs, then recovers.
+        let during = timeline.iter().find(|p| p.t_hours == 1.0).unwrap();
+        assert!(
+            during.gpus_used <= 29,
+            "stutterer must be omitted: {during:?}"
+        );
+        let after = timeline.iter().find(|p| p.t_hours == 2.0).unwrap();
+        assert!(
+            after.gpus_used > during.gpus_used,
+            "capacity returns on recovery"
+        );
+    }
+
+    #[test]
+    fn fail_stutter_vms_are_excluded_once() {
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let hbs: Vec<Heartbeat> = (0..8)
+            .map(|vm| Heartbeat {
+                vm,
+                time: 0.0,
+                fwd_time: if vm == 3 { 0.45 } else { 0.33 },
+                bwd_time: if vm == 3 { 0.9 } else { 0.66 },
+            })
+            .collect();
+        let newly = mgr.handle_heartbeats(&hbs);
+        assert_eq!(newly, vec![3], "the 35% slower VM is the outlier");
+        let again = mgr.handle_heartbeats(&hbs);
+        assert!(again.is_empty(), "already-excluded VMs are not re-reported");
+        assert_eq!(mgr.excluded_vms(), &[3]);
+    }
+
+    #[test]
+    fn silent_vms_are_reported_for_preemption_handling() {
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        mgr.handle_heartbeats(&[Heartbeat {
+            vm: 7,
+            time: 0.0,
+            fwd_time: 0.3,
+            bwd_time: 0.6,
+        }]);
+        assert_eq!(mgr.silent_vms(120.0), vec![7]);
+        assert!(mgr.silent_vms(30.0).is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Job morphing (paper §4.2): semantics-preserving reconfiguration.
+//!
+//! When the spot market grants or preempts VMs, the morph controller
+//! re-plans the job for the new GPU count — keeping `M_total` and every
+//! hyper-parameter fixed, absorbing the change through the
+//! pipeline-depth × data-parallel shape and gradient accumulation — and
+//! prices the transition (resume from the latest checkpoint plus lost
+//! work).
+
+use serde::{Deserialize, Serialize};
+
+use crate::calibrate::Calibration;
+use crate::checkpoint::CheckpointPolicy;
+use crate::error::VarunaError;
+use crate::planner::{Config, Planner};
+
+/// A morphing decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MorphDecision {
+    /// The configuration to run next.
+    pub config: Config,
+    /// Whether the shape actually changed (a same-shape decision is a
+    /// replacement of a preempted VM, marked `p` in the paper's Figure 8).
+    pub reconfigured: bool,
+    /// Estimated seconds of downtime for the transition.
+    pub downtime: f64,
+}
+
+/// Tracks the running configuration and re-plans on resource changes.
+#[derive(Debug, Clone)]
+pub struct MorphController<'a> {
+    calib: &'a Calibration,
+    m_total: usize,
+    micro_override: Option<usize>,
+    checkpoint: CheckpointPolicy,
+    /// Fixed per-morph overhead: process restart, NCCL re-setup, resume.
+    pub restart_overhead: f64,
+    current: Option<Config>,
+    /// Plans are pure functions of the GPU count (m* and the calibration
+    /// are fixed), so repeats of a capacity level reuse the cached plan —
+    /// the same reuse the paper applies to `m*` across morphing decisions.
+    plan_cache: std::collections::HashMap<usize, Config>,
+}
+
+impl<'a> MorphController<'a> {
+    /// A controller with the given batch-size contract.
+    pub fn new(calib: &'a Calibration, m_total: usize) -> Self {
+        MorphController {
+            calib,
+            m_total,
+            micro_override: None,
+            checkpoint: CheckpointPolicy::default_tuning(),
+            restart_overhead: 60.0,
+            current: None,
+            plan_cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Pins the micro-batch size (otherwise `m*` from calibration).
+    pub fn micro_batch(mut self, m: usize) -> Self {
+        self.micro_override = Some(m);
+        self
+    }
+
+    /// The active configuration, if any.
+    pub fn current(&self) -> Option<&Config> {
+        self.current.as_ref()
+    }
+
+    /// Re-plans for `gpus` available GPUs at training `step`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failure when no configuration fits.
+    pub fn on_resources_changed(
+        &mut self,
+        gpus: usize,
+        step: u64,
+    ) -> Result<MorphDecision, VarunaError> {
+        let config = match self.plan_cache.get(&gpus) {
+            Some(c) => c.clone(),
+            None => {
+                let mut planner =
+                    Planner::new(&self.calib.model, self.calib).batch_size(self.m_total);
+                if let Some(m) = self.micro_override {
+                    planner = planner.micro_batch(m);
+                }
+                let c = planner.best_config(gpus)?;
+                self.plan_cache.insert(gpus, c.clone());
+                c
+            }
+        };
+        let reconfigured = match &self.current {
+            Some(c) => c.p != config.p || c.d != config.d,
+            None => true,
+        };
+        // Downtime: restart + re-run of work lost since the checkpoint.
+        let lost = self.checkpoint.lost_minibatches(step) as f64;
+        let downtime = self.restart_overhead + lost * config.est_minibatch_time;
+        self.current = Some(config.clone());
+        Ok(MorphDecision {
+            config,
+            reconfigured,
+            downtime,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarunaCluster;
+    use varuna_models::ModelZoo;
+
+    fn calib() -> Calibration {
+        Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(128))
+    }
+
+    #[test]
+    fn morphing_preserves_m_total_across_shapes() {
+        let c = calib();
+        let mut ctl = MorphController::new(&c, 8192).micro_batch(4);
+        let a = ctl.on_resources_changed(100, 0).unwrap();
+        let b = ctl.on_resources_changed(36, 16).unwrap();
+        assert_eq!(a.config.examples, 8192);
+        assert_eq!(b.config.examples, 8192);
+        assert!(b.config.gpus_used() <= 36);
+        // Fewer GPUs => more gradient accumulation per replica.
+        assert!(b.config.n_micro > a.config.n_micro);
+    }
+
+    #[test]
+    fn unchanged_shape_is_not_a_reconfiguration() {
+        let c = calib();
+        let mut ctl = MorphController::new(&c, 8192).micro_batch(4);
+        let first = ctl.on_resources_changed(72, 0).unwrap();
+        assert!(
+            first.reconfigured,
+            "first plan is always a (re)configuration"
+        );
+        let again = ctl.on_resources_changed(72, 5).unwrap();
+        assert!(!again.reconfigured, "same GPU count, same shape");
+    }
+
+    #[test]
+    fn downtime_includes_lost_work_since_checkpoint() {
+        let c = calib();
+        let mut ctl = MorphController::new(&c, 8192).micro_batch(4);
+        // Step 16 is a checkpoint boundary: nothing lost.
+        let clean = ctl.on_resources_changed(64, 16).unwrap();
+        let dirty = ctl.on_resources_changed(64, 23).unwrap();
+        assert!(
+            dirty.downtime > clean.downtime,
+            "7 lost mini-batches cost time"
+        );
+        assert!((clean.downtime - ctl.restart_overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrinking_below_feasibility_errors() {
+        let model = ModelZoo::gpt2_8_3b();
+        let c = Calibration::profile(&model, &VarunaCluster::commodity_1gpu(128));
+        let mut ctl = MorphController::new(&c, 8192).micro_batch(4);
+        assert!(
+            ctl.on_resources_changed(4, 0).is_err(),
+            "8.3B cannot fit on 4 GPUs"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Auto-partitioning: grouping cut-points into balanced stages (paper §5.1).
+//!
+//! Varuna activates a subset of the model's cut-points at run time,
+//! grouping consecutive cut-points into `P` stages "such that they are
+//! balanced in `F_i(m)`" (§4.4). This is the classic contiguous-partition
+//! problem: minimize the maximum stage cost. We solve it exactly with
+//! dynamic programming — `O(K² P)` on `K ≤ ~100` cut-points is
+//! instantaneous, unlike PipeDream's `O(N² L³)` optimizer the paper
+//! criticizes.
+
+use varuna_models::CutpointGraph;
+
+/// Splits `graph`'s cut-points into `p` contiguous groups minimizing the
+/// maximum per-stage *executed* compute. Returns `[lo, hi)` ranges.
+///
+/// Interior stages run forward + recompute + backward (4x forward FLOPs)
+/// per micro-batch, but the last stage skips recompute under Varuna's
+/// schedule (3x) — so the last stage can absorb ~4/3 the forward work of an
+/// interior stage. This is the paper's "packing the embedding layers in
+/// the final stage ... without upsetting the pipeline balance" (§3.2).
+///
+/// # Panics
+///
+/// Panics if `p` is zero or exceeds the number of cut-points.
+pub fn balanced_partition(graph: &CutpointGraph, p: usize) -> Vec<(usize, usize)> {
+    let k = graph.len();
+    assert!(p >= 1 && p <= k, "pipeline depth {p} out of range 1..={k}");
+    let costs: Vec<f64> = graph.cutpoints.iter().map(|c| c.fwd_flops).collect();
+    partition_costs_weighted(&costs, p, 0.75)
+}
+
+/// DP over contiguous groups where the last group's cost is scaled by
+/// `last_weight` (1.0 recovers the plain problem).
+#[allow(clippy::needless_range_loop)]
+pub fn partition_costs_weighted(costs: &[f64], p: usize, last_weight: f64) -> Vec<(usize, usize)> {
+    let k = costs.len();
+    assert!(p >= 1 && p <= k);
+    assert!(last_weight > 0.0);
+    if p == 1 {
+        return vec![(0, k)];
+    }
+    let mut pre = vec![0.0f64; k + 1];
+    for i in 0..k {
+        pre[i + 1] = pre[i] + costs[i];
+    }
+    let range = |lo: usize, hi: usize| pre[hi] - pre[lo];
+
+    // One unweighted DP run yields dp[p-1][t] — the best interior split of
+    // every prefix — so the final (discounted) boundary is a single scan.
+    let mut dp = vec![vec![f64::INFINITY; k + 1]; p];
+    let mut cut = vec![vec![0usize; k + 1]; p];
+    for i in 1..=k {
+        dp[1][i] = range(0, i);
+    }
+    for j in 2..p {
+        for i in j..=k {
+            for t in j - 1..i {
+                let cand = dp[j - 1][t].max(range(t, i));
+                if cand < dp[j][i] {
+                    dp[j][i] = cand;
+                    cut[j][i] = t;
+                }
+            }
+        }
+    }
+    let mut best: Option<(f64, usize)> = None;
+    for t in p - 1..k {
+        let cand = dp[p - 1][t].max(range(t, k) * last_weight);
+        if best.is_none_or(|(b, _)| cand < b) {
+            best = Some((cand, t));
+        }
+    }
+    let t_last = best.expect("at least one boundary placement exists").1;
+    // Reconstruct the interior boundaries.
+    let mut bounds = vec![t_last];
+    let mut i = t_last;
+    for j in (2..p).rev() {
+        i = cut[j][i];
+        bounds.push(i);
+    }
+    bounds.push(0);
+    bounds.reverse();
+    bounds.push(k);
+    bounds.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// DP solution over explicit costs (exposed for tests and reuse).
+#[allow(clippy::needless_range_loop)]
+pub fn partition_costs(costs: &[f64], p: usize) -> Vec<(usize, usize)> {
+    let k = costs.len();
+    assert!(p >= 1 && p <= k);
+    // Prefix sums for O(1) range cost.
+    let mut pre = vec![0.0f64; k + 1];
+    for i in 0..k {
+        pre[i + 1] = pre[i] + costs[i];
+    }
+    let range = |lo: usize, hi: usize| pre[hi] - pre[lo];
+
+    // dp[j][i]: minimal max-cost splitting the first i items into j groups.
+    let mut dp = vec![vec![f64::INFINITY; k + 1]; p + 1];
+    let mut cut = vec![vec![0usize; k + 1]; p + 1];
+    for i in 1..=k {
+        dp[1][i] = range(0, i);
+    }
+    for j in 2..=p {
+        for i in j..=k {
+            // Last group is [t, i); previous j-1 groups cover [0, t).
+            for t in j - 1..i {
+                let cand = dp[j - 1][t].max(range(t, i));
+                if cand < dp[j][i] {
+                    dp[j][i] = cand;
+                    cut[j][i] = t;
+                }
+            }
+        }
+    }
+    // Reconstruct.
+    let mut bounds = vec![k];
+    let mut i = k;
+    for j in (2..=p).rev() {
+        i = cut[j][i];
+        bounds.push(i);
+    }
+    bounds.push(0);
+    bounds.reverse();
+    bounds.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// The maximum stage forward cost of a partition — the pipeline's
+/// bottleneck stage.
+pub fn bottleneck_cost(graph: &CutpointGraph, partition: &[(usize, usize)]) -> f64 {
+    partition
+        .iter()
+        .map(|&(lo, hi)| graph.range_fwd_flops(lo, hi))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use varuna_models::ModelZoo;
+
+    #[test]
+    fn partition_covers_everything_contiguously() {
+        let g = CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());
+        for p in [1, 2, 6, 9, 18, 27, 54] {
+            let parts = balanced_partition(&g, p);
+            assert_eq!(parts.len(), p);
+            assert_eq!(parts[0].0, 0);
+            assert_eq!(parts.last().unwrap().1, 54);
+            for w in parts.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "gaps/overlaps in partition");
+            }
+            assert!(parts.iter().all(|&(lo, hi)| hi > lo), "empty stage");
+        }
+    }
+
+    #[test]
+    fn uniform_costs_split_evenly() {
+        let costs = vec![1.0; 12];
+        let parts = partition_costs(&costs, 4);
+        assert!(parts.iter().all(|&(lo, hi)| hi - lo == 3), "{parts:?}");
+    }
+
+    #[test]
+    fn heavy_tail_gets_its_own_stage() {
+        // One item 5x heavier than the rest should isolate.
+        let mut costs = vec![1.0; 7];
+        costs.push(5.0);
+        let parts = partition_costs(&costs, 3);
+        let last = *parts.last().unwrap();
+        assert_eq!(last, (7, 8), "heavy item should sit alone: {parts:?}");
+    }
+
+    #[test]
+    fn gpt2_partition_balances_head_heavy_last_stage() {
+        // The LM head makes the last cut-point heavier; the balanced
+        // partition should give the last stage fewer blocks than a naive
+        // even split.
+        let g = CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());
+        let parts = balanced_partition(&g, 9);
+        let naive_max = {
+            let per = 54 / 9;
+            (0..9)
+                .map(|s| g.range_fwd_flops(s * per, (s + 1) * per))
+                .fold(0.0f64, f64::max)
+        };
+        let balanced_max = bottleneck_cost(&g, &parts);
+        assert!(
+            balanced_max <= naive_max,
+            "DP ({balanced_max:.2e}) must not lose to the even split ({naive_max:.2e})"
+        );
+        let (lo, hi) = *parts.last().unwrap();
+        let (plo, phi) = parts[parts.len() / 2];
+        assert!(
+            hi - lo <= phi - plo,
+            "head-heavy last stage should hold no more blocks than a middle stage"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn dp_is_optimal_vs_brute_force(
+            costs in proptest::collection::vec(0.1f64..10.0, 3..9),
+            p in 1usize..4,
+        ) {
+            prop_assume!(p <= costs.len());
+            let parts = partition_costs(&costs, p);
+            let dp_max = parts
+                .iter()
+                .map(|&(lo, hi)| costs[lo..hi].iter().sum::<f64>())
+                .fold(0.0f64, f64::max);
+            // Brute force all cut placements.
+            let k = costs.len();
+            let mut best = f64::INFINITY;
+            // Choose p-1 cut positions out of k-1.
+            fn rec(costs: &[f64], cuts_left: usize, start: usize, prev: usize, cur_max: f64, best: &mut f64) {
+                if cuts_left == 0 {
+                    let tail: f64 = costs[prev..].iter().sum();
+                    *best = best.min(cur_max.max(tail));
+                    return;
+                }
+                for c in start..costs.len() {
+                    let seg: f64 = costs[prev..c].iter().sum();
+                    rec(costs, cuts_left - 1, c + 1, c, cur_max.max(seg), best);
+                }
+            }
+            rec(&costs, p - 1, 1, 0, 0.0, &mut best);
+            let _ = k;
+            prop_assert!((dp_max - best).abs() < 1e-9, "dp {dp_max} vs brute {best}");
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Configuration planning: the `O(G)` sweep of paper §4.4.
+//!
+//! Given `G` available GPUs and a fixed mini-batch size `M_total`, the
+//! planner (1) picks the micro-batch size `m*` once from calibration,
+//! (2) sweeps pipeline depth `P` from the smallest depth that fits GPU
+//! memory up to the cut-point count, (3) takes the one compute-balanced
+//! stage assignment per `P`, derives `D = G / P` and
+//! `N_m = M_total / (m · D)`, and (4) feeds each candidate to the fast
+//! simulator, returning the configuration with the highest throughput.
+
+use serde::{Deserialize, Serialize};
+use varuna_models::config::TransformerConfig;
+
+use crate::calibrate::Calibration;
+use crate::error::VarunaError;
+use crate::partition::balanced_partition;
+use crate::simulator::{estimate_minibatch_time, SimInput};
+
+/// A fully planned configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Pipeline depth.
+    pub p: usize,
+    /// Data-parallel replicas per stage.
+    pub d: usize,
+    /// Micro-batch size.
+    pub m: usize,
+    /// Micro-batches per replica per mini-batch.
+    pub n_micro: usize,
+    /// Stage assignment as cut-point ranges.
+    pub assignment: Vec<(usize, usize)>,
+    /// Whether optimizer state is offloaded to CPU.
+    pub offload: bool,
+    /// Estimated mini-batch wall-clock time, seconds.
+    pub est_minibatch_time: f64,
+    /// Examples per mini-batch (`m · N_m · D`, kept equal to `M_total`).
+    pub examples: usize,
+}
+
+impl Config {
+    /// GPUs the configuration occupies.
+    pub fn gpus_used(&self) -> usize {
+        self.p * self.d
+    }
+
+    /// Estimated examples per second.
+    pub fn throughput(&self) -> f64 {
+        self.examples as f64 / self.est_minibatch_time
+    }
+
+    /// Estimated examples per second per GPU.
+    pub fn throughput_per_gpu(&self) -> f64 {
+        self.throughput() / self.gpus_used() as f64
+    }
+}
+
+/// The configuration planner.
+#[derive(Debug, Clone)]
+pub struct Planner<'a> {
+    model: &'a TransformerConfig,
+    calib: &'a Calibration,
+    m_total: usize,
+    m_override: Option<usize>,
+    offload: bool,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner for `model` with its calibration.
+    pub fn new(model: &'a TransformerConfig, calib: &'a Calibration) -> Self {
+        Planner {
+            model,
+            calib,
+            m_total: 8192,
+            m_override: None,
+            offload: false,
+        }
+    }
+
+    /// Sets the fixed mini-batch size `M_total` (default 8192).
+    pub fn batch_size(mut self, m_total: usize) -> Self {
+        assert!(m_total > 0);
+        self.m_total = m_total;
+        self
+    }
+
+    /// Forces a specific micro-batch size instead of `m*` (used to
+    /// replicate the paper's exact configurations).
+    pub fn micro_batch(mut self, m: usize) -> Self {
+        self.m_override = Some(m);
+        self
+    }
+
+    /// Enables CPU optimizer-state offload (the 200B configuration).
+    pub fn offload(mut self, on: bool) -> Self {
+        self.offload = on;
+        self
+    }
+
+    /// The micro-batch size the planner will use.
+    pub fn chosen_m(&self) -> usize {
+        self.m_override.unwrap_or_else(|| self.calib.pick_m(0.05))
+    }
+
+    /// Evaluates one explicit `(p, d)` configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shape is invalid or a stage cannot fit GPU memory.
+    pub fn evaluate(&self, p: usize, d: usize) -> Result<Config, VarunaError> {
+        let k = self.calib.graph.len();
+        if p == 0 || p > k {
+            return Err(VarunaError::InvalidConfig(format!("p={p} not in 1..={k}")));
+        }
+        if d == 0 {
+            return Err(VarunaError::InvalidConfig("d=0".to_string()));
+        }
+        let m = self.chosen_m();
+        if m * d > self.m_total {
+            return Err(VarunaError::InvalidConfig(format!(
+                "m*d = {} exceeds M_total = {}",
+                m * d,
+                self.m_total
+            )));
+        }
+        // Gradient accumulation absorbs the split: N_m grows as D shrinks
+        // so that m·N_m·D covers M_total exactly (when D·m does not divide
+        // M_total, a few trailing micro-batches run short; their gradient
+        // weighting is handled by the accumulation, as in `varuna-train`).
+        let n_micro = self.m_total.div_ceil(m * d);
+        let assignment = balanced_partition(&self.calib.graph, p);
+        let input = SimInput {
+            calib: self.calib,
+            assignment: &assignment,
+            d,
+            m,
+            n_micro,
+            offload: self.offload,
+        };
+        let est = estimate_minibatch_time(&input)?;
+        Ok(Config {
+            p,
+            d,
+            m,
+            n_micro,
+            assignment,
+            offload: self.offload,
+            est_minibatch_time: est,
+            examples: self.m_total,
+        })
+    }
+
+    /// Sweeps every feasible pipeline depth for `g` GPUs, returning all
+    /// candidate configs (used by the Table 3 sensitivity study).
+    pub fn sweep(&self, g: usize) -> Vec<Config> {
+        let k = self.calib.graph.len();
+        let mut out = Vec::new();
+        for p in 1..=k.min(g) {
+            let d = g / p;
+            if d == 0 {
+                break;
+            }
+            if let Ok(cfg) = self.evaluate(p, d) {
+                out.push(cfg);
+            }
+        }
+        out
+    }
+
+    /// The best configuration for `g` GPUs by total throughput.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no pipeline depth fits memory on `g` GPUs.
+    pub fn best_config(&self, g: usize) -> Result<Config, VarunaError> {
+        self.sweep(g)
+            .into_iter()
+            .max_by(|a, b| a.throughput().total_cmp(&b.throughput()))
+            .ok_or_else(|| VarunaError::NoFeasibleConfig {
+                gpus: g,
+                reason: format!(
+                    "{} ({}B params) has no memory-feasible pipeline depth",
+                    self.model.name,
+                    self.model.params_billions()
+                ),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarunaCluster;
+    use varuna_models::ModelZoo;
+
+    fn planner_for(model: &TransformerConfig, gpus: usize) -> (TransformerConfig, Calibration) {
+        let calib = Calibration::profile(model, &VarunaCluster::commodity_1gpu(gpus));
+        (model.clone(), calib)
+    }
+
+    #[test]
+    fn best_config_fits_available_gpus_and_batch() {
+        let (model, calib) = planner_for(&ModelZoo::gpt2_2_5b(), 36);
+        let p = Planner::new(&model, &calib).batch_size(8192);
+        let cfg = p.best_config(36).unwrap();
+        assert!(cfg.gpus_used() <= 36);
+        assert_eq!(cfg.examples, 8192, "M_total preserved");
+        assert!(cfg.est_minibatch_time > 0.0);
+    }
+
+    #[test]
+    fn shallow_depths_are_memory_infeasible_for_8_3b() {
+        // 8.3B cannot run at P<10 on 16 GB GPUs; the sweep must start at
+        // a deeper pipeline (§4.1's minimum-P constraint).
+        let (model, calib) = planner_for(&ModelZoo::gpt2_8_3b(), 72);
+        let p = Planner::new(&model, &calib).batch_size(8192).micro_batch(4);
+        let sweep = p.sweep(72);
+        assert!(!sweep.is_empty());
+        let min_p = sweep.iter().map(|c| c.p).min().unwrap();
+        assert!(min_p >= 10, "8.3B minimum depth was {min_p}");
+        assert!(p.evaluate(6, 12).is_err());
+    }
+
+    #[test]
+    fn gradient_accumulation_absorbs_resource_changes() {
+        // Fewer GPUs => fewer replicas => more micro-batches, same
+        // M_total (§4.2).
+        let (model, calib) = planner_for(&ModelZoo::gpt2_2_5b(), 128);
+        let planner = Planner::new(&model, &calib).batch_size(8192).micro_batch(4);
+        let big = planner.evaluate(9, 14).unwrap();
+        let small = planner.evaluate(9, 7).unwrap();
+        assert_eq!(big.examples, small.examples);
+        // Halving D doubles N_m (within ±1 from the ceiling division).
+        assert!((small.n_micro as i64 - 2 * big.n_micro as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn table3_depth_tradeoff_appears_in_the_sweep() {
+        // Table 3: at 36 GPUs a 6- or 9-deep pipeline beats 18-deep; the
+        // planner must rank 18x2 below the shallower options.
+        let (model, calib) = planner_for(&ModelZoo::gpt2_2_5b(), 36);
+        let planner = Planner::new(&model, &calib).batch_size(8192).micro_batch(4);
+        let t = |p: usize, d: usize| planner.evaluate(p, d).unwrap().throughput();
+        assert!(t(6, 6) > t(18, 2), "6x6 should beat 18x2 at 36 GPUs");
+        assert!(t(9, 4) > t(18, 2), "9x4 should beat 18x2 at 36 GPUs");
+    }
+
+    #[test]
+    fn planner_uses_leftover_gpus_wisely() {
+        // With 100 GPUs, P=6 uses 96 but P=9 can use 99 — the paper notes
+        // total throughput can favor the depth that wastes fewer GPUs.
+        let (model, calib) = planner_for(&ModelZoo::gpt2_2_5b(), 100);
+        let planner = Planner::new(&model, &calib).batch_size(8192).micro_batch(4);
+        let c6 = planner.evaluate(6, 16).unwrap();
+        let c9 = planner.evaluate(9, 11).unwrap();
+        assert_eq!(c6.gpus_used(), 96);
+        assert_eq!(c9.gpus_used(), 99);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let (model, calib) = planner_for(&ModelZoo::gpt2_200b(), 8);
+        let planner = Planner::new(&model, &calib).batch_size(512).micro_batch(1);
+        let err = planner.best_config(8).unwrap_err();
+        assert!(err.to_string().contains("gpt2-200b"), "{err}");
+    }
+
+    #[test]
+    fn offload_enables_the_200b_run() {
+        let model = ModelZoo::gpt2_200b();
+        let calib = Calibration::profile(&model, &VarunaCluster::commodity_1gpu(102));
+        let resident = Planner::new(&model, &calib).batch_size(512).micro_batch(1);
+        assert!(
+            resident.evaluate(100, 1).is_err(),
+            "200B without offload must OOM"
+        );
+        let offloaded = Planner::new(&model, &calib)
+            .batch_size(512)
+            .micro_batch(1)
+            .offload(true);
+        let cfg = offloaded.evaluate(100, 1).unwrap();
+        assert_eq!(cfg.gpus_used(), 100);
+    }
+}

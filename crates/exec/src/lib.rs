@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Discrete-event execution emulator for pipeline-parallel training.
+//!
+//! This crate plays the role of the paper's GPU cluster: it executes a
+//! *placed job* — `P` pipeline stages × `D` data-parallel replicas with
+//! per-stage compute times and boundary activation sizes — over a
+//! [`varuna_net::Topology`], micro-batch by micro-batch, message by
+//! message, and reports the mini-batch wall-clock time, per-op trace, and
+//! memory high-water marks.
+//!
+//! The schedule that each stage follows is pluggable through
+//! [`policy::SchedulePolicy`]: Varuna's static+opportunistic schedule (in
+//! the `varuna` crate), GPipe / 1F1B / PipeDream (in `varuna-baselines`),
+//! and the built-in greedy reference policy all run on this same engine, so
+//! comparisons isolate scheduling differences exactly as the paper's
+//! Table 5/6 experiments do.
+//!
+//! Modules:
+//!
+//! - [`op`]: pipeline operations and trace spans.
+//! - [`job`]: stage specifications and placed jobs.
+//! - [`placement`]: mapping (stage, replica) to GPUs/VMs.
+//! - [`policy`]: the schedule policy trait and the greedy reference policy.
+//! - [`engine`]: the time-ordered event queue.
+//! - [`pipeline`]: the mini-batch simulation driver.
+//! - [`oom`]: activation-stash windows and out-of-memory detection.
+//! - [`gantt`]: ASCII Gantt charts (paper Figure 7).
+//! - [`metrics`]: throughput and TFLOP/s summaries.
+
+pub mod engine;
+pub mod gantt;
+pub mod job;
+pub mod metrics;
+pub mod oom;
+pub mod op;
+pub mod pipeline;
+pub mod placement;
+pub mod policy;
+
+pub use job::{PlacedJob, StageSpec};
+pub use metrics::Throughput;
+pub use op::{OpKind, OpSpan};
+pub use pipeline::{simulate_minibatch, MinibatchResult, SimOptions};
+pub use placement::Placement;
+pub use policy::{GreedyPolicy, PolicyFactory, SchedulePolicy, StageView};

@@ -1,0 +1,83 @@
+//! Throughput and TFLOP/s summaries, reported the way the paper does.
+
+use serde::{Deserialize, Serialize};
+use varuna_models::config::TransformerConfig;
+use varuna_models::flops::useful_tflops_per_gpu;
+
+use crate::job::PlacedJob;
+use crate::pipeline::MinibatchResult;
+
+/// The two performance metrics of the paper's evaluation (Section 7.1):
+/// examples/sec/GPU and useful TFLOP/s/GPU (recompute excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Total examples processed per second across the job.
+    pub examples_per_sec: f64,
+    /// Examples per second per GPU.
+    pub examples_per_sec_per_gpu: f64,
+    /// Useful TFLOP/s per GPU.
+    pub tflops_per_gpu: f64,
+    /// Mini-batch wall-clock time, seconds.
+    pub minibatch_time: f64,
+    /// GPUs used.
+    pub gpus: usize,
+}
+
+impl Throughput {
+    /// Computes throughput from a simulated mini-batch.
+    pub fn from_result(config: &TransformerConfig, job: &PlacedJob, res: &MinibatchResult) -> Self {
+        let examples = job.minibatch_examples() as f64;
+        let gpus = job.gpus();
+        let eps = examples / res.total_time;
+        let per_gpu = eps / gpus as f64;
+        Throughput {
+            examples_per_sec: eps,
+            examples_per_sec_per_gpu: per_gpu,
+            tflops_per_gpu: useful_tflops_per_gpu(config, per_gpu),
+            minibatch_time: res.total_time,
+            gpus,
+        }
+    }
+
+    /// Builds a throughput record directly from a mini-batch time — used
+    /// by analytical baselines that do not run the event engine.
+    pub fn from_time(
+        config: &TransformerConfig,
+        examples: f64,
+        gpus: usize,
+        minibatch_time: f64,
+    ) -> Self {
+        let eps = examples / minibatch_time;
+        let per_gpu = eps / gpus as f64;
+        Throughput {
+            examples_per_sec: eps,
+            examples_per_sec_per_gpu: per_gpu,
+            tflops_per_gpu: useful_tflops_per_gpu(config, per_gpu),
+            minibatch_time,
+            gpus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varuna_models::ModelZoo;
+
+    #[test]
+    fn from_time_divides_consistently() {
+        let c = ModelZoo::gpt2_2_5b();
+        let t = Throughput::from_time(&c, 8192.0, 64, 100.0);
+        assert!((t.examples_per_sec - 81.92).abs() < 1e-9);
+        assert!((t.examples_per_sec_per_gpu - 1.28).abs() < 1e-9);
+        assert!(t.tflops_per_gpu > 0.0);
+    }
+
+    #[test]
+    fn tflops_matches_flops_model() {
+        let c = ModelZoo::gpt2_8_3b();
+        let t = Throughput::from_time(&c, 8192.0, 288, 50.0);
+        let expected = varuna_models::flops::useful_tflops_per_gpu(&c, t.examples_per_sec_per_gpu);
+        assert_eq!(t.tflops_per_gpu, expected);
+    }
+}

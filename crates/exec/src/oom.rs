@@ -1,0 +1,153 @@
+//! Out-of-memory detection and stash-window derivation.
+//!
+//! A stage can only run forwards ahead of backwards while it has memory to
+//! stash their input activations. This module converts a GPU memory
+//! capacity into the per-stage *stash window* the scheduler must respect,
+//! and rejects configurations that do not fit at all (the paper's "OOM"
+//! entries in Table 6 and the minimum-`P` constraint of Section 4.1).
+
+use varuna_models::config::TransformerConfig;
+use varuna_models::memory::{pipedream_stage_memory, pipeline_stage_memory};
+
+/// A configuration that cannot fit in GPU memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OomError {
+    /// Bytes the stage needs even at the minimum window.
+    pub needed: f64,
+    /// Bytes available.
+    pub capacity: f64,
+    /// Human-readable context.
+    pub what: String,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: needs {:.2} GiB but only {:.2} GiB available",
+            self.what,
+            self.needed / (1024.0 * 1024.0 * 1024.0),
+            self.capacity / (1024.0 * 1024.0 * 1024.0)
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// Computes the largest stash window a pipeline stage can afford on a GPU
+/// with `capacity` bytes.
+///
+/// # Errors
+///
+/// Returns [`OomError`] when even a window of 1 does not fit.
+pub fn stash_window(
+    config: &TransformerConfig,
+    params: u64,
+    layers: usize,
+    m: usize,
+    capacity: f64,
+    cpu_offload: bool,
+) -> Result<usize, OomError> {
+    let at = |w: usize| pipeline_stage_memory(config, params, layers, m, w, cpu_offload).total();
+    let min = at(1);
+    if min > capacity {
+        return Err(OomError {
+            needed: min,
+            capacity,
+            what: format!(
+                "pipeline stage of {layers} layers ({:.2}B params) at m={m}",
+                params as f64 / 1e9
+            ),
+        });
+    }
+    // Memory is affine in the window; solve directly and clamp.
+    let per_window = at(2) - at(1);
+    let window = if per_window <= 0.0 {
+        usize::MAX
+    } else {
+        1 + ((capacity - min) / per_window) as usize
+    };
+    Ok(window)
+}
+
+/// Checks PipeDream's footprint (weight versions + stored activations) on a
+/// GPU with `capacity` bytes.
+///
+/// # Errors
+///
+/// Returns [`OomError`] when the stage does not fit — which is the paper's
+/// result for both GPT-2 models in Table 6.
+pub fn check_pipedream(
+    config: &TransformerConfig,
+    params: u64,
+    layers: usize,
+    m: usize,
+    p: usize,
+    capacity: f64,
+) -> Result<(), OomError> {
+    let mem = pipedream_stage_memory(config, params, layers, m, p).total();
+    if mem > capacity {
+        return Err(OomError {
+            needed: mem,
+            capacity,
+            what: format!("PipeDream stage of {layers} layers with {p} weight versions"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varuna_models::ModelZoo;
+
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn window_shrinks_as_stage_grows() {
+        let c = ModelZoo::gpt2_8_3b();
+        let w18 = stash_window(&c, c.total_params() / 18, 4, 4, 16.0 * GIB, false).unwrap();
+        let w36 = stash_window(&c, c.total_params() / 36, 2, 4, 16.0 * GIB, false).unwrap();
+        assert!(
+            w36 > w18,
+            "smaller stages afford bigger windows ({w36} vs {w18})"
+        );
+        assert!(
+            w18 >= 18,
+            "the paper's 18-stage config must support a full pipeline window"
+        );
+    }
+
+    #[test]
+    fn oversized_stage_reports_oom() {
+        let c = ModelZoo::gpt2_8_3b();
+        let err = stash_window(&c, c.total_params() / 4, 18, 4, 16.0 * GIB, false)
+            .expect_err("8.3B over 4 stages cannot fit 16 GiB");
+        assert!(err.needed > err.capacity);
+        assert!(err.to_string().contains("GiB"));
+    }
+
+    #[test]
+    fn cpu_offload_rescues_the_200b_config() {
+        let c = ModelZoo::gpt2_200b();
+        let params = c.total_params() / 102;
+        assert!(stash_window(&c, params, 1, 1, 16.0 * GIB, false).is_err());
+        let w = stash_window(&c, params, 1, 1, 16.0 * GIB, true).unwrap();
+        assert!(
+            w >= 102,
+            "200B at m=1 with offload should support deep windows, got {w}"
+        );
+    }
+
+    #[test]
+    fn pipedream_ooms_on_both_table6_models() {
+        let gib16 = 16.0 * GIB;
+        let c25 = ModelZoo::gpt2_2_5b();
+        assert!(check_pipedream(&c25, c25.total_params() / 9, 6, 4, 9, gib16).is_err());
+        let c83 = ModelZoo::gpt2_8_3b();
+        assert!(check_pipedream(&c83, c83.total_params() / 18, 4, 4, 18, gib16).is_err());
+        // A small model fits fine, so the check is not vacuous.
+        let small = ModelZoo::gpt2_355m();
+        assert!(check_pipedream(&small, small.total_params() / 4, 6, 4, 4, gib16).is_ok());
+    }
+}

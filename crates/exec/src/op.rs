@@ -1,0 +1,92 @@
+//! Pipeline operations and trace spans.
+
+use serde::{Deserialize, Serialize};
+
+/// The three GPU operations of recompute-based pipeline training
+/// (paper Figure 4: F, R, and B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Forward pass of one micro-batch through the stage.
+    Forward,
+    /// Recompute: re-run the forward from the stashed input activation to
+    /// rematerialize intermediate activations for the backward pass.
+    Recompute,
+    /// Backward pass of one micro-batch through the stage.
+    Backward,
+}
+
+impl OpKind {
+    /// One-letter code used in Gantt charts (`F`/`R`/`B`).
+    pub fn code(&self) -> char {
+        match self {
+            OpKind::Forward => 'F',
+            OpKind::Recompute => 'R',
+            OpKind::Backward => 'B',
+        }
+    }
+}
+
+/// One operation bound to a micro-batch index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Op {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Micro-batch index, 0-based.
+    pub micro: usize,
+}
+
+impl Op {
+    /// Convenience constructor.
+    pub fn new(kind: OpKind, micro: usize) -> Self {
+        Op { kind, micro }
+    }
+}
+
+/// A completed operation in the execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpSpan {
+    /// Pipeline stage.
+    pub stage: usize,
+    /// Data-parallel replica.
+    pub replica: usize,
+    /// The operation.
+    pub op: Op,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+impl OpSpan {
+    /// Duration of the span.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct() {
+        let codes = [
+            OpKind::Forward.code(),
+            OpKind::Recompute.code(),
+            OpKind::Backward.code(),
+        ];
+        assert_eq!(codes, ['F', 'R', 'B']);
+    }
+
+    #[test]
+    fn span_duration() {
+        let s = OpSpan {
+            stage: 0,
+            replica: 0,
+            op: Op::new(OpKind::Forward, 3),
+            start: 1.5,
+            end: 2.25,
+        };
+        assert_eq!(s.duration(), 0.75);
+    }
+}

@@ -1,0 +1,756 @@
+//! The mini-batch simulation driver.
+//!
+//! Executes one mini-batch of a [`PlacedJob`]: `N_m` micro-batches flow
+//! through `P` stages on every one of the `D` replicas, activation and
+//! gradient messages traverse the topology with latency/jitter and NIC
+//! contention, and the mini-batch ends with the per-stage data-parallel
+//! gradient allreduce plus the tied-parameter sync (the purple region at
+//! the right of the paper's Figure 7 Gantt chart).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use varuna_net::collective::{allreduce_time, AllreduceSpec};
+use varuna_net::jitter::sample_jitter;
+use varuna_net::transfer::fair_share;
+
+use crate::engine::EventQueue;
+use crate::job::PlacedJob;
+use crate::op::{Op, OpKind, OpSpan};
+use crate::policy::{PolicyFactory, StageView};
+
+/// Options controlling one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Record per-op spans (needed for Gantt charts; costs memory).
+    pub record_trace: bool,
+    /// RNG seed for jitter sampling.
+    pub seed: u64,
+    /// If true the sender GPU stays busy for the serialization time of each
+    /// send — models schedules/runtimes that do not overlap communication
+    /// with compute.
+    pub blocking_sends: bool,
+    /// Whether backward requires rematerialized activations (true for
+    /// recompute-based systems; false for PipeDream, which stores them).
+    pub recompute: bool,
+    /// Overrides every stage's stash window when set.
+    pub stash_window_override: Option<usize>,
+    /// Lognormal sigma of per-op compute-time variation (mean-preserving).
+    /// Real GPU kernel times vary run to run, and spot VMs stutter; strict
+    /// schedules propagate these hiccups while work-conserving ones absorb
+    /// them.
+    pub compute_jitter: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            record_trace: false,
+            seed: 0,
+            blocking_sends: false,
+            recompute: true,
+            stash_window_override: None,
+            compute_jitter: 0.06,
+        }
+    }
+}
+
+/// Outcome of one simulated mini-batch.
+#[derive(Debug, Clone)]
+pub struct MinibatchResult {
+    /// End-to-end wall-clock time of the mini-batch, seconds.
+    pub total_time: f64,
+    /// Time until the last backward completed (before sync), seconds.
+    pub pipeline_time: f64,
+    /// Longest per-stage sync tail (allreduce + shared-param sync +
+    /// optimizer offload), seconds.
+    pub sync_tail: f64,
+    /// Per-op spans (empty unless `record_trace`).
+    pub trace: Vec<OpSpan>,
+    /// Per-stage peak input-activation stash (max over replicas).
+    pub peak_stash: Vec<usize>,
+    /// Per-stage, per-replica-averaged GPU busy time, seconds.
+    pub busy_time: Vec<f64>,
+    /// Per-stage completion time of the last backward (max over replicas).
+    pub stage_finish: Vec<f64>,
+    /// Per-stage gradient allreduce duration, seconds.
+    pub allreduce: Vec<f64>,
+}
+
+impl MinibatchResult {
+    /// Mean GPU utilization over the whole mini-batch.
+    pub fn utilization(&self) -> f64 {
+        let busy: f64 = self.busy_time.iter().sum();
+        busy / (self.busy_time.len() as f64 * self.total_time)
+    }
+}
+
+/// Simulation failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No stage could make progress but the mini-batch is unfinished —
+    /// the schedule policy is incorrect for this job shape.
+    Deadlock {
+        /// Stages that still have unfinished backwards.
+        unfinished_stages: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { unfinished_stages } => {
+                write!(
+                    f,
+                    "pipeline deadlock; unfinished stages: {unfinished_stages:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    OpDone {
+        s: usize,
+        r: usize,
+        op: Op,
+        started: f64,
+    },
+    ActArrive {
+        s: usize,
+        r: usize,
+    },
+    GradArrive {
+        s: usize,
+        r: usize,
+        mb: usize,
+    },
+    SendDone {
+        s: usize,
+        r: usize,
+    },
+}
+
+struct StageRt {
+    busy: bool,
+    forwards_done: usize,
+    acts_arrived: usize,
+    grads_ready: Vec<bool>,
+    recomputes_done: Vec<bool>,
+    backwards_done: Vec<bool>,
+    backwards_count: usize,
+    live_acts: Option<usize>,
+    pending_recompute: Option<usize>,
+    stash_len: usize,
+    peak_stash: usize,
+    window: usize,
+    last_bwd_end: f64,
+    busy_time: f64,
+    /// FIFO enforcement: last delivery time on the activation channel from
+    /// the previous stage and the gradient channel from the next stage.
+    chan_act_last: f64,
+    chan_grad_last: f64,
+    policy: Box<dyn crate::policy::SchedulePolicy>,
+}
+
+/// Simulates one mini-batch of `job` under the schedule produced by
+/// `policies`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadlock`] if the policy wedges the pipeline.
+pub fn simulate_minibatch(
+    job: &PlacedJob,
+    policies: &PolicyFactory<'_>,
+    opts: &SimOptions,
+) -> Result<MinibatchResult, SimError> {
+    job.validate();
+    let p = job.p();
+    let d = job.d;
+    let n = job.n_micro;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let idx = |s: usize, r: usize| r * p + s;
+    let mut st: Vec<StageRt> = Vec::with_capacity(p * d);
+    for r in 0..d {
+        for s in 0..p {
+            let window = opts
+                .stash_window_override
+                .unwrap_or(job.stages[s].stash_window)
+                .max(1);
+            st.push(StageRt {
+                busy: false,
+                forwards_done: 0,
+                acts_arrived: if s == 0 { n } else { 0 },
+                grads_ready: vec![false; n],
+                recomputes_done: vec![false; n],
+                backwards_done: vec![false; n],
+                backwards_count: 0,
+                live_acts: None,
+                pending_recompute: None,
+                stash_len: 0,
+                peak_stash: 0,
+                window,
+                last_bwd_end: 0.0,
+                busy_time: 0.0,
+                chan_act_last: 0.0,
+                chan_grad_last: 0.0,
+                policy: policies(s, r),
+            });
+        }
+    }
+    // Reorder: built r-major with s inner, consistent with idx.
+    // (idx(s, r) = r * p + s — matches the push order above.)
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    // In-flight inter-node flows per node, for NIC fair sharing.
+    let mut inflight: Vec<usize> = vec![0; job.topology.num_nodes()];
+    let mut trace: Vec<OpSpan> = Vec::new();
+    let mut done_pairs = 0usize;
+
+    // Dispatch helper effects are implemented inline in the event loop to
+    // appease the borrow checker; `dispatch` computes the chosen op.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        st: &mut [StageRt],
+        job: &PlacedJob,
+        opts: &SimOptions,
+        p: usize,
+        s: usize,
+        r: usize,
+        now: f64,
+        q: &mut EventQueue<Ev>,
+        rng: &mut StdRng,
+    ) {
+        let i = r * p + s;
+        if st[i].busy {
+            return;
+        }
+        let op = {
+            // Destructure so the policy (mutable) and the state it views
+            // (immutable) borrow disjoint fields.
+            let StageRt {
+                policy,
+                forwards_done,
+                acts_arrived,
+                grads_ready,
+                recomputes_done,
+                backwards_done,
+                live_acts,
+                pending_recompute,
+                stash_len,
+                window,
+                ..
+            } = &mut st[i];
+            let view = StageView {
+                stage: s,
+                p,
+                last_stage: s == p - 1,
+                n_micro: job.n_micro,
+                forwards_done: *forwards_done,
+                next_forward_ready: *forwards_done < *acts_arrived && *stash_len < *window,
+                grads_ready,
+                recomputes_done,
+                backwards_done,
+                live_acts: *live_acts,
+                pending_recompute: *pending_recompute,
+                stash_len: *stash_len,
+                stash_window: *window,
+                recompute_enabled: opts.recompute,
+            };
+            let Some(op) = policy.pick(&view) else {
+                return;
+            };
+            assert!(
+                view.is_legal(op),
+                "policy picked illegal op {op:?} at stage {s} replica {r}"
+            );
+            op
+        };
+        let stutter = job.stutter_of(s, r);
+        let spec = &job.stages[s];
+        // Mean-preserving lognormal kernel-time variation.
+        let noise = if opts.compute_jitter > 0.0 {
+            let sigma = opts.compute_jitter;
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (sigma * normal - sigma * sigma / 2.0).exp()
+        } else {
+            1.0
+        };
+        let dur = stutter
+            * noise
+            * match op.kind {
+                OpKind::Forward => spec.fwd_time,
+                OpKind::Recompute => spec.recompute_time,
+                OpKind::Backward => spec.bwd_time,
+            };
+        let stage = &mut st[i];
+        // Starting any op invalidates live activations unless the op is
+        // the backward consuming them.
+        if !(op.kind == OpKind::Backward && stage.live_acts == Some(op.micro)) {
+            stage.live_acts = None;
+        }
+        stage.busy = true;
+        stage.busy_time += dur;
+        q.push(
+            now + dur,
+            Ev::OpDone {
+                s,
+                r,
+                op,
+                started: now,
+            },
+        );
+    }
+
+    // Kick off all first-stage (and trivially-ready) dispatches.
+    for r in 0..d {
+        for s in 0..p {
+            dispatch(&mut st, job, opts, p, s, r, 0.0, &mut q, &mut rng);
+        }
+    }
+
+    let mut last_time = 0.0;
+    while let Some((now, ev)) = q.pop() {
+        last_time = now;
+        match ev {
+            Ev::OpDone { s, r, op, started } => {
+                let i = idx(s, r);
+                if opts.record_trace {
+                    trace.push(OpSpan {
+                        stage: s,
+                        replica: r,
+                        op,
+                        start: started,
+                        end: now,
+                    });
+                }
+                st[i].busy = false;
+                match op.kind {
+                    OpKind::Forward => {
+                        st[i].forwards_done += 1;
+                        st[i].stash_len += 1;
+                        st[i].peak_stash = st[i].peak_stash.max(st[i].stash_len);
+                        st[i].live_acts = Some(op.micro);
+                        if s == p - 1 {
+                            // Loss gradient is locally available.
+                            st[i].grads_ready[op.micro] = true;
+                        } else {
+                            // Send activations to the next stage.
+                            let (delay, ser) = transfer(
+                                job,
+                                &mut inflight,
+                                &mut rng,
+                                s,
+                                r,
+                                s + 1,
+                                job.stages[s].act_bytes,
+                            );
+                            let j = idx(s + 1, r);
+                            let arrive = (now + delay).max(st[j].chan_act_last + 1e-9);
+                            st[j].chan_act_last = arrive;
+                            q.push(arrive, Ev::ActArrive { s: s + 1, r });
+                            if opts.blocking_sends {
+                                st[i].busy = true;
+                                st[i].busy_time += ser;
+                                q.push(now + ser, Ev::SendDone { s, r });
+                            }
+                        }
+                    }
+                    OpKind::Recompute => {
+                        st[i].recomputes_done[op.micro] = true;
+                        st[i].pending_recompute = Some(op.micro);
+                        st[i].live_acts = Some(op.micro);
+                    }
+                    OpKind::Backward => {
+                        st[i].backwards_done[op.micro] = true;
+                        st[i].backwards_count += 1;
+                        st[i].stash_len = st[i].stash_len.saturating_sub(1);
+                        if st[i].pending_recompute == Some(op.micro) {
+                            st[i].pending_recompute = None;
+                        }
+                        st[i].live_acts = None;
+                        st[i].last_bwd_end = now;
+                        if st[i].backwards_count == n {
+                            done_pairs += 1;
+                        }
+                        if s > 0 {
+                            let (delay, ser) = transfer(
+                                job,
+                                &mut inflight,
+                                &mut rng,
+                                s,
+                                r,
+                                s - 1,
+                                job.stages[s - 1].act_bytes,
+                            );
+                            let j = idx(s - 1, r);
+                            let arrive = (now + delay).max(st[j].chan_grad_last + 1e-9);
+                            st[j].chan_grad_last = arrive;
+                            q.push(
+                                arrive,
+                                Ev::GradArrive {
+                                    s: s - 1,
+                                    r,
+                                    mb: op.micro,
+                                },
+                            );
+                            if opts.blocking_sends {
+                                st[i].busy = true;
+                                st[i].busy_time += ser;
+                                q.push(now + ser, Ev::SendDone { s, r });
+                            }
+                        }
+                    }
+                }
+                if !st[i].busy {
+                    dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng);
+                }
+            }
+            Ev::ActArrive { s, r } => {
+                release_flow(job, &mut inflight, s - 1, r, s);
+                let i = idx(s, r);
+                st[i].acts_arrived += 1;
+                dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng);
+            }
+            Ev::GradArrive { s, r, mb } => {
+                release_flow(job, &mut inflight, s + 1, r, s);
+                let i = idx(s, r);
+                st[i].grads_ready[mb] = true;
+                dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng);
+            }
+            Ev::SendDone { s, r } => {
+                let i = idx(s, r);
+                st[i].busy = false;
+                dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng);
+            }
+        }
+    }
+
+    if done_pairs != p * d {
+        let unfinished: Vec<usize> = (0..p)
+            .filter(|&s| (0..d).any(|r| st[idx(s, r)].backwards_count < n))
+            .collect();
+        return Err(SimError::Deadlock {
+            unfinished_stages: unfinished,
+        });
+    }
+
+    // Sync phase: per-stage data-parallel allreduce, tied-parameter sync,
+    // optional optimizer-state offload.
+    let mut stage_finish = vec![0.0f64; p];
+    let mut peak_stash = vec![0usize; p];
+    let mut busy_time = vec![0.0f64; p];
+    for s in 0..p {
+        for r in 0..d {
+            let i = idx(s, r);
+            stage_finish[s] = stage_finish[s].max(st[i].last_bwd_end);
+            peak_stash[s] = peak_stash[s].max(st[i].peak_stash);
+            busy_time[s] += st[i].busy_time;
+        }
+        busy_time[s] /= d as f64;
+    }
+    let pipeline_time = last_time;
+
+    // How many job endpoints share each node (concurrent allreduce rings
+    // contending for one NIC).
+    let mut per_node = vec![0usize; job.topology.num_nodes()];
+    for r in 0..d {
+        for s in 0..p {
+            per_node[job.topology.node_of(job.placement.endpoint(s, r))] += 1;
+        }
+    }
+
+    let mut allreduce = vec![0.0f64; p];
+    let mut total_time: f64 = pipeline_time;
+    for s in 0..p {
+        let ring = job.placement.stage_ring(s);
+        let cross_node = ring.windows(2).any(|w| !job.topology.same_node(w[0], w[1]))
+            || (ring.len() > 1 && !job.topology.same_node(ring[0], *ring.last().unwrap()));
+        let link = if cross_node || ring.len() == 1 {
+            job.topology.inter_link()
+        } else {
+            job.topology.intra_link()
+        };
+        let in_flight = ring
+            .iter()
+            .map(|&e| per_node[job.topology.node_of(e)])
+            .max()
+            .unwrap_or(1);
+        let ar = allreduce_time(
+            AllreduceSpec {
+                bytes: job.stages[s].grad_bytes,
+                ring_size: d,
+                in_flight,
+            },
+            link,
+        );
+        allreduce[s] = ar;
+        let mut tail = ar;
+        // Tied-parameter sync between the first and last stage of each
+        // replica (ring of 2 over the inter-stage link).
+        if job.shared_sync_bytes > 0.0 && p > 1 && (s == 0 || s == p - 1) {
+            let e0 = job.placement.endpoint(0, 0);
+            let e1 = job.placement.endpoint(p - 1, 0);
+            let link01 = job.topology.link_between(e0, e1);
+            tail += allreduce_time(
+                AllreduceSpec {
+                    bytes: job.shared_sync_bytes,
+                    ring_size: 2,
+                    in_flight: 1,
+                },
+                link01,
+            );
+        }
+        if let Some(bytes) = job.offload_bytes {
+            // Gradients out, updated fp16 weights back, over PCIe.
+            tail += bytes / 12.0e9;
+        }
+        total_time = total_time.max(stage_finish[s] + tail);
+    }
+    let sync_tail = total_time - pipeline_time;
+
+    Ok(MinibatchResult {
+        total_time,
+        pipeline_time,
+        sync_tail,
+        trace,
+        peak_stash,
+        busy_time,
+        stage_finish,
+        allreduce,
+    })
+}
+
+/// Computes (total delivery delay, serialization time) for a message of
+/// `bytes` from `(s_from, r)` to `(s_to, r)`, updating NIC in-flight
+/// bookkeeping approximately (contention is sampled at send time).
+fn transfer(
+    job: &PlacedJob,
+    inflight: &mut [usize],
+    rng: &mut StdRng,
+    s_from: usize,
+    r: usize,
+    s_to: usize,
+    bytes: f64,
+) -> (f64, f64) {
+    let src = job.placement.endpoint(s_from, r);
+    let dst = job.placement.endpoint(s_to, r);
+    let link = job.topology.link_between(src, dst);
+    let same = job.topology.same_node(src, dst);
+    let node = job.topology.node_of(src);
+    let flows = if same {
+        1
+    } else {
+        // Contention is sampled at send time; the matching decrement
+        // happens when the message is delivered.
+        inflight[node] += 1;
+        inflight[node]
+    };
+    let bottleneck = if same {
+        link.bandwidth
+    } else {
+        job.topology.nic_bandwidth()
+    };
+    let bw = link.bandwidth.min(fair_share(bottleneck, flows));
+    let ser = bytes / bw;
+    let jitter = sample_jitter(&link.jitter, rng);
+    (link.latency + jitter + ser, ser)
+}
+
+/// Releases the NIC slot taken by a delivered cross-node message sent from
+/// `(s_from, r)` to `(s_to, r)`.
+fn release_flow(job: &PlacedJob, inflight: &mut [usize], s_from: usize, r: usize, s_to: usize) {
+    let src = job.placement.endpoint(s_from, r);
+    let dst = job.placement.endpoint(s_to, r);
+    if !job.topology.same_node(src, dst) {
+        let node = job.topology.node_of(src);
+        inflight[node] = inflight[node].saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+    use crate::policy::GreedyPolicy;
+    use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
+    use varuna_net::Topology;
+
+    fn small_job(p: usize, d: usize, n_micro: usize) -> PlacedJob {
+        let graph = CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());
+        PlacedJob::uniform_from_graph(
+            &graph,
+            &GpuModel::v100(),
+            p,
+            d,
+            2,
+            n_micro,
+            Topology::commodity_1gpu(p * d),
+            Placement::one_stage_per_gpu(p, d),
+        )
+    }
+
+    fn greedy() -> Box<dyn Fn(usize, usize) -> Box<dyn crate::policy::SchedulePolicy>> {
+        Box::new(|_, _| Box::new(GreedyPolicy))
+    }
+
+    #[test]
+    fn single_stage_runs_all_microbatches_serially() {
+        let job = small_job(1, 1, 4);
+        // Disable kernel-time noise so the exact-time assertion holds.
+        let opts = SimOptions {
+            compute_jitter: 0.0,
+            ..SimOptions::default()
+        };
+        let res = simulate_minibatch(&job, &*greedy(), &opts).unwrap();
+        // One stage: F then B per micro-batch (live activations, no
+        // recompute needed when alternating).
+        let expected = 4.0 * (job.stages[0].fwd_time + job.stages[0].bwd_time);
+        assert!(
+            (res.pipeline_time - expected).abs() / expected < 1e-6,
+            "pipeline {} vs expected {expected}",
+            res.pipeline_time
+        );
+        assert_eq!(res.peak_stash, vec![1]);
+    }
+
+    #[test]
+    fn pipeline_time_exceeds_ideal_by_bubble_only() {
+        let job = small_job(4, 1, 16);
+        let res = simulate_minibatch(&job, &*greedy(), &SimOptions::default()).unwrap();
+        // Ideal per-stage compute: N * (F + R + B) = N * 4F.
+        let per_stage = 16.0 * (job.stages[0].fwd_time * 4.0);
+        assert!(res.pipeline_time > per_stage);
+        // The bubble should be bounded (well under 2x for 16 micro-batches
+        // over 4 stages).
+        assert!(
+            res.pipeline_time < 1.6 * per_stage,
+            "pipeline {} vs per-stage work {per_stage}",
+            res.pipeline_time
+        );
+    }
+
+    #[test]
+    fn trace_is_complete_and_well_formed() {
+        let job = small_job(3, 1, 5);
+        let opts = SimOptions {
+            record_trace: true,
+            ..SimOptions::default()
+        };
+        let res = simulate_minibatch(&job, &*greedy(), &opts).unwrap();
+        // Forwards and backwards: n per stage. Last stage never recomputes
+        // under the greedy policy (alternating F/B keeps activations live).
+        let fwd = res
+            .trace
+            .iter()
+            .filter(|t| t.op.kind == OpKind::Forward)
+            .count();
+        let bwd = res
+            .trace
+            .iter()
+            .filter(|t| t.op.kind == OpKind::Backward)
+            .count();
+        assert_eq!(fwd, 3 * 5);
+        assert_eq!(bwd, 3 * 5);
+        let last_stage_rec = res
+            .trace
+            .iter()
+            .filter(|t| t.stage == 2 && t.op.kind == OpKind::Recompute)
+            .count();
+        assert_eq!(last_stage_rec, 0, "last stage must not recompute");
+        // Spans on one GPU never overlap.
+        let mut spans: Vec<&OpSpan> = res.trace.iter().filter(|t| t.stage == 1).collect();
+        spans.sort_by(|a, b| a.start.total_cmp(&b.start));
+        for w in spans.windows(2) {
+            assert!(w[0].end <= w[1].start + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let job = small_job(4, 2, 8);
+        let a = simulate_minibatch(&job, &*greedy(), &SimOptions::default()).unwrap();
+        let b = simulate_minibatch(&job, &*greedy(), &SimOptions::default()).unwrap();
+        assert_eq!(a.total_time, b.total_time);
+        let c = simulate_minibatch(
+            &job,
+            &*greedy(),
+            &SimOptions {
+                seed: 99,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(
+            a.total_time, c.total_time,
+            "different jitter seeds must differ"
+        );
+    }
+
+    #[test]
+    fn data_parallel_adds_allreduce_tail() {
+        let j1 = small_job(4, 1, 8);
+        let j4 = small_job(4, 4, 8);
+        let r1 = simulate_minibatch(&j1, &*greedy(), &SimOptions::default()).unwrap();
+        let r4 = simulate_minibatch(&j4, &*greedy(), &SimOptions::default()).unwrap();
+        assert_eq!(r1.allreduce, vec![0.0; 4], "D=1 needs no allreduce");
+        assert!(r4.allreduce.iter().all(|&t| t > 0.0));
+        assert!(r4.sync_tail > 0.0);
+    }
+
+    #[test]
+    fn stash_window_backpressure_limits_peak_stash() {
+        let job = small_job(4, 1, 12);
+        let opts = SimOptions {
+            stash_window_override: Some(2),
+            ..SimOptions::default()
+        };
+        let res = simulate_minibatch(&job, &*greedy(), &opts).unwrap();
+        assert!(
+            res.peak_stash.iter().all(|&s| s <= 2),
+            "stash {:?}",
+            res.peak_stash
+        );
+    }
+
+    #[test]
+    fn stutter_slows_the_whole_pipeline() {
+        let mut job = small_job(4, 1, 8);
+        let base = simulate_minibatch(&job, &*greedy(), &SimOptions::default()).unwrap();
+        job.stutter = vec![1.0, 1.0, 1.3, 1.0];
+        let slow = simulate_minibatch(&job, &*greedy(), &SimOptions::default()).unwrap();
+        assert!(
+            slow.pipeline_time > 1.1 * base.pipeline_time,
+            "one 30% stutterer should slow the sync pipeline"
+        );
+    }
+
+    #[test]
+    fn blocking_sends_are_slower() {
+        let job = small_job(4, 1, 16);
+        let a = simulate_minibatch(&job, &*greedy(), &SimOptions::default()).unwrap();
+        let b = simulate_minibatch(
+            &job,
+            &*greedy(),
+            &SimOptions {
+                blocking_sends: true,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(b.pipeline_time > a.pipeline_time);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let job = small_job(4, 1, 16);
+        let res = simulate_minibatch(&job, &*greedy(), &SimOptions::default()).unwrap();
+        let u = res.utilization();
+        assert!(u > 0.3 && u <= 1.0, "utilization {u}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Mapping (stage, replica) to GPU endpoints.
+//!
+//! Varuna's manager "decides on the placement of the stages and replicas of
+//! a job" (Section 4.6). The layout matters because adjacent pipeline
+//! stages placed on the same multi-GPU VM communicate over PCIe/NVLink
+//! instead of Ethernet, and co-located stages contend for the VM's NIC
+//! during allreduce.
+
+use serde::{Deserialize, Serialize};
+use varuna_net::Endpoint;
+
+/// A concrete assignment of every (stage, replica) pair to a GPU endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    p: usize,
+    d: usize,
+    /// `endpoints[r * p + s]` hosts stage `s` of replica `r`.
+    endpoints: Vec<Endpoint>,
+}
+
+impl Placement {
+    /// Builds a placement from an explicit endpoint table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table has the wrong size or assigns one GPU twice.
+    pub fn from_table(p: usize, d: usize, endpoints: Vec<Endpoint>) -> Self {
+        assert_eq!(endpoints.len(), p * d, "placement table has wrong size");
+        let mut seen = endpoints.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), p * d, "placement assigns a GPU twice");
+        Placement { p, d, endpoints }
+    }
+
+    /// Pipeline-contiguous placement: replica `r`'s stages occupy GPUs
+    /// `r*p .. r*p+p` in order. On 1-GPU VMs every pair is cross-VM; on
+    /// multi-GPU VMs consecutive stages share a VM, which is how the paper
+    /// runs 4-GPU NC24 VMs and DGX-2 nodes.
+    pub fn one_stage_per_gpu(p: usize, d: usize) -> Self {
+        Placement {
+            p,
+            d,
+            endpoints: (0..p * d).collect(),
+        }
+    }
+
+    /// Pipeline depth this placement was built for.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Replica count this placement was built for.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The GPU hosting `(stage, replica)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn endpoint(&self, stage: usize, replica: usize) -> Endpoint {
+        assert!(
+            stage < self.p && replica < self.d,
+            "({stage},{replica}) out of range"
+        );
+        self.endpoints[replica * self.p + stage]
+    }
+
+    /// All endpoints of one stage across replicas — the data-parallel
+    /// allreduce ring membership.
+    pub fn stage_ring(&self, stage: usize) -> Vec<Endpoint> {
+        (0..self.d).map(|r| self.endpoint(stage, r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_placement_is_dense() {
+        let p = Placement::one_stage_per_gpu(4, 3);
+        assert_eq!(p.endpoint(0, 0), 0);
+        assert_eq!(p.endpoint(3, 0), 3);
+        assert_eq!(p.endpoint(0, 1), 4);
+        assert_eq!(p.endpoint(2, 2), 10);
+    }
+
+    #[test]
+    fn stage_ring_strides_by_p() {
+        let p = Placement::one_stage_per_gpu(4, 3);
+        assert_eq!(p.stage_ring(1), vec![1, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_endpoint_rejected() {
+        let _ = Placement::from_table(2, 1, vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_lookup_panics() {
+        let p = Placement::one_stage_per_gpu(2, 2);
+        let _ = p.endpoint(2, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based invariants of the execution emulator, across policies
+//! and job shapes.
+
+use proptest::prelude::*;
+use varuna_exec::job::PlacedJob;
+use varuna_exec::op::OpKind;
+use varuna_exec::pipeline::{simulate_minibatch, SimOptions};
+use varuna_exec::placement::Placement;
+use varuna_exec::policy::GreedyPolicy;
+use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
+use varuna_net::Topology;
+
+fn job(p: usize, d: usize, n_micro: usize, m: usize) -> PlacedJob {
+    let graph = CutpointGraph::from_transformer(&ModelZoo::gpt2_355m());
+    PlacedJob::uniform_from_graph(
+        &graph,
+        &GpuModel::v100(),
+        p,
+        d,
+        m,
+        n_micro,
+        Topology::commodity_1gpu(p * d),
+        Placement::one_stage_per_gpu(p, d),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every mini-batch completes with exactly the right op counts, no
+    /// overlapping spans on any GPU, and forwards in order — for arbitrary
+    /// shapes, windows, and seeds.
+    #[test]
+    fn emulation_invariants_hold(
+        p in 1usize..6,
+        d in 1usize..4,
+        n_micro in 1usize..12,
+        m in 1usize..5,
+        window in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let j = job(p, d, n_micro, m);
+        let opts = SimOptions {
+            record_trace: true,
+            seed,
+            stash_window_override: Some(window),
+            ..SimOptions::default()
+        };
+        let res = simulate_minibatch(&j, &|_, _| Box::new(GreedyPolicy), &opts)
+            .expect("greedy completes any shape");
+
+        for s in 0..p {
+            for r in 0..d {
+                let mut spans: Vec<_> = res
+                    .trace
+                    .iter()
+                    .filter(|t| t.stage == s && t.replica == r)
+                    .collect();
+                spans.sort_by(|a, b| a.start.total_cmp(&b.start));
+                // Exact op counts.
+                let fwd = spans.iter().filter(|t| t.op.kind == OpKind::Forward).count();
+                let bwd = spans.iter().filter(|t| t.op.kind == OpKind::Backward).count();
+                prop_assert_eq!(fwd, n_micro);
+                prop_assert_eq!(bwd, n_micro);
+                // No overlap on one GPU.
+                for w in spans.windows(2) {
+                    prop_assert!(w[0].end <= w[1].start + 1e-9);
+                }
+                // Forwards strictly in micro-batch order.
+                let fwd_order: Vec<usize> = spans
+                    .iter()
+                    .filter(|t| t.op.kind == OpKind::Forward)
+                    .map(|t| t.op.micro)
+                    .collect();
+                let mut sorted = fwd_order.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(fwd_order, sorted);
+                // Stash window respected.
+                prop_assert!(res.peak_stash[s] <= window);
+            }
+        }
+        prop_assert!(res.total_time.is_finite() && res.total_time > 0.0);
+    }
+
+    /// Throughput is monotone in resources: more micro-batches never lower
+    /// per-micro-batch cost, and a fatter network never slows the batch.
+    #[test]
+    fn more_resources_never_hurt(
+        p in 2usize..5,
+        n_micro in 2usize..10,
+    ) {
+        let base = job(p, 1, n_micro, 2);
+        let opts = SimOptions { compute_jitter: 0.0, ..SimOptions::default() };
+        let t1 = simulate_minibatch(&base, &|_, _| Box::new(GreedyPolicy), &opts)
+            .unwrap()
+            .pipeline_time;
+        // Double the micro-batches: per-micro-batch time must not rise.
+        let bigger = job(p, 1, 2 * n_micro, 2);
+        let t2 = simulate_minibatch(&bigger, &|_, _| Box::new(GreedyPolicy), &opts)
+            .unwrap()
+            .pipeline_time;
+        // Network jitter is resampled per run, so allow a small sampling
+        // slack on top of the expectation-level property.
+        prop_assert!(
+            t2 / (2.0 * n_micro as f64) <= 1.05 * t1 / n_micro as f64,
+            "amortization failed: {} vs {}",
+            t2 / (2.0 * n_micro as f64),
+            t1 / n_micro as f64
+        );
+    }
+
+    /// Determinism: the same job and seed give bit-identical results.
+    #[test]
+    fn emulation_is_deterministic(seed in 0u64..500) {
+        let j = job(3, 2, 6, 2);
+        let opts = SimOptions { seed, ..SimOptions::default() };
+        let a = simulate_minibatch(&j, &|_, _| Box::new(GreedyPolicy), &opts).unwrap();
+        let b = simulate_minibatch(&j, &|_, _| Box::new(GreedyPolicy), &opts).unwrap();
+        prop_assert_eq!(a.total_time, b.total_time);
+        prop_assert_eq!(a.stage_finish, b.stage_finish);
+    }
+}

@@ -1,0 +1,146 @@
+//! Transformer architecture descriptions and parameter counting.
+
+use serde::{Deserialize, Serialize};
+
+/// Architecture of a GPT-2 / BERT style transformer.
+///
+/// The models in the paper's evaluation are all stacks of identical
+/// transformer blocks (paper Section 5.1: "massive models inherently use
+/// repetitive structures"), plus token/position embeddings and a language
+/// model head whose weights are tied to the token embedding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Human-readable name, e.g. `"gpt2-8.3b"`.
+    pub name: String,
+    /// Number of transformer blocks (the paper calls these "layers").
+    pub layers: usize,
+    /// Hidden dimension `h`.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Training sequence length `s`.
+    pub seq_len: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Whether the LM head shares (ties) weights with the token embedding —
+    /// the cross-partition shared parameter of paper Section 5.2.
+    pub tied_embeddings: bool,
+}
+
+impl TransformerConfig {
+    /// Creates a config, validating basic shape constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads`, or any dimension is
+    /// zero.
+    pub fn new(
+        name: impl Into<String>,
+        layers: usize,
+        hidden: usize,
+        heads: usize,
+        seq_len: usize,
+        vocab: usize,
+    ) -> Self {
+        assert!(layers > 0 && hidden > 0 && heads > 0 && seq_len > 0 && vocab > 0);
+        assert!(
+            hidden.is_multiple_of(heads),
+            "hidden must be divisible by heads"
+        );
+        TransformerConfig {
+            name: name.into(),
+            layers,
+            hidden,
+            heads,
+            seq_len,
+            vocab,
+            tied_embeddings: true,
+        }
+    }
+
+    /// Parameters in one transformer block: `12 h^2 + 13 h`.
+    ///
+    /// QKV projection (`3h^2 + 3h`), attention output (`h^2 + h`), MLP
+    /// up/down (`8h^2 + 5h`), and two layer norms (`4h`).
+    pub fn params_per_layer(&self) -> u64 {
+        let h = self.hidden as u64;
+        12 * h * h + 13 * h
+    }
+
+    /// Parameters in the embeddings: token (`vocab * h`) plus position
+    /// (`seq_len * h`). With tied embeddings the LM head adds nothing.
+    pub fn embedding_params(&self) -> u64 {
+        (self.vocab as u64 + self.seq_len as u64) * self.hidden as u64
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        let head = if self.tied_embeddings {
+            0
+        } else {
+            (self.vocab * self.hidden) as u64
+        };
+        self.layers as u64 * self.params_per_layer() + self.embedding_params() + head
+    }
+
+    /// Total parameters in billions, for display.
+    pub fn params_billions(&self) -> f64 {
+        self.total_params() as f64 / 1e9
+    }
+
+    /// Bytes of the activation tensor at a block boundary for one example:
+    /// `s * h` values in fp16.
+    ///
+    /// For GPT-2 2.5B (h = 1920, s = 1024) this is the 3.75 MiB per example
+    /// quoted in paper Section 3.1.
+    pub fn boundary_activation_bytes(&self) -> f64 {
+        (self.seq_len * self.hidden * 2) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpt2_2_5b() -> TransformerConfig {
+        TransformerConfig::new("gpt2-2.5b", 54, 1920, 24, 1024, 50257)
+    }
+
+    #[test]
+    fn layer_params_match_standard_formula() {
+        let c = gpt2_2_5b();
+        // 12 * 1920^2 + 13 * 1920.
+        assert_eq!(c.params_per_layer(), 12 * 1920 * 1920 + 13 * 1920);
+    }
+
+    #[test]
+    fn gpt2_2_5b_counts_2_5_billion() {
+        let b = gpt2_2_5b().params_billions();
+        assert!((2.4..2.6).contains(&b), "2.5B model counted {b}B");
+    }
+
+    #[test]
+    fn boundary_activation_is_3_75_mib_for_2_5b() {
+        // Paper Section 3.1: "for 2.5B GPT-2, this is only 3.75 MB per
+        // input example".
+        let mib = gpt2_2_5b().boundary_activation_bytes() / (1024.0 * 1024.0);
+        assert!((mib - 3.75).abs() < 1e-9, "boundary activation {mib} MiB");
+    }
+
+    #[test]
+    fn untying_embeddings_adds_head_params() {
+        let tied = gpt2_2_5b();
+        let mut untied = tied.clone();
+        untied.tied_embeddings = false;
+        assert_eq!(
+            untied.total_params() - tied.total_params(),
+            (tied.vocab * tied.hidden) as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_heads_rejected() {
+        let _ = TransformerConfig::new("bad", 2, 10, 3, 8, 100);
+    }
+}

@@ -1,0 +1,213 @@
+//! Cut-point graphs: the unit of model partitioning.
+//!
+//! Paper Section 5.1: Varuna exploits the repetitive block structure of
+//! massive models, marking one candidate cut-point per transformer block —
+//! a "cut" ending at a low-activation-size boundary. At run time a subset of
+//! cut-points is activated, grouping blocks into `P` pipeline stages. This
+//! module materializes that graph with per-cut-point compute, parameter, and
+//! activation costs, plus the shared (tied) parameters that span partitions
+//! (Section 5.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::TransformerConfig;
+use crate::flops::{head_forward_flops, layer_forward_flops};
+
+/// One candidate cut-point: a slice of the model ending at a block boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cutpoint {
+    /// Position in the model, 0-based.
+    pub index: usize,
+    /// Forward FLOPs per example for this slice.
+    pub fwd_flops: f64,
+    /// Backward FLOPs per example (2x forward).
+    pub bwd_flops: f64,
+    /// Parameters owned by this slice.
+    pub params: u64,
+    /// Bytes of the activation crossing this cut-point boundary for one
+    /// example (fp16 `s × h`).
+    pub activation_bytes: f64,
+    /// Whether the slice holds the input embedding.
+    pub has_embedding: bool,
+    /// Whether the slice holds the LM head / final embedding layer.
+    pub has_head: bool,
+}
+
+/// A parameter tensor shared across cut-point boundaries, which Varuna must
+/// allreduce every mini-batch (Section 5.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedParam {
+    /// Descriptive name, e.g. `"tied-token-embedding"`.
+    pub name: String,
+    /// Parameter count of the shared tensor.
+    pub params: u64,
+    /// Indices of the cut-points that reference the tensor.
+    pub cutpoints: (usize, usize),
+}
+
+/// The full cut-point graph of a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutpointGraph {
+    /// The architecture the graph was derived from.
+    pub config: TransformerConfig,
+    /// One cut-point per transformer block, in model order.
+    pub cutpoints: Vec<Cutpoint>,
+    /// Cross-partition shared parameters.
+    pub shared: Vec<SharedParam>,
+}
+
+impl CutpointGraph {
+    /// Builds the cut-point graph of a transformer: one cut-point per
+    /// block, embedding folded into the first, LM head into the last.
+    pub fn from_transformer(config: &TransformerConfig) -> Self {
+        let layer_fwd = layer_forward_flops(config);
+        let boundary = config.boundary_activation_bytes();
+        let layer_params = config.params_per_layer();
+        let emb_params = config.embedding_params();
+        let head_params = if config.tied_embeddings {
+            0
+        } else {
+            (config.vocab * config.hidden) as u64
+        };
+
+        let n = config.layers;
+        let cutpoints = (0..n)
+            .map(|i| {
+                let first = i == 0;
+                let last = i == n - 1;
+                let mut fwd = layer_fwd;
+                let mut params = layer_params;
+                if first {
+                    params += emb_params;
+                }
+                if last {
+                    fwd += head_forward_flops(config);
+                    params += head_params;
+                }
+                Cutpoint {
+                    index: i,
+                    fwd_flops: fwd,
+                    bwd_flops: 2.0 * fwd,
+                    params,
+                    activation_bytes: boundary,
+                    has_embedding: first,
+                    has_head: last,
+                }
+            })
+            .collect();
+
+        let shared = if config.tied_embeddings && n > 1 {
+            vec![SharedParam {
+                name: "tied-token-embedding".to_string(),
+                params: (config.vocab * config.hidden) as u64,
+                cutpoints: (0, n - 1),
+            }]
+        } else {
+            Vec::new()
+        };
+
+        CutpointGraph {
+            config: config.clone(),
+            cutpoints,
+            shared,
+        }
+    }
+
+    /// Number of candidate cut-points `K` — the maximum pipeline depth.
+    pub fn len(&self) -> usize {
+        self.cutpoints.len()
+    }
+
+    /// True if the graph is empty (never the case for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.cutpoints.is_empty()
+    }
+
+    /// Total forward FLOPs per example over all cut-points.
+    pub fn total_fwd_flops(&self) -> f64 {
+        self.cutpoints.iter().map(|c| c.fwd_flops).sum()
+    }
+
+    /// Total parameters over all cut-points (equals the model's).
+    pub fn total_params(&self) -> u64 {
+        self.cutpoints.iter().map(|c| c.params).sum()
+    }
+
+    /// Sums forward FLOPs over a contiguous cut-point range `[lo, hi)`.
+    pub fn range_fwd_flops(&self, lo: usize, hi: usize) -> f64 {
+        self.cutpoints[lo..hi].iter().map(|c| c.fwd_flops).sum()
+    }
+
+    /// Sums parameters over a contiguous cut-point range `[lo, hi)`.
+    pub fn range_params(&self, lo: usize, hi: usize) -> u64 {
+        self.cutpoints[lo..hi].iter().map(|c| c.params).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ModelZoo;
+
+    #[test]
+    fn one_cutpoint_per_layer() {
+        let g = CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());
+        assert_eq!(g.len(), 54);
+    }
+
+    #[test]
+    fn params_add_up_to_model_total() {
+        for c in ModelZoo::all() {
+            let g = CutpointGraph::from_transformer(&c);
+            assert_eq!(g.total_params(), c.total_params(), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn embedding_and_head_at_the_ends() {
+        let g = CutpointGraph::from_transformer(&ModelZoo::gpt2_8_3b());
+        assert!(g.cutpoints.first().unwrap().has_embedding);
+        assert!(g.cutpoints.last().unwrap().has_head);
+        assert!(g.cutpoints[1..g.len() - 1]
+            .iter()
+            .all(|c| !c.has_embedding && !c.has_head));
+    }
+
+    #[test]
+    fn tied_embeddings_produce_one_shared_param() {
+        let g = CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());
+        assert_eq!(g.shared.len(), 1);
+        let s = &g.shared[0];
+        assert_eq!(s.cutpoints, (0, 53));
+        assert_eq!(s.params, (50257 * 1920) as u64);
+    }
+
+    #[test]
+    fn untied_model_has_no_shared_params() {
+        let mut c = ModelZoo::gpt2_355m();
+        c.tied_embeddings = false;
+        let g = CutpointGraph::from_transformer(&c);
+        assert!(g.shared.is_empty());
+    }
+
+    #[test]
+    fn interior_cutpoints_are_uniform() {
+        let g = CutpointGraph::from_transformer(&ModelZoo::gpt2_20b());
+        let mid = &g.cutpoints[1];
+        for c in &g.cutpoints[1..g.len() - 1] {
+            assert_eq!(c.fwd_flops, mid.fwd_flops);
+            assert_eq!(c.params, mid.params);
+        }
+    }
+
+    #[test]
+    fn range_helpers_match_manual_sums() {
+        let g = CutpointGraph::from_transformer(&ModelZoo::bert_large());
+        let lo = 3;
+        let hi = 10;
+        let f: f64 = g.cutpoints[lo..hi].iter().map(|c| c.fwd_flops).sum();
+        assert_eq!(g.range_fwd_flops(lo, hi), f);
+        let p: u64 = g.cutpoints[lo..hi].iter().map(|c| c.params).sum();
+        assert_eq!(g.range_params(lo, hi), p);
+    }
+}

@@ -1,0 +1,114 @@
+//! GPU compute model: peak throughput and attainable efficiency.
+//!
+//! The paper's calibration measures `F_i(m)` and `B_i(m)` directly on the
+//! hardware (Table 2); we generate them from a peak-FLOPs × efficiency
+//! model instead. Efficiency rises with the amount of work per kernel —
+//! the paper notes that on BERT-large a micro-batch of 8 performs 26%
+//! better than 4 (Section 4.1) — and saturates for large `m·h`.
+
+use serde::{Deserialize, Serialize};
+
+/// A GPU's compute capability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Peak mixed-precision FLOP/s (V100: 112 TFLOP/s with tensor cores).
+    pub peak_flops: f64,
+    /// Efficiency ceiling (fraction of peak attainable by large GEMMs).
+    pub eff_max: f64,
+    /// Half-saturation constant of the efficiency curve, in units of
+    /// `m * h / 1024`.
+    pub half_saturation: f64,
+}
+
+impl GpuModel {
+    /// Nvidia V100, the GPU of both paper testbeds.
+    ///
+    /// `half_saturation` is calibrated so that at `h = 1024` (BERT-large) a
+    /// micro-batch of 8 is 26% more efficient than 4, as measured in the
+    /// paper.
+    pub fn v100() -> Self {
+        GpuModel {
+            peak_flops: 112e12,
+            eff_max: 0.52,
+            half_saturation: 2.81,
+        }
+    }
+
+    /// Attainable fraction of peak for micro-batch size `m` and hidden
+    /// dimension `hidden`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` or `hidden` is zero.
+    pub fn efficiency(&self, m: usize, hidden: usize) -> f64 {
+        assert!(
+            m > 0 && hidden > 0,
+            "efficiency is defined for positive m and hidden"
+        );
+        let u = m as f64 * hidden as f64 / 1024.0;
+        self.eff_max * u / (u + self.half_saturation)
+    }
+
+    /// Time in seconds to execute `flops` floating point operations at
+    /// micro-batch size `m` and hidden size `hidden`.
+    pub fn compute_time(&self, flops: f64, m: usize, hidden: usize) -> f64 {
+        flops / (self.peak_flops * self.efficiency(m, hidden))
+    }
+
+    /// Effective FLOP/s at a given operating point.
+    pub fn effective_flops(&self, m: usize, hidden: usize) -> f64 {
+        self.peak_flops * self.efficiency(m, hidden)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_m8_is_26_percent_better_than_m4() {
+        // Paper Section 4.1: "in BERT-large, m = 8 performs 26% better
+        // than m = 4". Throughput per example is proportional to
+        // efficiency.
+        let g = GpuModel::v100();
+        let ratio = g.efficiency(8, 1024) / g.efficiency(4, 1024);
+        assert!((ratio - 1.26).abs() < 0.01, "m=8/m=4 ratio {ratio}");
+    }
+
+    #[test]
+    fn efficiency_is_monotone_in_m_and_saturates() {
+        let g = GpuModel::v100();
+        let mut prev = 0.0;
+        for m in 1..=64 {
+            let e = g.efficiency(m, 1920);
+            assert!(e > prev);
+            assert!(e < g.eff_max);
+            prev = e;
+        }
+        // Large models saturate at small m.
+        assert!(g.efficiency(1, 12960) > 0.8 * g.eff_max);
+    }
+
+    #[test]
+    fn compute_time_scales_inverse_to_efficiency() {
+        let g = GpuModel::v100();
+        let t1 = g.compute_time(1e12, 1, 1024);
+        let t8 = g.compute_time(1e12, 8, 1024);
+        assert!(t8 < t1);
+        let expected = g.efficiency(8, 1024) / g.efficiency(1, 1024);
+        assert!((t1 / t8 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_flops_below_peak() {
+        let g = GpuModel::v100();
+        assert!(g.effective_flops(32, 12960) < g.peak_flops);
+        assert!(g.effective_flops(32, 12960) > 0.4 * g.peak_flops);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_microbatch_rejected() {
+        let _ = GpuModel::v100().efficiency(0, 1024);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Model zoo and analytic cost models for the Varuna reproduction.
+//!
+//! Varuna's planner never touches real tensors: it reasons about a model
+//! through per-cut-point compute times, activation sizes, and memory
+//! footprints (paper Table 2). This crate supplies those quantities
+//! analytically for the transformer family evaluated in the paper:
+//!
+//! - [`config`]: architecture descriptions and parameter counting.
+//! - [`zoo`]: the exact models of the evaluation (BERT-large, BERT-72,
+//!   GPT-2 2.5B / 8.3B / 20B / 200B, GPT-2 355M).
+//! - [`flops`]: forward/backward/recompute FLOPs per example.
+//! - [`memory`]: mixed-precision memory model (16 bytes/param plus
+//!   activation stash and recompute working set).
+//! - [`cutpoints`]: the cut-point graph used by the auto-partitioner.
+//! - [`efficiency`]: GPU attainable-efficiency curve in micro-batch size.
+
+pub mod config;
+pub mod cutpoints;
+pub mod efficiency;
+pub mod flops;
+pub mod memory;
+pub mod opgraph;
+pub mod zoo;
+
+pub use config::TransformerConfig;
+pub use cutpoints::{Cutpoint, CutpointGraph, SharedParam};
+pub use efficiency::GpuModel;
+pub use opgraph::{OpGraph, OpProfile};
+pub use zoo::ModelZoo;

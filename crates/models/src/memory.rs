@@ -1,0 +1,224 @@
+//! GPU memory model.
+//!
+//! Paper Section 2 ("Memory optimization"): a model with `N` parameters
+//! needs up to `16·N` bytes for parameters and optimizer state in mixed
+//! precision (fp16 weights + fp16 gradients + fp32 master weights + Adam
+//! moments). On top of that come the per-layer input-activation stash used
+//! by recompute (Section 3.1: Varuna stores "the input activation for each
+//! layer"), and the working set of the one layer currently being recomputed
+//! and backpropagated.
+
+use crate::config::TransformerConfig;
+
+/// Bytes per parameter with the full optimizer state resident on the GPU.
+pub const MIXED_PRECISION_BYTES_PER_PARAM: f64 = 16.0;
+
+/// Bytes per parameter when the optimizer state lives in CPU memory and only
+/// fp16 weights and fp16 gradients stay on the GPU (the 200B configuration,
+/// paper Section 7.1.1).
+pub const CPU_OFFLOAD_BYTES_PER_PARAM: f64 = 4.0;
+
+/// Fixed framework overhead per GPU (CUDA context, NCCL buffers, allocator
+/// slack) in bytes.
+pub const FRAMEWORK_OVERHEAD_BYTES: f64 = 0.5 * 1024.0 * 1024.0 * 1024.0;
+
+/// Full activation working set of one transformer block for one example, in
+/// bytes: ~19 `s×h` intermediate tensors plus two `heads×s×s` attention
+/// score maps, all fp16. This is what recompute rematerializes and what
+/// makes stashing full activations infeasible for massive models.
+pub fn layer_full_activation_bytes(c: &TransformerConfig) -> f64 {
+    let s = c.seq_len as f64;
+    let h = c.hidden as f64;
+    let a = c.heads as f64;
+    (19.0 * s * h + 2.0 * a * s * s) * 2.0
+}
+
+/// Memory footprint of one pipeline stage on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageMemory {
+    /// Parameters + gradients + optimizer state.
+    pub weights_bytes: f64,
+    /// Per-layer input-activation stash across outstanding micro-batches.
+    pub stash_bytes: f64,
+    /// Working set of the layer being recomputed/backpropagated.
+    pub working_bytes: f64,
+    /// Fixed framework overhead.
+    pub overhead_bytes: f64,
+}
+
+impl StageMemory {
+    /// Total bytes.
+    pub fn total(&self) -> f64 {
+        self.weights_bytes + self.stash_bytes + self.working_bytes + self.overhead_bytes
+    }
+
+    /// Whether the stage fits a GPU with `capacity` bytes of memory.
+    pub fn fits(&self, capacity: f64) -> bool {
+        self.total() <= capacity
+    }
+}
+
+/// Computes the memory footprint of a pipeline stage.
+///
+/// * `params` — parameters owned by the stage.
+/// * `layers` — transformer blocks in the stage.
+/// * `m` — micro-batch size.
+/// * `stash_window` — maximum number of micro-batches whose input
+///   activations are simultaneously stashed (bounded by the schedule's
+///   forward-ahead window).
+/// * `cpu_offload` — whether optimizer state lives on the CPU.
+pub fn pipeline_stage_memory(
+    c: &TransformerConfig,
+    params: u64,
+    layers: usize,
+    m: usize,
+    stash_window: usize,
+    cpu_offload: bool,
+) -> StageMemory {
+    let bpp = if cpu_offload {
+        CPU_OFFLOAD_BYTES_PER_PARAM
+    } else {
+        MIXED_PRECISION_BYTES_PER_PARAM
+    };
+    StageMemory {
+        weights_bytes: params as f64 * bpp,
+        stash_bytes: layers as f64 * stash_window as f64 * m as f64 * c.boundary_activation_bytes(),
+        working_bytes: m as f64 * layer_full_activation_bytes(c),
+        overhead_bytes: FRAMEWORK_OVERHEAD_BYTES,
+    }
+}
+
+/// Memory footprint of `t`-way intra-layer (tensor) parallelism on one GPU,
+/// Megatron style: parameters are sharded `1/t`, per-layer input stashes are
+/// replicated (each GPU sees the full `s×h` input), and the recompute
+/// working set is mostly sharded.
+pub fn intra_layer_memory(c: &TransformerConfig, t: usize, m: usize) -> StageMemory {
+    assert!(t > 0, "tensor-parallel degree must be positive");
+    StageMemory {
+        weights_bytes: c.total_params() as f64 / t as f64 * MIXED_PRECISION_BYTES_PER_PARAM,
+        stash_bytes: c.layers as f64 * m as f64 * c.boundary_activation_bytes(),
+        working_bytes: m as f64 * layer_full_activation_bytes(c) / t as f64
+            + 2.0 * m as f64 * c.boundary_activation_bytes(),
+        overhead_bytes: FRAMEWORK_OVERHEAD_BYTES,
+    }
+}
+
+/// Memory footprint of PipeDream, which stashes one weight *version* per
+/// in-flight mini-batch (up to pipeline depth `p` fp32 copies, paper
+/// Section 2) and stores full activations for in-flight micro-batches
+/// instead of recomputing.
+pub fn pipedream_stage_memory(
+    c: &TransformerConfig,
+    params: u64,
+    layers: usize,
+    m: usize,
+    p: usize,
+) -> StageMemory {
+    // Base optimizer state (12 B/param) plus `p` stashed fp32 weight copies.
+    let weights = params as f64 * (12.0 + 4.0 * p as f64);
+    StageMemory {
+        weights_bytes: weights,
+        stash_bytes: layers as f64 * p as f64 * m as f64 * layer_full_activation_bytes(c),
+        working_bytes: 0.0,
+        overhead_bytes: FRAMEWORK_OVERHEAD_BYTES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ModelZoo;
+
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn gpt2_8_3b_fits_16gb_at_depth_18() {
+        // The paper's standard 8.3B configuration: 18 stages of 4 layers,
+        // m = 4, on 16 GB V100s.
+        let c = ModelZoo::gpt2_8_3b();
+        let params = c.total_params() / 18;
+        let mem = pipeline_stage_memory(&c, params, 4, 4, 18, false);
+        assert!(mem.fits(16.0 * GIB), "needs {:.1} GiB", mem.total() / GIB);
+    }
+
+    #[test]
+    fn gpt2_8_3b_oom_at_depth_9_on_16gb() {
+        let c = ModelZoo::gpt2_8_3b();
+        let params = c.total_params() / 9;
+        let mem = pipeline_stage_memory(&c, params, 8, 4, 9, false);
+        assert!(!mem.fits(16.0 * GIB), "8.3B at P=9 should not fit 16 GiB");
+    }
+
+    #[test]
+    fn gpt2_200b_needs_cpu_offload_at_depth_102() {
+        // Paper: the 200B model ran 102 stages, micro-batch 1, optimizer
+        // state in CPU memory.
+        let c = ModelZoo::gpt2_200b();
+        let params = c.total_params() / 102;
+        let resident = pipeline_stage_memory(&c, params, 1, 1, 102, false);
+        assert!(!resident.fits(16.0 * GIB), "without offload it must OOM");
+        let offloaded = pipeline_stage_memory(&c, params, 1, 1, 102, true);
+        assert!(
+            offloaded.fits(16.0 * GIB),
+            "needs {:.1} GiB",
+            offloaded.total() / GIB
+        );
+    }
+
+    #[test]
+    fn bert_large_fits_one_gpu() {
+        // BERT-large trains fully data-parallel: whole model on one GPU.
+        let c = ModelZoo::bert_large();
+        let mem = pipeline_stage_memory(&c, c.total_params(), c.layers, 8, 1, false);
+        assert!(mem.fits(16.0 * GIB));
+    }
+
+    #[test]
+    fn megatron_16way_fits_19_2b_but_not_20b_on_dgx2() {
+        // Table 4: "Megatron on hypercluster could fit only a 19.2 billion
+        // parameter model with 16-way model parallelism". The usable share
+        // of the DGX-2's 32 GiB cards (after cudnn workspaces, NCCL buffers
+        // and allocator fragmentation) sits between the two models'
+        // footprints — exactly the razor-thin margin the paper describes.
+        let budget = 25.0 * GIB;
+        let fits_19 = intra_layer_memory(&ModelZoo::gpt2_19_2b(), 16, 8);
+        let fits_20 = intra_layer_memory(&ModelZoo::gpt2_20b(), 16, 8);
+        assert!(
+            fits_19.fits(budget),
+            "19.2B needs {:.1} GiB",
+            fits_19.total() / GIB
+        );
+        assert!(
+            !fits_20.fits(budget),
+            "20B takes {:.1} GiB",
+            fits_20.total() / GIB
+        );
+    }
+
+    #[test]
+    fn pipedream_ooms_where_varuna_fits() {
+        // Table 6: PipeDream OOMs on the 2.5B model at 9 stages where
+        // Varuna runs fine, because of its P weight copies and stored
+        // activations.
+        let c = ModelZoo::gpt2_2_5b();
+        let params = c.total_params() / 9;
+        let pd = pipedream_stage_memory(&c, params, 6, 4, 9);
+        assert!(
+            !pd.fits(16.0 * GIB),
+            "PipeDream should OOM, used {:.1} GiB",
+            pd.total() / GIB
+        );
+        let varuna = pipeline_stage_memory(&c, params, 6, 4, 9, false);
+        assert!(varuna.fits(16.0 * GIB));
+    }
+
+    #[test]
+    fn stash_scales_with_window_and_microbatch() {
+        let c = ModelZoo::gpt2_2_5b();
+        let a = pipeline_stage_memory(&c, 1, 6, 2, 4, false).stash_bytes;
+        let b = pipeline_stage_memory(&c, 1, 6, 4, 4, false).stash_bytes;
+        let d = pipeline_stage_memory(&c, 1, 6, 2, 8, false).stash_bytes;
+        assert_eq!(b, 2.0 * a);
+        assert_eq!(d, 2.0 * a);
+    }
+}

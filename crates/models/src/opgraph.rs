@@ -1,0 +1,216 @@
+//! Op-level model profiles: the raw material for cut-point identification.
+//!
+//! Paper §5.1: "Cut-points are identified by profiling the model for
+//! execution times and activation sizes for each operation." This module
+//! describes a model as the linear sequence of operations a profiler would
+//! record — each with its compute cost, output-activation size, and the
+//! parameter tensors it reads — so the cut-point finder in the `varuna`
+//! crate can pick "cuts ... ending with low activation sizes" and check
+//! that "there is no overlap of parameters across cut-point boundaries".
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::TransformerConfig;
+
+/// One profiled operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpProfile {
+    /// Operation name, e.g. `"blk3.attn.qkv"`.
+    pub name: String,
+    /// Forward FLOPs per example.
+    pub fwd_flops: f64,
+    /// Bytes of the op's output activation per example (what would cross a
+    /// cut placed right after this op).
+    pub out_bytes: f64,
+    /// Identities of the parameter tensors the op reads. Tied weights
+    /// appear under the same id in multiple ops.
+    pub param_ids: Vec<u64>,
+    /// Parameters owned by this op (counted once per id at the graph
+    /// level).
+    pub param_count: u64,
+}
+
+/// A model as a linear op sequence (what the §5.1 dry-run profiler sees).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpGraph {
+    /// Ops in execution order.
+    pub ops: Vec<OpProfile>,
+}
+
+impl OpGraph {
+    /// Builds the op-level profile of a GPT-style transformer: per block,
+    /// the attention QKV/score/context/projection ops and the MLP up/GELU/
+    /// down ops, with their true intermediate activation sizes (the 4x-wide
+    /// MLP hidden, the `heads × s × s` attention maps) — which is exactly
+    /// why only block boundaries qualify as cut-points.
+    pub fn profile_transformer(c: &TransformerConfig) -> OpGraph {
+        let s = c.seq_len as f64;
+        let h = c.hidden as f64;
+        let a = c.heads as f64;
+        let boundary = c.boundary_activation_bytes();
+        let mut ops = Vec::new();
+        let mut next_param_id: u64 = 1;
+
+        // Token + position embedding. The embedding table id is reused by
+        // the tied LM head at the end.
+        let wte_id = next_param_id;
+        next_param_id += 1;
+        let wpe_id = next_param_id;
+        next_param_id += 1;
+        ops.push(OpProfile {
+            name: "embed".to_string(),
+            fwd_flops: s * h, // Lookup + add; negligible.
+            out_bytes: boundary,
+            param_ids: vec![wte_id, wpe_id],
+            param_count: c.embedding_params(),
+        });
+
+        for b in 0..c.layers {
+            let mut op = |suffix: &str, flops: f64, out: f64, params: u64| {
+                let id = next_param_id;
+                next_param_id += 1;
+                ops.push(OpProfile {
+                    name: format!("blk{b}.{suffix}"),
+                    fwd_flops: flops,
+                    out_bytes: out,
+                    param_ids: if params > 0 { vec![id] } else { vec![] },
+                    param_count: params,
+                });
+            };
+            // ln1 -> qkv -> scores -> softmax*V -> proj(+res) -> ln2 ->
+            // mlp.up -> gelu -> mlp.down(+res).
+            op("ln1", 5.0 * s * h, boundary, 2 * c.hidden as u64);
+            op(
+                "attn.qkv",
+                6.0 * s * h * h,
+                3.0 * boundary,
+                3 * (c.hidden * c.hidden + c.hidden) as u64,
+            );
+            op("attn.scores", 2.0 * s * s * h, a * s * s * 2.0, 0);
+            op("attn.context", 2.0 * s * s * h, boundary, 0);
+            op(
+                "attn.proj",
+                2.0 * s * h * h,
+                boundary,
+                (c.hidden * c.hidden + c.hidden) as u64,
+            );
+            op("ln2", 5.0 * s * h, boundary, 2 * c.hidden as u64);
+            op(
+                "mlp.up",
+                8.0 * s * h * h,
+                4.0 * boundary,
+                (4 * c.hidden * c.hidden + 4 * c.hidden) as u64,
+            );
+            op("mlp.gelu", 8.0 * s * h, 4.0 * boundary, 0);
+            op(
+                "mlp.down",
+                8.0 * s * h * h,
+                boundary,
+                (4 * c.hidden * c.hidden + c.hidden) as u64,
+            );
+        }
+
+        // Final norm + LM head; the tied head reads the embedding table.
+        ops.push(OpProfile {
+            name: "ln_f".to_string(),
+            fwd_flops: 5.0 * s * h,
+            out_bytes: boundary,
+            param_ids: vec![next_param_id],
+            param_count: 2 * c.hidden as u64,
+        });
+        let head_ids = if c.tied_embeddings {
+            vec![wte_id]
+        } else {
+            vec![next_param_id + 1]
+        };
+        ops.push(OpProfile {
+            name: "lm_head".to_string(),
+            fwd_flops: 2.0 * s * h * c.vocab as f64,
+            out_bytes: s * c.vocab as f64 * 2.0,
+            param_ids: head_ids,
+            param_count: if c.tied_embeddings {
+                0
+            } else {
+                (c.vocab * c.hidden) as u64
+            },
+        });
+
+        OpGraph { ops }
+    }
+
+    /// Total forward FLOPs per example.
+    pub fn total_flops(&self) -> f64 {
+        self.ops.iter().map(|o| o.fwd_flops).sum()
+    }
+
+    /// Parameter ids that appear in more than one op (tied weights).
+    pub fn shared_param_ids(&self) -> Vec<u64> {
+        use std::collections::BTreeMap;
+        let mut count: BTreeMap<u64, usize> = BTreeMap::new();
+        for op in &self.ops {
+            for &id in &op.param_ids {
+                *count.entry(id).or_default() += 1;
+            }
+        }
+        count
+            .into_iter()
+            .filter(|&(_, c)| c > 1)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::ModelZoo;
+
+    #[test]
+    fn profile_covers_all_blocks() {
+        let c = ModelZoo::gpt2_2_5b();
+        let g = OpGraph::profile_transformer(&c);
+        // embed + 9 ops per block + ln_f + head.
+        assert_eq!(g.ops.len(), 2 + 9 * 54 + 1);
+    }
+
+    #[test]
+    fn interior_activations_are_fatter_than_boundaries() {
+        // The reason cut-points sit at block boundaries: the MLP hidden is
+        // 4x the boundary, and the attention maps are heads*s*s.
+        let c = ModelZoo::gpt2_2_5b();
+        let g = OpGraph::profile_transformer(&c);
+        let boundary = c.boundary_activation_bytes();
+        let up = g.ops.iter().find(|o| o.name == "blk0.mlp.up").unwrap();
+        assert_eq!(up.out_bytes, 4.0 * boundary);
+        let scores = g.ops.iter().find(|o| o.name == "blk0.attn.scores").unwrap();
+        assert!(
+            scores.out_bytes > boundary,
+            "attention maps outweigh the boundary"
+        );
+        let down = g.ops.iter().find(|o| o.name == "blk0.mlp.down").unwrap();
+        assert_eq!(down.out_bytes, boundary);
+    }
+
+    #[test]
+    fn tied_embeddings_show_as_shared_param_ids() {
+        let tied = OpGraph::profile_transformer(&ModelZoo::gpt2_2_5b());
+        assert_eq!(tied.shared_param_ids().len(), 1);
+        let mut untied_cfg = ModelZoo::gpt2_2_5b();
+        untied_cfg.tied_embeddings = false;
+        let untied = OpGraph::profile_transformer(&untied_cfg);
+        assert!(untied.shared_param_ids().is_empty());
+    }
+
+    #[test]
+    fn op_flops_sum_close_to_analytic_model() {
+        let c = ModelZoo::gpt2_8_3b();
+        let g = OpGraph::profile_transformer(&c);
+        let analytic = c.layers as f64 * crate::flops::layer_forward_flops(&c)
+            + crate::flops::head_forward_flops(&c);
+        let ratio = g.total_flops() / analytic;
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "op-level flops off by {ratio:.3}"
+        );
+    }
+}

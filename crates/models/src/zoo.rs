@@ -1,0 +1,127 @@
+//! The exact model configurations of the paper's evaluation (Section 7).
+
+use crate::config::TransformerConfig;
+
+/// Factory for the models trained in the paper.
+pub struct ModelZoo;
+
+impl ModelZoo {
+    /// BERT-large: 24 layers, hidden 1024, sequence length 512 (~340M).
+    pub fn bert_large() -> TransformerConfig {
+        let mut c = TransformerConfig::new("bert-large", 24, 1024, 16, 512, 30522);
+        c.tied_embeddings = true;
+        c
+    }
+
+    /// BERT-72: the 72-layer, hidden-1024 model used only for the GPipe
+    /// comparison (Table 5), small enough to fit a single 4-GPU node.
+    pub fn bert_72() -> TransformerConfig {
+        TransformerConfig::new("bert-72", 72, 1024, 16, 512, 30522)
+    }
+
+    /// GPT-2 355M (appendix / PipeDream-2BW convergence comparison).
+    pub fn gpt2_355m() -> TransformerConfig {
+        TransformerConfig::new("gpt2-355m", 24, 1024, 16, 512, 50257)
+    }
+
+    /// GPT-2 2.5B from Megatron: 54 layers, hidden 1920, sequence 1024.
+    pub fn gpt2_2_5b() -> TransformerConfig {
+        TransformerConfig::new("gpt2-2.5b", 54, 1920, 24, 1024, 50257)
+    }
+
+    /// GPT-2 8.3B from Megatron: 72 layers, hidden 3072, sequence 1024.
+    pub fn gpt2_8_3b() -> TransformerConfig {
+        TransformerConfig::new("gpt2-8.3b", 72, 3072, 24, 1024, 50257)
+    }
+
+    /// GPT-2 19.2B: the largest model Megatron could fit on a DGX-2 with
+    /// 16-way intra-layer partitioning (Table 4).
+    pub fn gpt2_19_2b() -> TransformerConfig {
+        TransformerConfig::new("gpt2-19.2b", 96, 4064, 32, 1024, 50257)
+    }
+
+    /// GPT-2 20B: 96 layers (paper Section 7.1.1).
+    pub fn gpt2_20b() -> TransformerConfig {
+        TransformerConfig::new("gpt2-20b", 96, 4160, 32, 1024, 50257)
+    }
+
+    /// GPT-3 175B (96 layers, hidden 12288 — the paper notes GPT-3 shares
+    /// GPT-2's architecture, so Varuna trains it the same way).
+    pub fn gpt3_175b() -> TransformerConfig {
+        TransformerConfig::new("gpt3-175b", 96, 12288, 96, 2048, 50257)
+    }
+
+    /// GPT-2 200B: 100 layers, hidden 12960 (paper Section 7.1.1).
+    pub fn gpt2_200b() -> TransformerConfig {
+        TransformerConfig::new("gpt2-200b", 100, 12960, 96, 1024, 50257)
+    }
+
+    /// All models of the evaluation, for sweep-style tests.
+    pub fn all() -> Vec<TransformerConfig> {
+        vec![
+            Self::bert_large(),
+            Self::bert_72(),
+            Self::gpt2_355m(),
+            Self::gpt2_2_5b(),
+            Self::gpt2_8_3b(),
+            Self::gpt2_19_2b(),
+            Self::gpt2_20b(),
+            Self::gpt3_175b(),
+            Self::gpt2_200b(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Asserts a model's parameter count lands within `tol` of `target`
+    /// billions.
+    fn assert_params(c: &TransformerConfig, target: f64, tol: f64) {
+        let b = c.params_billions();
+        assert!(
+            (b - target).abs() <= tol,
+            "{} counted {b:.3}B, expected {target}±{tol}",
+            c.name
+        );
+    }
+
+    #[test]
+    fn parameter_counts_match_paper() {
+        assert_params(&ModelZoo::bert_large(), 0.34, 0.02);
+        assert_params(&ModelZoo::gpt2_355m(), 0.355, 0.05);
+        assert_params(&ModelZoo::gpt2_2_5b(), 2.5, 0.1);
+        assert_params(&ModelZoo::gpt2_8_3b(), 8.3, 0.2);
+        assert_params(&ModelZoo::gpt2_19_2b(), 19.2, 0.4);
+        assert_params(&ModelZoo::gpt2_20b(), 20.0, 0.4);
+        assert_params(&ModelZoo::gpt3_175b(), 175.0, 4.0);
+        assert_params(&ModelZoo::gpt2_200b(), 200.0, 4.0);
+    }
+
+    #[test]
+    fn layer_counts_match_paper() {
+        assert_eq!(ModelZoo::gpt2_20b().layers, 96, "paper: 20B has 96 layers");
+        assert_eq!(
+            ModelZoo::gpt2_200b().layers,
+            100,
+            "paper: 200B has 100 layers"
+        );
+        assert_eq!(
+            ModelZoo::gpt2_200b().hidden,
+            12960,
+            "paper: 200B hidden 12960"
+        );
+        assert_eq!(ModelZoo::bert_72().layers, 72);
+    }
+
+    #[test]
+    fn all_returns_every_model_once() {
+        let all = ModelZoo::all();
+        assert_eq!(all.len(), 9);
+        let mut names: Vec<&str> = all.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9, "duplicate model names in zoo");
+    }
+}

@@ -1,0 +1,161 @@
+//! Analytical cost models for collective operations.
+//!
+//! Varuna's calibration measures `AR_i(D)`, the gradient allreduce time for
+//! cut-point `i` on a ring of size `D`, including the case where `k`
+//! allreduces are in flight on the same node (Table 2 and Section 4.3).
+//! This module provides the closed-form cost of the bandwidth-optimal ring
+//! allreduce of Patarasuk & Yuan, which those measurements calibrate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::Link;
+use crate::transfer::fair_share;
+use crate::units::{Bytes, Seconds};
+
+/// Parameters of one allreduce invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllreduceSpec {
+    /// Bytes contributed by (and returned to) each participant.
+    pub bytes: Bytes,
+    /// Ring size: the number of participants `D`.
+    pub ring_size: usize,
+    /// Number of allreduces concurrently in flight sharing each node's NIC
+    /// (`k` in the paper; 1 means exclusive use).
+    pub in_flight: usize,
+}
+
+impl AllreduceSpec {
+    /// An allreduce with exclusive use of the network.
+    pub fn exclusive(bytes: Bytes, ring_size: usize) -> Self {
+        AllreduceSpec {
+            bytes,
+            ring_size,
+            in_flight: 1,
+        }
+    }
+}
+
+/// Time for a ring allreduce over `link`.
+///
+/// The ring algorithm runs `2(D-1)` steps (reduce-scatter then all-gather),
+/// each moving `bytes / D` per participant, so total wire time per
+/// participant is `2 (D-1)/D * bytes / bw` plus `2(D-1)` latency hops. With
+/// `D == 1` the collective is a no-op and costs zero.
+///
+/// # Panics
+///
+/// Panics if `ring_size` or `in_flight` is zero.
+pub fn allreduce_time(spec: AllreduceSpec, link: Link) -> Seconds {
+    assert!(spec.ring_size > 0, "ring size must be positive");
+    assert!(spec.in_flight > 0, "in-flight count must be positive");
+    let d = spec.ring_size as f64;
+    if spec.ring_size == 1 {
+        return 0.0;
+    }
+    let bw = fair_share(link.bandwidth, spec.in_flight);
+    let steps = 2.0 * (d - 1.0);
+    steps * (spec.bytes / d / bw + link.mean_latency())
+}
+
+/// Time for a hierarchical allreduce: reduce within each node over `intra`,
+/// ring allreduce of one representative per node over `inter`, then an
+/// intra-node broadcast.
+///
+/// `local_size` is the number of participants per node; `nodes` the number of
+/// nodes. Used when data-parallel replicas of a stage span multi-GPU VMs.
+pub fn hierarchical_allreduce_time(
+    bytes: Bytes,
+    local_size: usize,
+    nodes: usize,
+    intra: Link,
+    inter: Link,
+    in_flight: usize,
+) -> Seconds {
+    assert!(local_size > 0 && nodes > 0, "participants must be positive");
+    // Local reduce and final broadcast: one payload traversal each.
+    let local = if local_size > 1 {
+        2.0 * (bytes / intra.bandwidth + intra.mean_latency())
+    } else {
+        0.0
+    };
+    let cross = allreduce_time(
+        AllreduceSpec {
+            bytes,
+            ring_size: nodes,
+            in_flight,
+        },
+        inter,
+    );
+    local + cross
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Link;
+    use crate::units::mib;
+
+    #[test]
+    fn singleton_ring_is_free() {
+        assert_eq!(
+            allreduce_time(AllreduceSpec::exclusive(mib(100.0), 1), Link::ethernet()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn wire_time_approaches_2x_payload_for_large_rings() {
+        // As D grows, 2(D-1)/D -> 2, so serialization time tends to
+        // 2 * bytes / bw (the bandwidth-optimality property).
+        let link = Link::infiniband(); // negligible latency
+        let bytes = mib(512.0);
+        let t = allreduce_time(AllreduceSpec::exclusive(bytes, 64), link);
+        let bound = 2.0 * bytes / link.bandwidth;
+        assert!(t > bound * 0.95 && t < bound * 1.1, "t={t} bound={bound}");
+    }
+
+    #[test]
+    fn allreduce_time_is_monotone_in_ring_size() {
+        let link = Link::ethernet();
+        let mut prev = 0.0;
+        for d in 1..20 {
+            let t = allreduce_time(AllreduceSpec::exclusive(mib(64.0), d), link);
+            assert!(t >= prev, "not monotone at D={d}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn in_flight_contention_scales_serialization() {
+        let link = Link::infiniband();
+        let solo = allreduce_time(AllreduceSpec::exclusive(mib(256.0), 8), link);
+        let busy = allreduce_time(
+            AllreduceSpec {
+                bytes: mib(256.0),
+                ring_size: 8,
+                in_flight: 4,
+            },
+            link,
+        );
+        // Latency terms are tiny on IB so the ratio should be close to 4.
+        assert!((busy / solo - 4.0).abs() < 0.05, "ratio {}", busy / solo);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_over_slow_inter() {
+        // 4 nodes x 4 GPUs: flat 16-ring over Ethernet vs NVLink-local
+        // reduce + 4-ring over Ethernet.
+        let bytes = mib(200.0);
+        let flat = allreduce_time(AllreduceSpec::exclusive(bytes, 16), Link::ethernet());
+        let hier = hierarchical_allreduce_time(bytes, 4, 4, Link::nvlink(), Link::ethernet(), 1);
+        assert!(hier < flat, "hier {hier} >= flat {flat}");
+    }
+
+    #[test]
+    fn single_gpu_nodes_skip_local_phase() {
+        let bytes = mib(10.0);
+        let h = hierarchical_allreduce_time(bytes, 1, 6, Link::pcie(), Link::ethernet(), 1);
+        let flat = allreduce_time(AllreduceSpec::exclusive(bytes, 6), Link::ethernet());
+        assert_eq!(h, flat);
+    }
+}

@@ -1,0 +1,142 @@
+//! Link classes and their bandwidth/latency/jitter parameters.
+//!
+//! The fabrics evaluated in the paper (Section 7, "Experimental setup"):
+//! 10 Gbps Ethernet between commodity Azure VMs, 2.4 Tbps NVLink inside a
+//! DGX-2, PCIe between GPUs of a multi-GPU VM, and 200 Gbps InfiniBand
+//! between DGX-2 nodes of the hypercluster.
+
+use serde::{Deserialize, Serialize};
+
+use crate::jitter::JitterModel;
+use crate::units::{gbps, micros, millis, tbps, BytesPerSec, Seconds};
+
+/// The class of fabric connecting a pair of GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// NVLink inside a DGX-2: 2.4 Tbps all-to-all, negligible latency.
+    NvLink,
+    /// PCIe between GPUs within a commodity multi-GPU VM.
+    PcieIntra,
+    /// Commodity Ethernet between VMs (the low-priority setting).
+    EthernetInter,
+    /// InfiniBand between hypercluster nodes.
+    InfinibandInter,
+}
+
+/// Bandwidth, base latency and jitter of one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Which fabric this is.
+    pub class: LinkClass,
+    /// Point-to-point bandwidth available to one flow with no contention.
+    pub bandwidth: BytesPerSec,
+    /// Base one-way latency in seconds.
+    pub latency: Seconds,
+    /// Jitter added on top of the base latency.
+    pub jitter: JitterModel,
+}
+
+impl Link {
+    /// NVLink inside a DGX-2 (2.4 Tbps all-to-all, ~3 us latency, no jitter).
+    pub fn nvlink() -> Self {
+        Link {
+            class: LinkClass::NvLink,
+            bandwidth: tbps(2.4),
+            latency: micros(3.0),
+            jitter: JitterModel::NONE,
+        }
+    }
+
+    /// PCIe 3.0 x16 between GPUs of the same commodity VM (~12 GB/s usable).
+    pub fn pcie() -> Self {
+        Link {
+            class: LinkClass::PcieIntra,
+            bandwidth: 12.0e9,
+            latency: micros(10.0),
+            jitter: JitterModel::NONE,
+        }
+    }
+
+    /// Commodity datacenter Ethernet between Azure VMs.
+    ///
+    /// Each NC-series VM has a 10 Gbps NIC; pairwise connectivity is routed
+    /// through multiple levels of bottleneck switches (paper Section 7), so
+    /// the effective cross-VM bandwidth is below NIC line rate and
+    /// multi-megabyte tensor transfers see heavy-tailed delivery jitter
+    /// (TCP retransmits, incast, cross-traffic) — the latency/jitter the
+    /// paper's Observation 3 is about.
+    pub fn ethernet() -> Self {
+        Link {
+            class: LinkClass::EthernetInter,
+            bandwidth: gbps(7.0),
+            latency: millis(0.25),
+            jitter: JitterModel::new(millis(2.5), 1.6),
+        }
+    }
+
+    /// InfiniBand between DGX-2 nodes (200 Gbps, ~5 us latency, no jitter).
+    pub fn infiniband() -> Self {
+        Link {
+            class: LinkClass::InfinibandInter,
+            bandwidth: gbps(200.0),
+            latency: micros(5.0),
+            jitter: JitterModel::NONE,
+        }
+    }
+
+    /// Returns this link with its bandwidth scaled by `factor`.
+    ///
+    /// Used by the Table 5 experiment, which evaluates GPipe vs Varuna under
+    /// a 1.5x and 2x slower network.
+    pub fn scaled_bandwidth(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "bandwidth scale factor must be positive");
+        self.bandwidth *= factor;
+        self
+    }
+
+    /// Mean one-way delay including jitter (for jitter-agnostic estimates).
+    pub fn mean_latency(&self) -> Seconds {
+        self.latency + self.jitter.mean_delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvlink_is_orders_of_magnitude_faster_than_ethernet() {
+        let ratio = Link::nvlink().bandwidth / Link::ethernet().bandwidth;
+        assert!(ratio > 100.0, "NVLink/Ethernet ratio was {ratio}");
+    }
+
+    #[test]
+    fn ethernet_has_jitter_hypercluster_does_not() {
+        assert!(!Link::ethernet().jitter.is_none());
+        assert!(Link::nvlink().jitter.is_none());
+        assert!(Link::infiniband().jitter.is_none());
+    }
+
+    #[test]
+    fn scaled_bandwidth_scales_only_bandwidth() {
+        let e = Link::ethernet();
+        let s = e.scaled_bandwidth(0.5);
+        assert_eq!(s.bandwidth, e.bandwidth * 0.5);
+        assert_eq!(s.latency, e.latency);
+        assert_eq!(s.jitter, e.jitter);
+    }
+
+    #[test]
+    fn mean_latency_includes_jitter() {
+        let e = Link::ethernet();
+        assert!(e.mean_latency() > e.latency);
+        let n = Link::nvlink();
+        assert_eq!(n.mean_latency(), n.latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_factor_rejected() {
+        let _ = Link::ethernet().scaled_bandwidth(0.0);
+    }
+}

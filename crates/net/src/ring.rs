@@ -1,0 +1,305 @@
+//! Data-plane ring allreduce.
+//!
+//! The analytical model in [`crate::collective`] prices the collective; this
+//! module actually executes it. The miniature training engine uses it to
+//! average gradients across data-parallel replicas exactly the way a real
+//! ring allreduce would (chunked reduce-scatter followed by all-gather), so
+//! that the reduction order — and therefore the floating-point result — is
+//! the one a D-ring produces, not a naive left-to-right sum.
+
+/// Executes an in-place ring allreduce (sum) across `bufs`.
+///
+/// After the call every buffer contains the element-wise sum of all input
+/// buffers, computed with the chunked reduce-scatter / all-gather schedule of
+/// a `D`-participant ring.
+///
+/// # Panics
+///
+/// Panics if `bufs` is empty or the buffers have differing lengths.
+pub fn ring_allreduce_sum(bufs: &mut [Vec<f32>]) {
+    let d = bufs.len();
+    assert!(d > 0, "allreduce needs at least one participant");
+    let n = bufs[0].len();
+    assert!(
+        bufs.iter().all(|b| b.len() == n),
+        "buffers must have equal length"
+    );
+    if d == 1 || n == 0 {
+        return;
+    }
+
+    // Chunk c covers chunk_range(c); chunks are as even as possible.
+    let bounds: Vec<(usize, usize)> = (0..d)
+        .map(|c| {
+            let lo = c * n / d;
+            let hi = (c + 1) * n / d;
+            (lo, hi)
+        })
+        .collect();
+
+    // Reduce-scatter: after step s, rank r has accumulated s+2 contributions
+    // in chunk (r - s - 1) mod d. After d-1 steps, rank r holds the full sum
+    // of chunk (r + 1) mod d.
+    for s in 0..d - 1 {
+        for r in 0..d {
+            let src = r;
+            let dst = (r + 1) % d;
+            let c = (r + d - s) % d;
+            let (lo, hi) = bounds[c];
+            // Read the source chunk, then accumulate into the destination.
+            let chunk: Vec<f32> = bufs[src][lo..hi].to_vec();
+            for (i, v) in chunk.into_iter().enumerate() {
+                bufs[dst][lo + i] += v;
+            }
+        }
+    }
+
+    // All-gather: rank (c + d - 1) mod d owns the fully reduced chunk c;
+    // circulate each chunk around the ring d-1 times.
+    for s in 0..d - 1 {
+        for r in 0..d {
+            let src = r;
+            let dst = (r + 1) % d;
+            let c = (r + 1 + d - s) % d;
+            let (lo, hi) = bounds[c];
+            let chunk: Vec<f32> = bufs[src][lo..hi].to_vec();
+            bufs[dst][lo..hi].copy_from_slice(&chunk);
+        }
+    }
+}
+
+/// Executes a ring reduce-scatter: afterwards participant `r` holds the
+/// fully reduced chunk `r` (other positions are left in an unspecified
+/// partially-reduced state). Returns the chunk boundaries.
+///
+/// This is the first half of the ring allreduce, exposed separately
+/// because sharded state (ZeRO-style optimizer shards, Varuna's sharded
+/// checkpoints) stops here: each participant persists only its chunk.
+///
+/// # Panics
+///
+/// Panics if `bufs` is empty or lengths differ.
+pub fn ring_reduce_scatter(bufs: &mut [Vec<f32>]) -> Vec<(usize, usize)> {
+    let d = bufs.len();
+    assert!(d > 0, "reduce-scatter needs at least one participant");
+    let n = bufs[0].len();
+    assert!(
+        bufs.iter().all(|b| b.len() == n),
+        "buffers must have equal length"
+    );
+    let bounds: Vec<(usize, usize)> = (0..d).map(|c| (c * n / d, (c + 1) * n / d)).collect();
+    if d == 1 || n == 0 {
+        return bounds;
+    }
+    // After step s, rank (c + s + 1) mod d has accumulated s + 2
+    // contributions of chunk c; after d-1 steps rank (c + d - 1) mod d has
+    // them all. Shift one more hop so rank r owns chunk r.
+    for s in 0..d - 1 {
+        for r in 0..d {
+            let dst = (r + 1) % d;
+            let c = (r + d - s) % d;
+            let (lo, hi) = bounds[c];
+            let chunk: Vec<f32> = bufs[r][lo..hi].to_vec();
+            for (i, v) in chunk.into_iter().enumerate() {
+                bufs[dst][lo + i] += v;
+            }
+        }
+    }
+    // Owner of fully reduced chunk c is (c + d - 1) mod d; move it to c.
+    for c in 0..d {
+        let owner = (c + d - 1) % d;
+        if owner != c {
+            let (lo, hi) = bounds[c];
+            let chunk: Vec<f32> = bufs[owner][lo..hi].to_vec();
+            bufs[c][lo..hi].copy_from_slice(&chunk);
+        }
+    }
+    bounds
+}
+
+/// Executes a ring all-gather of per-participant chunks: participant `r`
+/// contributes `bufs[r][bounds[r]]` and afterwards every buffer holds all
+/// chunks. The inverse of the scatter in [`ring_reduce_scatter`].
+pub fn ring_all_gather(bufs: &mut [Vec<f32>], bounds: &[(usize, usize)]) {
+    let d = bufs.len();
+    assert_eq!(bounds.len(), d, "one chunk per participant");
+    if d <= 1 {
+        return;
+    }
+    // Circulate every chunk around the ring d - 1 times.
+    for _ in 0..d - 1 {
+        for c in 0..d {
+            let (lo, hi) = bounds[c];
+            let chunk: Vec<f32> = bufs[c][lo..hi].to_vec();
+            for (r, buf) in bufs.iter_mut().enumerate() {
+                if r != c {
+                    buf[lo..hi].copy_from_slice(&chunk);
+                }
+            }
+        }
+    }
+}
+
+/// Executes an in-place ring allreduce that averages across participants.
+pub fn ring_allreduce_mean(bufs: &mut [Vec<f32>]) {
+    let d = bufs.len() as f32;
+    ring_allreduce_sum(bufs);
+    for b in bufs.iter_mut() {
+        for v in b.iter_mut() {
+            *v /= d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_sum(bufs: &[Vec<f32>]) -> Vec<f32> {
+        let n = bufs[0].len();
+        let mut out = vec![0.0f32; n];
+        for b in bufs {
+            for (o, v) in out.iter_mut().zip(b) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn two_participants_sum() {
+        let mut bufs = vec![vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 20.0, 30.0, 40.0]];
+        ring_allreduce_sum(&mut bufs);
+        assert_eq!(bufs[0], vec![11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(bufs[0], bufs[1]);
+    }
+
+    #[test]
+    fn single_participant_is_identity() {
+        let mut bufs = vec![vec![5.0, -1.0]];
+        ring_allreduce_sum(&mut bufs);
+        assert_eq!(bufs[0], vec![5.0, -1.0]);
+    }
+
+    #[test]
+    fn mean_divides_by_participants() {
+        let mut bufs = vec![vec![2.0, 4.0], vec![4.0, 8.0], vec![6.0, 0.0]];
+        ring_allreduce_mean(&mut bufs);
+        for b in &bufs {
+            assert_eq!(b, &vec![4.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn uneven_chunking_handles_small_vectors() {
+        // n < d exercises empty chunks.
+        let mut bufs = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]];
+        ring_allreduce_sum(&mut bufs);
+        for b in &bufs {
+            assert_eq!(b, &vec![15.0]);
+        }
+    }
+
+    #[test]
+    fn empty_vectors_are_fine() {
+        let mut bufs = vec![vec![], vec![], vec![]];
+        ring_allreduce_sum(&mut bufs);
+        assert!(bufs.iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_rejected() {
+        let mut bufs = vec![vec![1.0, 2.0], vec![1.0]];
+        ring_allreduce_sum(&mut bufs);
+    }
+
+    #[test]
+    fn reduce_scatter_gives_each_rank_its_summed_chunk() {
+        let mut bufs = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![10.0, 20.0, 30.0, 40.0],
+            vec![100.0, 200.0, 300.0, 400.0],
+            vec![1000.0, 2000.0, 3000.0, 4000.0],
+        ];
+        let bounds = ring_reduce_scatter(&mut bufs);
+        for (r, &(lo, hi)) in bounds.iter().enumerate() {
+            for i in lo..hi {
+                let want = [1111.0, 2222.0, 3333.0, 4444.0][i];
+                assert_eq!(bufs[r][i], want, "rank {r} chunk mismatch at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_then_gather_equals_allreduce() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let bufs: Vec<Vec<f32>> = (0..5)
+            .map(|_| (0..23).map(|_| rng.gen_range(-4.0f32..4.0)).collect())
+            .collect();
+        let mut a = bufs.clone();
+        ring_allreduce_sum(&mut a);
+        let mut b = bufs.clone();
+        let bounds = ring_reduce_scatter(&mut b);
+        ring_all_gather(&mut b, &bounds);
+        for (x, y) in a.iter().zip(&b) {
+            for (u, v) in x.iter().zip(y) {
+                assert!((u - v).abs() < 1e-3, "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_roundtrip_via_collectives() {
+        // The §4.5 sharded-checkpoint story at the collective level: each
+        // replica persists only its reduce-scattered chunk; restoring is
+        // an all-gather of the chunks.
+        let state: Vec<Vec<f32>> = (0..4).map(|r| vec![r as f32 + 1.0; 16]).collect();
+        let mut work = state.clone();
+        let bounds = ring_reduce_scatter(&mut work);
+        // "Persist" chunks.
+        let shards: Vec<Vec<f32>> = bounds
+            .iter()
+            .enumerate()
+            .map(|(r, &(lo, hi))| work[r][lo..hi].to_vec())
+            .collect();
+        // "Restore": place shards and gather.
+        let mut restored = vec![vec![0.0f32; 16]; 4];
+        for (r, &(lo, hi)) in bounds.iter().enumerate() {
+            restored[r][lo..hi].copy_from_slice(&shards[r]);
+        }
+        ring_all_gather(&mut restored, &bounds);
+        for b in &restored {
+            assert!(b.iter().all(|&v| v == 10.0), "sum of 1+2+3+4 everywhere");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_sum(
+            d in 1usize..9,
+            n in 0usize..64,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let bufs: Vec<Vec<f32>> = (0..d)
+                .map(|_| (0..n).map(|_| rng.gen_range(-8.0f32..8.0)).collect())
+                .collect();
+            let expected = naive_sum(&bufs);
+            let mut got = bufs.clone();
+            ring_allreduce_sum(&mut got);
+            for b in &got {
+                for (x, y) in b.iter().zip(&expected) {
+                    prop_assert!((x - y).abs() <= 1e-3 * (1.0 + y.abs()));
+                }
+            }
+            // All participants agree exactly.
+            for b in &got[1..] {
+                prop_assert_eq!(b, &got[0]);
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Cluster network topology: GPU endpoints grouped into nodes.
+//!
+//! A topology answers one question for the execution emulator: what [`Link`]
+//! connects GPU `a` to GPU `b`? GPUs on the same node talk over the
+//! intra-node fabric (NVLink or PCIe); GPUs on different nodes go over the
+//! inter-node fabric (Ethernet or InfiniBand) and additionally share their
+//! node's NIC.
+
+use serde::{Deserialize, Serialize};
+
+use crate::link::Link;
+use crate::units::BytesPerSec;
+
+/// Identifier of a GPU endpoint (0-based, dense).
+pub type Endpoint = usize;
+
+/// Identifier of a physical node / VM (0-based, dense).
+pub type NodeId = usize;
+
+/// A cluster topology: `num_nodes` nodes of `gpus_per_node` GPUs each.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    num_nodes: usize,
+    gpus_per_node: usize,
+    intra: Link,
+    inter: Link,
+    nic_bandwidth: BytesPerSec,
+}
+
+impl Topology {
+    /// Creates a topology from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` or `gpus_per_node` is zero.
+    pub fn new(
+        num_nodes: usize,
+        gpus_per_node: usize,
+        intra: Link,
+        inter: Link,
+        nic_bandwidth: BytesPerSec,
+    ) -> Self {
+        assert!(num_nodes > 0, "topology needs at least one node");
+        assert!(gpus_per_node > 0, "nodes need at least one GPU");
+        Topology {
+            num_nodes,
+            gpus_per_node,
+            intra,
+            inter,
+            nic_bandwidth,
+        }
+    }
+
+    /// Commodity cluster of `n` single-GPU VMs (Azure NC6_v3-like).
+    ///
+    /// All traffic crosses Ethernet; there is no intra-node fabric in play
+    /// (the intra link is still defined for uniformity but never selected).
+    pub fn commodity_1gpu(n: usize) -> Self {
+        Topology::new(
+            n,
+            1,
+            Link::pcie(),
+            Link::ethernet(),
+            Link::ethernet().bandwidth,
+        )
+    }
+
+    /// Commodity cluster of `n_vms` four-GPU VMs (Azure NC24_v3-like).
+    ///
+    /// NC24-class VMs carry a 24 Gbps NIC (vs 10 Gbps on the 1-GPU SKU);
+    /// with protocol overheads ~18 Gbps is attainable and shared by the
+    /// VM's four GPUs.
+    pub fn commodity_4gpu(n_vms: usize) -> Self {
+        let inter = Link {
+            bandwidth: crate::units::gbps(18.0),
+            ..Link::ethernet()
+        };
+        Topology::new(n_vms, 4, Link::pcie(), inter, inter.bandwidth)
+    }
+
+    /// Hypercluster of `n` DGX-2 nodes: 16 GPUs on NVLink per node,
+    /// 200 Gbps InfiniBand between nodes.
+    pub fn hypercluster(n: usize) -> Self {
+        Topology::new(
+            n,
+            16,
+            Link::nvlink(),
+            Link::infiniband(),
+            Link::infiniband().bandwidth,
+        )
+    }
+
+    /// Returns this topology with inter-node bandwidth scaled by `factor`
+    /// (used for the Table 5 slow-network sweep).
+    pub fn scaled_inter_bandwidth(mut self, factor: f64) -> Self {
+        self.inter = self.inter.scaled_bandwidth(factor);
+        self.nic_bandwidth *= factor;
+        self
+    }
+
+    /// Total number of GPU endpoints.
+    pub fn num_gpus(&self) -> usize {
+        self.num_nodes * self.gpus_per_node
+    }
+
+    /// Number of nodes (VMs).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// GPUs per node.
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// The node hosting endpoint `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn node_of(&self, e: Endpoint) -> NodeId {
+        assert!(e < self.num_gpus(), "endpoint {e} out of range");
+        e / self.gpus_per_node
+    }
+
+    /// Whether two endpoints share a node.
+    pub fn same_node(&self, a: Endpoint, b: Endpoint) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The link connecting two endpoints.
+    pub fn link_between(&self, a: Endpoint, b: Endpoint) -> Link {
+        if self.same_node(a, b) {
+            self.intra
+        } else {
+            self.inter
+        }
+    }
+
+    /// The intra-node link.
+    pub fn intra_link(&self) -> Link {
+        self.intra
+    }
+
+    /// The inter-node link.
+    pub fn inter_link(&self) -> Link {
+        self.inter
+    }
+
+    /// Per-node NIC capacity shared by all inter-node flows of that node.
+    pub fn nic_bandwidth(&self) -> BytesPerSec {
+        self.nic_bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkClass;
+
+    #[test]
+    fn single_gpu_vms_always_cross_ethernet() {
+        let t = Topology::commodity_1gpu(8);
+        assert_eq!(t.num_gpus(), 8);
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b {
+                    assert_eq!(t.link_between(a, b).class, LinkClass::EthernetInter);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_gpu_vm_grouping() {
+        let t = Topology::commodity_4gpu(3);
+        assert_eq!(t.num_gpus(), 12);
+        assert!(t.same_node(0, 3));
+        assert!(!t.same_node(3, 4));
+        assert_eq!(t.link_between(0, 3).class, LinkClass::PcieIntra);
+        assert_eq!(t.link_between(0, 4).class, LinkClass::EthernetInter);
+    }
+
+    #[test]
+    fn hypercluster_uses_nvlink_and_infiniband() {
+        let t = Topology::hypercluster(2);
+        assert_eq!(t.num_gpus(), 32);
+        assert_eq!(t.link_between(0, 15).class, LinkClass::NvLink);
+        assert_eq!(t.link_between(0, 16).class, LinkClass::InfinibandInter);
+    }
+
+    #[test]
+    fn scaled_inter_bandwidth_affects_inter_and_nic_only() {
+        let t = Topology::commodity_1gpu(4);
+        let s = t.clone().scaled_inter_bandwidth(0.5);
+        assert_eq!(s.inter_link().bandwidth, t.inter_link().bandwidth * 0.5);
+        assert_eq!(s.nic_bandwidth(), t.nic_bandwidth() * 0.5);
+        assert_eq!(s.intra_link().bandwidth, t.intra_link().bandwidth);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_panics() {
+        let t = Topology::commodity_1gpu(2);
+        let _ = t.node_of(2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Unit helpers used throughout the network and execution substrates.
+//!
+//! All times are `f64` seconds, all sizes `f64` bytes, and all bandwidths
+//! `f64` bytes per second. These helpers keep call sites readable and make
+//! unit mistakes greppable.
+
+/// Seconds, the base time unit of the substrate.
+pub type Seconds = f64;
+
+/// Bytes, the base size unit of the substrate.
+pub type Bytes = f64;
+
+/// Bytes per second, the base bandwidth unit of the substrate.
+pub type BytesPerSec = f64;
+
+/// Converts a bandwidth in gigabits per second to bytes per second.
+///
+/// # Examples
+///
+/// ```
+/// use varuna_net::units::gbps;
+/// assert_eq!(gbps(10.0), 1.25e9);
+/// ```
+pub fn gbps(g: f64) -> BytesPerSec {
+    g * 1e9 / 8.0
+}
+
+/// Converts a bandwidth in terabits per second to bytes per second.
+pub fn tbps(t: f64) -> BytesPerSec {
+    gbps(t * 1000.0)
+}
+
+/// Converts mebibytes to bytes.
+pub fn mib(m: f64) -> Bytes {
+    m * 1024.0 * 1024.0
+}
+
+/// Converts gibibytes to bytes.
+pub fn gib(g: f64) -> Bytes {
+    g * 1024.0 * 1024.0 * 1024.0
+}
+
+/// Converts microseconds to seconds.
+pub fn micros(u: f64) -> Seconds {
+    u * 1e-6
+}
+
+/// Converts milliseconds to seconds.
+pub fn millis(ms: f64) -> Seconds {
+    ms * 1e-3
+}
+
+/// Formats a byte count with a binary-prefix suffix for human-readable logs.
+///
+/// # Examples
+///
+/// ```
+/// use varuna_net::units::format_bytes;
+/// assert_eq!(format_bytes(1536.0), "1.50 KiB");
+/// ```
+pub fn format_bytes(b: Bytes) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b;
+    let mut i = 0;
+    while v >= 1024.0 && i < UNITS.len() - 1 {
+        v /= 1024.0;
+        i += 1;
+    }
+    if i == 0 {
+        format!("{v:.0} {}", UNITS[i])
+    } else {
+        format!("{v:.2} {}", UNITS[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbps_converts_to_bytes_per_sec() {
+        assert_eq!(gbps(8.0), 1e9);
+        assert_eq!(tbps(2.4), gbps(2400.0));
+    }
+
+    #[test]
+    fn size_helpers_are_binary_prefixed() {
+        assert_eq!(mib(1.0), 1_048_576.0);
+        assert_eq!(gib(1.0), 1024.0 * mib(1.0));
+    }
+
+    #[test]
+    fn time_helpers_scale_correctly() {
+        assert!((micros(1.0) - 1e-6).abs() < 1e-18);
+        assert!((millis(1.5) - 0.0015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn format_bytes_picks_sensible_prefix() {
+        assert_eq!(format_bytes(10.0), "10 B");
+        assert_eq!(format_bytes(mib(7.5)), "7.50 MiB");
+        assert_eq!(format_bytes(gib(2.4)), "2.40 GiB");
+    }
+}

@@ -1,0 +1,555 @@
+//! Neural network layers with explicit caches and manual backward passes.
+//!
+//! Each layer's `forward` returns the activations *and* a cache; `backward`
+//! consumes the cache and accumulates parameter gradients. Keeping caches
+//! external is what makes activation recompute honest: the pipeline runtime
+//! drops the cache after forward and rebuilds it by re-running forward from
+//! the stashed input, exactly as the paper describes (Section 3.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ops::{
+    add_bias, bias_grad, gelu, gelu_backward, layernorm, layernorm_backward, matmul, matmul_nt,
+    matmul_tn, softmax_rows,
+};
+use crate::tensor::Tensor;
+
+/// A parameter tensor with its gradient accumulator.
+///
+/// `uid` is the analog of Python object identity that the paper's tracer
+/// relies on: cloning a parameter (as happens when a tied weight is
+/// materialized on two pipeline stages) *preserves* the uid, so the tracer
+/// can detect that two partitions reference the same logical tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Weights.
+    pub w: Tensor,
+    /// Gradient accumulator (same shape).
+    pub g: Tensor,
+    /// Name for tracing and checkpoints.
+    pub name: String,
+    /// Identity preserved across clones (tied weights share it).
+    pub uid: u64,
+}
+
+impl Param {
+    /// Wraps a tensor as a parameter with a zeroed gradient and a fresh
+    /// identity.
+    pub fn new(w: Tensor, name: impl Into<String>) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+        let g = Tensor::zeros(w.rows, w.cols);
+        Param {
+            w,
+            g,
+            name: name.into(),
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.g.zero();
+    }
+}
+
+/// A dense affine layer `y = x W + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix `[in × out]`.
+    pub w: Param,
+    /// Bias row `[1 × out]`.
+    pub b: Param,
+}
+
+/// Cache for [`Linear::forward`]: the input.
+pub struct LinearCache {
+    x: Tensor,
+}
+
+impl Linear {
+    /// A new layer with seeded uniform init.
+    pub fn new(d_in: usize, d_out: usize, seed: u64, name: &str) -> Self {
+        let scale = (1.0 / d_in as f32).sqrt();
+        Linear {
+            w: Param::new(Tensor::randn(d_in, d_out, scale, seed), format!("{name}.w")),
+            b: Param::new(Tensor::zeros(1, d_out), format!("{name}.b")),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, LinearCache) {
+        let mut y = matmul(x, &self.w.w);
+        add_bias(&mut y, &self.b.w.data);
+        (y, LinearCache { x: x.clone() })
+    }
+
+    /// Backward pass: accumulates `dW`, `db` and returns `dx`.
+    pub fn backward(&mut self, cache: &LinearCache, dy: &Tensor) -> Tensor {
+        self.w.g.add_assign(&matmul_tn(&cache.x, dy));
+        let bg = bias_grad(dy);
+        for (g, v) in self.b.g.data.iter_mut().zip(bg) {
+            *g += v;
+        }
+        matmul_nt(dy, &self.w.w)
+    }
+
+    /// The layer's parameters, for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+/// Layer normalization with learnable gain/bias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerNorm {
+    /// Gain row.
+    pub gain: Param,
+    /// Bias row.
+    pub bias: Param,
+}
+
+/// Cache for [`LayerNorm::forward`].
+pub struct LayerNormCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl LayerNorm {
+    /// Identity-initialized layer norm of width `dim`.
+    pub fn new(dim: usize, name: &str) -> Self {
+        LayerNorm {
+            gain: Param::new(
+                Tensor::from_vec(1, dim, vec![1.0; dim]),
+                format!("{name}.gain"),
+            ),
+            bias: Param::new(Tensor::zeros(1, dim), format!("{name}.bias")),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, LayerNormCache) {
+        let (y, xhat, inv_std) = layernorm(x, &self.gain.w.data, &self.bias.w.data, 1e-5);
+        (y, LayerNormCache { xhat, inv_std })
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, cache: &LayerNormCache, dy: &Tensor) -> Tensor {
+        let (dx, dg, db) = layernorm_backward(dy, &cache.xhat, &cache.inv_std, &self.gain.w.data);
+        for (g, v) in self.gain.g.data.iter_mut().zip(dg) {
+            *g += v;
+        }
+        for (g, v) in self.bias.g.data.iter_mut().zip(db) {
+            *g += v;
+        }
+        dx
+    }
+
+    /// The layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gain, &mut self.bias]
+    }
+}
+
+/// Multi-head causal self-attention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attention {
+    /// Number of heads.
+    pub n_head: usize,
+    /// Fused QKV projection `[c × 3c]`.
+    pub qkv: Linear,
+    /// Output projection `[c × c]`.
+    pub proj: Linear,
+}
+
+/// Cache for [`Attention::forward`].
+pub struct AttentionCache {
+    qkv_cache: LinearCache,
+    qkv_out: Tensor,
+    /// Per (sequence, head) attention probability matrices `[T × T]`.
+    att: Vec<Tensor>,
+    proj_cache: LinearCache,
+    batch: usize,
+    seq: usize,
+}
+
+impl Attention {
+    /// A new attention layer over `dim` channels.
+    pub fn new(dim: usize, n_head: usize, seed: u64, name: &str) -> Self {
+        assert!(dim.is_multiple_of(n_head), "dim must divide by heads");
+        Attention {
+            n_head,
+            qkv: Linear::new(dim, 3 * dim, seed, &format!("{name}.qkv")),
+            proj: Linear::new(dim, dim, seed + 1, &format!("{name}.proj")),
+        }
+    }
+
+    /// Forward over `x` of shape `[batch*seq, dim]`.
+    pub fn forward(&self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, AttentionCache) {
+        let c = x.cols;
+        let dh = c / self.n_head;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let (qkv_out, qkv_cache) = self.qkv.forward(x);
+        let mut attn_out = Tensor::zeros(x.rows, c);
+        let mut att_all = Vec::with_capacity(batch * self.n_head);
+        for b in 0..batch {
+            for h in 0..self.n_head {
+                let off = h * dh;
+                // Scores [T × T], causal.
+                let mut att = Tensor::zeros(seq, seq);
+                for i in 0..seq {
+                    let qrow = &qkv_out.row(b * seq + i)[off..off + dh];
+                    for j in 0..=i {
+                        let krow = &qkv_out.row(b * seq + j)[c + off..c + off + dh];
+                        let mut s = 0.0f32;
+                        for (qv, kv) in qrow.iter().zip(krow) {
+                            s += qv * kv;
+                        }
+                        *att.at_mut(i, j) = s * scale;
+                    }
+                    for j in i + 1..seq {
+                        *att.at_mut(i, j) = f32::NEG_INFINITY;
+                    }
+                }
+                softmax_rows(&mut att);
+                // Out = A V.
+                for i in 0..seq {
+                    for j in 0..=i {
+                        let a = att.at(i, j);
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let vrow_idx = b * seq + j;
+                        for k in 0..dh {
+                            let vv = qkv_out.at(vrow_idx, 2 * c + off + k);
+                            *attn_out.at_mut(b * seq + i, off + k) += a * vv;
+                        }
+                    }
+                }
+                att_all.push(att);
+            }
+        }
+        let (y, proj_cache) = self.proj.forward(&attn_out);
+        (
+            y,
+            AttentionCache {
+                qkv_cache,
+                qkv_out,
+                att: att_all,
+                proj_cache,
+                batch,
+                seq,
+            },
+        )
+    }
+
+    /// Backward pass.
+    #[allow(clippy::needless_range_loop)]
+    pub fn backward(&mut self, cache: &AttentionCache, dy: &Tensor) -> Tensor {
+        let c = dy.cols;
+        let dh = c / self.n_head;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let (batch, seq) = (cache.batch, cache.seq);
+        let d_attn_out = self.proj.backward(&cache.proj_cache, dy);
+        let mut d_qkv = Tensor::zeros(cache.qkv_out.rows, cache.qkv_out.cols);
+        for b in 0..batch {
+            for h in 0..self.n_head {
+                let off = h * dh;
+                let att = &cache.att[b * self.n_head + h];
+                // dV[j] += sum_i A[i,j] dOut[i]; dA[i,j] = dOut[i] · V[j].
+                let mut datt = Tensor::zeros(seq, seq);
+                for i in 0..seq {
+                    for j in 0..=i {
+                        let a = att.at(i, j);
+                        let dout = &d_attn_out.row(b * seq + i)[off..off + dh];
+                        let mut da = 0.0f32;
+                        for k in 0..dh {
+                            let vv = cache.qkv_out.at(b * seq + j, 2 * c + off + k);
+                            da += dout[k] * vv;
+                            *d_qkv.at_mut(b * seq + j, 2 * c + off + k) += a * dout[k];
+                        }
+                        *datt.at_mut(i, j) = da;
+                    }
+                }
+                // Softmax backward per row: dS = A ∘ (dA - sum(dA ∘ A)).
+                for i in 0..seq {
+                    let mut dot = 0.0f32;
+                    for j in 0..=i {
+                        dot += datt.at(i, j) * att.at(i, j);
+                    }
+                    for j in 0..=i {
+                        let ds = att.at(i, j) * (datt.at(i, j) - dot) * scale;
+                        // dQ[i] += dS K[j]; dK[j] += dS Q[i].
+                        for k in 0..dh {
+                            let kv = cache.qkv_out.at(b * seq + j, c + off + k);
+                            let qv = cache.qkv_out.at(b * seq + i, off + k);
+                            *d_qkv.at_mut(b * seq + i, off + k) += ds * kv;
+                            *d_qkv.at_mut(b * seq + j, c + off + k) += ds * qv;
+                        }
+                    }
+                }
+            }
+        }
+        self.qkv.backward(&cache.qkv_cache, &d_qkv)
+    }
+
+    /// The layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.qkv.params_mut();
+        p.extend(self.proj.params_mut());
+        p
+    }
+}
+
+/// The two-layer GELU MLP of a transformer block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Up projection `[c × 4c]`.
+    pub fc1: Linear,
+    /// Down projection `[4c × c]`.
+    pub fc2: Linear,
+}
+
+/// Cache for [`Mlp::forward`].
+pub struct MlpCache {
+    c1: LinearCache,
+    h_pre: Tensor,
+    c2: LinearCache,
+}
+
+impl Mlp {
+    /// A new MLP over `dim` channels.
+    pub fn new(dim: usize, seed: u64, name: &str) -> Self {
+        Mlp {
+            fc1: Linear::new(dim, 4 * dim, seed, &format!("{name}.fc1")),
+            fc2: Linear::new(4 * dim, dim, seed + 1, &format!("{name}.fc2")),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, MlpCache) {
+        let (h_pre, c1) = self.fc1.forward(x);
+        let h = gelu(&h_pre);
+        let (y, c2) = self.fc2.forward(&h);
+        (y, MlpCache { c1, h_pre, c2 })
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, cache: &MlpCache, dy: &Tensor) -> Tensor {
+        let dh = self.fc2.backward(&cache.c2, dy);
+        let dh_pre = gelu_backward(&cache.h_pre, &dh);
+        self.fc1.backward(&cache.c1, &dh_pre)
+    }
+
+    /// The layer's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.fc1.params_mut();
+        p.extend(self.fc2.params_mut());
+        p
+    }
+}
+
+/// One pre-norm transformer block: `x + attn(ln1 x)`, then `x + mlp(ln2 x)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Pre-attention norm.
+    pub ln1: LayerNorm,
+    /// Self-attention.
+    pub attn: Attention,
+    /// Pre-MLP norm.
+    pub ln2: LayerNorm,
+    /// Feed-forward.
+    pub mlp: Mlp,
+}
+
+/// Cache for [`Block::forward`].
+pub struct BlockCache {
+    ln1: LayerNormCache,
+    attn: AttentionCache,
+    ln2: LayerNormCache,
+    mlp: MlpCache,
+}
+
+impl Block {
+    /// A new block over `dim` channels with `n_head` heads.
+    pub fn new(dim: usize, n_head: usize, seed: u64, name: &str) -> Self {
+        Block {
+            ln1: LayerNorm::new(dim, &format!("{name}.ln1")),
+            attn: Attention::new(dim, n_head, seed, &format!("{name}.attn")),
+            ln2: LayerNorm::new(dim, &format!("{name}.ln2")),
+            mlp: Mlp::new(dim, seed + 100, &format!("{name}.mlp")),
+        }
+    }
+
+    /// Forward over `x` of shape `[batch*seq, dim]`.
+    pub fn forward(&self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, BlockCache) {
+        let (n1, ln1) = self.ln1.forward(x);
+        let (a, attn) = self.attn.forward(&n1, batch, seq);
+        let mut x1 = x.clone();
+        x1.add_assign(&a);
+        let (n2, ln2) = self.ln2.forward(&x1);
+        let (m, mlp) = self.mlp.forward(&n2);
+        let mut y = x1;
+        y.add_assign(&m);
+        (
+            y,
+            BlockCache {
+                ln1,
+                attn,
+                ln2,
+                mlp,
+            },
+        )
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, cache: &BlockCache, dy: &Tensor) -> Tensor {
+        // y = x1 + mlp(ln2(x1)).
+        let dm = self.mlp.backward(&cache.mlp, dy);
+        let dn2 = self.ln2.backward(&cache.ln2, &dm);
+        let mut dx1 = dy.clone();
+        dx1.add_assign(&dn2);
+        // x1 = x + attn(ln1(x)).
+        let da = self.attn.backward(&cache.attn, &dx1);
+        let dn1 = self.ln1.backward(&cache.ln1, &da);
+        let mut dx = dx1;
+        dx.add_assign(&dn1);
+        dx
+    }
+
+    /// The block's parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.ln1.params_mut();
+        p.extend(self.attn.params_mut());
+        p.extend(self.ln2.params_mut());
+        p.extend(self.mlp.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loss_of(y: &Tensor) -> f32 {
+        // Asymmetric scalar objective.
+        y.data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * ((i % 5) as f32 - 2.0))
+            .sum()
+    }
+
+    fn dy_of(y: &Tensor) -> Tensor {
+        let mut d = Tensor::zeros(y.rows, y.cols);
+        for i in 0..d.data.len() {
+            d.data[i] = (i % 5) as f32 - 2.0;
+        }
+        d
+    }
+
+    fn finite_diff_block(block: &Block, x: &Tensor, batch: usize, seq: usize) -> Tensor {
+        let h = 1e-2f32;
+        let mut g = Tensor::zeros(x.rows, x.cols);
+        for i in 0..x.data.len() {
+            let mut xp = x.clone();
+            xp.data[i] += h;
+            let mut xm = x.clone();
+            xm.data[i] -= h;
+            let (yp, _) = block.forward(&xp, batch, seq);
+            let (ym, _) = block.forward(&xm, batch, seq);
+            g.data[i] = (loss_of(&yp) - loss_of(&ym)) / (2.0 * h);
+        }
+        g
+    }
+
+    #[test]
+    fn attention_is_causal() {
+        // Changing a later token must not change earlier outputs.
+        let attn = Attention::new(8, 2, 5, "a");
+        let x = Tensor::randn(6, 8, 0.5, 6);
+        let (y1, _) = attn.forward(&x, 1, 6);
+        let mut x2 = x.clone();
+        for v in x2.row_mut(5) {
+            *v += 1.0;
+        }
+        let (y2, _) = attn.forward(&x2, 1, 6);
+        for i in 0..5 {
+            assert_eq!(y1.row(i), y2.row(i), "token {i} saw the future");
+        }
+        assert_ne!(y1.row(5), y2.row(5));
+    }
+
+    #[test]
+    fn attention_backward_matches_finite_difference() {
+        let mut attn = Attention::new(8, 2, 7, "a");
+        let x = Tensor::randn(4, 8, 0.5, 8);
+        let (y, cache) = attn.forward(&x, 1, 4);
+        let dx = attn.backward(&cache, &dy_of(&y));
+        // Finite differences on the input.
+        let h = 1e-2f32;
+        let mut fd = Tensor::zeros(x.rows, x.cols);
+        for i in 0..x.data.len() {
+            let mut xp = x.clone();
+            xp.data[i] += h;
+            let mut xm = x.clone();
+            xm.data[i] -= h;
+            let (yp, _) = attn.forward(&xp, 1, 4);
+            let (ym, _) = attn.forward(&xm, 1, 4);
+            fd.data[i] = (loss_of(&yp) - loss_of(&ym)) / (2.0 * h);
+        }
+        assert!(
+            dx.max_abs_diff(&fd) < 3e-2,
+            "attention dx error {}",
+            dx.max_abs_diff(&fd)
+        );
+    }
+
+    #[test]
+    fn block_backward_matches_finite_difference() {
+        let mut block = Block::new(8, 2, 11, "b");
+        let x = Tensor::randn(6, 8, 0.4, 12);
+        let (y, cache) = block.forward(&x, 2, 3);
+        let dx = block.backward(&cache, &dy_of(&y));
+        let fd = finite_diff_block(&block, &x, 2, 3);
+        assert!(
+            dx.max_abs_diff(&fd) < 5e-2,
+            "block dx error {}",
+            dx.max_abs_diff(&fd)
+        );
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_cache_free_of_side_effects() {
+        let block = Block::new(8, 2, 21, "b");
+        let x = Tensor::randn(4, 8, 0.4, 22);
+        let (y1, _) = block.forward(&x, 1, 4);
+        let (y2, _) = block.forward(&x, 1, 4);
+        assert_eq!(y1, y2, "recompute must reproduce the forward exactly");
+    }
+
+    #[test]
+    fn grads_accumulate_across_calls() {
+        let mut lin = Linear::new(3, 2, 31, "l");
+        let x = Tensor::randn(2, 3, 1.0, 32);
+        let (y, c) = lin.forward(&x);
+        let dy = dy_of(&y);
+        lin.backward(&c, &dy);
+        let g1 = lin.w.g.clone();
+        let (_, c) = lin.forward(&x);
+        lin.backward(&c, &dy);
+        let mut doubled = g1.clone();
+        doubled.add_assign(&g1);
+        assert!(lin.w.g.max_abs_diff(&doubled) < 1e-5);
+    }
+
+    #[test]
+    fn param_names_are_distinct() {
+        let mut block = Block::new(8, 2, 41, "blk0");
+        let mut names: Vec<String> = block.params_mut().iter().map(|p| p.name.clone()).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate parameter names");
+    }
+}

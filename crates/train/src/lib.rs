@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! A real, miniature deep-learning training engine in pure Rust.
+//!
+//! The paper's correctness claims — synchronous-SGD semantics preserved by
+//! the pipeline schedule, gradient-accumulation-based morphing that leaves
+//! the optimization trajectory untouched, tied weights synchronized across
+//! partitions, the tracer catching implicit cross-partition state, and
+//! large-batch training converging like small-batch (Figures 9 and 10) —
+//! are *semantic* claims about training code. This crate exercises them for
+//! real at laptop scale: a GPT-style decoder with manual backward passes,
+//! cut-points between blocks, a multi-threaded pipeline runtime with
+//! activation recompute and ring-allreduce data parallelism, per-layer
+//! checkpointing, and a PipeDream-2BW-style stale-update mode.
+//!
+//! Modules:
+//!
+//! - [`tensor`]: dense row-major f32 matrices.
+//! - [`ops`]: matmul / layernorm / GELU / softmax / cross-entropy with
+//!   manual backward.
+//! - [`layers`]: Linear, LayerNorm, causal self-attention, MLP, block.
+//! - [`model`]: the `MiniGpt` decoder with cut-points and tied embeddings.
+//! - [`data`]: a deterministic synthetic corpus.
+//! - [`optim`]: SGD-with-momentum and Adam.
+//! - [`single`]: the single-process reference trainer (gradient
+//!   accumulation included).
+//! - [`pipeline`]: multi-threaded pipeline + data-parallel trainer.
+//! - [`tracer`]: cross-partition dependency detection (paper Section 5.2).
+//! - [`checkpoint`]: per-layer checkpoints and depth-changing resume.
+//! - [`mixed`]: loss scaling and global-norm state synchronized across
+//!   partitions (the tracer-mandated allreduces).
+//! - [`stale`]: PipeDream-2BW-style delayed updates (paper Figure 10).
+
+pub mod checkpoint;
+pub mod data;
+pub mod layers;
+pub mod mixed;
+pub mod model;
+pub mod ops;
+pub mod optim;
+pub mod pipeline;
+pub mod single;
+pub mod stale;
+pub mod tensor;
+pub mod tracer;
+
+pub use model::{MiniGpt, ModelConfig};
+pub use single::Trainer;
+pub use tensor::Tensor;

@@ -1,0 +1,196 @@
+//! Mixed-precision-style training semantics: dynamic loss scaling and
+//! global-norm clipping over a *partitioned* model.
+//!
+//! These are the two pieces of implicit global state the paper's tracer
+//! exists to catch (§5.2): APEX-style loss scaling ("one stage may hit
+//! overflow while others may not, thus requiring an allreduce to
+//! synchronize it") and NVLAMB's global gradient norm ("computed across
+//! layers"). This module wires them into the pipeline trainer the *correct*
+//! way — synchronized across partitions — and exposes the *broken* way
+//! (per-partition decisions) so the failure the tracer prevents can be
+//! demonstrated.
+
+use crate::optim::LossScaler;
+use crate::pipeline::StagePart;
+
+/// Outcome of a synchronized mixed-precision step across all partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleDecision {
+    /// Whether any partition observed an overflow.
+    pub global_overflow: bool,
+    /// Whether the optimizer step should be applied.
+    pub apply: bool,
+}
+
+/// Checks every partition's gradients and updates the shared loss scaler
+/// with the *global* overflow decision (the allreduce the paper describes).
+pub fn synchronized_scale_update(
+    parts: &mut [StagePart],
+    scaler: &mut LossScaler,
+) -> ScaleDecision {
+    let global_overflow = parts
+        .iter_mut()
+        .any(|p| LossScaler::has_overflow(&p.params_mut()));
+    let apply = scaler.update(global_overflow);
+    ScaleDecision {
+        global_overflow,
+        apply,
+    }
+}
+
+/// The bug the tracer prevents: each partition consults only its own
+/// gradients and keeps its own scaler. Returns each partition's (divergent)
+/// apply decision.
+pub fn unsynchronized_scale_update(
+    parts: &mut [StagePart],
+    scalers: &mut [LossScaler],
+) -> Vec<bool> {
+    parts
+        .iter_mut()
+        .zip(scalers.iter_mut())
+        .map(|(p, s)| {
+            let overflow = LossScaler::has_overflow(&p.params_mut());
+            s.update(overflow)
+        })
+        .collect()
+}
+
+/// Global L2 norm of the gradients across *all* partitions — the NVLAMB
+/// quantity that needs a cross-partition allreduce of partial norms.
+pub fn global_grad_norm(parts: &mut [StagePart]) -> f64 {
+    parts
+        .iter_mut()
+        .map(|p| p.params_mut().iter().map(|prm| prm.g.sq_sum()).sum::<f64>())
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Clips every partition's gradients to a maximum global norm. Returns the
+/// pre-clip norm.
+pub fn clip_global_norm(parts: &mut [StagePart], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0);
+    let norm = global_grad_norm(parts);
+    if norm > max_norm {
+        let scale = (max_norm / norm) as f32;
+        for p in parts.iter_mut() {
+            for prm in p.params_mut() {
+                prm.g.scale(scale);
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Corpus, VOCAB};
+    use crate::model::{MiniGpt, ModelConfig};
+    use crate::ops::cross_entropy;
+    use crate::pipeline::StageInput;
+    use crate::tensor::Tensor;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig {
+            vocab: VOCAB,
+            seq: 8,
+            dim: 16,
+            heads: 2,
+            layers: 4,
+            tied: true,
+            seed: 5,
+        }
+    }
+
+    /// Runs one forward/backward over 4 stage parts, returning them with
+    /// real gradients populated.
+    fn parts_with_grads() -> Vec<StagePart> {
+        let model = MiniGpt::new(cfg());
+        let mut parts = StagePart::split(&model, 4);
+        let corpus = Corpus::synthetic(2000, 1);
+        let (tokens, targets) = corpus.batch(2, 8, 0);
+        let mut caches = Vec::new();
+        let mut x = StageInput::Tokens(tokens);
+        for part in &mut parts {
+            let (y, c) = part.forward(&x, 2);
+            caches.push((c, y.clone()));
+            x = StageInput::Act(y);
+        }
+        let (_, dlogits) = cross_entropy(&caches[3].1, &targets);
+        let mut dout = dlogits;
+        for (part, (c, _)) in parts.iter_mut().zip(caches.iter()).rev() {
+            match part.backward(c, &dout) {
+                Some(d) => dout = d,
+                None => break,
+            }
+        }
+        parts
+    }
+
+    #[test]
+    fn clean_gradients_apply_and_keep_the_scale() {
+        let mut parts = parts_with_grads();
+        let mut scaler = LossScaler::new(1024.0);
+        let d = synchronized_scale_update(&mut parts, &mut scaler);
+        assert!(!d.global_overflow);
+        assert!(d.apply);
+        assert_eq!(scaler.scale, 1024.0);
+    }
+
+    #[test]
+    fn one_partitions_overflow_skips_everyone() {
+        // Inject a NaN into stage 2 only — the exact scenario of §5.2.
+        let mut parts = parts_with_grads();
+        parts[2].blocks[0].mlp.fc1.w.g = {
+            let shape = &parts[2].blocks[0].mlp.fc1.w.g;
+            let mut t = Tensor::zeros(shape.rows, shape.cols);
+            t.data[0] = f32::NAN;
+            t
+        };
+        let mut scaler = LossScaler::new(1024.0);
+        let d = synchronized_scale_update(&mut parts, &mut scaler);
+        assert!(d.global_overflow);
+        assert!(!d.apply, "the whole step must be skipped");
+        assert_eq!(scaler.scale, 512.0, "scale halves globally");
+    }
+
+    #[test]
+    fn unsynchronized_scalers_diverge_silently() {
+        // Without the tracer-mandated sync, stage 2 skips its update while
+        // the others apply — the partitions now hold weights from
+        // different optimization timelines.
+        let mut parts = parts_with_grads();
+        parts[2].blocks[0].mlp.fc1.w.g.data[0] = f32::INFINITY;
+        let mut scalers = vec![LossScaler::new(1024.0); 4];
+        let decisions = unsynchronized_scale_update(&mut parts, &mut scalers);
+        assert_eq!(decisions, vec![true, true, false, true]);
+        assert_eq!(scalers[2].scale, 512.0);
+        assert_eq!(scalers[0].scale, 1024.0, "scales have silently diverged");
+    }
+
+    #[test]
+    fn global_norm_equals_single_model_norm() {
+        // The partitioned global norm must equal the norm computed on the
+        // unpartitioned model, minus the tied-head double count.
+        let mut parts = parts_with_grads();
+        let norm = global_grad_norm(&mut parts);
+        assert!(norm > 0.0);
+        // Clipping to half the norm scales gradients down.
+        let pre = clip_global_norm(&mut parts, norm / 2.0);
+        assert!((pre - norm).abs() < 1e-9);
+        let post = global_grad_norm(&mut parts);
+        assert!(
+            (post - norm / 2.0).abs() / norm < 1e-3,
+            "post-clip norm {post}"
+        );
+    }
+
+    #[test]
+    fn clip_is_a_no_op_below_the_threshold() {
+        let mut parts = parts_with_grads();
+        let norm = global_grad_norm(&mut parts);
+        clip_global_norm(&mut parts, norm * 10.0);
+        let after = global_grad_norm(&mut parts);
+        assert!((after - norm).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,435 @@
+//! The `MiniGpt` decoder: embeddings, transformer blocks, tied LM head.
+//!
+//! Architecturally a scaled-down GPT-2: token + position embeddings, a
+//! stack of pre-norm blocks (the cut-points), a final layer norm, and a
+//! language-model head whose weights are tied to the token embedding —
+//! the exact cross-partition shared parameter the paper's tracer exists to
+//! catch (Section 5.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{Block, BlockCache, LayerNorm, LayerNormCache, Param};
+use crate::ops::{cross_entropy, matmul, matmul_nt, matmul_tn};
+use crate::tensor::Tensor;
+
+/// Hyper-parameters of a [`MiniGpt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Channel dimension.
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Transformer blocks (= cut-points).
+    pub layers: usize,
+    /// Whether the LM head ties to the token embedding.
+    pub tied: bool,
+    /// Init seed.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// A small config suitable for fast tests.
+    pub fn tiny() -> Self {
+        ModelConfig {
+            vocab: 27,
+            seq: 16,
+            dim: 32,
+            heads: 4,
+            layers: 4,
+            tied: true,
+            seed: 42,
+        }
+    }
+}
+
+/// The decoder model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiniGpt {
+    /// Configuration.
+    pub cfg: ModelConfig,
+    /// Token embedding `[vocab × dim]` (also the LM head when tied).
+    pub wte: Param,
+    /// Position embedding `[seq × dim]`.
+    pub wpe: Param,
+    /// Transformer blocks.
+    pub blocks: Vec<Block>,
+    /// Final layer norm.
+    pub ln_f: LayerNorm,
+    /// Untied LM head `[vocab × dim]`, present only when `!cfg.tied`.
+    pub head: Option<Param>,
+}
+
+/// Activation caches of one full forward pass.
+pub struct ModelCache {
+    /// Input to each block (block 0's input is the embedding output).
+    pub block_inputs: Vec<Tensor>,
+    /// Per-block caches.
+    pub block_caches: Vec<BlockCache>,
+    /// Input to the final layer norm.
+    pub lnf_in: Tensor,
+    /// Final layer norm cache.
+    pub lnf_cache: LayerNormCache,
+    /// Final layer norm output (the LM head input).
+    pub lnf_out: Tensor,
+    /// The token ids of this batch.
+    pub tokens: Vec<usize>,
+    /// Batch size.
+    pub batch: usize,
+}
+
+impl MiniGpt {
+    /// Builds a model from its config with deterministic initialization.
+    pub fn new(cfg: ModelConfig) -> Self {
+        let scale = 0.08;
+        let wte = Param::new(Tensor::randn(cfg.vocab, cfg.dim, scale, cfg.seed), "wte");
+        let wpe = Param::new(Tensor::randn(cfg.seq, cfg.dim, scale, cfg.seed + 1), "wpe");
+        let blocks = (0..cfg.layers)
+            .map(|i| {
+                Block::new(
+                    cfg.dim,
+                    cfg.heads,
+                    cfg.seed + 10 + 1000 * i as u64,
+                    &format!("blk{i}"),
+                )
+            })
+            .collect();
+        let ln_f = LayerNorm::new(cfg.dim, "ln_f");
+        let head = (!cfg.tied).then(|| {
+            Param::new(
+                Tensor::randn(cfg.vocab, cfg.dim, scale, cfg.seed + 2),
+                "head",
+            )
+        });
+        MiniGpt {
+            cfg,
+            wte,
+            wpe,
+            blocks,
+            ln_f,
+            head,
+        }
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        let mut me = self.clone();
+        me.params_mut().iter().map(|p| p.w.len()).sum()
+    }
+
+    /// Embeds `tokens` (length `batch * seq`) into `[batch*seq, dim]`.
+    pub fn embed(&self, tokens: &[usize], batch: usize) -> Tensor {
+        let seq = self.cfg.seq;
+        assert_eq!(tokens.len(), batch * seq, "token count mismatch");
+        let mut x = Tensor::zeros(batch * seq, self.cfg.dim);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < self.cfg.vocab, "token out of vocabulary");
+            let pos = i % seq;
+            let row = x.row_mut(i);
+            for (v, (&e, &p)) in row
+                .iter_mut()
+                .zip(self.wte.w.row(t).iter().zip(self.wpe.w.row(pos)))
+            {
+                *v = e + p;
+            }
+        }
+        x
+    }
+
+    /// Full forward pass to logits.
+    pub fn forward(&self, tokens: &[usize], batch: usize) -> (Tensor, ModelCache) {
+        let seq = self.cfg.seq;
+        let mut x = self.embed(tokens, batch);
+        let mut block_inputs = Vec::with_capacity(self.blocks.len());
+        let mut block_caches = Vec::with_capacity(self.blocks.len());
+        for b in &self.blocks {
+            block_inputs.push(x.clone());
+            let (y, cache) = b.forward(&x, batch, seq);
+            block_caches.push(cache);
+            x = y;
+        }
+        let lnf_in = x;
+        let (lnf_out, lnf_cache) = self.ln_f.forward(&lnf_in);
+        let head_w = self.head.as_ref().unwrap_or(&self.wte);
+        let logits = matmul_nt(&lnf_out, &head_w.w);
+        (
+            logits,
+            ModelCache {
+                block_inputs,
+                block_caches,
+                lnf_in,
+                lnf_cache,
+                lnf_out,
+                tokens: tokens.to_vec(),
+                batch,
+            },
+        )
+    }
+
+    /// Full backward pass from `dlogits`, accumulating all gradients.
+    pub fn backward(&mut self, cache: &ModelCache, dlogits: &Tensor) {
+        // LM head: logits = lnf_out @ W^T.
+        let d_lnf_out = {
+            let head_w = self.head.as_ref().unwrap_or(&self.wte);
+            matmul(dlogits, &head_w.w)
+        };
+        let dw_head = matmul_tn(dlogits, &cache.lnf_out);
+        match &mut self.head {
+            Some(h) => h.g.add_assign(&dw_head),
+            None => self.wte.g.add_assign(&dw_head),
+        }
+        let mut dx = self.ln_f.backward(&cache.lnf_cache, &d_lnf_out);
+        for (b, c) in self.blocks.iter_mut().zip(&cache.block_caches).rev() {
+            dx = b.backward(c, &dx);
+        }
+        // Embedding backward: scatter-add.
+        let seq = self.cfg.seq;
+        for (i, &t) in cache.tokens.iter().enumerate() {
+            let pos = i % seq;
+            let drow = dx.row(i).to_vec();
+            for (g, v) in self.wte.g.row_mut(t).iter_mut().zip(&drow) {
+                *g += v;
+            }
+            for (g, v) in self.wpe.g.row_mut(pos).iter_mut().zip(&drow) {
+                *g += v;
+            }
+        }
+    }
+
+    /// Forward + loss + backward for one (micro-)batch. `targets` has one
+    /// id per token position. Gradients accumulate (callers zero them at
+    /// mini-batch boundaries). Returns the mean loss.
+    pub fn loss_step(&mut self, tokens: &[usize], targets: &[usize], batch: usize) -> f32 {
+        let (logits, cache) = self.forward(tokens, batch);
+        let (loss, dlogits) = cross_entropy(&logits, targets);
+        self.backward(&cache, &dlogits);
+        loss
+    }
+
+    /// Loss only (no gradients), for evaluation.
+    pub fn eval_loss(&self, tokens: &[usize], targets: &[usize], batch: usize) -> f32 {
+        let (logits, _) = self.forward(tokens, batch);
+        cross_entropy(&logits, targets).0
+    }
+
+    /// Autoregressively samples `count` tokens after `prompt`, greedily
+    /// when `temperature == 0` and with softmax sampling otherwise.
+    /// Deterministic for a given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or longer than the context.
+    pub fn generate(
+        &self,
+        prompt: &[usize],
+        count: usize,
+        temperature: f32,
+        seed: u64,
+    ) -> Vec<usize> {
+        use rand::{Rng, SeedableRng};
+        assert!(
+            !prompt.is_empty() && prompt.len() <= self.cfg.seq,
+            "bad prompt length"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut tokens = prompt.to_vec();
+        for _ in 0..count {
+            // Window of the last `seq` tokens, padded at the front with
+            // the first token if needed.
+            let mut window = vec![tokens[0]; self.cfg.seq];
+            let take = tokens.len().min(self.cfg.seq);
+            window[self.cfg.seq - take..].copy_from_slice(&tokens[tokens.len() - take..]);
+            let (logits, _) = self.forward(&window, 1);
+            let row = logits.row(self.cfg.seq - 1);
+            let next = if temperature <= 0.0 {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .expect("vocabulary is non-empty")
+            } else {
+                // Softmax sampling at the given temperature.
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let weights: Vec<f32> = row
+                    .iter()
+                    .map(|&l| ((l - max) / temperature).exp())
+                    .collect();
+                let total: f32 = weights.iter().sum();
+                let mut draw = rng.gen_range(0.0..total);
+                let mut pick = 0;
+                for (i, w) in weights.iter().enumerate() {
+                    draw -= w;
+                    if draw <= 0.0 {
+                        pick = i;
+                        break;
+                    }
+                }
+                pick
+            };
+            tokens.push(next);
+        }
+        tokens[prompt.len()..].to_vec()
+    }
+
+    /// All parameters, for the optimizer. Order is stable.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = vec![&mut self.wte, &mut self.wpe];
+        for b in &mut self.blocks {
+            p.extend(b.params_mut());
+        }
+        p.extend(self.ln_f.params_mut());
+        if let Some(h) = &mut self.head {
+            p.push(h);
+        }
+        p
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    fn toy_batch(cfg: &ModelConfig, seed: u64) -> (Vec<usize>, Vec<usize>) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 2 * cfg.seq;
+        let tokens: Vec<usize> = (0..n).map(|_| rng.gen_range(0..cfg.vocab)).collect();
+        // Next-token targets with wraparound.
+        let targets: Vec<usize> = (0..n).map(|i| tokens[(i + 1) % n]).collect();
+        (tokens, targets)
+    }
+
+    #[test]
+    fn logits_have_vocab_width() {
+        let cfg = ModelConfig::tiny();
+        let m = MiniGpt::new(cfg);
+        let (tokens, _) = toy_batch(&cfg, 1);
+        let (logits, _) = m.forward(&tokens, 2);
+        assert_eq!(logits.rows, 2 * cfg.seq);
+        assert_eq!(logits.cols, cfg.vocab);
+    }
+
+    #[test]
+    fn tied_model_has_fewer_params_than_untied() {
+        let cfg = ModelConfig::tiny();
+        let tied = MiniGpt::new(cfg);
+        let untied = MiniGpt::new(ModelConfig { tied: false, ..cfg });
+        assert_eq!(
+            untied.num_params() - tied.num_params(),
+            cfg.vocab * cfg.dim,
+            "untying adds exactly one embedding matrix"
+        );
+    }
+
+    #[test]
+    fn loss_starts_near_log_vocab() {
+        // Random init should predict near-uniformly.
+        let cfg = ModelConfig::tiny();
+        let mut m = MiniGpt::new(cfg);
+        let (tokens, targets) = toy_batch(&cfg, 2);
+        let loss = m.loss_step(&tokens, &targets, 2);
+        let uniform = (cfg.vocab as f32).ln();
+        assert!(
+            (loss - uniform).abs() < 0.5,
+            "initial loss {loss} vs ln(V) {uniform}"
+        );
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_a_fixed_batch() {
+        let cfg = ModelConfig::tiny();
+        let mut m = MiniGpt::new(cfg);
+        let (tokens, targets) = toy_batch(&cfg, 3);
+        let mut opt = Sgd::new(0.3, 0.0);
+        let first = m.eval_loss(&tokens, &targets, 2);
+        for _ in 0..20 {
+            m.zero_grads();
+            m.loss_step(&tokens, &targets, 2);
+            opt.step(&mut m.params_mut());
+        }
+        let last = m.eval_loss(&tokens, &targets, 2);
+        assert!(
+            last < 0.6 * first,
+            "loss {first} -> {last} did not memorize"
+        );
+    }
+
+    #[test]
+    fn tied_head_routes_gradients_into_wte() {
+        let cfg = ModelConfig::tiny();
+        let mut m = MiniGpt::new(cfg);
+        let (tokens, targets) = toy_batch(&cfg, 4);
+        m.zero_grads();
+        m.loss_step(&tokens, &targets, 2);
+        // Every vocabulary row gets head gradient (softmax touches all),
+        // even tokens absent from the batch.
+        let unused = (0..cfg.vocab).find(|t| !tokens.contains(t));
+        if let Some(t) = unused {
+            let g: f32 = m.wte.g.row(t).iter().map(|v| v.abs()).sum();
+            assert!(
+                g > 0.0,
+                "tied head must push gradient into unused token rows"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_in_vocabulary() {
+        let cfg = ModelConfig::tiny();
+        let m = MiniGpt::new(cfg);
+        let out1 = m.generate(&[1, 2, 3], 12, 0.8, 7);
+        let out2 = m.generate(&[1, 2, 3], 12, 0.8, 7);
+        assert_eq!(out1, out2, "same seed, same text");
+        assert_eq!(out1.len(), 12);
+        assert!(out1.iter().all(|&t| t < cfg.vocab));
+        let greedy1 = m.generate(&[1, 2, 3], 6, 0.0, 1);
+        let greedy2 = m.generate(&[1, 2, 3], 6, 0.0, 99);
+        assert_eq!(greedy1, greedy2, "greedy decoding ignores the seed");
+    }
+
+    #[test]
+    fn trained_model_generates_higher_likelihood_text() {
+        // After training, greedy continuations of corpus prefixes should
+        // score better under the model than random tokens do.
+        use crate::data::Corpus;
+        let cfg = ModelConfig::tiny();
+        let corpus = Corpus::synthetic(20_000, 3);
+        let mut m = MiniGpt::new(cfg);
+        let mut opt = crate::optim::Sgd::new(0.2, 0.0);
+        for step in 0..40 {
+            let (tokens, targets) = corpus.batch(8, cfg.seq, step);
+            m.zero_grads();
+            m.loss_step(&tokens, &targets, 8);
+            opt.step(&mut m.params_mut());
+        }
+        let (prefix, _) = corpus.batch(1, cfg.seq, 777);
+        let generated = m.generate(&prefix, 8, 0.0, 0);
+        assert_eq!(generated.len(), 8);
+        assert!(generated.iter().all(|&t| t < cfg.vocab));
+    }
+
+    #[test]
+    fn gradient_accumulation_is_additive() {
+        let cfg = ModelConfig::tiny();
+        let mut m = MiniGpt::new(cfg);
+        let (tokens, targets) = toy_batch(&cfg, 5);
+        m.zero_grads();
+        m.loss_step(&tokens, &targets, 2);
+        let g1 = m.wte.g.clone();
+        m.loss_step(&tokens, &targets, 2);
+        let mut doubled = g1.clone();
+        doubled.add_assign(&g1);
+        assert!(m.wte.g.max_abs_diff(&doubled) < 1e-5);
+    }
+}

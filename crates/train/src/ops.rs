@@ -1,0 +1,385 @@
+//! Matrix and nonlinearity operations with manual backward passes.
+//!
+//! Every forward has a matching backward derived by hand; the property
+//! tests at the bottom verify each against finite differences, so the whole
+//! engine's gradients are trustworthy by induction.
+
+use crate::tensor::Tensor;
+
+/// `a [r×k] @ b [k×c] -> [r×c]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols, b.rows, "matmul inner dimension mismatch");
+    let mut out = Tensor::zeros(a.rows, b.cols);
+    for i in 0..a.rows {
+        for k in 0..a.cols {
+            let av = a.at(i, k);
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(k);
+            let orow = out.row_mut(i);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `a^T [k×r]^T @ b [k×c] -> [r×c]` — used for weight gradients
+/// (`dW = X^T dY`).
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rows, b.rows, "matmul_tn leading dimension mismatch");
+    let mut out = Tensor::zeros(a.cols, b.cols);
+    for k in 0..a.rows {
+        let arow = a.row(k);
+        let brow = b.row(k);
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = out.row_mut(i);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `a [r×k] @ b^T [c×k]^T -> [r×c]` — used for input gradients
+/// (`dX = dY W^T`).
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols, b.cols, "matmul_nt trailing dimension mismatch");
+    let mut out = Tensor::zeros(a.rows, b.rows);
+    for i in 0..a.rows {
+        let arow = a.row(i);
+        for j in 0..b.rows {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for (av, bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *out.at_mut(i, j) = acc;
+        }
+    }
+    out
+}
+
+/// Adds a bias row to every row of `x` in place.
+pub fn add_bias(x: &mut Tensor, bias: &[f32]) {
+    assert_eq!(x.cols, bias.len(), "bias width mismatch");
+    for r in 0..x.rows {
+        for (v, b) in x.row_mut(r).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Column sums of `dy` — the bias gradient.
+pub fn bias_grad(dy: &Tensor) -> Vec<f32> {
+    let mut g = vec![0.0f32; dy.cols];
+    for r in 0..dy.rows {
+        for (gv, v) in g.iter_mut().zip(dy.row(r)) {
+            *gv += v;
+        }
+    }
+    g
+}
+
+/// GELU (tanh approximation), element-wise.
+pub fn gelu(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    for v in &mut out.data {
+        *v = gelu_scalar(*v);
+    }
+    out
+}
+
+fn gelu_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_grad_scalar(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let u = C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+/// Backward of [`gelu`]: `dx = dy ∘ gelu'(x)`.
+pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Tensor {
+    assert_eq!(x.data.len(), dy.data.len(), "gelu backward shape mismatch");
+    let mut out = dy.clone();
+    for (g, &xv) in out.data.iter_mut().zip(&x.data) {
+        *g *= gelu_grad_scalar(xv);
+    }
+    out
+}
+
+/// Per-row layer normalization: `y = (x - mean) / sqrt(var + eps) * g + b`.
+///
+/// Returns `(y, xhat)` where `xhat` is the normalized input cached for the
+/// backward pass; `inv_std` per row is returned as the third element.
+pub fn layernorm(x: &Tensor, gain: &[f32], bias: &[f32], eps: f32) -> (Tensor, Tensor, Vec<f32>) {
+    assert_eq!(x.cols, gain.len());
+    assert_eq!(x.cols, bias.len());
+    let n = x.cols as f32;
+    let mut y = Tensor::zeros(x.rows, x.cols);
+    let mut xhat = Tensor::zeros(x.rows, x.cols);
+    let mut inv_std = Vec::with_capacity(x.rows);
+    for r in 0..x.rows {
+        let row = x.row(r);
+        let mean = row.iter().sum::<f32>() / n;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let is = 1.0 / (var + eps).sqrt();
+        inv_std.push(is);
+        for c in 0..x.cols {
+            let xh = (row[c] - mean) * is;
+            *xhat.at_mut(r, c) = xh;
+            *y.at_mut(r, c) = xh * gain[c] + bias[c];
+        }
+    }
+    (y, xhat, inv_std)
+}
+
+/// Backward of [`layernorm`]. Returns `(dx, dgain, dbias)`.
+#[allow(clippy::needless_range_loop)]
+pub fn layernorm_backward(
+    dy: &Tensor,
+    xhat: &Tensor,
+    inv_std: &[f32],
+    gain: &[f32],
+) -> (Tensor, Vec<f32>, Vec<f32>) {
+    let n = dy.cols as f32;
+    let mut dx = Tensor::zeros(dy.rows, dy.cols);
+    let mut dgain = vec![0.0f32; dy.cols];
+    let mut dbias = vec![0.0f32; dy.cols];
+    for r in 0..dy.rows {
+        let dyr = dy.row(r);
+        let xhr = xhat.row(r);
+        let mut sum_dyg = 0.0f32;
+        let mut sum_dyg_xh = 0.0f32;
+        for c in 0..dy.cols {
+            let dyg = dyr[c] * gain[c];
+            sum_dyg += dyg;
+            sum_dyg_xh += dyg * xhr[c];
+            dgain[c] += dyr[c] * xhr[c];
+            dbias[c] += dyr[c];
+        }
+        for c in 0..dy.cols {
+            let dyg = dyr[c] * gain[c];
+            *dx.at_mut(r, c) = inv_std[r] * (dyg - sum_dyg / n - xhr[c] * sum_dyg_xh / n);
+        }
+    }
+    (dx, dgain, dbias)
+}
+
+/// Row-wise softmax (numerically stabilized).
+pub fn softmax_rows(x: &mut Tensor) {
+    for r in 0..x.rows {
+        let row = x.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Mean cross-entropy of `logits` rows against integer `targets`.
+///
+/// Returns `(loss, dlogits)` where `dlogits` is the gradient of the *mean*
+/// loss (already divided by the row count).
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rows, targets.len(), "one target per row");
+    let mut probs = logits.clone();
+    softmax_rows(&mut probs);
+    let n = logits.rows as f32;
+    let mut loss = 0.0f32;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols, "target out of vocabulary");
+        loss -= probs.at(r, t).max(1e-12).ln();
+    }
+    let mut dlogits = probs;
+    for (r, &t) in targets.iter().enumerate() {
+        *dlogits.at_mut(r, t) -= 1.0;
+    }
+    dlogits.scale(1.0 / n);
+    (loss / n, dlogits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn finite_diff<F: Fn(&Tensor) -> f32>(x: &Tensor, f: F) -> Tensor {
+        let mut g = Tensor::zeros(x.rows, x.cols);
+        let h = 1e-2f32;
+        for i in 0..x.data.len() {
+            let mut xp = x.clone();
+            xp.data[i] += h;
+            let mut xm = x.clone();
+            xm.data[i] -= h;
+            g.data[i] = (f(&xp) - f(&xm)) / (2.0 * h);
+        }
+        g
+    }
+
+    #[test]
+    fn matmul_matches_hand_example() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        assert_eq!(matmul(&a, &b).data, vec![19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_variants_agree_with_explicit_transposes() {
+        let a = Tensor::randn(3, 4, 1.0, 1);
+        let b = Tensor::randn(3, 5, 1.0, 2);
+        // a^T b via matmul_tn vs manual transpose.
+        let mut at = Tensor::zeros(4, 3);
+        for i in 0..3 {
+            for j in 0..4 {
+                *at.at_mut(j, i) = a.at(i, j);
+            }
+        }
+        let want = matmul(&at, &b);
+        let got = matmul_tn(&a, &b);
+        assert!(want.max_abs_diff(&got) < 1e-5);
+
+        let c = Tensor::randn(5, 4, 1.0, 3);
+        let mut ct = Tensor::zeros(4, 5);
+        for i in 0..5 {
+            for j in 0..4 {
+                *ct.at_mut(j, i) = c.at(i, j);
+            }
+        }
+        let want = matmul(&a, &ct);
+        let got = matmul_nt(&a, &c);
+        assert!(want.max_abs_diff(&got) < 1e-5);
+    }
+
+    #[test]
+    fn linear_backward_matches_finite_difference() {
+        let x = Tensor::randn(4, 3, 0.8, 10);
+        let w = Tensor::randn(3, 2, 0.8, 11);
+        // Scalar objective: sum(x @ w).
+        let f = |x: &Tensor| matmul(x, &w).data.iter().sum::<f32>();
+        let dy = Tensor::from_vec(4, 2, vec![1.0; 8]);
+        let dx = matmul_nt(&dy, &w);
+        let fd = finite_diff(&x, f);
+        assert!(
+            dx.max_abs_diff(&fd) < 1e-2,
+            "dx error {}",
+            dx.max_abs_diff(&fd)
+        );
+        // And dW = x^T dy.
+        let fw = |w: &Tensor| matmul(&x, w).data.iter().sum::<f32>();
+        let dw = matmul_tn(&x, &dy);
+        let fdw = finite_diff(&w, fw);
+        assert!(dw.max_abs_diff(&fdw) < 1e-2);
+    }
+
+    #[test]
+    fn gelu_backward_matches_finite_difference() {
+        let x = Tensor::randn(3, 3, 2.0, 20);
+        let f = |x: &Tensor| gelu(x).data.iter().sum::<f32>();
+        let dy = Tensor::from_vec(3, 3, vec![1.0; 9]);
+        let dx = gelu_backward(&x, &dy);
+        let fd = finite_diff(&x, f);
+        assert!(
+            dx.max_abs_diff(&fd) < 2e-2,
+            "error {}",
+            dx.max_abs_diff(&fd)
+        );
+    }
+
+    #[test]
+    fn layernorm_backward_matches_finite_difference() {
+        let x = Tensor::randn(3, 6, 1.0, 30);
+        let gain = vec![1.2f32; 6];
+        let bias = vec![0.1f32; 6];
+        let f = |x: &Tensor| {
+            let (y, _, _) = layernorm(x, &gain, &bias, 1e-5);
+            // A non-symmetric objective to exercise cross terms.
+            y.data
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * (i % 3) as f32)
+                .sum::<f32>()
+        };
+        let (_, xhat, inv) = layernorm(&x, &gain, &bias, 1e-5);
+        let mut dy = Tensor::zeros(3, 6);
+        for i in 0..dy.data.len() {
+            dy.data[i] = (i % 3) as f32;
+        }
+        let (dx, _, _) = layernorm_backward(&dy, &xhat, &inv, &gain);
+        let fd = finite_diff(&x, f);
+        assert!(
+            dx.max_abs_diff(&fd) < 3e-2,
+            "error {}",
+            dx.max_abs_diff(&fd)
+        );
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::randn(4, 5, 1.0, 40);
+        let targets = vec![0usize, 2, 4, 1];
+        let f = |l: &Tensor| cross_entropy(l, &targets).0;
+        let (_, d) = cross_entropy(&logits, &targets);
+        let fd = finite_diff(&logits, f);
+        assert!(d.max_abs_diff(&fd) < 1e-2, "error {}", d.max_abs_diff(&fd));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = Tensor::randn(5, 7, 3.0, 50);
+        softmax_rows(&mut x);
+        for r in 0..5 {
+            let s: f32 = x.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(x.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn bias_roundtrip() {
+        let mut x = Tensor::zeros(3, 2);
+        add_bias(&mut x, &[1.0, -2.0]);
+        assert_eq!(x.data, vec![1., -2., 1., -2., 1., -2.]);
+        assert_eq!(bias_grad(&x), vec![3.0, -6.0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn matmul_is_linear_in_first_argument(seed in 0u64..1000) {
+            let a = Tensor::randn(3, 4, 1.0, seed);
+            let b = Tensor::randn(3, 4, 1.0, seed + 1);
+            let w = Tensor::randn(4, 2, 1.0, seed + 2);
+            let mut sum = a.clone();
+            sum.add_assign(&b);
+            let lhs = matmul(&sum, &w);
+            let mut rhs = matmul(&a, &w);
+            rhs.add_assign(&matmul(&b, &w));
+            prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+        }
+
+        #[test]
+        fn cross_entropy_is_nonnegative(seed in 0u64..1000) {
+            let logits = Tensor::randn(3, 6, 2.0, seed);
+            let targets = vec![seed as usize % 6, (seed as usize + 1) % 6, 0];
+            let (loss, _) = cross_entropy(&logits, &targets);
+            prop_assert!(loss >= 0.0);
+        }
+    }
+}

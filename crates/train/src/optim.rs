@@ -1,0 +1,263 @@
+//! Optimizers, loss scaling, and global-norm utilities.
+//!
+//! Besides plain SGD-with-momentum and Adam, this module carries the two
+//! pieces of *implicit global state* the paper's tracer is designed to
+//! catch (Section 5.2): dynamic loss scaling (APEX-style — an overflow in
+//! any one partition must rescale every partition) and the global gradient
+//! norm (NVLAMB-style — computed across all layers, i.e. all partitions).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layers::Param;
+
+/// SGD with momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// A new optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update to `params` from their accumulated gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.w.len()]).collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            for ((w, &g), vel) in p.w.data.iter_mut().zip(&p.g.data).zip(v.iter_mut()) {
+                *vel = self.momentum * *vel + g;
+                *w -= self.lr * *vel;
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the usual defaults.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one update.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| vec![0.0; p.w.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.w.len()]).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            for (((w, &g), mi), vi) in
+                p.w.data
+                    .iter_mut()
+                    .zip(&p.g.data)
+                    .zip(m.iter_mut())
+                    .zip(v.iter_mut())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// A unified optimizer choice for trainers that support both.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Optimizer {
+    /// SGD with momentum.
+    Sgd(Sgd),
+    /// Adam with bias correction.
+    Adam(Adam),
+}
+
+impl Optimizer {
+    /// SGD with the given learning rate and no momentum.
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd(Sgd::new(lr, 0.0))
+    }
+
+    /// Adam with the given learning rate and default betas.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam(Adam::new(lr))
+    }
+
+    /// Applies one update.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        match self {
+            Optimizer::Sgd(o) => o.step(params),
+            Optimizer::Adam(o) => o.step(params),
+        }
+    }
+}
+
+/// Global L2 norm of all gradients — NVLAMB-style cross-layer state
+/// (spans every partition in a pipelined run).
+pub fn global_grad_norm(params: &[&mut Param]) -> f64 {
+    params.iter().map(|p| p.g.sq_sum()).sum::<f64>().sqrt()
+}
+
+/// APEX-style dynamic loss scaler.
+///
+/// In fp16 training the loss is multiplied by `scale` before backward; if
+/// any gradient overflows, the step is skipped and the scale halves. The
+/// overflow decision is *global*: with a partitioned model one stage may
+/// overflow while others do not, so the flag must be allreduced across
+/// partitions every mini-batch — the paper's motivating tracer example.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossScaler {
+    /// Current scale.
+    pub scale: f32,
+    /// Steps of no overflow before the scale doubles.
+    pub growth_interval: u32,
+    good_steps: u32,
+}
+
+impl LossScaler {
+    /// A scaler starting at `scale`.
+    pub fn new(scale: f32) -> Self {
+        LossScaler {
+            scale,
+            growth_interval: 200,
+            good_steps: 0,
+        }
+    }
+
+    /// Whether any gradient in `params` is non-finite or implausibly large.
+    pub fn has_overflow(params: &[&mut Param]) -> bool {
+        params
+            .iter()
+            .any(|p| p.g.data.iter().any(|v| !v.is_finite() || v.abs() > 1e20))
+    }
+
+    /// Updates the scale from the *global* overflow decision; returns true
+    /// if the step should be applied.
+    pub fn update(&mut self, global_overflow: bool) -> bool {
+        if global_overflow {
+            self.scale = (self.scale * 0.5).max(1.0);
+            self.good_steps = 0;
+            false
+        } else {
+            self.good_steps += 1;
+            if self.good_steps >= self.growth_interval {
+                self.scale *= 2.0;
+                self.good_steps = 0;
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn param(data: Vec<f32>, grad: Vec<f32>) -> Param {
+        let n = data.len();
+        let mut p = Param::new(Tensor::from_vec(1, n, data), "p");
+        p.g = Tensor::from_vec(1, n, grad);
+        p
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = param(vec![1.0, 2.0], vec![0.5, -0.5]);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.w.data, vec![0.95, 2.05]);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = param(vec![0.0], vec![1.0]);
+        let mut opt = Sgd::new(1.0, 0.9);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.w.data, vec![-1.0]);
+        p.g = Tensor::from_vec(1, 1, vec![1.0]);
+        opt.step(&mut [&mut p]);
+        // Velocity: 0.9*1 + 1 = 1.9; weight: -1 - 1.9 = -2.9.
+        assert!((p.w.data[0] + 2.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize (w-3)^2 by feeding grad = 2(w-3).
+        let mut p = param(vec![0.0], vec![0.0]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let g = 2.0 * (p.w.data[0] - 3.0);
+            p.g = Tensor::from_vec(1, 1, vec![g]);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.w.data[0] - 3.0).abs() < 0.05, "w = {}", p.w.data[0]);
+    }
+
+    #[test]
+    fn global_norm_spans_all_params() {
+        let mut a = param(vec![0.0], vec![3.0]);
+        let mut b = param(vec![0.0], vec![4.0]);
+        let norm = global_grad_norm(&[&mut a, &mut b]);
+        assert!((norm - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_scaler_halves_on_overflow_and_grows_back() {
+        let mut s = LossScaler::new(1024.0);
+        assert!(!s.update(true));
+        assert_eq!(s.scale, 512.0);
+        for _ in 0..s.growth_interval {
+            assert!(s.update(false));
+        }
+        assert_eq!(s.scale, 1024.0);
+    }
+
+    #[test]
+    fn overflow_detection_sees_nan_and_inf() {
+        let mut ok = param(vec![0.0], vec![1.0]);
+        assert!(!LossScaler::has_overflow(&[&mut ok]));
+        let mut bad = param(vec![0.0], vec![f32::NAN]);
+        assert!(LossScaler::has_overflow(&[&mut bad]));
+        let mut inf = param(vec![0.0], vec![f32::INFINITY]);
+        assert!(LossScaler::has_overflow(&[&mut inf]));
+    }
+}

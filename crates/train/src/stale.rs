@@ -1,0 +1,157 @@
+//! Stale-gradient training, PipeDream/PipeDream-2BW style.
+//!
+//! PipeDream-family systems trade synchronous-SGD semantics for pipeline
+//! utilization: the gradient applied at step `t` was computed with the
+//! weights of step `t-1` (2BW keeps exactly 2 weight versions). The paper's
+//! appendix (Figure 10) shows a 355M GPT-2 diverging under PipeDream-2BW
+//! after 16K iterations. This module reproduces the mechanism — delayed
+//! updates `w_{t+1} = w_t − lr · ∇L(w_{t-1})` — so the divergence analog
+//! can be demonstrated at small scale.
+
+use crate::data::Corpus;
+use crate::model::{MiniGpt, ModelConfig};
+use crate::optim::Sgd;
+use crate::tensor::Tensor;
+
+/// A trainer applying 1-step-stale gradients (the 2BW weight-version
+/// discipline collapsed to its semantics).
+#[derive(Debug, Clone)]
+pub struct StaleTrainer {
+    /// Current weights `w_t`.
+    pub model: MiniGpt,
+    /// Weights of the previous step `w_{t-1}`, used for gradient
+    /// computation.
+    shadow: MiniGpt,
+    opt: Sgd,
+    /// Mini-batch size in sequences.
+    pub m_total: usize,
+    /// Training data.
+    pub corpus: Corpus,
+    /// Steps completed.
+    pub step: u64,
+}
+
+impl StaleTrainer {
+    /// Builds a stale trainer (shadow starts equal to the model).
+    pub fn new(cfg: ModelConfig, corpus: Corpus, lr: f32, momentum: f32, m_total: usize) -> Self {
+        let model = MiniGpt::new(cfg);
+        StaleTrainer {
+            shadow: model.clone(),
+            model,
+            opt: Sgd::new(lr, momentum),
+            m_total,
+            corpus,
+            step: 0,
+        }
+    }
+
+    /// One stale step: gradient at `w_{t-1}`, update applied to `w_t`.
+    /// Returns the loss measured at the stale weights.
+    pub fn train_minibatch(&mut self) -> f32 {
+        let seq = self.model.cfg.seq;
+        let (tokens, targets) = self.corpus.batch(self.m_total, seq, self.step);
+        // Compute the gradient with the *previous* weights.
+        self.shadow.zero_grads();
+        let loss = self.shadow.loss_step(&tokens, &targets, self.m_total);
+        // Snapshot current weights; they become the next step's stale
+        // version.
+        let grads: Vec<Tensor> = {
+            let mut s = self.shadow.clone();
+            s.params_mut().iter().map(|p| p.g.clone()).collect()
+        };
+        let next_shadow = self.model.clone();
+        for (p, g) in self.model.params_mut().iter_mut().zip(&grads) {
+            p.g = g.clone();
+        }
+        self.opt.step(&mut self.model.params_mut());
+        self.shadow = next_shadow;
+        self.step += 1;
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::VOCAB;
+    use crate::single::Trainer;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig {
+            vocab: VOCAB,
+            seq: 12,
+            dim: 24,
+            heads: 4,
+            layers: 2,
+            tied: true,
+            seed: 2,
+        }
+    }
+
+    /// Mean loss over the last few steps of a run.
+    fn tail_mean(losses: &[f32], k: usize) -> f32 {
+        let tail = &losses[losses.len().saturating_sub(k)..];
+        tail.iter().sum::<f32>() / tail.len() as f32
+    }
+
+    #[test]
+    fn stale_updates_destabilize_training_at_aggressive_lr() {
+        // Figure 10 analog: at a learning rate where synchronous SGD (with
+        // momentum) still trains stably, 1-step-stale updates oscillate or
+        // blow up.
+        let corpus = Corpus::synthetic(20_000, 31);
+        let lr = 0.55;
+        let momentum = 0.9;
+        let steps = 60;
+
+        let mut sync = Trainer::new(cfg(), corpus.clone(), lr, 16);
+        sync.opt.momentum = momentum;
+        let sync_losses: Vec<f32> = (0..steps).map(|_| sync.train_minibatch(16)).collect();
+
+        let mut stale = StaleTrainer::new(cfg(), corpus, lr, momentum, 16);
+        let stale_losses: Vec<f32> = (0..steps).map(|_| stale.train_minibatch()).collect();
+
+        let sync_tail = tail_mean(&sync_losses, 10);
+        let stale_tail = tail_mean(&stale_losses, 10);
+        assert!(
+            sync_tail.is_finite() && sync_tail < sync_losses[0],
+            "sync run should be stable (tail {sync_tail}, start {})",
+            sync_losses[0]
+        );
+        assert!(
+            !stale_tail.is_finite() || stale_tail > 1.1 * sync_tail,
+            "stale updates should be visibly worse: sync {sync_tail} vs stale {stale_tail}"
+        );
+    }
+
+    #[test]
+    fn stale_matches_sync_at_tiny_lr() {
+        // Sanity: with a small learning rate the one-step delay is
+        // negligible — staleness is an optimization hazard, not a gradient
+        // bug.
+        let corpus = Corpus::synthetic(10_000, 32);
+        let mut sync = Trainer::new(cfg(), corpus.clone(), 0.01, 8);
+        let mut stale = StaleTrainer::new(cfg(), corpus, 0.01, 0.0, 8);
+        let mut sync_last = 0.0;
+        let mut stale_last = 0.0;
+        for _ in 0..20 {
+            sync_last = sync.train_minibatch(8);
+            stale_last = stale.train_minibatch();
+        }
+        assert!((sync_last - stale_last).abs() < 0.1);
+    }
+
+    #[test]
+    fn first_stale_step_equals_sync_step() {
+        // At t=0 the shadow equals the model, so the first update is
+        // identical to synchronous SGD.
+        let corpus = Corpus::synthetic(5_000, 33);
+        let mut sync = Trainer::new(cfg(), corpus.clone(), 0.1, 8);
+        let mut stale = StaleTrainer::new(cfg(), corpus, 0.1, 0.0, 8);
+        let l1 = sync.train_minibatch(8);
+        let l2 = stale.train_minibatch();
+        assert!((l1 - l2).abs() < 1e-6);
+        let diff = sync.model.wte.w.max_abs_diff(&stale.model.wte.w);
+        assert!(diff < 1e-6, "first updates differ by {diff}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Real pipelined training with a mid-run morph.
+//!
+//! Trains a miniature GPT on the synthetic corpus using the *actual*
+//! multi-threaded pipeline engine (recompute, tied embeddings, ring
+//! allreduce), morphs the job from 4x1 to 2x2 halfway — changing both the
+//! pipeline depth and the data parallelism without touching a single
+//! hyper-parameter — and shows the loss curve sailing through the morph.
+//!
+//! ```console
+//! $ cargo run --release --example convergence
+//! ```
+
+use varuna_train::data::{Corpus, VOCAB};
+use varuna_train::model::ModelConfig;
+use varuna_train::pipeline::PipelineTrainer;
+
+fn main() {
+    let cfg = ModelConfig {
+        vocab: VOCAB,
+        seq: 24,
+        dim: 48,
+        heads: 4,
+        layers: 4,
+        tied: true,
+        seed: 7,
+    };
+    let corpus = Corpus::synthetic(60_000, 99);
+    println!(
+        "corpus: {} tokens, unigram entropy {:.3} nats (the context-free floor)",
+        corpus.len(),
+        corpus.unigram_entropy()
+    );
+
+    let mut trainer = PipelineTrainer::new(cfg, corpus, 0.3, 32, 4, 1, 8);
+    println!("phase 1: pipeline 4x1, micro-batch 8, M_total = 32 sequences");
+    for step in 0..60 {
+        let loss = trainer.train_minibatch();
+        if step % 10 == 0 {
+            println!("  step {step:>3}  loss {loss:.4}");
+        }
+    }
+
+    println!("morphing 4x1 -> 2x2 (micro-batch 4); M_total unchanged");
+    trainer.morph(2, 2, 4);
+    for step in 60..120 {
+        let loss = trainer.train_minibatch();
+        if step % 10 == 0 {
+            println!("  step {step:>3}  loss {loss:.4}");
+        }
+    }
+
+    // Verify the tied embedding is still exactly tied after all of it.
+    let model = trainer.reassemble();
+    let p = trainer.p();
+    let head = &trainer.parts[0][p - 1].final_part.as_ref().unwrap().1.w;
+    let drift = model.wte.w.max_abs_diff(head);
+    println!("tied-embedding drift after morph + training: {drift} (must be 0)");
+    assert_eq!(drift, 0.0);
+    println!("done: semantics preserved across the morph.");
+}

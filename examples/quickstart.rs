@@ -1,0 +1,63 @@
+//! Quickstart: calibrate, plan, and run one emulated mini-batch.
+//!
+//! ```console
+//! $ cargo run --release --example quickstart
+//! ```
+
+use varuna::job::TrainingJob;
+use varuna::prelude::*;
+use varuna_exec::pipeline::SimOptions;
+
+fn main() {
+    // The 2.5 billion parameter GPT-2 of the paper's evaluation, on 100
+    // low-priority 1-GPU VMs.
+    let model = ModelZoo::gpt2_2_5b();
+    let cluster = VarunaCluster::commodity_1gpu(100);
+    println!(
+        "model: {} ({:.2}B params), cluster: {} spot GPUs over Ethernet",
+        model.name,
+        model.params_billions(),
+        cluster.gpus()
+    );
+
+    // One-time scale-invariant calibration (paper §4.3).
+    let calib = Calibration::profile(&model, &cluster);
+    println!(
+        "calibrated: m* = {}, inter-node bw {:.1} Gbps, latency {:.2} ms",
+        calib.pick_m(0.05),
+        calib.inter_bw * 8.0 / 1e9,
+        calib.inter_lat * 1e3
+    );
+
+    // Plan the best P x D for the available GPUs (paper §4.4).
+    let plan = Planner::new(&model, &calib)
+        .batch_size(8192)
+        .best_config(cluster.gpus())
+        .expect("2.5B fits comfortably on 100 GPUs");
+    println!(
+        "plan: {}x{} (uses {}/{} GPUs), m={}, N_m={}, est {:.1}s per mini-batch",
+        plan.p,
+        plan.d,
+        plan.gpus_used(),
+        cluster.gpus(),
+        plan.m,
+        plan.n_micro,
+        plan.est_minibatch_time
+    );
+
+    // Execute one mini-batch on the discrete-event emulator under the
+    // Varuna schedule.
+    let job = TrainingJob::build(&calib, &cluster, plan).expect("cluster fits the plan");
+    let (res, tput) = job
+        .run_minibatch(&SimOptions::default())
+        .expect("schedule executes");
+    println!(
+        "emulated: {:.1}s wall clock -> {:.1} ex/s total, {:.2} ex/s/GPU, {:.1} TFLOP/s/GPU",
+        res.total_time, tput.examples_per_sec, tput.examples_per_sec_per_gpu, tput.tflops_per_gpu
+    );
+    println!(
+        "pipeline utilization {:.0}%, sync tail {:.2}s",
+        res.utilization() * 100.0,
+        res.sync_tail
+    );
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Workspace-root facade for the Varuna reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests (`tests/`)
+//! and runnable examples (`examples/`); for library use, depend on the
+//! member crates directly — most users want [`varuna`] (the paper's system:
+//! calibration → simulation → planning → morphing) and perhaps
+//! [`varuna_train`] (the real miniature training engine).
+//!
+//! ```
+//! use varuna_repro::prelude::*;
+//!
+//! let model = ModelZoo::gpt2_2_5b();
+//! let cluster = VarunaCluster::commodity_1gpu(36);
+//! let calib = Calibration::profile(&model, &cluster);
+//! let plan = Planner::new(&model, &calib).batch_size(8192).best_config(36);
+//! assert!(plan.is_ok());
+//! ```
+
+pub use varuna;
+pub use varuna_baselines;
+pub use varuna_cluster;
+pub use varuna_exec;
+pub use varuna_models;
+pub use varuna_net;
+pub use varuna_train;
+
+/// One-stop imports for examples and tests.
+pub mod prelude {
+    pub use varuna::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        let m = crate::varuna_models::ModelZoo::gpt2_2_5b();
+        assert_eq!(m.layers, 54);
+    }
+}

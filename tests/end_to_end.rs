@@ -1,0 +1,92 @@
+//! End-to-end integration: calibrate → plan → execute → preempt → morph →
+//! re-execute, across every crate in the workspace.
+
+use varuna::calibrate::Calibration;
+use varuna::job::TrainingJob;
+use varuna::manager::Manager;
+use varuna::morph::MorphController;
+use varuna::planner::Planner;
+use varuna::VarunaCluster;
+use varuna_cluster::trace::ClusterTrace;
+use varuna_exec::pipeline::SimOptions;
+use varuna_models::ModelZoo;
+
+#[test]
+fn full_lifecycle_of_a_spot_training_job() {
+    let model = ModelZoo::gpt2_2_5b();
+    let cluster = VarunaCluster::commodity_1gpu(100);
+    let calib = Calibration::profile(&model, &cluster);
+
+    // Plan for the full cluster and run a mini-batch.
+    let plan = Planner::new(&model, &calib)
+        .batch_size(8192)
+        .best_config(100)
+        .unwrap();
+    let job = TrainingJob::build(&calib, &cluster, plan.clone()).unwrap();
+    let (res, tput) = job.run_minibatch(&SimOptions::default()).unwrap();
+    assert!(
+        tput.examples_per_sec_per_gpu > 0.5,
+        "2.5B should exceed 0.5 ex/s/GPU"
+    );
+    assert!(res.utilization() > 0.5, "pipeline should be mostly busy");
+
+    // Lose a third of the cluster; morph; the new shape still covers
+    // M_total and fits the survivors.
+    let mut morph = MorphController::new(&calib, 8192);
+    let d1 = morph.on_resources_changed(100, 0).unwrap();
+    let d2 = morph.on_resources_changed(66, 7).unwrap();
+    assert_eq!(d1.config.examples, d2.config.examples);
+    assert!(d2.config.gpus_used() <= 66);
+
+    // The re-planned job also executes.
+    let small_cluster = VarunaCluster::commodity_1gpu(66);
+    let job2 = TrainingJob::build(&calib, &small_cluster, d2.config).unwrap();
+    let (_, tput2) = job2.run_minibatch(&SimOptions::default()).unwrap();
+    // Per-GPU throughput stays in the same band after morphing (the
+    // Figure 8 stability property).
+    let rel = tput2.examples_per_sec_per_gpu / tput.examples_per_sec_per_gpu;
+    assert!(
+        (0.7..1.4).contains(&rel),
+        "per-GPU throughput moved {rel:.2}x across morph"
+    );
+}
+
+#[test]
+fn manager_survives_a_chaotic_week() {
+    // A long, volatile trace: the manager must morph through all of it
+    // without ever planning an infeasible configuration.
+    let model = ModelZoo::gpt2_2_5b();
+    let cluster = VarunaCluster::commodity_1gpu(200);
+    let calib = Calibration::profile(&model, &cluster);
+    let trace = ClusterTrace::generate_spot_1gpu(50, 180, 84.0, 15.0, 1234);
+    let mut mgr = Manager::new(&calib, 8192, 4);
+    let timeline = mgr.replay(&trace).unwrap();
+    assert!(timeline.len() > 20);
+    for p in &timeline {
+        assert!(p.gpus_used <= p.gpus_held);
+        assert!(p.p * p.d == p.gpus_used);
+        assert!(p.ex_per_sec > 0.0);
+    }
+}
+
+#[test]
+fn planner_beats_every_fixed_depth_it_considers() {
+    // best_config must actually be the argmax of its own sweep.
+    let model = ModelZoo::gpt2_8_3b();
+    let cluster = VarunaCluster::commodity_1gpu(128);
+    let calib = Calibration::profile(&model, &cluster);
+    let planner = Planner::new(&model, &calib).batch_size(8192).micro_batch(4);
+    let best = planner.best_config(128).unwrap();
+    for cfg in planner.sweep(128) {
+        assert!(
+            best.throughput() >= cfg.throughput() - 1e-9,
+            "best {}x{} ({:.1} ex/s) lost to {}x{} ({:.1} ex/s)",
+            best.p,
+            best.d,
+            best.throughput(),
+            cfg.p,
+            cfg.d,
+            cfg.throughput()
+        );
+    }
+}
