@@ -106,6 +106,23 @@ fn bench_emulator(c: &mut Criterion) {
                 .unwrap()
         })
     });
+    // The observability acceptance bar: with only a disabled sink attached
+    // the event bus must stay within noise of the bus-free emulator (the
+    // inert bus skips event construction entirely).
+    group.bench_function("emulator_9x2_32ubatches_nullsink_bus", |b| {
+        use varuna_exec::pipeline::simulate_minibatch_on_bus;
+        use varuna_obs::{EventBus, NullSink};
+        b.iter(|| {
+            let mut bus = EventBus::with_sink(Box::new(NullSink));
+            simulate_minibatch_on_bus(
+                &job,
+                &|_, _| Box::new(GreedyPolicy),
+                &SimOptions::default(),
+                &mut bus,
+            )
+            .unwrap()
+        })
+    });
     group.finish();
 }
 

@@ -1,10 +1,12 @@
 //! Prints Figure 7: Gantt chart of one Varuna mini-batch on the 20B model
-//! (49x6), and writes the full span CSV to `fig7_gantt.csv`.
+//! (49x6), writes the full span CSV to `fig7_gantt.csv`, and writes a
+//! Perfetto-loadable chrome trace of replica 0 to `fig7_trace.json`.
 
 use varuna_exec::gantt::{ascii_gantt, spans_csv};
+use varuna_obs::chrome_trace_json;
 
 fn main() {
-    let r = varuna_bench::fig7::run();
+    let (r, events) = varuna_bench::fig7::run_traced();
     println!(
         "Figure 7: GPT-2 20B, 49x6, one mini-batch\n\
          pipeline phase {:.1}s, total {:.1}s (allreduce region {:.1}s at the right edge)",
@@ -33,5 +35,13 @@ fn main() {
         "Per-stage allreduce (purple region): {:.2}s-{:.2}s",
         r.allreduce.iter().cloned().fold(f64::MAX, f64::min),
         r.allreduce.iter().cloned().fold(0.0, f64::max)
+    );
+
+    let trace_json = chrome_trace_json(&events);
+    std::fs::write("fig7_trace.json", &trace_json).expect("write fig7_trace.json");
+    println!(
+        "Chrome trace of replica 0 ({} events) written to fig7_trace.json — \
+         open it at https://ui.perfetto.dev or chrome://tracing.",
+        events.len()
     );
 }

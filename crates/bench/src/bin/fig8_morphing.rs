@@ -35,4 +35,13 @@ fn main() {
          (paper: ~5x vs ~15%)",
         r.total_spread, r.per_gpu_spread
     );
+
+    let report = varuna_bench::fig8::report(&r);
+    report
+        .write(std::path::Path::new("BENCH_fig8_morphing.json"))
+        .expect("write BENCH_fig8_morphing.json");
+    println!(
+        "machine-readable report ({}) written to BENCH_fig8_morphing.json",
+        report.schema
+    );
 }

@@ -1,13 +1,17 @@
 //! Figure 7: Gantt chart of one Varuna mini-batch on the GPT-2 20B model
 //! (49 stages x 6 replicas).
 
+use std::sync::{Arc, Mutex};
+
 use varuna::calibrate::Calibration;
 use varuna::job::TrainingJob;
 use varuna::planner::Planner;
 use varuna::VarunaCluster;
+use varuna_exec::observe::SpanCollector;
 use varuna_exec::op::OpSpan;
 use varuna_exec::pipeline::SimOptions;
 use varuna_models::ModelZoo;
+use varuna_obs::{Event, EventBus, EventKind, EventSink};
 
 /// The Figure 7 result: the execution trace of one replica plus summary
 /// timings.
@@ -26,8 +30,42 @@ pub struct Fig7 {
     pub p: usize,
 }
 
+/// A bus sink keeping only the events the Figure 7 chart needs: replica 0
+/// op completions plus the per-stage allreduces. At 49x6 the full event
+/// stream is ~6x larger; collecting one replica keeps the chrome trace
+/// loadable.
+#[derive(Debug, Clone, Default)]
+struct Replica0Sink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl Replica0Sink {
+    fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("sink lock"))
+    }
+}
+
+impl EventSink for Replica0Sink {
+    fn record(&mut self, event: &Event) {
+        let keep = match &event.kind {
+            EventKind::OpEnd { replica, .. } | EventKind::Transfer { replica, .. } => *replica == 0,
+            EventKind::Allreduce { .. } => true,
+            _ => false,
+        };
+        if keep {
+            self.events.lock().expect("sink lock").push(event.clone());
+        }
+    }
+}
+
 /// Runs one traced mini-batch of the 20B model at 49x6.
 pub fn run() -> Fig7 {
+    run_traced().0
+}
+
+/// Like [`run`], but also returns the replica 0 op/transfer/allreduce
+/// events, ready for [`varuna_obs::chrome_trace_json`].
+pub fn run_traced() -> (Fig7, Vec<Event>) {
     let model = ModelZoo::gpt2_20b();
     let cluster = VarunaCluster::commodity_1gpu(294);
     let calib = Calibration::profile(&model, &cluster);
@@ -37,24 +75,28 @@ pub fn run() -> Fig7 {
         .evaluate(49, 6)
         .expect("the paper's 49x6 20B configuration is feasible");
     let job = TrainingJob::build(&calib, &cluster, cfg).unwrap();
-    let opts = SimOptions {
-        record_trace: true,
-        ..SimOptions::default()
-    };
-    let (res, _) = job.run_minibatch(&opts).unwrap();
-    let trace: Vec<OpSpan> = res
-        .trace
+    let spans = SpanCollector::new();
+    let raw = Replica0Sink::default();
+    let mut bus = EventBus::new();
+    bus.add_sink(Box::new(spans.clone()));
+    bus.add_sink(Box::new(raw.clone()));
+    let (res, _) = job
+        .run_minibatch_on_bus(&SimOptions::default(), &mut bus)
+        .unwrap();
+    let trace: Vec<OpSpan> = spans
+        .take()
         .iter()
         .filter(|t| t.replica == 0)
         .copied()
         .collect();
-    Fig7 {
+    let fig = Fig7 {
         trace,
         pipeline_time: res.pipeline_time,
         total_time: res.total_time,
         allreduce: res.allreduce,
         p: 49,
-    }
+    };
+    (fig, raw.take())
 }
 
 #[cfg(test)]

@@ -6,6 +6,11 @@ use varuna::manager::{Manager, TimelineEvent, TimelinePoint};
 use varuna::VarunaCluster;
 use varuna_cluster::trace::ClusterTrace;
 use varuna_models::ModelZoo;
+use varuna_obs::{BenchReport, MetricsRegistry};
+
+/// The spot-trace parameters of the Figure 8 run (hosts, target GPUs,
+/// duration hours, poll minutes, seed).
+pub const TRACE_PARAMS: (usize, usize, f64, f64, u64) = (40, 160, 60.0, 10.0, 60);
 
 /// The Figure 8 result.
 #[derive(Debug, Clone)]
@@ -29,7 +34,8 @@ pub fn run() -> Fig8 {
     let model = ModelZoo::gpt2_2_5b();
     let cluster = VarunaCluster::commodity_1gpu(160);
     let calib = Calibration::profile(&model, &cluster);
-    let trace = ClusterTrace::generate_spot_1gpu(40, 160, 60.0, 10.0, 60);
+    let (hosts, target, hours, poll, seed) = TRACE_PARAMS;
+    let trace = ClusterTrace::generate_spot_1gpu(hosts, target, hours, poll, seed);
     let mut mgr = Manager::new(&calib, 8192, 4);
     let timeline = mgr.replay(&trace).expect("2.5B fits all capacity levels");
 
@@ -58,6 +64,34 @@ pub fn run() -> Fig8 {
         total_spread,
         per_gpu_spread,
     }
+}
+
+/// Packages a Figure 8 run as a [`BenchReport`] (`BENCH_fig8_morphing.json`).
+pub fn report(r: &Fig8) -> BenchReport {
+    let mut metrics = MetricsRegistry::new();
+    metrics.add("morphs", r.morphs as u64);
+    metrics.add("replacements", r.replacements as u64);
+    metrics.add("checkpoints", r.checkpoints as u64);
+    metrics.register_histogram(
+        "ex_per_sec_per_gpu",
+        (0..10).map(|i| 0.01 * 4f64.powi(i)).collect(),
+    );
+    for p in &r.timeline {
+        metrics.observe("ex_per_sec_per_gpu", p.ex_per_sec_per_gpu);
+    }
+    let (hosts, target, hours, poll, seed) = TRACE_PARAMS;
+    BenchReport::new("fig8_morphing")
+        .param("hosts", hosts as f64)
+        .param("target_gpus", target as f64)
+        .param("hours", hours)
+        .param("poll_minutes", poll)
+        .param("seed", seed as f64)
+        .result("morphs", r.morphs as f64)
+        .result("replacements", r.replacements as f64)
+        .result("checkpoints", r.checkpoints as f64)
+        .result("total_spread", r.total_spread)
+        .result("per_gpu_spread", r.per_gpu_spread)
+        .with_metrics(&metrics)
 }
 
 #[cfg(test)]

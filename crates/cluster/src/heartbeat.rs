@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
+use varuna_obs::{Event, EventBus, EventKind};
 
 use crate::cluster::VmId;
 
@@ -100,6 +101,17 @@ impl HeartbeatMonitor {
     pub fn reporting(&self) -> usize {
         self.last.len()
     }
+
+    /// Like [`HeartbeatMonitor::silent_vms`], but also reports each silent
+    /// VM as a [`EventKind::HeartbeatMiss`] on `bus` (source `Cluster`,
+    /// `t_sim` = `now`).
+    pub fn silent_vms_observed(&self, now: f64, bus: &mut EventBus) -> Vec<VmId> {
+        let silent = self.silent_vms(now);
+        for &vm in &silent {
+            bus.emit_with(|| Event::cluster(now, EventKind::HeartbeatMiss { vm }));
+        }
+        silent
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +134,22 @@ mod tests {
         m.record(hb(1, 50.0, 1.0));
         assert_eq!(m.silent_vms(100.0), vec![0]);
         assert!(m.silent_vms(40.0).is_empty());
+    }
+
+    #[test]
+    fn silent_vms_observed_reports_heartbeat_misses() {
+        use varuna_obs::{EventBus, EventKind, Source, VecSink};
+        let mut m = HeartbeatMonitor::new(60.0, 1.2);
+        m.record(hb(3, 0.0, 1.0));
+        m.record(hb(7, 50.0, 1.0));
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        assert_eq!(m.silent_vms_observed(100.0, &mut bus), vec![3]);
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].source, Source::Cluster);
+        assert_eq!(events[0].t_sim, 100.0);
+        assert!(matches!(events[0].kind, EventKind::HeartbeatMiss { vm: 3 }));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! exact run can be replayed.
 
 use serde::{Deserialize, Serialize};
+use varuna_obs::{Event, EventBus, EventKind};
 
 use crate::spot::SpotMarket;
 
@@ -191,6 +192,19 @@ impl ClusterTrace {
             .count()
     }
 
+    /// Reports every preemption in the trace as a
+    /// [`EventKind::Preemption`] on `bus` (source `Cluster`, `t_sim` in
+    /// seconds since trace start).
+    pub fn emit_preemptions(&self, bus: &mut EventBus) {
+        for e in &self.events {
+            if matches!(e.kind, ClusterEventKind::Preempted) {
+                bus.emit_with(|| {
+                    Event::cluster(e.time_hours * 3600.0, EventKind::Preemption { vm: e.vm })
+                });
+            }
+        }
+    }
+
     /// Serializes the trace to JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("trace serialization cannot fail")
@@ -254,6 +268,22 @@ mod tests {
         assert_eq!(t.gpus_at(0.5), 4);
         assert_eq!(t.gpus_at(1.5), 5);
         assert_eq!(t.gpus_at(2.5), 1);
+    }
+
+    #[test]
+    fn emit_preemptions_mirrors_trace_events() {
+        use varuna_obs::{EventBus, EventKind, Source, VecSink};
+        let t = ClusterTrace::generate_spot_1gpu(60, 120, 60.0, 5.0, 21);
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        t.emit_preemptions(&mut bus);
+        let events = sink.take();
+        assert_eq!(events.len(), t.preemptions());
+        for e in &events {
+            assert_eq!(e.source, Source::Cluster);
+            assert!(matches!(e.kind, EventKind::Preemption { .. }));
+            assert!(e.t_sim <= t.duration_hours * 3600.0);
+        }
     }
 
     #[test]

@@ -10,6 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::VarunaError;
+
 /// The checkpointing policy and its cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointPolicy {
@@ -34,14 +36,41 @@ impl CheckpointPolicy {
 
     /// Foreground pause per checkpoint: each GPU writes its stage's
     /// parameter state (16 bytes/param), sharded `1/d` across replicas.
-    pub fn pause_seconds(&self, stage_params: u64, d: usize) -> f64 {
-        assert!(d > 0);
-        stage_params as f64 * 16.0 / d as f64 / self.ssd_bandwidth
+    ///
+    /// # Errors
+    ///
+    /// Rejects `d == 0` and non-positive or non-finite
+    /// [`CheckpointPolicy::ssd_bandwidth`] (either would previously panic
+    /// or silently yield an infinite/NaN pause).
+    pub fn pause_seconds(&self, stage_params: u64, d: usize) -> Result<f64, VarunaError> {
+        if d == 0 {
+            return Err(VarunaError::InvalidConfig(
+                "checkpoint sharding width d must be at least 1".to_string(),
+            ));
+        }
+        if !(self.ssd_bandwidth > 0.0 && self.ssd_bandwidth.is_finite()) {
+            return Err(VarunaError::InvalidConfig(format!(
+                "ssd_bandwidth must be positive and finite, got {}",
+                self.ssd_bandwidth
+            )));
+        }
+        Ok(stage_params as f64 * 16.0 / d as f64 / self.ssd_bandwidth)
     }
 
     /// Seconds for the background cloud copy of one full checkpoint.
-    pub fn upload_seconds(&self, total_params: u64) -> f64 {
-        total_params as f64 * 16.0 / self.cloud_bandwidth
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive or non-finite
+    /// [`CheckpointPolicy::cloud_bandwidth`].
+    pub fn upload_seconds(&self, total_params: u64) -> Result<f64, VarunaError> {
+        if !(self.cloud_bandwidth > 0.0 && self.cloud_bandwidth.is_finite()) {
+            return Err(VarunaError::InvalidConfig(format!(
+                "cloud_bandwidth must be positive and finite, got {}",
+                self.cloud_bandwidth
+            )));
+        }
+        Ok(total_params as f64 * 16.0 / self.cloud_bandwidth)
     }
 
     /// Whether mini-batch `step` ends with a checkpoint.
@@ -63,11 +92,51 @@ mod tests {
     #[test]
     fn sharding_divides_the_pause() {
         let p = CheckpointPolicy::default_tuning();
-        let solo = p.pause_seconds(1_000_000_000, 1);
-        let sharded = p.pause_seconds(1_000_000_000, 8);
+        let solo = p.pause_seconds(1_000_000_000, 1).unwrap();
+        let sharded = p.pause_seconds(1_000_000_000, 8).unwrap();
         assert!((solo / sharded - 8.0).abs() < 1e-9);
         // A 2.5B/9-stage shard over 7 replicas pauses well under a second.
-        assert!(p.pause_seconds(2_500_000_000 / 9, 7) < 1.0);
+        assert!(p.pause_seconds(2_500_000_000 / 9, 7).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn zero_sharding_width_is_rejected() {
+        let p = CheckpointPolicy::default_tuning();
+        assert!(matches!(
+            p.pause_seconds(1_000_000, 0),
+            Err(VarunaError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn zero_ssd_bandwidth_is_rejected() {
+        let p = CheckpointPolicy {
+            ssd_bandwidth: 0.0,
+            ..CheckpointPolicy::default_tuning()
+        };
+        assert!(matches!(
+            p.pause_seconds(1_000_000, 4),
+            Err(VarunaError::InvalidConfig(_))
+        ));
+        let nan = CheckpointPolicy {
+            ssd_bandwidth: f64::NAN,
+            ..CheckpointPolicy::default_tuning()
+        };
+        assert!(nan.pause_seconds(1_000_000, 4).is_err());
+        let neg = CheckpointPolicy {
+            cloud_bandwidth: -1.0,
+            ..CheckpointPolicy::default_tuning()
+        };
+        assert!(neg.upload_seconds(1_000_000).is_err());
+    }
+
+    #[test]
+    fn huge_stage_params_stay_finite() {
+        let p = CheckpointPolicy::default_tuning();
+        let pause = p.pause_seconds(u64::MAX, 1).unwrap();
+        assert!(pause.is_finite() && pause > 0.0);
+        let upload = p.upload_seconds(u64::MAX).unwrap();
+        assert!(upload.is_finite() && upload > pause);
     }
 
     #[test]
@@ -96,6 +165,8 @@ mod tests {
     #[test]
     fn cloud_upload_is_slower_than_local_write() {
         let p = CheckpointPolicy::default_tuning();
-        assert!(p.upload_seconds(1_000_000_000) > p.pause_seconds(1_000_000_000, 1));
+        assert!(
+            p.upload_seconds(1_000_000_000).unwrap() > p.pause_seconds(1_000_000_000, 1).unwrap()
+        );
     }
 }

@@ -9,9 +9,12 @@
 
 use varuna_exec::job::{PlacedJob, StageSpec};
 use varuna_exec::metrics::Throughput;
-use varuna_exec::pipeline::{simulate_minibatch, MinibatchResult, SimOptions};
+use varuna_exec::pipeline::{
+    simulate_minibatch, simulate_minibatch_on_bus, MinibatchResult, SimOptions,
+};
 use varuna_exec::placement::Placement;
 use varuna_exec::policy::{PolicyFactory, SchedulePolicy};
+use varuna_obs::{Event, EventBus, EventKind};
 
 use crate::calibrate::Calibration;
 use crate::error::VarunaError;
@@ -134,6 +137,38 @@ impl TrainingJob {
         })
     }
 
+    /// Like [`TrainingJob::build`], but reports a memory rejection as an
+    /// [`EventKind::OomKill`] on `bus` (source `Manager`) before returning
+    /// the error.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TrainingJob::build`].
+    pub fn build_on_bus(
+        calib: &Calibration,
+        cluster: &VarunaCluster,
+        config: Config,
+        bus: &mut EventBus,
+    ) -> Result<Self, VarunaError> {
+        match TrainingJob::build(calib, cluster, config) {
+            Err(VarunaError::OutOfMemory(oom)) => {
+                bus.emit_with(|| {
+                    Event::manager(
+                        0.0,
+                        EventKind::OomKill {
+                            stage: 0,
+                            needed_bytes: oom.needed,
+                            capacity_bytes: oom.capacity,
+                            what: oom.what.clone(),
+                        },
+                    )
+                });
+                Err(VarunaError::OutOfMemory(oom))
+            }
+            other => other,
+        }
+    }
+
     /// Per-stage GPU memory footprints of this job (weights + stash at the
     /// scheduled window + recompute working set), for capacity audits.
     pub fn memory_report(&self) -> Vec<varuna_models::memory::StageMemory> {
@@ -169,6 +204,33 @@ impl TrainingJob {
         self.run_with_policy(&factory, opts)
     }
 
+    /// Runs one mini-batch under the Varuna schedule, reporting every op,
+    /// transfer, and allreduce through `bus` (see
+    /// [`simulate_minibatch_on_bus`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulator deadlocks (a schedule bug, not a user error).
+    pub fn run_minibatch_on_bus(
+        &self,
+        opts: &SimOptions,
+        bus: &mut EventBus,
+    ) -> Result<(MinibatchResult, Throughput), VarunaError> {
+        let schedule = &self.schedule;
+        let factory = move |s: usize, _r: usize| -> Box<dyn SchedulePolicy> {
+            Box::new(VarunaPolicy::for_stage(schedule, s))
+        };
+        let res = simulate_minibatch_on_bus(&self.job, &factory, opts, bus)
+            .map_err(|e| VarunaError::InvalidConfig(e.to_string()))?;
+        let tput = Throughput::from_time(
+            &self.model,
+            self.config.examples as f64,
+            self.job.gpus(),
+            res.total_time,
+        );
+        Ok((res, tput))
+    }
+
     /// Emulates a steady-state training run of `minibatches` mini-batches
     /// with continuous checkpointing (paper §4.5): per-mini-batch times are
     /// sampled from the emulator under distinct jitter seeds, and the
@@ -201,7 +263,7 @@ impl TrainingJob {
             .map(|st| st.params)
             .max()
             .unwrap_or(0);
-        let pause = ckpt.pause_seconds(max_stage_params, self.job.d);
+        let pause = ckpt.pause_seconds(max_stage_params, self.job.d)?;
         let checkpoints = minibatches / ckpt.interval_minibatches;
         let compute_time = minibatches as f64 * per_minibatch;
         let pause_time = checkpoints as f64 * pause;

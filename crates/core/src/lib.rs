@@ -42,6 +42,7 @@ pub mod error;
 pub mod job;
 pub mod manager;
 pub mod morph;
+pub mod observe;
 pub mod partition;
 pub mod planner;
 pub mod schedule;
@@ -53,6 +54,7 @@ pub use error::VarunaError;
 pub use job::TrainingJob;
 pub use manager::{Manager, TimelinePoint};
 pub use morph::MorphController;
+pub use observe::TimelineCollector;
 pub use partition::balanced_partition;
 pub use planner::{Config, Planner};
 pub use schedule::{generate_schedule, StaticSchedule, VarunaPolicy};

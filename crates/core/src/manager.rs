@@ -11,11 +11,13 @@ use serde::{Deserialize, Serialize};
 use varuna_cluster::cluster::VmId;
 use varuna_cluster::heartbeat::{Heartbeat, HeartbeatMonitor};
 use varuna_cluster::trace::{ClusterEventKind, ClusterTrace};
+use varuna_obs::{Event, EventBus, EventKind};
 
 use crate::calibrate::Calibration;
 use crate::checkpoint::CheckpointPolicy;
 use crate::error::VarunaError;
 use crate::morph::MorphController;
+use crate::observe::TimelineCollector;
 
 /// What happened at a timeline point.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -105,11 +107,39 @@ impl<'a> Manager<'a> {
     /// Replays a cluster trace, morphing on every capacity change, and
     /// returns the Figure 8 timeline.
     ///
+    /// A convenience wrapper over [`Manager::replay_on_bus`]: it attaches
+    /// a [`TimelineCollector`] to a private bus and returns the derived
+    /// timeline (identical to what this method historically built
+    /// in-line).
+    ///
     /// # Errors
     ///
     /// Fails if at some point no configuration fits the surviving GPUs.
     pub fn replay(&mut self, trace: &ClusterTrace) -> Result<Vec<TimelinePoint>, VarunaError> {
-        let mut timeline = Vec::new();
+        let collector = TimelineCollector::new();
+        let mut bus = EventBus::with_sink(Box::new(collector.clone()));
+        self.replay_on_bus(trace, &mut bus)?;
+        Ok(collector.take())
+    }
+
+    /// Replays a cluster trace, reporting every preemption, morph /
+    /// replacement decision, and periodic checkpoint through `bus` as
+    /// [`varuna_obs::Event`]s (source `Manager`, `t_sim` in seconds since
+    /// trace start).
+    ///
+    /// Morph and checkpoint events are self-contained — they carry the
+    /// held/used GPU counts and throughputs — so a [`TimelineCollector`]
+    /// sink rebuilds the Figure 8 [`TimelinePoint`] sequence from the
+    /// stream alone.
+    ///
+    /// # Errors
+    ///
+    /// Fails if at some point no configuration fits the surviving GPUs.
+    pub fn replay_on_bus(
+        &mut self,
+        trace: &ClusterTrace,
+        bus: &mut EventBus,
+    ) -> Result<(), VarunaError> {
         let mut held: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         let mut stuttering: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut step: f64 = 0.0;
@@ -129,18 +159,23 @@ impl<'a> Manager<'a> {
                 let interval = self.checkpoint.interval_minibatches;
                 while step as u64 >= last_ckpt_step + interval {
                     last_ckpt_step += interval;
-                    timeline.push(TimelinePoint {
-                        t_hours: last_t
-                            + (t - last_t)
-                                * ((last_ckpt_step as f64 - (step - steps_done))
-                                    / steps_done.max(1e-9)),
-                        gpus_held: held.values().sum(),
-                        gpus_used: cfg.gpus_used(),
-                        p: cfg.p,
-                        d: cfg.d,
-                        ex_per_sec: cfg.throughput(),
-                        ex_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                        event: TimelineEvent::Checkpoint,
+                    let t_ckpt = last_t
+                        + (t - last_t)
+                            * ((last_ckpt_step as f64 - (step - steps_done))
+                                / steps_done.max(1e-9));
+                    bus.emit_with(|| {
+                        Event::manager(
+                            t_ckpt * 3600.0,
+                            EventKind::Checkpoint {
+                                step: last_ckpt_step,
+                                gpus_held: held.values().sum(),
+                                gpus_used: cfg.gpus_used(),
+                                p: cfg.p,
+                                d: cfg.d,
+                                examples_per_sec: cfg.throughput(),
+                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                            },
+                        )
                     });
                 }
             }
@@ -156,6 +191,9 @@ impl<'a> Manager<'a> {
                         held.remove(&e.vm);
                         stuttering.remove(&e.vm);
                         self.monitor.forget(e.vm);
+                        bus.emit_with(|| {
+                            Event::manager(t * 3600.0, EventKind::Preemption { vm: e.vm })
+                        });
                     }
                     // §4.6: outlier heartbeat timings get the VM omitted
                     // from scheduling; it counts as lost capacity until it
@@ -179,22 +217,22 @@ impl<'a> Manager<'a> {
             }
             let decision = self.morph.on_resources_changed(gpus, step as u64)?;
             let cfg = &decision.config;
-            timeline.push(TimelinePoint {
-                t_hours: t,
-                gpus_held: gpus,
-                gpus_used: cfg.gpus_used(),
-                p: cfg.p,
-                d: cfg.d,
-                ex_per_sec: cfg.throughput(),
-                ex_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                event: if decision.reconfigured {
-                    TimelineEvent::Morph { p: cfg.p, d: cfg.d }
-                } else {
-                    TimelineEvent::Replacement
-                },
+            bus.emit_with(|| {
+                Event::manager(
+                    t * 3600.0,
+                    EventKind::Morph {
+                        p: cfg.p,
+                        d: cfg.d,
+                        gpus_held: gpus,
+                        gpus_used: cfg.gpus_used(),
+                        examples_per_sec: cfg.throughput(),
+                        examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                        reconfigured: decision.reconfigured,
+                    },
+                )
             });
         }
-        Ok(timeline)
+        Ok(())
     }
 }
 

@@ -1,0 +1,157 @@
+//! Adapters between the manager and the `varuna-obs` event bus.
+//!
+//! [`Manager::replay_on_bus`](crate::Manager::replay_on_bus) reports the
+//! whole Figure 8 story — preemptions, morph / replacement decisions,
+//! periodic checkpoints — as self-contained [`varuna_obs::Event`]s. The
+//! [`TimelineCollector`] sink folds that stream back into the legacy
+//! [`TimelinePoint`] sequence, which is how
+//! [`Manager::replay`](crate::Manager::replay) keeps its historical
+//! return type: `TimelinePoint` is now a derived view over the bus.
+
+use std::sync::{Arc, Mutex};
+
+use varuna_obs::{Event, EventKind, EventSink};
+
+use crate::manager::{TimelineEvent, TimelinePoint};
+
+/// Rebuilds the Figure 8 timeline from manager events.
+///
+/// Morph and checkpoint events carry their full context (held/used GPUs,
+/// shape, throughputs), so the mapping is stateless: one `Morph` or
+/// `Checkpoint` event becomes exactly one [`TimelinePoint`]; every other
+/// event kind is ignored. Clone the collector before boxing it into the
+/// bus, then read the points back through the clone.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineCollector {
+    points: Arc<Mutex<Vec<TimelinePoint>>>,
+}
+
+impl TimelineCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        TimelineCollector::default()
+    }
+
+    /// Drains and returns the collected timeline, in event-arrival order.
+    pub fn take(&self) -> Vec<TimelinePoint> {
+        std::mem::take(&mut *self.points.lock().expect("collector lock"))
+    }
+
+    /// Number of timeline points collected so far.
+    pub fn len(&self) -> usize {
+        self.points.lock().expect("collector lock").len()
+    }
+
+    /// Whether no points were collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for TimelineCollector {
+    fn record(&mut self, event: &Event) {
+        let point = match &event.kind {
+            EventKind::Morph {
+                p,
+                d,
+                gpus_held,
+                gpus_used,
+                examples_per_sec,
+                examples_per_sec_per_gpu,
+                reconfigured,
+            } => Some(TimelinePoint {
+                t_hours: event.t_sim / 3600.0,
+                gpus_held: *gpus_held,
+                gpus_used: *gpus_used,
+                p: *p,
+                d: *d,
+                ex_per_sec: *examples_per_sec,
+                ex_per_sec_per_gpu: *examples_per_sec_per_gpu,
+                event: if *reconfigured {
+                    TimelineEvent::Morph { p: *p, d: *d }
+                } else {
+                    TimelineEvent::Replacement
+                },
+            }),
+            EventKind::Checkpoint {
+                gpus_held,
+                gpus_used,
+                p,
+                d,
+                examples_per_sec,
+                examples_per_sec_per_gpu,
+                ..
+            } => Some(TimelinePoint {
+                t_hours: event.t_sim / 3600.0,
+                gpus_held: *gpus_held,
+                gpus_used: *gpus_used,
+                p: *p,
+                d: *d,
+                ex_per_sec: *examples_per_sec,
+                ex_per_sec_per_gpu: *examples_per_sec_per_gpu,
+                event: TimelineEvent::Checkpoint,
+            }),
+            _ => None,
+        };
+        if let Some(point) = point {
+            self.points.lock().expect("collector lock").push(point);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varuna_obs::EventBus;
+
+    #[test]
+    fn collector_maps_morph_and_checkpoint_events_only() {
+        let collector = TimelineCollector::new();
+        let mut bus = EventBus::with_sink(Box::new(collector.clone()));
+        bus.emit(Event::manager(3600.0, EventKind::Preemption { vm: 4 }));
+        bus.emit(Event::manager(
+            3600.0,
+            EventKind::Morph {
+                p: 7,
+                d: 5,
+                gpus_held: 40,
+                gpus_used: 35,
+                examples_per_sec: 20.0,
+                examples_per_sec_per_gpu: 20.0 / 35.0,
+                reconfigured: true,
+            },
+        ));
+        bus.emit(Event::manager(
+            7200.0,
+            EventKind::Morph {
+                p: 7,
+                d: 5,
+                gpus_held: 41,
+                gpus_used: 35,
+                examples_per_sec: 20.0,
+                examples_per_sec_per_gpu: 20.0 / 35.0,
+                reconfigured: false,
+            },
+        ));
+        bus.emit(Event::manager(
+            9000.0,
+            EventKind::Checkpoint {
+                step: 1000,
+                gpus_held: 41,
+                gpus_used: 35,
+                p: 7,
+                d: 5,
+                examples_per_sec: 20.0,
+                examples_per_sec_per_gpu: 20.0 / 35.0,
+            },
+        ));
+        let timeline = collector.take();
+        assert_eq!(timeline.len(), 3, "preemption events are not points");
+        assert_eq!(timeline[0].t_hours, 1.0);
+        assert_eq!(timeline[0].event, TimelineEvent::Morph { p: 7, d: 5 });
+        assert_eq!(timeline[1].event, TimelineEvent::Replacement);
+        assert_eq!(timeline[2].event, TimelineEvent::Checkpoint);
+        assert_eq!(timeline[2].t_hours, 2.5);
+        assert_eq!(timeline[2].gpus_held, 41);
+    }
+}

@@ -26,11 +26,13 @@
 //! - [`oom`]: activation-stash windows and out-of-memory detection.
 //! - [`gantt`]: ASCII Gantt charts (paper Figure 7).
 //! - [`metrics`]: throughput and TFLOP/s summaries.
+//! - [`observe`]: adapters between the emulator and the `varuna-obs` bus.
 
 pub mod engine;
 pub mod gantt;
 pub mod job;
 pub mod metrics;
+pub mod observe;
 pub mod oom;
 pub mod op;
 pub mod pipeline;
@@ -39,7 +41,8 @@ pub mod policy;
 
 pub use job::{PlacedJob, StageSpec};
 pub use metrics::Throughput;
+pub use observe::SpanCollector;
 pub use op::{OpKind, OpSpan};
-pub use pipeline::{simulate_minibatch, MinibatchResult, SimOptions};
+pub use pipeline::{simulate_minibatch, simulate_minibatch_on_bus, MinibatchResult, SimOptions};
 pub use placement::Placement;
 pub use policy::{GreedyPolicy, PolicyFactory, SchedulePolicy, StageView};

@@ -16,12 +16,23 @@ pub enum OpKind {
 }
 
 impl OpKind {
-    /// One-letter code used in Gantt charts (`F`/`R`/`B`).
+    /// One-letter code used in Gantt charts (`F`/`R`/`B`) and in
+    /// `varuna-obs` op events.
     pub fn code(&self) -> char {
         match self {
             OpKind::Forward => 'F',
             OpKind::Recompute => 'R',
             OpKind::Backward => 'B',
+        }
+    }
+
+    /// The inverse of [`OpKind::code`].
+    pub fn from_code(c: char) -> Option<OpKind> {
+        match c {
+            'F' => Some(OpKind::Forward),
+            'R' => Some(OpKind::Recompute),
+            'B' => Some(OpKind::Backward),
+            _ => None,
         }
     }
 }

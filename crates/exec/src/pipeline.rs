@@ -12,9 +12,11 @@ use rand::{Rng, SeedableRng};
 use varuna_net::collective::{allreduce_time, AllreduceSpec};
 use varuna_net::jitter::sample_jitter;
 use varuna_net::transfer::fair_share;
+use varuna_obs::{Event, EventBus, EventKind};
 
 use crate::engine::EventQueue;
 use crate::job::PlacedJob;
+use crate::observe::SpanCollector;
 use crate::op::{Op, OpKind, OpSpan};
 use crate::policy::{PolicyFactory, StageView};
 
@@ -158,6 +160,12 @@ struct StageRt {
 /// Simulates one mini-batch of `job` under the schedule produced by
 /// `policies`.
 ///
+/// This is the bus-free entry point: it runs
+/// [`simulate_minibatch_on_bus`] over a private [`EventBus`] and, when
+/// [`SimOptions::record_trace`] is set, rebuilds the legacy per-op trace
+/// through a [`SpanCollector`] sink (same spans, same order as the old
+/// built-in recorder).
+///
 /// # Errors
 ///
 /// Returns [`SimError::Deadlock`] if the policy wedges the pipeline.
@@ -165,6 +173,39 @@ pub fn simulate_minibatch(
     job: &PlacedJob,
     policies: &PolicyFactory<'_>,
     opts: &SimOptions,
+) -> Result<MinibatchResult, SimError> {
+    let mut bus = EventBus::new();
+    let collector = if opts.record_trace {
+        let c = SpanCollector::new();
+        bus.add_sink(Box::new(c.clone()));
+        Some(c)
+    } else {
+        None
+    };
+    let mut res = simulate_minibatch_on_bus(job, policies, opts, &mut bus)?;
+    if let Some(c) = collector {
+        res.trace = c.take();
+    }
+    Ok(res)
+}
+
+/// Simulates one mini-batch, reporting every op, transfer, and allreduce
+/// through `bus` as [`varuna_obs::Event`]s (source `Exec`).
+///
+/// The returned [`MinibatchResult::trace`] is always empty here — attach a
+/// [`SpanCollector`] to the bus to rebuild spans (that is exactly what
+/// [`simulate_minibatch`] does). With no enabled sink attached, event
+/// payloads are never constructed and the emulator runs within noise of
+/// its bus-free wall-clock.
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadlock`] if the policy wedges the pipeline.
+pub fn simulate_minibatch_on_bus(
+    job: &PlacedJob,
+    policies: &PolicyFactory<'_>,
+    opts: &SimOptions,
+    bus: &mut EventBus,
 ) -> Result<MinibatchResult, SimError> {
     job.validate();
     let p = job.p();
@@ -207,7 +248,6 @@ pub fn simulate_minibatch(
     let mut q: EventQueue<Ev> = EventQueue::new();
     // In-flight inter-node flows per node, for NIC fair sharing.
     let mut inflight: Vec<usize> = vec![0; job.topology.num_nodes()];
-    let mut trace: Vec<OpSpan> = Vec::new();
     let mut done_pairs = 0usize;
 
     // Dispatch helper effects are implemented inline in the event loop to
@@ -223,6 +263,7 @@ pub fn simulate_minibatch(
         now: f64,
         q: &mut EventQueue<Ev>,
         rng: &mut StdRng,
+        bus: &mut EventBus,
     ) {
         let i = r * p + s;
         if st[i].busy {
@@ -305,12 +346,23 @@ pub fn simulate_minibatch(
                 started: now,
             },
         );
+        bus.emit_with(|| {
+            Event::exec(
+                now,
+                EventKind::OpStart {
+                    stage: s,
+                    replica: r,
+                    op: op.kind.code(),
+                    micro: op.micro,
+                },
+            )
+        });
     }
 
     // Kick off all first-stage (and trivially-ready) dispatches.
     for r in 0..d {
         for s in 0..p {
-            dispatch(&mut st, job, opts, p, s, r, 0.0, &mut q, &mut rng);
+            dispatch(&mut st, job, opts, p, s, r, 0.0, &mut q, &mut rng, bus);
         }
     }
 
@@ -320,15 +372,20 @@ pub fn simulate_minibatch(
         match ev {
             Ev::OpDone { s, r, op, started } => {
                 let i = idx(s, r);
-                if opts.record_trace {
-                    trace.push(OpSpan {
-                        stage: s,
-                        replica: r,
-                        op,
-                        start: started,
-                        end: now,
-                    });
-                }
+                // Emitted exactly where the legacy recorder pushed spans,
+                // so a SpanCollector reproduces the old trace verbatim.
+                bus.emit_with(|| {
+                    Event::exec(
+                        now,
+                        EventKind::OpEnd {
+                            stage: s,
+                            replica: r,
+                            op: op.kind.code(),
+                            micro: op.micro,
+                            start: started,
+                        },
+                    )
+                });
                 st[i].busy = false;
                 match op.kind {
                     OpKind::Forward => {
@@ -350,6 +407,19 @@ pub fn simulate_minibatch(
                                 s + 1,
                                 job.stages[s].act_bytes,
                             );
+                            bus.emit_with(|| {
+                                Event::exec(
+                                    now,
+                                    EventKind::Transfer {
+                                        from_stage: s,
+                                        to_stage: s + 1,
+                                        replica: r,
+                                        micro: op.micro,
+                                        bytes: job.stages[s].act_bytes,
+                                        seconds: delay,
+                                    },
+                                )
+                            });
                             let j = idx(s + 1, r);
                             let arrive = (now + delay).max(st[j].chan_act_last + 1e-9);
                             st[j].chan_act_last = arrive;
@@ -388,6 +458,19 @@ pub fn simulate_minibatch(
                                 s - 1,
                                 job.stages[s - 1].act_bytes,
                             );
+                            bus.emit_with(|| {
+                                Event::exec(
+                                    now,
+                                    EventKind::Transfer {
+                                        from_stage: s,
+                                        to_stage: s - 1,
+                                        replica: r,
+                                        micro: op.micro,
+                                        bytes: job.stages[s - 1].act_bytes,
+                                        seconds: delay,
+                                    },
+                                )
+                            });
                             let j = idx(s - 1, r);
                             let arrive = (now + delay).max(st[j].chan_grad_last + 1e-9);
                             st[j].chan_grad_last = arrive;
@@ -408,25 +491,25 @@ pub fn simulate_minibatch(
                     }
                 }
                 if !st[i].busy {
-                    dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng);
+                    dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng, bus);
                 }
             }
             Ev::ActArrive { s, r } => {
                 release_flow(job, &mut inflight, s - 1, r, s);
                 let i = idx(s, r);
                 st[i].acts_arrived += 1;
-                dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng);
+                dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng, bus);
             }
             Ev::GradArrive { s, r, mb } => {
                 release_flow(job, &mut inflight, s + 1, r, s);
                 let i = idx(s, r);
                 st[i].grads_ready[mb] = true;
-                dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng);
+                dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng, bus);
             }
             Ev::SendDone { s, r } => {
                 let i = idx(s, r);
                 st[i].busy = false;
-                dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng);
+                dispatch(&mut st, job, opts, p, s, r, now, &mut q, &mut rng, bus);
             }
         }
     }
@@ -490,6 +573,19 @@ pub fn simulate_minibatch(
             link,
         );
         allreduce[s] = ar;
+        if d > 1 {
+            bus.emit_with(|| {
+                Event::exec(
+                    stage_finish[s] + ar,
+                    EventKind::Allreduce {
+                        stage: s,
+                        bytes: job.stages[s].grad_bytes,
+                        ring: d,
+                        seconds: ar,
+                    },
+                )
+            });
+        }
         let mut tail = ar;
         // Tied-parameter sync between the first and last stage of each
         // replica (ring of 2 over the inter-stage link).
@@ -518,7 +614,7 @@ pub fn simulate_minibatch(
         total_time,
         pipeline_time,
         sync_tail,
-        trace,
+        trace: Vec::new(),
         peak_stash,
         busy_time,
         stage_finish,

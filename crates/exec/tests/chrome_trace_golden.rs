@@ -1,0 +1,89 @@
+//! Golden-file test: the chrome-trace exporter's output for a tiny
+//! 2-stage / 2-micro-batch schedule is valid JSON and byte-stable across
+//! runs (and commits — regressions in event emission order, span timing,
+//! or JSON formatting all show up as a golden diff).
+//!
+//! Regenerate with
+//! `cargo test -p varuna-exec --test chrome_trace_golden -- --ignored`.
+
+use varuna_exec::job::PlacedJob;
+use varuna_exec::pipeline::{simulate_minibatch_on_bus, SimOptions};
+use varuna_exec::placement::Placement;
+use varuna_exec::policy::GreedyPolicy;
+use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
+use varuna_net::Topology;
+use varuna_obs::{chrome_trace_json, Event, EventBus, VecSink};
+
+const GOLDEN: &str = include_str!("golden/tiny_2stage_chrome_trace.json");
+
+/// A deterministic tiny run: 2 stages, 1 replica, 2 micro-batches, no
+/// compute jitter, fixed seed.
+fn tiny_run_events() -> Vec<Event> {
+    let graph = CutpointGraph::from_transformer(&ModelZoo::gpt2_355m());
+    let job = PlacedJob::uniform_from_graph(
+        &graph,
+        &GpuModel::v100(),
+        2,
+        1,
+        1,
+        2,
+        Topology::commodity_1gpu(2),
+        Placement::one_stage_per_gpu(2, 1),
+    );
+    let opts = SimOptions {
+        seed: 42,
+        compute_jitter: 0.0,
+        ..SimOptions::default()
+    };
+    let sink = VecSink::new();
+    let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    simulate_minibatch_on_bus(&job, &|_, _| Box::new(GreedyPolicy), &opts, &mut bus)
+        .expect("the tiny job completes");
+    sink.take()
+}
+
+#[test]
+fn chrome_trace_matches_the_golden_file() {
+    let trace = chrome_trace_json(&tiny_run_events());
+    assert_eq!(
+        trace.trim(),
+        GOLDEN.trim(),
+        "chrome trace drifted from the golden file; if the change is \
+         intentional, regenerate with --ignored"
+    );
+}
+
+#[test]
+fn chrome_trace_is_valid_json_and_stable_across_runs() {
+    let a = chrome_trace_json(&tiny_run_events());
+    let b = chrome_trace_json(&tiny_run_events());
+    assert_eq!(a, b, "two identical runs must export identical traces");
+
+    let doc = serde_json::parse_value(&a).expect("exporter output parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .expect("document has a traceEvents array");
+    let events = events.as_seq_for("traceEvents").unwrap();
+    assert!(!events.is_empty());
+    // Two stages x two micro-batches: at least F+B per (stage, micro) as
+    // "X" complete slices, plus the inter-stage transfers.
+    let slices = events
+        .iter()
+        .filter(|e| e.get("ph") == Some(&serde::Value::Str("X".to_string())))
+        .count();
+    assert!(
+        slices >= 8,
+        "expected at least 8 complete slices, got {slices}"
+    );
+}
+
+#[test]
+#[ignore = "regenerates the golden file in the source tree"]
+fn regenerate_golden() {
+    let trace = chrome_trace_json(&tiny_run_events());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/tiny_2stage_chrome_trace.json"
+    );
+    std::fs::write(path, trace).expect("write golden");
+}

@@ -4,11 +4,12 @@
 use proptest::prelude::*;
 use varuna_exec::job::PlacedJob;
 use varuna_exec::op::OpKind;
-use varuna_exec::pipeline::{simulate_minibatch, SimOptions};
+use varuna_exec::pipeline::{simulate_minibatch, simulate_minibatch_on_bus, SimOptions};
 use varuna_exec::placement::Placement;
 use varuna_exec::policy::GreedyPolicy;
 use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
 use varuna_net::Topology;
+use varuna_obs::{EventBus, EventKind, VecSink};
 
 fn job(p: usize, d: usize, n_micro: usize, m: usize) -> PlacedJob {
     let graph = CutpointGraph::from_transformer(&ModelZoo::gpt2_355m());
@@ -107,6 +108,86 @@ proptest! {
             t2 / (2.0 * n_micro as f64),
             t1 / n_micro as f64
         );
+    }
+
+    /// The emitted op event stream is well-formed: every `OpStart` has
+    /// exactly one matching `OpEnd`, and per (stage, replica) GPU the op
+    /// intervals never overlap.
+    #[test]
+    fn op_events_pair_up_and_never_overlap(
+        p in 1usize..5,
+        d in 1usize..4,
+        n_micro in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let j = job(p, d, n_micro, 2);
+        let opts = SimOptions { seed, ..SimOptions::default() };
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        simulate_minibatch_on_bus(&j, &|_, _| Box::new(GreedyPolicy), &opts, &mut bus)
+            .expect("greedy completes any shape");
+        let events = sink.take();
+
+        // Pair every start with its end, per GPU.
+        let mut open: std::collections::HashMap<(usize, usize), Vec<(char, usize)>> =
+            std::collections::HashMap::new();
+        let mut intervals: std::collections::HashMap<(usize, usize), Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for e in &events {
+            match &e.kind {
+                EventKind::OpStart { stage, replica, op, micro } => {
+                    open.entry((*stage, *replica)).or_default().push((*op, *micro));
+                }
+                EventKind::OpEnd { stage, replica, op, micro, start } => {
+                    let gpu = (*stage, *replica);
+                    let opens = open.entry(gpu).or_default();
+                    let pos = opens.iter().position(|&(o, m)| o == *op && m == *micro);
+                    prop_assert!(pos.is_some(), "OpEnd without a matching OpStart: {e:?}");
+                    opens.remove(pos.unwrap());
+                    prop_assert!(*start <= e.t_sim, "op ends before it starts: {e:?}");
+                    intervals.entry(gpu).or_default().push((*start, e.t_sim));
+                }
+                _ => {}
+            }
+        }
+        for (gpu, opens) in &open {
+            prop_assert!(opens.is_empty(), "unmatched OpStart on GPU {gpu:?}: {opens:?}");
+        }
+        // Every GPU completes each micro-batch's forward and backward
+        // (recomputes are policy-dependent), and its ops never overlap.
+        for s in 0..p {
+            for r in 0..d {
+                let ivs = intervals.get_mut(&(s, r)).expect("every GPU runs ops");
+                prop_assert!(
+                    ivs.len() >= 2 * n_micro && ivs.len() <= 3 * n_micro,
+                    "GPU ({}, {}) ran {} ops for {} micro-batches",
+                    s, r, ivs.len(), n_micro
+                );
+                ivs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for w in ivs.windows(2) {
+                    prop_assert!(
+                        w[0].1 <= w[1].0 + 1e-9,
+                        "overlapping ops on GPU ({}, {}): {:?} vs {:?}",
+                        s, r, w[0], w[1]
+                    );
+                }
+            }
+        }
+    }
+
+    /// The bus adapter is faithful: spans collected through the event bus
+    /// equal the legacy `record_trace` output exactly, order included.
+    #[test]
+    fn bus_spans_match_legacy_trace(seed in 0u64..500) {
+        let j = job(3, 2, 6, 2);
+        let legacy_opts = SimOptions { record_trace: true, seed, ..SimOptions::default() };
+        let legacy = simulate_minibatch(&j, &|_, _| Box::new(GreedyPolicy), &legacy_opts).unwrap();
+
+        let collector = varuna_exec::SpanCollector::new();
+        let mut bus = EventBus::with_sink(Box::new(collector.clone()));
+        let opts = SimOptions { seed, ..SimOptions::default() };
+        simulate_minibatch_on_bus(&j, &|_, _| Box::new(GreedyPolicy), &opts, &mut bus).unwrap();
+        prop_assert_eq!(collector.take(), legacy.trace);
     }
 
     /// Determinism: the same job and seed give bit-identical results.

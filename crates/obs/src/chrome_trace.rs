@@ -1,0 +1,270 @@
+//! `chrome://tracing` (Trace Event Format) export of the event stream.
+//!
+//! The output is the JSON object form (`{"traceEvents": [...]}`) with
+//! complete (`"ph": "X"`) slices for ops, transfers, and allreduces, and
+//! instant (`"ph": "i"`) markers for control-plane events. It loads
+//! directly in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`:
+//! each data-parallel replica renders as a process, each pipeline stage as
+//! a thread, transfers on a separate per-replica track.
+
+use serde::Value;
+
+use crate::event::{Event, EventKind};
+
+/// Timestamps are microseconds in the trace event format.
+const US: f64 = 1e6;
+
+/// Thread-id offset separating the network track from stage tracks.
+const NET_TID_BASE: u64 = 10_000;
+
+fn complete(
+    name: String,
+    cat: &str,
+    pid: u64,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+    args: Vec<(String, Value)>,
+) -> Value {
+    Value::Map(vec![
+        ("name".to_string(), Value::Str(name)),
+        ("cat".to_string(), Value::Str(cat.to_string())),
+        ("ph".to_string(), Value::Str("X".to_string())),
+        ("ts".to_string(), Value::Float(ts_us)),
+        ("dur".to_string(), Value::Float(dur_us)),
+        ("pid".to_string(), Value::UInt(pid)),
+        ("tid".to_string(), Value::UInt(tid)),
+        ("args".to_string(), Value::Map(args)),
+    ])
+}
+
+fn instant(name: String, cat: &str, ts_us: f64, args: Vec<(String, Value)>) -> Value {
+    Value::Map(vec![
+        ("name".to_string(), Value::Str(name)),
+        ("cat".to_string(), Value::Str(cat.to_string())),
+        ("ph".to_string(), Value::Str("i".to_string())),
+        ("s".to_string(), Value::Str("g".to_string())),
+        ("ts".to_string(), Value::Float(ts_us)),
+        ("pid".to_string(), Value::UInt(0)),
+        ("tid".to_string(), Value::UInt(0)),
+        ("args".to_string(), Value::Map(args)),
+    ])
+}
+
+fn op_category(code: char) -> &'static str {
+    match code {
+        'F' => "forward",
+        'R' => "recompute",
+        'B' => "backward",
+        _ => "op",
+    }
+}
+
+fn to_trace_event(e: &Event) -> Option<Value> {
+    match &e.kind {
+        // OpStart is intentionally skipped: the matching OpEnd carries the
+        // full interval, and duplicated slices would double-draw.
+        EventKind::OpStart { .. } => None,
+        EventKind::OpEnd {
+            stage,
+            replica,
+            op,
+            micro,
+            start,
+        } => Some(complete(
+            format!("{op}{micro}"),
+            op_category(*op),
+            *replica as u64,
+            *stage as u64,
+            start * US,
+            (e.t_sim - start) * US,
+            vec![("micro".to_string(), Value::UInt(*micro as u64))],
+        )),
+        EventKind::Transfer {
+            from_stage,
+            to_stage,
+            replica,
+            micro,
+            bytes,
+            seconds,
+        } => Some(complete(
+            format!("xfer {from_stage}->{to_stage}"),
+            "transfer",
+            *replica as u64,
+            NET_TID_BASE + *from_stage as u64,
+            e.t_sim * US,
+            seconds * US,
+            vec![
+                ("micro".to_string(), Value::UInt(*micro as u64)),
+                ("bytes".to_string(), Value::Float(*bytes)),
+            ],
+        )),
+        EventKind::Allreduce {
+            stage,
+            bytes,
+            ring,
+            seconds,
+        } => Some(complete(
+            "allreduce".to_string(),
+            "allreduce",
+            0,
+            *stage as u64,
+            (e.t_sim - seconds) * US,
+            seconds * US,
+            vec![
+                ("bytes".to_string(), Value::Float(*bytes)),
+                ("ring".to_string(), Value::UInt(*ring as u64)),
+            ],
+        )),
+        EventKind::Preemption { vm } => Some(instant(
+            format!("preempt vm{vm}"),
+            "cluster",
+            e.t_sim * US,
+            vec![("vm".to_string(), Value::UInt(*vm))],
+        )),
+        EventKind::HeartbeatMiss { vm } => Some(instant(
+            format!("heartbeat-miss vm{vm}"),
+            "cluster",
+            e.t_sim * US,
+            vec![("vm".to_string(), Value::UInt(*vm))],
+        )),
+        EventKind::Morph {
+            p, d, reconfigured, ..
+        } => Some(instant(
+            if *reconfigured {
+                format!("morph {p}x{d}")
+            } else {
+                "replacement".to_string()
+            },
+            "manager",
+            e.t_sim * US,
+            vec![
+                ("p".to_string(), Value::UInt(*p as u64)),
+                ("d".to_string(), Value::UInt(*d as u64)),
+            ],
+        )),
+        EventKind::Checkpoint { step, .. } => Some(instant(
+            format!("checkpoint @{step}"),
+            "manager",
+            e.t_sim * US,
+            vec![("step".to_string(), Value::UInt(*step))],
+        )),
+        EventKind::OomKill { what, .. } => Some(instant(
+            "oom-kill".to_string(),
+            "manager",
+            e.t_sim * US,
+            vec![("what".to_string(), Value::Str(what.clone()))],
+        )),
+        EventKind::EpochLoss { step, loss, .. } => Some(instant(
+            format!("loss @{step}"),
+            "train",
+            e.t_sim * US,
+            vec![("loss".to_string(), Value::Float(*loss))],
+        )),
+    }
+}
+
+/// Renders events as one Perfetto-loadable JSON document.
+///
+/// The output is a pure function of the input slice: the same events in
+/// the same order always produce byte-identical JSON, which the golden
+/// test in `varuna-exec` relies on.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let trace_events: Vec<Value> = events.iter().filter_map(to_trace_event).collect();
+    let doc = Value::Map(vec![
+        ("traceEvents".to_string(), Value::Seq(trace_events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("trace documents always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Source;
+
+    fn op_pair(stage: usize, micro: usize, start: f64, end: f64) -> Vec<Event> {
+        vec![
+            Event::exec(
+                start,
+                EventKind::OpStart {
+                    stage,
+                    replica: 0,
+                    op: 'F',
+                    micro,
+                },
+            ),
+            Event::exec(
+                end,
+                EventKind::OpEnd {
+                    stage,
+                    replica: 0,
+                    op: 'F',
+                    micro,
+                    start,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn op_end_becomes_a_complete_slice_and_start_is_skipped() {
+        let events = op_pair(2, 5, 1.0, 1.5);
+        let json = chrome_trace_json(&events);
+        let doc = serde_json::parse_value(&json).unwrap();
+        let slices = doc.get("traceEvents").unwrap().as_seq_for("t").unwrap();
+        assert_eq!(slices.len(), 1, "OpStart must not double-draw");
+        let s = &slices[0];
+        assert_eq!(s.get("name"), Some(&Value::Str("F5".to_string())));
+        assert_eq!(s.get("ph"), Some(&Value::Str("X".to_string())));
+        assert_eq!(s.get("ts"), Some(&Value::Float(1.0e6)));
+        assert_eq!(s.get("dur"), Some(&Value::Float(0.5e6)));
+        assert_eq!(s.get("tid"), Some(&Value::UInt(2)));
+    }
+
+    #[test]
+    fn control_plane_events_become_instants() {
+        let events = vec![
+            Event::manager(
+                7200.0,
+                EventKind::Morph {
+                    p: 9,
+                    d: 8,
+                    gpus_held: 80,
+                    gpus_used: 72,
+                    examples_per_sec: 100.0,
+                    examples_per_sec_per_gpu: 1.4,
+                    reconfigured: true,
+                },
+            ),
+            Event::cluster(7300.0, EventKind::Preemption { vm: 3 }),
+        ];
+        let json = chrome_trace_json(&events);
+        let doc = serde_json::parse_value(&json).unwrap();
+        let slices = doc.get("traceEvents").unwrap().as_seq_for("t").unwrap();
+        assert_eq!(slices.len(), 2);
+        assert!(slices
+            .iter()
+            .all(|s| s.get("ph") == Some(&Value::Str("i".to_string()))));
+        assert_eq!(
+            slices[0].get("name"),
+            Some(&Value::Str("morph 9x8".to_string()))
+        );
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let mut events = op_pair(0, 0, 0.0, 0.25);
+        events.extend(op_pair(1, 0, 0.3, 0.6));
+        assert_eq!(chrome_trace_json(&events), chrome_trace_json(&events));
+    }
+
+    #[test]
+    fn source_does_not_change_rendering() {
+        // The exporter keys on kind; a Bench-sourced op renders the same.
+        let mut e = op_pair(0, 1, 0.0, 1.0).pop().unwrap();
+        e.source = Source::Bench;
+        let json = chrome_trace_json(&[e]);
+        assert!(json.contains("\"F1\""));
+    }
+}

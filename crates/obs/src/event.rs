@@ -1,0 +1,259 @@
+//! The structured event model shared by every subsystem.
+
+use serde::{Deserialize, Serialize};
+
+/// Which subsystem emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Source {
+    /// The discrete-event execution emulator (`varuna-exec`).
+    Exec,
+    /// The spot-VM cluster substrate (`varuna-cluster`).
+    Cluster,
+    /// The manager / morph controller (`varuna` core).
+    Manager,
+    /// The miniature training engine (`varuna-train`).
+    Train,
+    /// A benchmark harness binary (`varuna-bench`).
+    Bench,
+}
+
+/// What happened, with the payload inline.
+///
+/// Op events carry the one-letter op code of
+/// `varuna_exec::op::OpKind::code` (`'F'`/`'R'`/`'B'`) rather than the
+/// enum itself: `varuna-exec` depends on this crate, so the event model
+/// stays at the bottom of the crate graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A GPU op was dispatched.
+    OpStart {
+        /// Pipeline stage.
+        stage: usize,
+        /// Data-parallel replica.
+        replica: usize,
+        /// Op code: `'F'`, `'R'`, or `'B'`.
+        op: char,
+        /// Micro-batch index.
+        micro: usize,
+    },
+    /// A GPU op completed. `t_sim` is the end time.
+    OpEnd {
+        /// Pipeline stage.
+        stage: usize,
+        /// Data-parallel replica.
+        replica: usize,
+        /// Op code: `'F'`, `'R'`, or `'B'`.
+        op: char,
+        /// Micro-batch index.
+        micro: usize,
+        /// When the op started, seconds.
+        start: f64,
+    },
+    /// An inter-stage activation or gradient message was sent.
+    Transfer {
+        /// Sending stage.
+        from_stage: usize,
+        /// Receiving stage.
+        to_stage: usize,
+        /// Data-parallel replica the message belongs to.
+        replica: usize,
+        /// Micro-batch index.
+        micro: usize,
+        /// Message size, bytes.
+        bytes: f64,
+        /// Delivery delay (latency + jitter + serialization), seconds.
+        seconds: f64,
+    },
+    /// A per-stage data-parallel gradient allreduce finished. `t_sim` is
+    /// the completion time.
+    Allreduce {
+        /// Pipeline stage.
+        stage: usize,
+        /// Gradient bytes reduced.
+        bytes: f64,
+        /// Ring size (data-parallel width).
+        ring: usize,
+        /// Duration, seconds.
+        seconds: f64,
+    },
+    /// The cloud preempted a VM.
+    Preemption {
+        /// The preempted VM.
+        vm: u64,
+    },
+    /// A VM went silent past the heartbeat timeout (presumed preempted).
+    HeartbeatMiss {
+        /// The silent VM.
+        vm: u64,
+    },
+    /// The manager reconfigured (or re-placed) the job. Self-contained so
+    /// a timeline can be derived from the event stream alone.
+    Morph {
+        /// New pipeline depth.
+        p: usize,
+        /// New data-parallel width.
+        d: usize,
+        /// GPUs granted by the cloud at this point.
+        gpus_held: usize,
+        /// GPUs the configuration uses (`p * d`).
+        gpus_used: usize,
+        /// Training throughput, examples/sec.
+        examples_per_sec: f64,
+        /// Per-GPU throughput over the GPUs in use.
+        examples_per_sec_per_gpu: f64,
+        /// `true` when the `P x D` shape changed; `false` for a
+        /// same-shape replacement (the paper's `p` markers).
+        reconfigured: bool,
+    },
+    /// A periodic checkpoint completed (paper §4.5).
+    Checkpoint {
+        /// Mini-batch step at the checkpoint.
+        step: u64,
+        /// GPUs granted by the cloud at this point.
+        gpus_held: usize,
+        /// GPUs the configuration uses.
+        gpus_used: usize,
+        /// Active pipeline depth.
+        p: usize,
+        /// Active data-parallel width.
+        d: usize,
+        /// Training throughput, examples/sec.
+        examples_per_sec: f64,
+        /// Per-GPU throughput over the GPUs in use.
+        examples_per_sec_per_gpu: f64,
+    },
+    /// A configuration was rejected because a stage does not fit GPU
+    /// memory.
+    OomKill {
+        /// The stage that does not fit (0 when unknown).
+        stage: usize,
+        /// Bytes the stage needs.
+        needed_bytes: f64,
+        /// Bytes available.
+        capacity_bytes: f64,
+        /// Human-readable context.
+        what: String,
+    },
+    /// One real training mini-batch finished (`varuna-train`).
+    EpochLoss {
+        /// Mini-batch step (after this batch).
+        step: u64,
+        /// Mean loss over the mini-batch.
+        loss: f64,
+        /// Examples per wall-clock second for this batch.
+        examples_per_sec: f64,
+    },
+}
+
+/// One timestamped observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulation (or wall-clock, for `varuna-train`) time in seconds.
+    pub t_sim: f64,
+    /// Emitting subsystem.
+    pub source: Source,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// An event from the execution emulator.
+    pub fn exec(t_sim: f64, kind: EventKind) -> Self {
+        Event {
+            t_sim,
+            source: Source::Exec,
+            kind,
+        }
+    }
+
+    /// An event from the cluster substrate.
+    pub fn cluster(t_sim: f64, kind: EventKind) -> Self {
+        Event {
+            t_sim,
+            source: Source::Cluster,
+            kind,
+        }
+    }
+
+    /// An event from the manager.
+    pub fn manager(t_sim: f64, kind: EventKind) -> Self {
+        Event {
+            t_sim,
+            source: Source::Manager,
+            kind,
+        }
+    }
+
+    /// An event from the training engine.
+    pub fn train(t_sim: f64, kind: EventKind) -> Self {
+        Event {
+            t_sim,
+            source: Source::Train,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::exec(
+                1.25,
+                EventKind::OpEnd {
+                    stage: 3,
+                    replica: 1,
+                    op: 'B',
+                    micro: 7,
+                    start: 1.0,
+                },
+            ),
+            Event::cluster(60.0, EventKind::Preemption { vm: 42 }),
+            Event::manager(
+                3600.0,
+                EventKind::Morph {
+                    p: 9,
+                    d: 8,
+                    gpus_held: 80,
+                    gpus_used: 72,
+                    examples_per_sec: 120.5,
+                    examples_per_sec_per_gpu: 1.67,
+                    reconfigured: true,
+                },
+            ),
+            Event::train(
+                2.0,
+                EventKind::EpochLoss {
+                    step: 5,
+                    loss: 3.5,
+                    examples_per_sec: 4.0,
+                },
+            ),
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(e, back, "round trip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn oom_kill_carries_context() {
+        let e = Event::exec(
+            0.0,
+            EventKind::OomKill {
+                stage: 2,
+                needed_bytes: 20e9,
+                capacity_bytes: 16e9,
+                what: "PipeDream stage".to_string(),
+            },
+        );
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("PipeDream stage"));
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,267 @@
+//! Counters, gauges, and fixed-bucket histograms, snapshot-able to one
+//! JSON document.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket `i`, with one implicit overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given (strictly increasing) upper edges.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Ten exponentially-spaced buckets from `lo` upward (each edge 4x
+    /// the previous) — a reasonable default for latencies in seconds.
+    pub fn exponential(lo: f64) -> Self {
+        assert!(lo > 0.0);
+        Histogram::new((0..10).map(|i| lo * 4f64.powi(i)).collect())
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts, including the trailing overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "bounds".to_string(),
+                Value::Seq(self.bounds.iter().map(|&b| Value::Float(b)).collect()),
+            ),
+            (
+                "counts".to_string(),
+                Value::Seq(self.counts.iter().map(|&c| Value::UInt(c)).collect()),
+            ),
+            ("sum".to_string(), Value::Float(self.sum)),
+            ("count".to_string(), Value::UInt(self.count)),
+        ])
+    }
+}
+
+/// A registry of named metrics. Names are free-form dotted strings
+/// (`"exec.bubble_seconds.stage3"`); maps are sorted, so snapshots are
+/// deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Increments a counter by 1 (creating it at 0).
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `by` to a counter (creating it at 0).
+    pub fn add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets a gauge to `v`.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Registers (or replaces) a histogram with explicit bucket bounds.
+    pub fn register_histogram(&mut self, name: &str, bounds: Vec<f64>) {
+        self.histograms
+            .insert(name.to_string(), Histogram::new(bounds));
+    }
+
+    /// Records an observation, auto-registering an exponential histogram
+    /// anchored at 1 ms when the name is new.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::exponential(1e-3))
+            .observe(v);
+    }
+
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram by name, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The whole registry as one JSON value tree.
+    pub fn snapshot_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "counters".to_string(),
+                Value::Map(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::UInt(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Value::Map(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Value::Float(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Map(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The whole registry as one pretty-printed JSON document.
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string_pretty(&self.snapshot_value())
+            .expect("metric snapshots always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("morphs");
+        m.add("morphs", 2);
+        assert_eq!(m.counter("morphs"), 3);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.gauge("examples_per_sec", 10.0);
+        m.gauge("examples_per_sec", 12.5);
+        assert_eq!(m.gauge_value("examples_per_sec"), Some(12.5));
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.9, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 106.9 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_auto_registers() {
+        let mut m = MetricsRegistry::new();
+        m.observe("allreduce_seconds", 0.25);
+        m.observe("allreduce_seconds", 0.5);
+        assert_eq!(m.histogram("allreduce_seconds").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_one_valid_json_document() {
+        let mut m = MetricsRegistry::new();
+        m.add("preemptions", 4);
+        m.gauge("gpus_held", 80.0);
+        m.register_histogram("bubble_seconds", vec![0.1, 1.0, 10.0]);
+        m.observe("bubble_seconds", 0.4);
+        let json = m.snapshot_json();
+        let v = serde_json::parse_value(&json).expect("snapshot must be valid JSON");
+        assert_eq!(v.get("counters").and_then(|c| c.get("preemptions")), {
+            Some(&Value::UInt(4))
+        });
+        let hist = v
+            .get("histograms")
+            .and_then(|h| h.get("bubble_seconds"))
+            .expect("histogram present");
+        assert_eq!(hist.get("count"), Some(&Value::UInt(1)));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            m.add("b", 1);
+            m.add("a", 2);
+            m.gauge("z", 1.0);
+            m.gauge("y", 2.0);
+            m
+        };
+        assert_eq!(build().snapshot_json(), build().snapshot_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        Histogram::new(vec![2.0, 1.0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! The `BenchReport` schema emitted by the bench binaries.
+//!
+//! Every `BENCH_*.json` file produced by `varuna-bench` is one
+//! [`BenchReport`]: a schema tag, the benchmark's identity and input
+//! parameters, a flat map of headline numbers, and an optional full
+//! [`MetricsRegistry`](crate::MetricsRegistry) snapshot. Keeping the
+//! shape uniform lets downstream tooling diff runs without knowing each
+//! figure's internals.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::metrics::MetricsRegistry;
+
+/// Schema identifier stamped into every report.
+pub const REPORT_SCHEMA: &str = "varuna-bench-report/v1";
+
+/// One benchmark run's machine-readable result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`REPORT_SCHEMA`].
+    pub schema: String,
+    /// Benchmark name (e.g. `"fig8_morphing"`).
+    pub bench: String,
+    /// Input parameters (model size, GPU count, trace seed, ...).
+    pub params: BTreeMap<String, f64>,
+    /// Headline result numbers, keyed by metric name.
+    pub summary: BTreeMap<String, f64>,
+    /// Full metrics snapshot (`Value::Null` when not collected).
+    pub metrics: Value,
+}
+
+impl BenchReport {
+    /// An empty report for benchmark `bench`.
+    pub fn new(bench: &str) -> Self {
+        BenchReport {
+            schema: REPORT_SCHEMA.to_string(),
+            bench: bench.to_string(),
+            params: BTreeMap::new(),
+            summary: BTreeMap::new(),
+            metrics: Value::Null,
+        }
+    }
+
+    /// Adds an input parameter.
+    pub fn param(mut self, name: &str, v: f64) -> Self {
+        self.params.insert(name.to_string(), v);
+        self
+    }
+
+    /// Adds a headline number.
+    pub fn result(mut self, name: &str, v: f64) -> Self {
+        self.summary.insert(name.to_string(), v);
+        self
+    }
+
+    /// Attaches a full metrics snapshot.
+    pub fn with_metrics(mut self, metrics: &MetricsRegistry) -> Self {
+        self.metrics = metrics.snapshot_value();
+        self
+    }
+
+    /// Whether the report carries the current schema tag.
+    pub fn is_current_schema(&self) -> bool {
+        self.schema == REPORT_SCHEMA
+    }
+
+    /// The report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports always serialize")
+    }
+
+    /// Writes the report to `path` as pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_and_keeps_schema() {
+        let mut metrics = MetricsRegistry::new();
+        metrics.add("morphs", 7);
+        let report = BenchReport::new("fig8_morphing")
+            .param("hours", 60.0)
+            .param("target_gpus", 160.0)
+            .result("total_spread", 4.8)
+            .result("per_gpu_spread", 1.1)
+            .with_metrics(&metrics);
+        let json = report.to_json();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(back.is_current_schema());
+        assert_eq!(back.summary["total_spread"], 4.8);
+        assert_eq!(
+            back.metrics.get("counters").and_then(|c| c.get("morphs")),
+            Some(&Value::UInt(7))
+        );
+    }
+
+    #[test]
+    fn report_without_metrics_serializes_null() {
+        let json = BenchReport::new("table5").to_json();
+        assert!(json.contains("\"metrics\": null"));
+        let v = serde_json::parse_value(&json).unwrap();
+        assert_eq!(
+            v.get("schema"),
+            Some(&Value::Str(REPORT_SCHEMA.to_string()))
+        );
+    }
+}

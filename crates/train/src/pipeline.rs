@@ -13,6 +13,7 @@
 //! morphing depends on — verified by the equivalence tests below.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use varuna_obs::{Event, EventBus, EventKind};
 
 use crate::data::Corpus;
 use crate::layers::{Block, LayerNorm, Param};
@@ -246,6 +247,9 @@ pub struct PipelineTrainer {
     /// mini-batch.
     pub peak_stash: Vec<usize>,
     lr: f32,
+    /// Wall-clock seconds spent inside `train_minibatch_observed`, used as
+    /// the `t_sim` axis of emitted training events.
+    elapsed_train_seconds: f64,
 }
 
 impl PipelineTrainer {
@@ -294,6 +298,7 @@ impl PipelineTrainer {
             window: usize::MAX,
             peak_stash: vec![0; p],
             lr,
+            elapsed_train_seconds: 0.0,
         }
     }
 
@@ -343,6 +348,7 @@ impl PipelineTrainer {
         let model = self.reassemble();
         let step = self.step;
         let window = self.window;
+        let elapsed = self.elapsed_train_seconds;
         *self = PipelineTrainer::from_model(
             model,
             self.corpus.clone(),
@@ -354,6 +360,7 @@ impl PipelineTrainer {
         );
         self.window = window;
         self.step = step;
+        self.elapsed_train_seconds = elapsed;
     }
 
     /// Runs one mini-batch across all stages and replicas; returns the
@@ -442,6 +449,29 @@ impl PipelineTrainer {
         }
         self.step += 1;
         total_loss / (n_micro * d) as f32
+    }
+
+    /// Runs one mini-batch like [`PipelineTrainer::train_minibatch`] and
+    /// reports it as an [`EventKind::EpochLoss`] on `bus` (source `Train`,
+    /// `t_sim` = cumulative wall-clock seconds spent training through this
+    /// method).
+    pub fn train_minibatch_observed(&mut self, bus: &mut EventBus) -> f32 {
+        let started = std::time::Instant::now();
+        let loss = self.train_minibatch();
+        let wall = started.elapsed().as_secs_f64();
+        self.elapsed_train_seconds += wall;
+        let examples_per_sec = self.m_total as f64 / wall.max(1e-12);
+        bus.emit_with(|| {
+            Event::train(
+                self.elapsed_train_seconds,
+                EventKind::EpochLoss {
+                    step: self.step,
+                    loss: loss as f64,
+                    examples_per_sec,
+                },
+            )
+        });
+        loss
     }
 
     /// Ring-allreduce (mean) of every stage's gradients across replicas.
@@ -862,6 +892,41 @@ mod tests {
             pipe.peak_stash
         );
         assert!(pipe.peak_stash[3] <= 2);
+    }
+
+    #[test]
+    fn observed_training_emits_loss_events_and_matches_plain_training() {
+        use varuna_obs::{EventBus, EventKind, Source, VecSink};
+        let corpus = Corpus::synthetic(4000, 6);
+        let mut plain = PipelineTrainer::new(cfg(), corpus.clone(), 0.1, 8, 2, 1, 2);
+        let mut observed = PipelineTrainer::new(cfg(), corpus, 0.1, 8, 2, 1, 2);
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        for _ in 0..2 {
+            let l_plain = plain.train_minibatch();
+            let l_obs = observed.train_minibatch_observed(&mut bus);
+            assert_eq!(l_plain, l_obs, "observation must not perturb training");
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        let mut last_t = 0.0;
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.source, Source::Train);
+            assert!(e.t_sim > last_t, "cumulative time must advance");
+            last_t = e.t_sim;
+            match &e.kind {
+                EventKind::EpochLoss {
+                    step,
+                    loss,
+                    examples_per_sec,
+                } => {
+                    assert_eq!(*step, i as u64 + 1);
+                    assert!(loss.is_finite() && *loss > 0.0);
+                    assert!(*examples_per_sec > 0.0);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
     }
 
     #[test]

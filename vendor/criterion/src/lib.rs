@@ -1,0 +1,193 @@
+//! Minimal offline drop-in for the `criterion` API surface this
+//! workspace uses. Two modes, selected like the real crate by how the
+//! harness-less bench binary is invoked:
+//!
+//! - under `cargo test` (cargo passes `--test`), every benchmark body
+//!   runs exactly once as a smoke test;
+//! - under `cargo bench` (cargo passes `--bench`), each benchmark is
+//!   warmed up and timed over `sample_size` samples and the mean, min,
+//!   and max ns/iter are printed.
+//!
+//! There are no statistical comparisons, plots, or saved baselines.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// How bench bodies execute (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Run each body once, untimed.
+    Smoke,
+    /// Time each body over `sample_size` samples.
+    Measure,
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes --bench to bench targets under `cargo bench` and
+        // --test under `cargo test`; default to smoke mode so that
+        // accidental direct runs stay fast.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            mode: self.mode,
+            sample_size: 10,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one("", id, self.mode, 10, f);
+        self
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&self.name, id, self.mode, self.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.0, self.mode, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark bodies; [`Bencher::iter`] runs the closure.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// (mean, min, max) ns/iter from the last `iter`, if measured.
+    result_ns: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Runs the benchmark body, timing it in measure mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+            }
+            Mode::Measure => {
+                // Warmup.
+                for _ in 0..2 {
+                    black_box(f());
+                }
+                let mut samples = Vec::with_capacity(self.sample_size);
+                for _ in 0..self.sample_size {
+                    let t0 = Instant::now();
+                    black_box(f());
+                    samples.push(t0.elapsed().as_secs_f64() * 1e9);
+                }
+                let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+                let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = samples.iter().cloned().fold(0.0f64, f64::max);
+                self.result_ns = Some((mean, min, max));
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, mode: Mode, sample_size: usize, mut f: F) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut b = Bencher {
+        mode,
+        sample_size,
+        result_ns: None,
+    };
+    f(&mut b);
+    match (mode, b.result_ns) {
+        (Mode::Measure, Some((mean, min, max))) => {
+            println!("bench {label:<48} {mean:>14.0} ns/iter (min {min:.0}, max {max:.0}, n={sample_size})");
+        }
+        (Mode::Measure, None) => println!("bench {label:<48} (no iter call)"),
+        (Mode::Smoke, _) => println!("bench {label:<48} ok (smoke)"),
+    }
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` for a harness-less bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

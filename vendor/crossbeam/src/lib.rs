@@ -1,0 +1,74 @@
+//! Minimal offline drop-in for the `crossbeam::channel` API surface
+//! this workspace uses, layered over `std::sync::mpsc`.
+//!
+//! Unlike std's receiver, crossbeam's `Receiver` is `Clone` (and
+//! `Sync`); we recover that by sharing the std receiver behind a mutex.
+//! Throughput is adequate for the pipeline trainer's per-micro-batch
+//! tensor handoffs, which are coarse-grained.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only if every receiver is gone.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            self.0.send(t)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().expect("channel mutex poisoned").recv()
+        }
+
+        /// Returns immediately with a message if one is ready.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.lock().expect("channel mutex poisoned").try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded::<usize>();
+            let rx2 = rx.clone();
+            let h = std::thread::spawn(move || rx2.recv().unwrap());
+            tx.send(41).unwrap();
+            assert_eq!(h.join().unwrap(), 41);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Minimal offline drop-in for the `rand` API surface this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! extension methods `gen`, `gen_bool`, and `gen_range` over half-open
+//! ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! high-quality, and fully deterministic per seed. Note the stream
+//! differs from the real `rand` crate's StdRng (ChaCha12), so seeded
+//! experiment outputs are reproducible *within* this workspace but not
+//! comparable to runs linked against crates.io rand.
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard RNG: xoshiro256++.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the reference seeding procedure.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256PlusPlus {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Named RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The standard RNG (xoshiro256++ here; see crate docs).
+    pub type StdRng = super::Xoshiro256PlusPlus;
+}
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Modulo bias is < 2^-64 for any span this workspace uses.
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(usize, u64, u32, u16, u8, isize, i64, i32);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let lo = self.start as f64;
+                let hi = self.end as f64;
+                let v = lo + unit * (hi - lo);
+                // Guard the open upper bound against rounding.
+                if v >= hi { self.start } else { v as $t }
+            }
+        }
+    )*};
+}
+
+float_range!(f64, f32);
+
+/// Types drawable from the standard (uniform) distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws a value from the standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every RNG.
+pub trait Rng: RngCore {
+    /// A value from the standard distribution (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample_standard(self) < p
+    }
+
+    /// A value drawn uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let g = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(g > 0.0 && g < 1.0);
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "got {hits}");
+        assert_eq!((0..100).filter(|_| rng.gen_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| rng.gen_bool(1.0)).count(), 100);
+    }
+}

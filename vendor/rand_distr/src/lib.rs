@@ -1,0 +1,85 @@
+//! Minimal offline drop-in for the `rand_distr` API surface this
+//! workspace uses: the [`Distribution`] trait and a [`LogNormal`]
+//! sampled via Box–Muller.
+
+use rand::Rng;
+use std::fmt;
+
+/// Types that sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamsError;
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+/// Lognormal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    /// A lognormal with the given location and shape of the underlying
+    /// normal. `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamsError> {
+        if !(sigma >= 0.0) || !sigma.is_finite() || !mu.is_finite() {
+            return Err(ParamsError);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 is kept strictly positive for the log.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(LogNormal::new(0.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn sample_mean_approaches_lognormal_mean() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expect = (0.5f64 * 0.5 * 0.5).exp(); // exp(sigma^2 / 2)
+        assert!((mean - expect).abs() < 0.05, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let d = LogNormal::new(1.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert!((d.sample(&mut rng) - 1.0f64.exp()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline drop-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls for the
+//! vendored serde facade (see `vendor/serde`). To stay dependency-free
+//! (no `syn`/`quote`), the item is parsed directly from its token
+//! stream: only field and variant *names* are needed — field types are
+//! resolved by inference in the generated code.
+//!
+//! Supported shapes: non-generic structs (named, tuple, unit) and
+//! non-generic enums with unit / newtype / tuple / struct variants,
+//! encoded externally tagged to match real serde's JSON layout.
+//! `#[serde(...)]` attributes are not supported and will be silently
+//! ignored if present — this workspace uses none.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+type Iter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input).unwrap_or_else(|e| panic!("derive(Serialize): {e}"));
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input).unwrap_or_else(|e| panic!("derive(Deserialize): {e}"));
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(it: &mut Iter) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // '#'
+                it.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                let restricted = matches!(
+                    it.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                );
+                if restricted {
+                    it.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the vendored serde_derive"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected an enum body, found {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Field names of a `{ a: T, b: U }` body. Types are skipped by scanning to
+/// the next comma outside any `<...>` nesting (commas inside parenthesized
+/// or bracketed types are hidden inside their token groups).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                let mut depth = 0i64;
+                for tt in it.by_ref() {
+                    if let TokenTree::Punct(p) = &tt {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            None => break,
+            Some(other) => panic!("unexpected token among named fields: {other:?}"),
+        }
+    }
+    names
+}
+
+/// Arity of a `(T, U, ...)` tuple body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i64;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    if saw_token {
+                        fields += 1;
+                        saw_token = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum body: {other:?}")),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) => Some(g.delimiter()),
+            _ => None,
+        };
+        let fields = match shape {
+            Some(Delimiter::Brace) | Some(Delimiter::Parenthesis) => {
+                let Some(TokenTree::Group(g)) = it.next() else {
+                    unreachable!("peeked a group")
+                };
+                if g.delimiter() == Delimiter::Brace {
+                    Fields::Named(parse_named_fields(g.stream()))
+                } else {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+            }
+            _ => Fields::Unit,
+        };
+        // Consume through the trailing comma; also skips any `= discr`.
+        for tt in it.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let entries = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::Value::Map(vec![{entries}])")
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::Value::Seq(vec![{items}])")
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 \x20   fn to_value(&self) -> ::serde::Value {{\n\
+                 \x20       {body}\n\
+                 \x20   }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let pats = (0..*n)
+                                .map(|i| format!("f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn}({pats}) => ::serde::Value::Map(vec![(\"{vn}\"\
+                                 .to_string(), ::serde::Value::Seq(vec![{items}]))]),"
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let pats = fs.join(", ");
+                            let entries = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn} {{ {pats} }} => ::serde::Value::Map(vec![(\"{vn}\"\
+                                 .to_string(), ::serde::Value::Map(vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 \x20   fn to_value(&self) -> ::serde::Value {{\n\
+                 \x20       match self {{\n\
+                 \x20           {arms}\n\
+                 \x20       }}\n\
+                 \x20   }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let inits = fs
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::de_field(m, \"{f}\")?,"))
+                        .collect::<Vec<_>>()
+                        .join("\n            ");
+                    format!(
+                        "let m = v.as_map_for(\"{name}\")?;\n\
+                         \x20       Ok({name} {{\n\
+                         \x20           {inits}\n\
+                         \x20       }})"
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let elems = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "let s = v.as_seq_for(\"{name}\")?;\n\
+                         \x20       if s.len() != {n} {{\n\
+                         \x20           return Err(::serde::DeError::custom(format!(\
+                         \"expected {n} elements for `{name}`, got {{}}\", s.len())));\n\
+                         \x20       }}\n\
+                         \x20       Ok({name}({elems}))"
+                    )
+                }
+                Fields::Unit => format!("let _ = v;\n        Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 \x20   fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 \x20       {body}\n\
+                 \x20   }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => Ok({name}::{vn}),")
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let data_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(\
+                             _inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let elems = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 \x20                       let s = _inner.as_seq_for(\
+                                 \"{name}::{vn}\")?;\n\
+                                 \x20                       if s.len() != {n} {{\n\
+                                 \x20                           return Err(::serde::DeError::\
+                                 custom(format!(\"expected {n} elements for `{name}::{vn}`, \
+                                 got {{}}\", s.len())));\n\
+                                 \x20                       }}\n\
+                                 \x20                       Ok({name}::{vn}({elems}))\n\
+                                 \x20                   }}"
+                            ))
+                        }
+                        Fields::Named(fs) => {
+                            let inits = fs
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de_field(m, \"{f}\")?,"))
+                                .collect::<Vec<_>>()
+                                .join("\n                        ");
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 \x20                       let m = _inner.as_map_for(\
+                                 \"{name}::{vn}\")?;\n\
+                                 \x20                       Ok({name}::{vn} {{\n\
+                                 \x20                           {inits}\n\
+                                 \x20                       }})\n\
+                                 \x20                   }}"
+                            ))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n                    ");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 \x20   fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 \x20       match v {{\n\
+                 \x20           ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 \x20               {unit_arms}\n\
+                 \x20               other => Err(::serde::DeError::custom(format!(\
+                 \"unknown unit variant `{{}}` of `{name}`\", other))),\n\
+                 \x20           }},\n\
+                 \x20           ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 \x20               let (k, _inner) = &entries[0];\n\
+                 \x20               match k.as_str() {{\n\
+                 \x20                   {data_arms}\n\
+                 \x20                   other => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{}}` of `{name}`\", other))),\n\
+                 \x20               }}\n\
+                 \x20           }}\n\
+                 \x20           other => Err(::serde::DeError::custom(format!(\
+                 \"expected enum `{name}`, found {{:?}}\", other))),\n\
+                 \x20       }}\n\
+                 \x20   }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
