@@ -166,6 +166,17 @@ fn main() {
         tail(&f10.stale_curve)
     );
 
+    banner("Chaos sweep: recovery invariants under injected faults");
+    let cs = varuna_bench::chaos_sweep::run(4);
+    println!(
+        "{} seeds, {} faults injected, {} panics, {} invariant violations",
+        cs.rows.len(),
+        cs.total_faults(),
+        cs.panics,
+        cs.total_violations()
+    );
+    assert!(cs.is_clean(), "chaos sweep must uphold every invariant");
+
     println!("\nAll experiments complete. See EXPERIMENTS.md for paper-vs-measured notes.");
 }
 

@@ -1,0 +1,77 @@
+//! Sweeps seeded fault schedules through the manager and reports whether
+//! every recovery invariant held.
+//!
+//! ```console
+//! $ cargo run --release -p varuna-bench --bin chaos_sweep -- 50
+//! ```
+//!
+//! The optional argument is the number of seeds (default 50). Exits
+//! nonzero if any seed panics or violates an invariant, so CI can use it
+//! as a smoke gate.
+
+use varuna_bench::util::print_table;
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .map(|a| {
+            a.parse()
+                .expect("seed count must be a non-negative integer")
+        })
+        .unwrap_or(50);
+    println!("Chaos sweep: {seeds} seeded fault schedules vs the manager\n");
+    let s = varuna_bench::chaos_sweep::run(seeds);
+
+    let rows: Vec<Vec<String>> = s
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.seed.to_string(),
+                r.faults.to_string(),
+                r.morphs.to_string(),
+                r.degraded_entries.to_string(),
+                r.lost_minibatches.to_string(),
+                r.violations.to_string(),
+                format!("{:016x}", r.digest),
+            ]
+        })
+        .collect();
+    print_table(
+        "per-seed outcomes",
+        &[
+            "seed",
+            "faults",
+            "morphs",
+            "degraded",
+            "lost_mb",
+            "violations",
+            "digest",
+        ],
+        &rows,
+    );
+    println!(
+        "\nsummary: {} seeds, {} faults injected, {} panics, {} harness errors, \
+         {} invariant violations, {} seeds saw a Degraded episode",
+        s.rows.len(),
+        s.total_faults(),
+        s.panics,
+        s.errors,
+        s.total_violations(),
+        s.rows.iter().filter(|r| r.degraded_entries > 0).count(),
+    );
+
+    let report = varuna_bench::chaos_sweep::report(&s);
+    report
+        .write(std::path::Path::new("BENCH_chaos_sweep.json"))
+        .expect("write BENCH_chaos_sweep.json");
+    println!(
+        "machine-readable report ({}) written to BENCH_chaos_sweep.json",
+        report.schema
+    );
+
+    if !s.is_clean() {
+        eprintln!("CHAOS SWEEP FAILED: recovery invariants violated");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Chaos sweep: many seeded fault schedules replayed through the manager.
+//!
+//! Each seed derives its own fault intensities
+//! ([`ChaosConfig::from_seed`]), so a sweep explores the fault space from
+//! near-quiet to adversarial. The headline claims: zero panics, zero
+//! invariant violations, and deterministic digests across every seed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use varuna::{Calibration, VarunaCluster};
+use varuna_chaos::{run_chaos, ChaosConfig, ChaosRun};
+use varuna_cluster::trace::ClusterTrace;
+use varuna_models::ModelZoo;
+use varuna_obs::BenchReport;
+
+/// One seed's outcome.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The seed swept.
+    pub seed: u64,
+    /// Faults the injector scheduled.
+    pub faults: usize,
+    /// Events the replay emitted.
+    pub events: usize,
+    /// Reconfigurations performed.
+    pub morphs: usize,
+    /// Degraded episodes entered (and, invariant-checked, exited or
+    /// still open at trace end).
+    pub degraded_entries: usize,
+    /// Minibatches explicitly priced as lost.
+    pub lost_minibatches: u64,
+    /// Invariant violations (must be 0).
+    pub violations: usize,
+    /// Stream digest (same seed ⇒ same digest).
+    pub digest: u64,
+}
+
+/// Result of sweeping `seeds` fault schedules.
+#[derive(Debug, Clone)]
+pub struct ChaosSweep {
+    /// Per-seed outcomes, in seed order.
+    pub rows: Vec<SweepRow>,
+    /// Seeds whose replay panicked (must be 0).
+    pub panics: usize,
+    /// Seeds whose harness errored before replaying (must be 0).
+    pub errors: usize,
+}
+
+impl ChaosSweep {
+    /// Total invariant violations across all seeds.
+    pub fn total_violations(&self) -> usize {
+        self.rows.iter().map(|r| r.violations).sum()
+    }
+
+    /// Total faults injected across all seeds.
+    pub fn total_faults(&self) -> usize {
+        self.rows.iter().map(|r| r.faults).sum()
+    }
+
+    /// Whether every seed replayed without panics or violations.
+    pub fn is_clean(&self) -> bool {
+        self.panics == 0 && self.errors == 0 && self.total_violations() == 0
+    }
+}
+
+fn row(run: &ChaosRun) -> SweepRow {
+    SweepRow {
+        seed: run.seed,
+        faults: run.faults.len(),
+        events: run.event_count,
+        morphs: run.morphs,
+        degraded_entries: run.degraded_entries,
+        lost_minibatches: run.lost_minibatches,
+        violations: run.violations.len(),
+        digest: run.digest,
+    }
+}
+
+/// Sweeps seeds `0..seeds` of [`ChaosConfig::from_seed`] against the
+/// Figure 8 workload (GPT-2 2.5B on a contended 1-GPU spot pool),
+/// catching panics so a single bad seed cannot hide the rest.
+pub fn run(seeds: u64) -> ChaosSweep {
+    let calib = Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(160));
+    let base = ClusterTrace::generate_spot_1gpu(40, 60, 3.0, 10.0, 7);
+    let mut rows = Vec::new();
+    let mut panics = 0;
+    let mut errors = 0;
+    for seed in 0..seeds {
+        let cfg = ChaosConfig::from_seed(seed);
+        match catch_unwind(AssertUnwindSafe(|| run_chaos(&calib, &base, &cfg))) {
+            Ok(Ok(r)) => rows.push(row(&r)),
+            Ok(Err(_)) => errors += 1,
+            Err(_) => panics += 1,
+        }
+    }
+    ChaosSweep {
+        rows,
+        panics,
+        errors,
+    }
+}
+
+/// Packages a sweep as a [`BenchReport`] (`BENCH_chaos_sweep.json`).
+pub fn report(s: &ChaosSweep) -> BenchReport {
+    let n = s.rows.len().max(1) as f64;
+    BenchReport::new("chaos_sweep")
+        .param("seeds", (s.rows.len() + s.panics + s.errors) as f64)
+        .result("panics", s.panics as f64)
+        .result("harness_errors", s.errors as f64)
+        .result("invariant_violations", s.total_violations() as f64)
+        .result("total_faults", s.total_faults() as f64)
+        .result(
+            "mean_morphs",
+            s.rows.iter().map(|r| r.morphs as f64).sum::<f64>() / n,
+        )
+        .result(
+            "mean_lost_minibatches",
+            s.rows
+                .iter()
+                .map(|r| r.lost_minibatches as f64)
+                .sum::<f64>()
+                / n,
+        )
+        .result(
+            "seeds_with_degraded_episode",
+            s.rows.iter().filter(|r| r.degraded_entries > 0).count() as f64,
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_sweep_is_clean_and_reported() {
+        let s = run(2);
+        assert_eq!(s.rows.len(), 2);
+        assert!(s.is_clean(), "panics {}, violations {:?}", s.panics, s.rows);
+        let rep = report(&s);
+        assert!(rep.is_current_schema());
+        assert_eq!(rep.summary["panics"], 0.0);
+        assert_eq!(rep.summary["invariant_violations"], 0.0);
+    }
+}

@@ -26,7 +26,7 @@ pub struct Fig3 {
 
 /// Runs the Figure 3 experiment: a 100-host pool observed for 16 hours.
 pub fn run() -> Fig3 {
-    let mut market = SpotMarket::new(100, 16);
+    let mut market = SpotMarket::new(100, 16).expect("100-host pool is valid");
     let mut series = Vec::new();
     let dt = 5.0 / 60.0;
     let steps = (16.0 / dt) as usize;

@@ -9,6 +9,7 @@
 //! numbers. EXPERIMENTS.md records paper-vs-measured for each.
 
 pub mod ablations;
+pub mod chaos_sweep;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5_fig6;

@@ -1,0 +1,295 @@
+//! Seeded fault-rate configuration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by the chaos harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosError {
+    /// A fault configuration was shape-invalid.
+    InvalidConfig(String),
+    /// The manager replay itself rejected its inputs.
+    Replay(String),
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosError::InvalidConfig(s) => write!(f, "invalid chaos configuration: {s}"),
+            ChaosError::Replay(s) => write!(f, "replay under chaos failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+/// Rates and shapes for every fault process, plus the master seed.
+///
+/// All `*_rate_per_hour` fields are expected-events-per-hour; the injector
+/// discretizes them into per-tick Bernoulli draws. A rate of `0.0` turns
+/// the corresponding fault process off entirely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Master RNG seed: the same seed always yields the same schedule.
+    pub seed: u64,
+    /// Sampling granularity of the injector, minutes.
+    pub tick_minutes: f64,
+
+    /// Correlated preemption bursts per hour.
+    pub burst_rate_per_hour: f64,
+    /// Fraction of currently-live VMs hit by each burst (0..=1).
+    pub burst_fraction: f64,
+    /// Probability a burst victim gets an advance eviction notice.
+    pub eviction_notice_prob: f64,
+    /// Lead time carried by eviction notices, minutes.
+    pub notice_lead_minutes: f64,
+
+    /// Heartbeat-silence episodes per hour.
+    pub silence_rate_per_hour: f64,
+    /// Shortest silence episode, minutes.
+    pub silence_min_minutes: f64,
+    /// Longest silence episode, minutes.
+    pub silence_max_minutes: f64,
+    /// Probability a silence episode flaps (rapid on/off cycles).
+    pub flap_prob: f64,
+    /// Silence/recover cycles in a flapping episode.
+    pub flap_cycles: u32,
+
+    /// Fail-stutter episodes per hour.
+    pub stutter_rate_per_hour: f64,
+    /// Smallest injected slowdown factor (> 1.0).
+    pub stutter_factor_min: f64,
+    /// Largest injected slowdown factor.
+    pub stutter_factor_max: f64,
+    /// Stutter episode length, minutes.
+    pub stutter_minutes: f64,
+    /// Mid-episode drift multiplier on the factor (1.0 = no drift).
+    pub stutter_drift: f64,
+
+    /// Checkpoint-storage outages per hour.
+    pub outage_rate_per_hour: f64,
+    /// Outage length, minutes.
+    pub outage_minutes: f64,
+    /// Stale/corrupt-checkpoint discoveries per hour.
+    pub corrupt_rate_per_hour: f64,
+
+    /// Probability the run contains one total capacity collapse.
+    pub collapse_prob: f64,
+}
+
+impl ChaosConfig {
+    /// A moderate default: every fault process active at rates that a
+    /// multi-hour trace will exercise without drowning the base schedule.
+    pub fn default_tuning(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            tick_minutes: 1.0,
+            burst_rate_per_hour: 0.5,
+            burst_fraction: 0.25,
+            eviction_notice_prob: 0.5,
+            notice_lead_minutes: 3.0,
+            silence_rate_per_hour: 1.0,
+            silence_min_minutes: 1.0,
+            silence_max_minutes: 10.0,
+            flap_prob: 0.3,
+            flap_cycles: 3,
+            stutter_rate_per_hour: 0.5,
+            stutter_factor_min: 1.2,
+            stutter_factor_max: 1.5,
+            stutter_minutes: 30.0,
+            stutter_drift: 1.2,
+            outage_rate_per_hour: 0.2,
+            outage_minutes: 20.0,
+            corrupt_rate_per_hour: 0.1,
+            collapse_prob: 0.1,
+        }
+    }
+
+    /// All fault processes disabled: the injector becomes the identity.
+    pub fn quiet(seed: u64) -> Self {
+        ChaosConfig {
+            burst_rate_per_hour: 0.0,
+            silence_rate_per_hour: 0.0,
+            stutter_rate_per_hour: 0.0,
+            outage_rate_per_hour: 0.0,
+            corrupt_rate_per_hour: 0.0,
+            collapse_prob: 0.0,
+            ..ChaosConfig::default_tuning(seed)
+        }
+    }
+
+    /// An adversarial tuning: frequent correlated faults of every kind,
+    /// a guaranteed capacity collapse, and heavy flapping.
+    pub fn harsh(seed: u64) -> Self {
+        ChaosConfig {
+            burst_rate_per_hour: 2.0,
+            burst_fraction: 0.5,
+            silence_rate_per_hour: 4.0,
+            flap_prob: 0.7,
+            flap_cycles: 4,
+            stutter_rate_per_hour: 2.0,
+            stutter_factor_max: 1.8,
+            stutter_drift: 1.4,
+            outage_rate_per_hour: 0.5,
+            corrupt_rate_per_hour: 0.5,
+            collapse_prob: 1.0,
+            ..ChaosConfig::default_tuning(seed)
+        }
+    }
+
+    /// Derives a *varied* configuration from the seed itself, so a sweep
+    /// over seeds explores the fault space (quiet corners, harsh corners,
+    /// and everything between) instead of replaying one intensity.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5EED);
+        ChaosConfig {
+            burst_rate_per_hour: rng.gen_range(0.0..3.0),
+            burst_fraction: rng.gen_range(0.05..0.75),
+            eviction_notice_prob: rng.gen_range(0.0..1.0),
+            silence_rate_per_hour: rng.gen_range(0.0..4.0),
+            silence_max_minutes: rng.gen_range(2.0..15.0),
+            flap_prob: rng.gen_range(0.0..1.0),
+            stutter_rate_per_hour: rng.gen_range(0.0..2.0),
+            stutter_factor_max: rng.gen_range(1.25..1.8),
+            stutter_drift: rng.gen_range(1.0..1.5),
+            outage_rate_per_hour: rng.gen_range(0.0..0.8),
+            outage_minutes: rng.gen_range(5.0..30.0),
+            corrupt_rate_per_hour: rng.gen_range(0.0..0.6),
+            collapse_prob: rng.gen_range(0.0..1.0),
+            ..ChaosConfig::default_tuning(seed)
+        }
+    }
+
+    /// Checks every shape invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::InvalidConfig`] naming the first violated
+    /// constraint: non-finite or negative rates, probabilities outside
+    /// `[0, 1]`, a non-positive tick, slowdown factors at or below 1.0,
+    /// inverted silence bounds, or zero flap cycles.
+    pub fn validate(&self) -> Result<(), ChaosError> {
+        let fail = |why: String| Err(ChaosError::InvalidConfig(why));
+        let rates = [
+            ("burst_rate_per_hour", self.burst_rate_per_hour),
+            ("silence_rate_per_hour", self.silence_rate_per_hour),
+            ("stutter_rate_per_hour", self.stutter_rate_per_hour),
+            ("outage_rate_per_hour", self.outage_rate_per_hour),
+            ("corrupt_rate_per_hour", self.corrupt_rate_per_hour),
+        ];
+        for (name, r) in rates {
+            if !(r.is_finite() && r >= 0.0) {
+                return fail(format!("{name} must be finite and >= 0, got {r}"));
+            }
+        }
+        let probs = [
+            ("burst_fraction", self.burst_fraction),
+            ("eviction_notice_prob", self.eviction_notice_prob),
+            ("flap_prob", self.flap_prob),
+            ("collapse_prob", self.collapse_prob),
+        ];
+        for (name, p) in probs {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return fail(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        let durations = [
+            ("tick_minutes", self.tick_minutes),
+            ("notice_lead_minutes", self.notice_lead_minutes),
+            ("silence_min_minutes", self.silence_min_minutes),
+            ("stutter_minutes", self.stutter_minutes),
+            ("outage_minutes", self.outage_minutes),
+        ];
+        for (name, d) in durations {
+            if !(d.is_finite() && d > 0.0) {
+                return fail(format!("{name} must be finite and positive, got {d}"));
+            }
+        }
+        if !(self.silence_max_minutes.is_finite()
+            && self.silence_max_minutes >= self.silence_min_minutes)
+        {
+            return fail(format!(
+                "silence_max_minutes ({}) must be >= silence_min_minutes ({})",
+                self.silence_max_minutes, self.silence_min_minutes
+            ));
+        }
+        if !(self.stutter_factor_min.is_finite() && self.stutter_factor_min > 1.0) {
+            return fail(format!(
+                "stutter_factor_min must exceed 1.0, got {}",
+                self.stutter_factor_min
+            ));
+        }
+        if !(self.stutter_factor_max.is_finite()
+            && self.stutter_factor_max >= self.stutter_factor_min)
+        {
+            return fail(format!(
+                "stutter_factor_max ({}) must be >= stutter_factor_min ({})",
+                self.stutter_factor_max, self.stutter_factor_min
+            ));
+        }
+        if !(self.stutter_drift.is_finite() && self.stutter_drift >= 1.0) {
+            return fail(format!(
+                "stutter_drift must be >= 1.0, got {}",
+                self.stutter_drift
+            ));
+        }
+        if self.flap_cycles == 0 {
+            return fail("flap_cycles must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(ChaosConfig::default_tuning(1).validate().is_ok());
+        assert!(ChaosConfig::quiet(1).validate().is_ok());
+        assert!(ChaosConfig::harsh(1).validate().is_ok());
+        for seed in 0..200 {
+            ChaosConfig::from_seed(seed)
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_varied() {
+        assert_eq!(ChaosConfig::from_seed(42), ChaosConfig::from_seed(42));
+        assert_ne!(ChaosConfig::from_seed(1), ChaosConfig::from_seed(2));
+    }
+
+    #[test]
+    fn invalid_shapes_are_typed_errors() {
+        let bad = |f: fn(&mut ChaosConfig)| {
+            let mut c = ChaosConfig::default_tuning(0);
+            f(&mut c);
+            assert!(
+                matches!(c.validate(), Err(ChaosError::InvalidConfig(_))),
+                "{c:?} should be rejected"
+            );
+        };
+        bad(|c| c.burst_rate_per_hour = -1.0);
+        bad(|c| c.burst_rate_per_hour = f64::NAN);
+        bad(|c| c.burst_fraction = 1.5);
+        bad(|c| c.collapse_prob = -0.1);
+        bad(|c| c.tick_minutes = 0.0);
+        bad(|c| c.silence_max_minutes = 0.5); // below silence_min_minutes
+        bad(|c| c.stutter_factor_min = 1.0);
+        bad(|c| c.stutter_factor_max = 1.1); // below factor_min
+        bad(|c| c.stutter_drift = 0.9);
+        bad(|c| c.flap_cycles = 0);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let c = ChaosConfig::harsh(9);
+        let j = serde_json::to_string(&c).unwrap();
+        let back: ChaosConfig = serde_json::from_str(&j).unwrap();
+        assert_eq!(c, back);
+    }
+}

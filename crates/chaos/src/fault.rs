@@ -1,0 +1,120 @@
+//! The vocabulary of injectable faults.
+
+use serde::{Deserialize, Serialize};
+
+/// One class of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A VM was preempted as part of a correlated burst.
+    Preemption {
+        /// Whether the cloud sent an advance eviction notice first.
+        with_notice: bool,
+    },
+    /// A VM stopped heartbeating while still granted.
+    Silence {
+        /// Total silent time injected, minutes.
+        minutes: f64,
+        /// Whether the episode flaps (rapid silence/recover cycles).
+        flapping: bool,
+    },
+    /// A VM entered fail-stutter: compute slowed by `factor`.
+    Stutter {
+        /// Initial slowdown factor (> 1.0).
+        factor: f64,
+        /// Whether the factor drifts worse mid-episode.
+        drifting: bool,
+    },
+    /// Checkpoint storage became unreachable.
+    StorageOutage {
+        /// Outage length, minutes.
+        minutes: f64,
+    },
+    /// The latest durable checkpoint turned out stale or corrupt.
+    CheckpointCorrupt,
+    /// Every live VM was preempted at once (planner-infeasible capacity).
+    CapacityCollapse {
+        /// VMs taken down by the collapse.
+        victims: usize,
+    },
+}
+
+impl FaultKind {
+    /// A stable short label for observability events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Preemption { with_notice: true } => "preemption_with_notice",
+            FaultKind::Preemption { with_notice: false } => "preemption",
+            FaultKind::Silence { flapping: true, .. } => "silence_flapping",
+            FaultKind::Silence {
+                flapping: false, ..
+            } => "silence",
+            FaultKind::Stutter { drifting: true, .. } => "stutter_drifting",
+            FaultKind::Stutter {
+                drifting: false, ..
+            } => "stutter",
+            FaultKind::StorageOutage { .. } => "storage_outage",
+            FaultKind::CheckpointCorrupt => "checkpoint_corrupt",
+            FaultKind::CapacityCollapse { .. } => "capacity_collapse",
+        }
+    }
+}
+
+/// One fault the injector decided to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// When the fault begins, hours since trace start.
+    pub time_hours: f64,
+    /// The targeted VM, or `u64::MAX` for cluster-global faults.
+    pub vm: u64,
+    /// What was injected.
+    pub fault: FaultKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_distinguish_every_variant() {
+        let kinds = [
+            FaultKind::Preemption { with_notice: true },
+            FaultKind::Preemption { with_notice: false },
+            FaultKind::Silence {
+                minutes: 5.0,
+                flapping: true,
+            },
+            FaultKind::Silence {
+                minutes: 5.0,
+                flapping: false,
+            },
+            FaultKind::Stutter {
+                factor: 1.3,
+                drifting: true,
+            },
+            FaultKind::Stutter {
+                factor: 1.3,
+                drifting: false,
+            },
+            FaultKind::StorageOutage { minutes: 10.0 },
+            FaultKind::CheckpointCorrupt,
+            FaultKind::CapacityCollapse { victims: 8 },
+        ];
+        let labels: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len(), "labels must be unique");
+    }
+
+    #[test]
+    fn injected_faults_round_trip_through_json() {
+        let f = InjectedFault {
+            time_hours: 1.25,
+            vm: 7,
+            fault: FaultKind::Stutter {
+                factor: 1.4,
+                drifting: true,
+            },
+        };
+        let j = serde_json::to_string(&f).unwrap();
+        let back: InjectedFault = serde_json::from_str(&j).unwrap();
+        assert_eq!(f, back);
+    }
+}

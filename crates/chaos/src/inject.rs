@@ -1,0 +1,454 @@
+//! The deterministic trace perturber.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use varuna_cluster::trace::{ClusterEvent, ClusterEventKind, ClusterTrace};
+use varuna_obs::{Event, EventBus, EventKind};
+
+use crate::config::{ChaosConfig, ChaosError};
+use crate::fault::{FaultKind, InjectedFault};
+
+/// Perturbs base cluster traces with a seeded fault schedule.
+///
+/// The injector walks the base trace on a fixed tick grid, tracking which
+/// VMs are live, and draws each fault process as a per-tick Bernoulli
+/// trial at `rate * tick`. Everything downstream of the seed is
+/// deterministic: the same `(config, base trace)` pair always produces
+/// the same perturbed trace and fault list.
+pub struct ChaosInjector {
+    cfg: ChaosConfig,
+}
+
+impl ChaosInjector {
+    /// An injector for a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::InvalidConfig`] if the configuration fails
+    /// [`ChaosConfig::validate`].
+    pub fn new(cfg: ChaosConfig) -> Result<Self, ChaosError> {
+        cfg.validate()?;
+        Ok(ChaosInjector { cfg })
+    }
+
+    /// The configuration driving this injector.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Perturbs `base` into a fault-laden trace, returning the merged
+    /// trace plus the list of injected faults in time order.
+    pub fn perturb(&self, base: &ClusterTrace) -> (ClusterTrace, Vec<InjectedFault>) {
+        let cfg = &self.cfg;
+        let duration = base.duration_hours;
+        let dt = cfg.tick_minutes / 60.0;
+        let ticks = (duration / dt).ceil() as usize;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // One optional total collapse, scheduled mid-run up front so the
+        // draw does not depend on how the other processes fire.
+        let mut collapse_at = if cfg.collapse_prob > 0.0 && rng.gen_bool(cfg.collapse_prob) {
+            Some(rng.gen_range(0.25..0.75) * duration)
+        } else {
+            None
+        };
+
+        let mut live: BTreeSet<u64> = BTreeSet::new();
+        let mut injected: Vec<ClusterEvent> = Vec::new();
+        let mut faults: Vec<InjectedFault> = Vec::new();
+        // Keep storage outages non-overlapping: the manager models the
+        // outage as a boolean, so nested Start/Start/End/End would end it
+        // early.
+        let mut outage_until = f64::NEG_INFINITY;
+        let mut j = 0;
+
+        let p_of = |rate: f64| (rate * dt).min(1.0);
+        // The vendored rand only samples half-open ranges; degenerate
+        // bounds (min == max) are legal configs and collapse to the bound.
+        fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+            if hi > lo {
+                rng.gen_range(lo..hi)
+            } else {
+                lo
+            }
+        }
+        for tick in 0..ticks {
+            let t = tick as f64 * dt;
+            // Apply the base schedule up to this tick.
+            while j < base.events.len() && base.events[j].time_hours <= t {
+                let e = &base.events[j];
+                match e.kind {
+                    ClusterEventKind::Granted { .. } => {
+                        live.insert(e.vm);
+                    }
+                    ClusterEventKind::Preempted => {
+                        live.remove(&e.vm);
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+
+            // Correlated preemption burst.
+            if cfg.burst_rate_per_hour > 0.0 && rng.gen_bool(p_of(cfg.burst_rate_per_hour)) {
+                let mut pool: Vec<u64> = live.iter().copied().collect();
+                let hit = ((pool.len() as f64 * cfg.burst_fraction).round() as usize)
+                    .clamp(usize::from(!pool.is_empty()), pool.len());
+                for _ in 0..hit {
+                    let vm = pool.swap_remove(rng.gen_range(0..pool.len()));
+                    let with_notice =
+                        cfg.eviction_notice_prob > 0.0 && rng.gen_bool(cfg.eviction_notice_prob);
+                    let lead = cfg.notice_lead_minutes / 60.0;
+                    let die_at = if with_notice { t + lead } else { t };
+                    if die_at > duration {
+                        continue;
+                    }
+                    if with_notice {
+                        injected.push(ClusterEvent {
+                            time_hours: t,
+                            vm,
+                            kind: ClusterEventKind::EvictionNotice { lead_hours: lead },
+                        });
+                    }
+                    injected.push(ClusterEvent {
+                        time_hours: die_at,
+                        vm,
+                        kind: ClusterEventKind::Preempted,
+                    });
+                    live.remove(&vm);
+                    faults.push(InjectedFault {
+                        time_hours: t,
+                        vm,
+                        fault: FaultKind::Preemption { with_notice },
+                    });
+                }
+            }
+
+            // Heartbeat silence, possibly flapping.
+            if cfg.silence_rate_per_hour > 0.0
+                && !live.is_empty()
+                && rng.gen_bool(p_of(cfg.silence_rate_per_hour))
+            {
+                let pool: Vec<u64> = live.iter().copied().collect();
+                let vm = pool[rng.gen_range(0..pool.len())];
+                let minutes = uniform(&mut rng, cfg.silence_min_minutes, cfg.silence_max_minutes);
+                let flapping = cfg.flap_prob > 0.0 && rng.gen_bool(cfg.flap_prob);
+                let cycles = if flapping { cfg.flap_cycles } else { 1 };
+                // A flapping episode alternates equal silence/recovery
+                // segments inside the drawn window.
+                let seg = minutes / 60.0 / (2 * cycles) as f64;
+                for k in 0..cycles {
+                    let start = t + (2 * k) as f64 * seg;
+                    let end = start + seg;
+                    if start > duration {
+                        break;
+                    }
+                    injected.push(ClusterEvent {
+                        time_hours: start,
+                        vm,
+                        kind: ClusterEventKind::SilenceStart,
+                    });
+                    if end <= duration {
+                        injected.push(ClusterEvent {
+                            time_hours: end,
+                            vm,
+                            kind: ClusterEventKind::SilenceEnd,
+                        });
+                    }
+                }
+                faults.push(InjectedFault {
+                    time_hours: t,
+                    vm,
+                    fault: FaultKind::Silence { minutes, flapping },
+                });
+            }
+
+            // Fail-stutter, optionally drifting worse mid-episode.
+            if cfg.stutter_rate_per_hour > 0.0
+                && !live.is_empty()
+                && rng.gen_bool(p_of(cfg.stutter_rate_per_hour))
+            {
+                let pool: Vec<u64> = live.iter().copied().collect();
+                let vm = pool[rng.gen_range(0..pool.len())];
+                let factor = uniform(&mut rng, cfg.stutter_factor_min, cfg.stutter_factor_max);
+                let len = cfg.stutter_minutes / 60.0;
+                let drifting = cfg.stutter_drift > 1.0;
+                injected.push(ClusterEvent {
+                    time_hours: t,
+                    vm,
+                    kind: ClusterEventKind::StutterStart { factor },
+                });
+                if drifting && t + len / 2.0 <= duration {
+                    injected.push(ClusterEvent {
+                        time_hours: t + len / 2.0,
+                        vm,
+                        kind: ClusterEventKind::StutterStart {
+                            factor: factor * cfg.stutter_drift,
+                        },
+                    });
+                }
+                if t + len <= duration {
+                    injected.push(ClusterEvent {
+                        time_hours: t + len,
+                        vm,
+                        kind: ClusterEventKind::StutterEnd,
+                    });
+                }
+                faults.push(InjectedFault {
+                    time_hours: t,
+                    vm,
+                    fault: FaultKind::Stutter { factor, drifting },
+                });
+            }
+
+            // Checkpoint-storage outage.
+            if cfg.outage_rate_per_hour > 0.0
+                && t >= outage_until
+                && rng.gen_bool(p_of(cfg.outage_rate_per_hour))
+            {
+                let len = cfg.outage_minutes / 60.0;
+                outage_until = t + len;
+                injected.push(ClusterEvent {
+                    time_hours: t,
+                    vm: u64::MAX,
+                    kind: ClusterEventKind::StorageOutageStart,
+                });
+                if t + len <= duration {
+                    injected.push(ClusterEvent {
+                        time_hours: t + len,
+                        vm: u64::MAX,
+                        kind: ClusterEventKind::StorageOutageEnd,
+                    });
+                }
+                faults.push(InjectedFault {
+                    time_hours: t,
+                    vm: u64::MAX,
+                    fault: FaultKind::StorageOutage {
+                        minutes: cfg.outage_minutes,
+                    },
+                });
+            }
+
+            // Stale/corrupt durable checkpoint.
+            if cfg.corrupt_rate_per_hour > 0.0 && rng.gen_bool(p_of(cfg.corrupt_rate_per_hour)) {
+                injected.push(ClusterEvent {
+                    time_hours: t,
+                    vm: u64::MAX,
+                    kind: ClusterEventKind::CheckpointCorrupt,
+                });
+                faults.push(InjectedFault {
+                    time_hours: t,
+                    vm: u64::MAX,
+                    fault: FaultKind::CheckpointCorrupt,
+                });
+            }
+
+            // Planner-infeasible capacity collapse.
+            if let Some(at) = collapse_at {
+                if t >= at {
+                    collapse_at = None;
+                    let victims = live.len();
+                    for vm in std::mem::take(&mut live) {
+                        injected.push(ClusterEvent {
+                            time_hours: t,
+                            vm,
+                            kind: ClusterEventKind::Preempted,
+                        });
+                    }
+                    faults.push(InjectedFault {
+                        time_hours: t,
+                        vm: u64::MAX,
+                        fault: FaultKind::CapacityCollapse { victims },
+                    });
+                }
+            }
+        }
+
+        injected.sort_by(|a, b| a.time_hours.total_cmp(&b.time_hours));
+        let mut merged = Vec::with_capacity(base.events.len() + injected.len());
+        let (mut bi, mut ii) = (0, 0);
+        while bi < base.events.len() || ii < injected.len() {
+            let take_base = ii >= injected.len()
+                || (bi < base.events.len()
+                    && base.events[bi].time_hours <= injected[ii].time_hours);
+            if take_base {
+                merged.push(base.events[bi]);
+                bi += 1;
+            } else {
+                merged.push(injected[ii]);
+                ii += 1;
+            }
+        }
+        let trace = ClusterTrace::scripted(merged, duration)
+            .expect("merging two time-ordered streams preserves order");
+        (trace, faults)
+    }
+
+    /// Like [`ChaosInjector::perturb`], additionally reporting each
+    /// injected fault as an [`EventKind::FaultInjected`] on `bus`.
+    pub fn perturb_observed(
+        &self,
+        base: &ClusterTrace,
+        bus: &mut EventBus,
+    ) -> (ClusterTrace, Vec<InjectedFault>) {
+        let (trace, faults) = self.perturb(base);
+        for f in &faults {
+            bus.emit_with(|| {
+                Event::chaos(
+                    f.time_hours * 3600.0,
+                    EventKind::FaultInjected {
+                        fault: f.fault.label().to_string(),
+                        vm: f.vm,
+                    },
+                )
+            });
+        }
+        (trace, faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ClusterTrace {
+        ClusterTrace::generate_spot_1gpu(40, 60, 8.0, 5.0, 7)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let inj = ChaosInjector::new(ChaosConfig::harsh(11)).unwrap();
+        let b = base();
+        let (t1, f1) = inj.perturb(&b);
+        let (t2, f2) = inj.perturb(&b);
+        assert_eq!(t1, t2);
+        assert_eq!(f1, f2);
+        let other = ChaosInjector::new(ChaosConfig::harsh(12)).unwrap();
+        assert_ne!(other.perturb(&b).1, f1, "seeds must matter");
+    }
+
+    #[test]
+    fn quiet_config_is_the_identity() {
+        let inj = ChaosInjector::new(ChaosConfig::quiet(3)).unwrap();
+        let b = base();
+        let (t, faults) = inj.perturb(&b);
+        assert_eq!(t, b);
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn perturbed_trace_is_ordered_and_bounded() {
+        for seed in 0..20 {
+            let inj = ChaosInjector::new(ChaosConfig::from_seed(seed)).unwrap();
+            let b = base();
+            let (t, faults) = inj.perturb(&b);
+            for w in t.events.windows(2) {
+                assert!(w[0].time_hours <= w[1].time_hours, "seed {seed}");
+            }
+            for e in &t.events {
+                assert!(e.time_hours >= 0.0 && e.time_hours <= t.duration_hours);
+            }
+            for f in &faults {
+                assert!(f.time_hours >= 0.0 && f.time_hours <= t.duration_hours);
+            }
+        }
+    }
+
+    #[test]
+    fn harsh_config_exercises_every_fault_class() {
+        let inj = ChaosInjector::new(ChaosConfig::harsh(5)).unwrap();
+        let (_, faults) = inj.perturb(&base());
+        let labels: std::collections::BTreeSet<&str> =
+            faults.iter().map(|f| f.fault.label()).collect();
+        for want in [
+            "silence",
+            "stutter_drifting",
+            "storage_outage",
+            "checkpoint_corrupt",
+            "capacity_collapse",
+        ] {
+            assert!(labels.contains(want), "missing {want}: {labels:?}");
+        }
+        assert!(
+            labels.iter().any(|l| l.starts_with("preemption")),
+            "missing preemptions: {labels:?}"
+        );
+    }
+
+    #[test]
+    fn storage_outages_never_overlap() {
+        let cfg = ChaosConfig {
+            outage_rate_per_hour: 10.0,
+            outage_minutes: 30.0,
+            ..ChaosConfig::harsh(17)
+        };
+        let inj = ChaosInjector::new(cfg).unwrap();
+        let (t, _) = inj.perturb(&base());
+        let mut open = false;
+        for e in &t.events {
+            match e.kind {
+                ClusterEventKind::StorageOutageStart => {
+                    assert!(!open, "nested outage at {}", e.time_hours);
+                    open = true;
+                }
+                ClusterEventKind::StorageOutageEnd => {
+                    assert!(open, "unmatched end at {}", e.time_hours);
+                    open = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn burst_victims_are_live_vms() {
+        let inj = ChaosInjector::new(ChaosConfig::harsh(23)).unwrap();
+        let b = base();
+        let (_, faults) = inj.perturb(&b);
+        let all_vms: BTreeSet<u64> = b
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, ClusterEventKind::Granted { .. }))
+            .map(|e| e.vm)
+            .collect();
+        for f in &faults {
+            if matches!(f.fault, FaultKind::Preemption { .. }) {
+                assert!(all_vms.contains(&f.vm), "{f:?} targets an unknown VM");
+            }
+        }
+    }
+
+    #[test]
+    fn observed_perturbation_reports_faults_on_the_bus() {
+        use varuna_obs::{Source, VecSink};
+        let inj = ChaosInjector::new(ChaosConfig::harsh(31)).unwrap();
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        let (_, faults) = inj.perturb_observed(&base(), &mut bus);
+        let events = sink.take();
+        assert_eq!(events.len(), faults.len());
+        for (e, f) in events.iter().zip(&faults) {
+            assert_eq!(e.source, Source::Chaos);
+            assert!((e.t_sim - f.time_hours * 3600.0).abs() < 1e-9);
+            match &e.kind {
+                EventKind::FaultInjected { fault, vm } => {
+                    assert_eq!(fault, f.fault.label());
+                    assert_eq!(*vm, f.vm);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut cfg = ChaosConfig::default_tuning(0);
+        cfg.burst_fraction = 2.0;
+        assert!(matches!(
+            ChaosInjector::new(cfg),
+            Err(ChaosError::InvalidConfig(_))
+        ));
+    }
+}

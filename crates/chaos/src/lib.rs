@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! Chaos harness: deterministic fault injection for the Varuna manager.
+//!
+//! The paper's reliability claims (§4.2 morphing, §4.5 continuous
+//! checkpointing, §4.6 fail-stutter handling) are only as good as the
+//! manager's behavior under *adversarial* schedules, not just the benign
+//! spot-market traces of Figure 8. This crate perturbs a replayable
+//! [`ClusterTrace`](varuna_cluster::trace::ClusterTrace) with a seeded,
+//! fully deterministic fault injector and checks the resulting
+//! [`varuna_obs`] event stream against recovery invariants:
+//!
+//! - **Preemption bursts** — correlated evictions hitting a fraction of
+//!   the fleet at once, with or without an advance eviction notice.
+//! - **Heartbeat loss / partition flapping** — VMs going silent while
+//!   still granted, possibly in rapid silence/recover cycles.
+//! - **Fail-stutter with drift** — slow VMs whose compute times worsen
+//!   mid-episode (paper §4.6).
+//! - **Checkpoint storage faults** — write outages and stale/corrupt
+//!   resume points (paper §4.5).
+//! - **Planner-infeasible capacity collapse** — everything preempted at
+//!   once, forcing the manager into its `Degraded` retry loop.
+//!
+//! The pipeline is: [`ChaosConfig`] (seeded rates) → [`ChaosInjector`]
+//! (perturbs a base trace into a fault schedule) → `Manager::replay_on_bus`
+//! (the recovery state machine under test) → [`verify::check_invariants`]
+//! (stream-level safety properties) → [`ChaosRun`] (one run's verdict,
+//! with a digest for byte-identical same-seed comparison).
+//!
+//! Everything is deterministic: the same seed produces the same fault
+//! schedule, the same event stream, and the same digest.
+
+pub mod config;
+pub mod fault;
+pub mod harness;
+pub mod inject;
+pub mod verify;
+
+pub use config::{ChaosConfig, ChaosError};
+pub use fault::{FaultKind, InjectedFault};
+pub use harness::{digest_events, run_chaos, ChaosRun};
+pub use inject::ChaosInjector;

@@ -1,0 +1,293 @@
+//! Stream-level recovery invariants.
+//!
+//! These are the safety properties the chaos suite pins: whatever the
+//! fault schedule, a manager replay must produce an event stream that
+//! passes [`check_invariants`] with zero violations.
+
+use std::collections::BTreeSet;
+
+use varuna_obs::{Event, EventKind};
+
+/// Checks a replayed event stream against every recovery invariant,
+/// returning one human-readable line per violation (empty = clean).
+///
+/// The invariants:
+///
+/// 1. **Monotone simulated time** — `t_sim` is finite, non-negative, and
+///    never decreases.
+/// 2. **Monotone minibatch progress** — successful `Checkpoint` steps
+///    never decrease (work is never rolled back; a stale resume point is
+///    handled by `CheckpointFallback`, not by rewriting history).
+/// 3. **No double exclusion** — a VM is never `VmExcluded` twice without
+///    an intervening `VmReadmitted` or `Preemption` of that VM.
+/// 4. **Degraded alternation** — `DegradedEnter`/`DegradedExit` strictly
+///    alternate, and every exit prices a non-negative pause.
+/// 5. **Capacity honesty** — every `Morph` and `Checkpoint` uses at most
+///    the GPUs it holds, with finite non-negative throughputs.
+/// 6. **Priced lost work** — every `LostWork` event carries a positive
+///    cost and is attached to a reconfiguration (a `Morph` at the same
+///    `t_sim`): work is conserved *modulo explicitly-priced loss*.
+/// 7. **Fallback sanity** — `CheckpointFallback` never moves the durable
+///    point forward.
+pub fn check_invariants(events: &[Event]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut last_t = f64::NEG_INFINITY;
+    let mut last_ckpt_step: u64 = 0;
+    let mut excluded: BTreeSet<u64> = BTreeSet::new();
+    let mut degraded = false;
+
+    for (i, e) in events.iter().enumerate() {
+        if !e.t_sim.is_finite() || e.t_sim < 0.0 {
+            violations.push(format!(
+                "event {i}: non-finite or negative t_sim {}",
+                e.t_sim
+            ));
+            continue;
+        }
+        if e.t_sim < last_t {
+            violations.push(format!(
+                "event {i}: time went backwards ({} after {last_t})",
+                e.t_sim
+            ));
+        }
+        last_t = last_t.max(e.t_sim);
+
+        match &e.kind {
+            EventKind::Checkpoint {
+                step,
+                gpus_held,
+                gpus_used,
+                examples_per_sec,
+                ..
+            } => {
+                if *step < last_ckpt_step {
+                    violations.push(format!(
+                        "event {i}: checkpoint step regressed ({step} after {last_ckpt_step})"
+                    ));
+                }
+                last_ckpt_step = last_ckpt_step.max(*step);
+                if gpus_used > gpus_held {
+                    violations.push(format!(
+                        "event {i}: checkpoint uses {gpus_used} GPUs but holds {gpus_held}"
+                    ));
+                }
+                if !(examples_per_sec.is_finite() && *examples_per_sec >= 0.0) {
+                    violations.push(format!(
+                        "event {i}: bad checkpoint throughput {examples_per_sec}"
+                    ));
+                }
+            }
+            EventKind::Morph {
+                gpus_held,
+                gpus_used,
+                examples_per_sec,
+                ..
+            } => {
+                if gpus_used > gpus_held {
+                    violations.push(format!(
+                        "event {i}: morph uses {gpus_used} GPUs but holds {gpus_held}"
+                    ));
+                }
+                if !(examples_per_sec.is_finite() && *examples_per_sec >= 0.0) {
+                    violations.push(format!(
+                        "event {i}: bad morph throughput {examples_per_sec}"
+                    ));
+                }
+            }
+            EventKind::VmExcluded { vm, .. } => {
+                if !excluded.insert(*vm) {
+                    violations.push(format!("event {i}: VM {vm} excluded twice"));
+                }
+            }
+            EventKind::VmReadmitted { vm } => {
+                if !excluded.remove(vm) {
+                    violations.push(format!("event {i}: VM {vm} readmitted but not excluded"));
+                }
+            }
+            EventKind::Preemption { vm } => {
+                // A preempted VM's exclusion episode ends with the VM.
+                excluded.remove(vm);
+            }
+            EventKind::DegradedEnter { .. } => {
+                if degraded {
+                    violations.push(format!("event {i}: DegradedEnter while already degraded"));
+                }
+                degraded = true;
+            }
+            EventKind::DegradedExit { paused_seconds, .. } => {
+                if !degraded {
+                    violations.push(format!("event {i}: DegradedExit without DegradedEnter"));
+                }
+                degraded = false;
+                if !(paused_seconds.is_finite() && *paused_seconds >= 0.0) {
+                    violations.push(format!("event {i}: bad paused_seconds {paused_seconds}"));
+                }
+            }
+            EventKind::LostWork {
+                minibatches,
+                seconds,
+            } => {
+                if *minibatches == 0 {
+                    violations.push(format!("event {i}: LostWork prices zero minibatches"));
+                }
+                if !(seconds.is_finite() && *seconds > 0.0) {
+                    violations.push(format!("event {i}: LostWork prices {seconds} seconds"));
+                }
+                let attached = events[i + 1..]
+                    .iter()
+                    .take_while(|n| n.t_sim == e.t_sim)
+                    .any(|n| matches!(n.kind, EventKind::Morph { .. }));
+                if !attached {
+                    violations.push(format!(
+                        "event {i}: LostWork not attached to a reconfiguration at t={}",
+                        e.t_sim
+                    ));
+                }
+            }
+            EventKind::CheckpointFallback { from_step, to_step } => {
+                if to_step > from_step {
+                    violations.push(format!(
+                        "event {i}: fallback advances the durable point \
+                         ({from_step} -> {to_step})"
+                    ));
+                }
+            }
+            EventKind::MorphRetry {
+                backoff_seconds, ..
+            } => {
+                if !(backoff_seconds.is_finite() && *backoff_seconds > 0.0) {
+                    violations.push(format!("event {i}: bad retry backoff {backoff_seconds}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varuna_obs::Event;
+
+    #[test]
+    fn an_empty_stream_is_clean() {
+        assert!(check_invariants(&[]).is_empty());
+    }
+
+    #[test]
+    fn backwards_time_is_flagged() {
+        let events = [
+            Event::manager(10.0, EventKind::Preemption { vm: 1 }),
+            Event::manager(5.0, EventKind::Preemption { vm: 2 }),
+        ];
+        let v = check_invariants(&events);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("backwards"));
+    }
+
+    #[test]
+    fn checkpoint_regression_is_flagged() {
+        let ck = |t: f64, step: u64| {
+            Event::manager(
+                t,
+                EventKind::Checkpoint {
+                    step,
+                    gpus_held: 4,
+                    gpus_used: 4,
+                    p: 2,
+                    d: 2,
+                    examples_per_sec: 10.0,
+                    examples_per_sec_per_gpu: 2.5,
+                },
+            )
+        };
+        let v = check_invariants(&[ck(1.0, 16), ck(2.0, 8)]);
+        assert!(v.iter().any(|s| s.contains("regressed")), "{v:?}");
+    }
+
+    #[test]
+    fn double_exclusion_is_flagged_and_cleared_by_preemption() {
+        let ex = |t: f64| {
+            Event::manager(
+                t,
+                EventKind::VmExcluded {
+                    vm: 3,
+                    consecutive_misses: 2,
+                },
+            )
+        };
+        let v = check_invariants(&[ex(1.0), ex(2.0)]);
+        assert!(v.iter().any(|s| s.contains("excluded twice")), "{v:?}");
+        // Preemption ends the episode, so a later exclusion is legal.
+        let ok = check_invariants(&[
+            ex(1.0),
+            Event::manager(2.0, EventKind::Preemption { vm: 3 }),
+            ex(3.0),
+        ]);
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn degraded_must_alternate() {
+        let enter = Event::manager(
+            1.0,
+            EventKind::DegradedEnter {
+                gpus: 0,
+                reason: "x".into(),
+            },
+        );
+        let v = check_invariants(&[enter.clone(), enter]);
+        assert!(v.iter().any(|s| s.contains("already degraded")), "{v:?}");
+        let v = check_invariants(&[Event::manager(
+            1.0,
+            EventKind::DegradedExit {
+                gpus: 4,
+                paused_seconds: 60.0,
+            },
+        )]);
+        assert!(v.iter().any(|s| s.contains("without")), "{v:?}");
+    }
+
+    #[test]
+    fn overcommitted_morphs_are_flagged() {
+        let v = check_invariants(&[Event::manager(
+            1.0,
+            EventKind::Morph {
+                p: 4,
+                d: 2,
+                gpus_held: 6,
+                gpus_used: 8,
+                examples_per_sec: 10.0,
+                examples_per_sec_per_gpu: 1.25,
+                reconfigured: true,
+            },
+        )]);
+        assert!(v.iter().any(|s| s.contains("uses 8 GPUs")), "{v:?}");
+    }
+
+    #[test]
+    fn unpriced_or_detached_lost_work_is_flagged() {
+        let v = check_invariants(&[Event::manager(
+            1.0,
+            EventKind::LostWork {
+                minibatches: 0,
+                seconds: 0.0,
+            },
+        )]);
+        assert!(v.iter().any(|s| s.contains("zero minibatches")), "{v:?}");
+        assert!(v.iter().any(|s| s.contains("not attached")), "{v:?}");
+    }
+
+    #[test]
+    fn forward_moving_fallback_is_flagged() {
+        let v = check_invariants(&[Event::manager(
+            1.0,
+            EventKind::CheckpointFallback {
+                from_step: 16,
+                to_step: 32,
+            },
+        )]);
+        assert!(v.iter().any(|s| s.contains("advances")), "{v:?}");
+    }
+}

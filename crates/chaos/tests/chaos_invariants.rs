@@ -1,0 +1,133 @@
+//! Property-based chaos suite: whatever the seeded fault schedule, the
+//! manager's recovery machine must uphold every stream invariant.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use varuna::{Calibration, Manager, VarunaCluster};
+use varuna_chaos::{digest_events, run_chaos, ChaosConfig, ChaosInjector};
+use varuna_cluster::trace::ClusterTrace;
+use varuna_models::ModelZoo;
+use varuna_obs::{EventBus, VecSink};
+
+/// Calibration is by far the most expensive step; share one across the
+/// whole suite (it is immutable after profiling).
+fn calib() -> &'static Calibration {
+    static CALIB: OnceLock<Calibration> = OnceLock::new();
+    CALIB.get_or_init(|| {
+        Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(160))
+    })
+}
+
+/// One benign base trace (the Figure 8 workload) shared by all runs; the
+/// injector supplies the adversity.
+fn base() -> &'static ClusterTrace {
+    static BASE: OnceLock<ClusterTrace> = OnceLock::new();
+    BASE.get_or_init(|| ClusterTrace::generate_spot_1gpu(40, 60, 3.0, 10.0, 7))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// No seeded fault schedule may panic the replay or violate any
+    /// recovery invariant (monotone time, monotone progress, no double
+    /// exclusion, priced lost work, honest capacity).
+    #[test]
+    fn any_fault_schedule_replays_cleanly(seed in 0u64..10_000) {
+        let run = run_chaos(calib(), base(), &ChaosConfig::from_seed(seed))
+            .expect("valid config and trace");
+        prop_assert!(
+            run.violations.is_empty(),
+            "seed {} violated invariants: {:?}",
+            seed,
+            run.violations
+        );
+    }
+
+    /// Same seed, same everything: fault schedule, event stream, digest.
+    #[test]
+    fn same_seed_is_byte_identical(seed in 0u64..10_000) {
+        let cfg = ChaosConfig::from_seed(seed);
+        let a = run_chaos(calib(), base(), &cfg).expect("first run");
+        let b = run_chaos(calib(), base(), &cfg).expect("second run");
+        prop_assert_eq!(a.digest, b.digest, "seed {} diverged", seed);
+        prop_assert_eq!(a.faults, b.faults);
+        prop_assert_eq!(a.event_count, b.event_count);
+    }
+
+    /// The perturbed trace itself stays well-formed: time-ordered, inside
+    /// the base duration, and strictly richer than the base under a harsh
+    /// configuration.
+    #[test]
+    fn perturbed_traces_stay_well_formed(seed in 0u64..10_000) {
+        let inj = ChaosInjector::new(ChaosConfig::harsh(seed)).expect("harsh is valid");
+        let (trace, faults) = inj.perturb(base());
+        prop_assert!(!faults.is_empty(), "harsh must inject something");
+        prop_assert!(trace.events.len() > base().events.len());
+        prop_assert_eq!(trace.duration_hours, base().duration_hours);
+        for w in trace.events.windows(2) {
+            prop_assert!(w[0].time_hours <= w[1].time_hours);
+        }
+    }
+}
+
+#[test]
+fn harsh_chaos_exercises_degraded_recovery_and_stays_clean() {
+    // The harsh preset guarantees a total capacity collapse, so the run
+    // must visit Degraded at least once — and still uphold every
+    // invariant while recovering.
+    let mut saw_degraded = false;
+    for seed in 0..3 {
+        let run = run_chaos(calib(), base(), &ChaosConfig::harsh(seed)).expect("harsh run");
+        assert!(
+            run.violations.is_empty(),
+            "seed {seed}: {:?}",
+            run.violations
+        );
+        assert!(run.morphs > 0, "seed {seed} never reconfigured");
+        saw_degraded |= run.degraded_entries > 0;
+    }
+    assert!(saw_degraded, "collapse must force a Degraded episode");
+}
+
+#[test]
+fn quiet_chaos_matches_the_fault_free_replay() {
+    // With every fault process off, the chaos harness must reproduce the
+    // plain replay exactly: zero faults, zero degraded episodes, and the
+    // same event stream a bare Manager produces on the base trace.
+    let run = run_chaos(calib(), base(), &ChaosConfig::quiet(99)).expect("quiet run");
+    assert!(run.faults.is_empty());
+    assert!(run.violations.is_empty(), "{:?}", run.violations);
+    assert_eq!(run.degraded_entries, 0);
+    assert!(!run.ended_degraded);
+    assert!(run.morphs > 0, "the base trace still morphs");
+    let sink = VecSink::new();
+    let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    let mut mgr = Manager::new(calib(), 8192, 4).with_fallback();
+    mgr.replay_on_bus(base(), &mut bus).expect("plain replay");
+    assert_eq!(
+        run.digest,
+        digest_events(&sink.take()),
+        "a quiet injector must be invisible in the event stream"
+    );
+}
+
+#[test]
+fn lost_work_is_priced_under_storage_outages() {
+    // A long storage outage plus ongoing preemptions means morphs happen
+    // with a stale durable checkpoint: the price must show up as
+    // explicitly-accounted lost minibatches, never as rolled-back
+    // progress (the invariant checker pins the latter).
+    let cfg = ChaosConfig {
+        outage_rate_per_hour: 1.0,
+        outage_minutes: 60.0,
+        burst_rate_per_hour: 2.0,
+        ..ChaosConfig::default_tuning(4242)
+    };
+    let run = run_chaos(calib(), base(), &cfg).expect("outage run");
+    assert!(run.violations.is_empty(), "{:?}", run.violations);
+    assert!(
+        run.lost_minibatches > 0,
+        "outage + churn must price lost work: {run:?}"
+    );
+}

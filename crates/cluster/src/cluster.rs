@@ -93,6 +93,14 @@ impl Cluster {
                     self.set_stutter(e.vm, 1.0);
                 }
             }
+            // Health and storage faults are interpreted by the manager's
+            // recovery machine; the granted-capacity view is unchanged.
+            ClusterEventKind::EvictionNotice { .. }
+            | ClusterEventKind::SilenceStart
+            | ClusterEventKind::SilenceEnd
+            | ClusterEventKind::StorageOutageStart
+            | ClusterEventKind::StorageOutageEnd
+            | ClusterEventKind::CheckpointCorrupt => {}
         }
     }
 

@@ -1,0 +1,33 @@
+//! Typed errors for the cluster substrate.
+//!
+//! The substrate sits below `varuna` core in the crate graph, so it owns
+//! its own error type; core converts it into `VarunaError::InvalidConfig`
+//! at the boundary.
+
+/// Errors surfaced by cluster constructors and trace builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A constructor was given shape-invalid parameters.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::InvalidConfig(s) => write!(f, "invalid cluster configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_reason() {
+        let e = ClusterError::InvalidConfig("hosts must be positive".into());
+        assert!(e.to_string().contains("hosts must be positive"));
+    }
+}

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use varuna_obs::{Event, EventBus, EventKind};
 
 use crate::cluster::VmId;
+use crate::error::ClusterError;
 
 /// One heartbeat from a training task.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,18 +42,38 @@ pub struct HeartbeatMonitor {
 impl HeartbeatMonitor {
     /// Creates a monitor with the given silence timeout (seconds) and
     /// outlier factor (e.g. 1.2 = 20% above median flags an outlier).
-    pub fn new(timeout: f64, outlier_factor: f64) -> Self {
-        assert!(timeout > 0.0 && outlier_factor > 1.0);
-        HeartbeatMonitor {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] unless `timeout > 0` and
+    /// `outlier_factor > 1` (both finite): a non-positive timeout marks
+    /// every VM preempted instantly, and an outlier factor at or below the
+    /// median flags healthy VMs.
+    pub fn new(timeout: f64, outlier_factor: f64) -> Result<Self, ClusterError> {
+        if !(timeout > 0.0 && timeout.is_finite()) {
+            return Err(ClusterError::InvalidConfig(format!(
+                "heartbeat timeout must be positive and finite, got {timeout}"
+            )));
+        }
+        if !(outlier_factor > 1.0 && outlier_factor.is_finite()) {
+            return Err(ClusterError::InvalidConfig(format!(
+                "outlier factor must exceed 1.0 and be finite, got {outlier_factor}"
+            )));
+        }
+        Ok(HeartbeatMonitor {
             last: BTreeMap::new(),
             timeout,
             outlier_factor,
-        }
+        })
     }
 
     /// Default tuning: 60 s silence timeout, 20% outlier threshold.
     pub fn default_tuning() -> Self {
-        HeartbeatMonitor::new(60.0, 1.2)
+        HeartbeatMonitor {
+            last: BTreeMap::new(),
+            timeout: 60.0,
+            outlier_factor: 1.2,
+        }
     }
 
     /// Records a heartbeat.
@@ -129,7 +150,7 @@ mod tests {
 
     #[test]
     fn silence_past_timeout_marks_preemption() {
-        let mut m = HeartbeatMonitor::new(60.0, 1.2);
+        let mut m = HeartbeatMonitor::new(60.0, 1.2).unwrap();
         m.record(hb(0, 0.0, 1.0));
         m.record(hb(1, 50.0, 1.0));
         assert_eq!(m.silent_vms(100.0), vec![0]);
@@ -139,7 +160,7 @@ mod tests {
     #[test]
     fn silent_vms_observed_reports_heartbeat_misses() {
         use varuna_obs::{EventBus, EventKind, Source, VecSink};
-        let mut m = HeartbeatMonitor::new(60.0, 1.2);
+        let mut m = HeartbeatMonitor::new(60.0, 1.2).unwrap();
         m.record(hb(3, 0.0, 1.0));
         m.record(hb(7, 50.0, 1.0));
         let sink = VecSink::new();
@@ -150,6 +171,15 @@ mod tests {
         assert_eq!(events[0].source, Source::Cluster);
         assert_eq!(events[0].t_sim, 100.0);
         assert!(matches!(events[0].kind, EventKind::HeartbeatMiss { vm: 3 }));
+    }
+
+    #[test]
+    fn invalid_monitor_tunings_are_typed_errors() {
+        assert!(HeartbeatMonitor::new(0.0, 1.2).is_err());
+        assert!(HeartbeatMonitor::new(-5.0, 1.2).is_err());
+        assert!(HeartbeatMonitor::new(f64::NAN, 1.2).is_err());
+        assert!(HeartbeatMonitor::new(60.0, 1.0).is_err());
+        assert!(HeartbeatMonitor::new(60.0, f64::INFINITY).is_err());
     }
 
     #[test]
@@ -191,7 +221,7 @@ mod tests {
 
     #[test]
     fn newer_heartbeat_replaces_older() {
-        let mut m = HeartbeatMonitor::new(60.0, 1.2);
+        let mut m = HeartbeatMonitor::new(60.0, 1.2).unwrap();
         m.record(hb(0, 0.0, 1.0));
         m.record(hb(0, 90.0, 1.0));
         assert!(m.silent_vms(120.0).is_empty());

@@ -19,6 +19,7 @@
 //! - [`pricing`]: dollar-cost accounting for runs.
 
 pub mod cluster;
+pub mod error;
 pub mod heartbeat;
 pub mod pricing;
 pub mod sku;
@@ -26,6 +27,7 @@ pub mod spot;
 pub mod trace;
 
 pub use cluster::{Cluster, VmId};
+pub use error::ClusterError;
 pub use heartbeat::{Heartbeat, HeartbeatMonitor};
 pub use sku::VmSku;
 pub use spot::SpotMarket;

@@ -14,6 +14,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::ClusterError;
+
 /// Slots per physical host (GPUs per node in the pool).
 pub const SLOTS_PER_HOST: usize = 4;
 
@@ -47,8 +49,17 @@ pub struct Preemption {
 impl SpotMarket {
     /// Creates a pool of `hosts` hosts with a deterministic seed, starting
     /// at the mean background load.
-    pub fn new(hosts: usize, seed: u64) -> Self {
-        assert!(hosts > 0, "market needs at least one host");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] when `hosts == 0` (a market
+    /// with no hosts can neither grant nor preempt anything).
+    pub fn new(hosts: usize, seed: u64) -> Result<Self, ClusterError> {
+        if hosts == 0 {
+            return Err(ClusterError::InvalidConfig(
+                "market needs at least one host".to_string(),
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let base_load = 0.62;
         let bg = (0..hosts)
@@ -58,7 +69,7 @@ impl SpotMarket {
                     .count()
             })
             .collect();
-        SpotMarket {
+        Ok(SpotMarket {
             bg,
             ours: vec![0; hosts],
             rng,
@@ -66,7 +77,7 @@ impl SpotMarket {
             base_load,
             wave: 0.22,
             depart_rate: 0.9,
-        }
+        })
     }
 
     /// Number of hosts in the pool.
@@ -184,7 +195,7 @@ mod tests {
     #[test]
     fn one_gpu_availability_dominates_four_gpu() {
         // The Figure 3 observation, integrated over 16 hours.
-        let mut m = SpotMarket::new(100, 7);
+        let mut m = SpotMarket::new(100, 7).unwrap();
         let mut sum1 = 0usize;
         let mut sum4 = 0usize;
         let steps = 16 * 12; // 5-minute steps over 16 hours.
@@ -201,9 +212,17 @@ mod tests {
     }
 
     #[test]
+    fn zero_host_market_is_a_typed_error() {
+        assert!(matches!(
+            SpotMarket::new(0, 1),
+            Err(ClusterError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
     fn availability_is_reproducible() {
         let run = |seed| {
-            let mut m = SpotMarket::new(50, seed);
+            let mut m = SpotMarket::new(50, seed).unwrap();
             (0..48)
                 .map(|_| m.step(0.25).len() + m.available_1gpu())
                 .collect::<Vec<_>>()
@@ -214,7 +233,7 @@ mod tests {
 
     #[test]
     fn grants_reduce_availability_and_release_restores_it() {
-        let mut m = SpotMarket::new(10, 1);
+        let mut m = SpotMarket::new(10, 1).unwrap();
         let before = m.available_1gpu();
         let h = m.request_1gpu().expect("pool should have a free slot");
         assert_eq!(m.available_1gpu(), before - 1);
@@ -226,7 +245,7 @@ mod tests {
 
     #[test]
     fn four_gpu_grant_takes_a_whole_host() {
-        let mut m = SpotMarket::new(200, 2);
+        let mut m = SpotMarket::new(200, 2).unwrap();
         if let Some(h) = m.request_4gpu() {
             assert_eq!(m.ours[h], SLOTS_PER_HOST);
             assert_eq!(m.free(h), 0);
@@ -237,7 +256,7 @@ mod tests {
 
     #[test]
     fn load_spikes_cause_preemptions_of_held_vms() {
-        let mut m = SpotMarket::new(40, 11);
+        let mut m = SpotMarket::new(40, 11).unwrap();
         // Grab everything that's free.
         while m.request_1gpu().is_some() {}
         let held = m.held();
@@ -255,7 +274,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "do not hold")]
     fn over_release_panics() {
-        let mut m = SpotMarket::new(4, 1);
+        let mut m = SpotMarket::new(4, 1).unwrap();
         m.release(0, 1);
     }
 }

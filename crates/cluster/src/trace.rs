@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 use varuna_obs::{Event, EventBus, EventKind};
 
+use crate::error::ClusterError;
 use crate::spot::SpotMarket;
 
 /// What happened to a VM.
@@ -29,6 +30,30 @@ pub enum ClusterEventKind {
     },
     /// The VM recovered to full speed.
     StutterEnd,
+    /// The cloud announced the VM will be preempted `lead_hours` from now
+    /// (the advance eviction notice some spot markets send). The manager
+    /// can use the warning to checkpoint proactively.
+    EvictionNotice {
+        /// Hours of warning before the preemption lands.
+        lead_hours: f64,
+    },
+    /// The VM stopped sending heartbeats while still holding its grant
+    /// (network partition / heartbeat loss). From the manager's viewpoint
+    /// this is indistinguishable from a preemption until either the grace
+    /// window expires or heartbeats resume.
+    SilenceStart,
+    /// The silent VM resumed sending heartbeats.
+    SilenceEnd,
+    /// Checkpoint storage became unreachable: checkpoint writes fail until
+    /// the matching [`ClusterEventKind::StorageOutageEnd`]. The `vm` field
+    /// of the carrying event is ignored.
+    StorageOutageStart,
+    /// Checkpoint storage recovered.
+    StorageOutageEnd,
+    /// The most recent durable checkpoint turned out stale or corrupt; a
+    /// resume must fall back to the previous durable one. The `vm` field
+    /// of the carrying event is ignored.
+    CheckpointCorrupt,
 }
 
 /// One timestamped cluster event.
@@ -66,7 +91,14 @@ impl ClusterTrace {
         poll_minutes: f64,
         seed: u64,
     ) -> Self {
-        let mut market = SpotMarket::new(hosts, seed);
+        // A zero-host pool can neither grant nor preempt: the honest trace
+        // is an empty one, which downstream replay handles gracefully.
+        let Ok(mut market) = SpotMarket::new(hosts, seed) else {
+            return ClusterTrace {
+                events: Vec::new(),
+                duration_hours: hours,
+            };
+        };
         let mut events = Vec::new();
         let mut next_vm: u64 = 0;
         // Host -> list of (vm id) we hold there, to map preemptions back.
@@ -148,20 +180,29 @@ impl ClusterTrace {
 
     /// A scripted trace from explicit `(time_hours, vm, kind)` triples.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the events are not time-ordered.
-    pub fn scripted(events: Vec<ClusterEvent>, duration_hours: f64) -> Self {
-        for w in events.windows(2) {
-            assert!(
-                w[0].time_hours <= w[1].time_hours,
-                "trace must be time-ordered"
-            );
+    /// Returns [`ClusterError::InvalidConfig`] if the events are not
+    /// time-ordered or any timestamp is non-finite.
+    pub fn scripted(events: Vec<ClusterEvent>, duration_hours: f64) -> Result<Self, ClusterError> {
+        if let Some(e) = events.iter().find(|e| !e.time_hours.is_finite()) {
+            return Err(ClusterError::InvalidConfig(format!(
+                "trace timestamps must be finite, got {} for vm {}",
+                e.time_hours, e.vm
+            )));
         }
-        ClusterTrace {
+        for w in events.windows(2) {
+            if w[0].time_hours > w[1].time_hours {
+                return Err(ClusterError::InvalidConfig(format!(
+                    "trace must be time-ordered: {} follows {}",
+                    w[1].time_hours, w[0].time_hours
+                )));
+            }
+        }
+        Ok(ClusterTrace {
             events,
             duration_hours,
-        }
+        })
     }
 
     /// Number of GPUs held at time `t` (after applying all events ≤ `t`).
@@ -178,7 +219,9 @@ impl ClusterTrace {
                 ClusterEventKind::Preempted => {
                     held.remove(&e.vm);
                 }
-                ClusterEventKind::StutterStart { .. } | ClusterEventKind::StutterEnd => {}
+                // Health and storage faults do not change what the cloud
+                // has granted — only what the manager can schedule on.
+                _ => {}
             }
         }
         held.values().sum()
@@ -264,7 +307,8 @@ mod tests {
                 },
             ],
             3.0,
-        );
+        )
+        .unwrap();
         assert_eq!(t.gpus_at(0.5), 4);
         assert_eq!(t.gpus_at(1.5), 5);
         assert_eq!(t.gpus_at(2.5), 1);
@@ -295,9 +339,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "time-ordered")]
-    fn unordered_scripted_trace_panics() {
-        let _ = ClusterTrace::scripted(
+    fn unordered_scripted_trace_is_a_typed_error() {
+        let r = ClusterTrace::scripted(
             vec![
                 ClusterEvent {
                     time_hours: 1.0,
@@ -312,5 +355,100 @@ mod tests {
             ],
             2.0,
         );
+        assert!(matches!(r, Err(ClusterError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn non_finite_timestamp_is_a_typed_error() {
+        let r = ClusterTrace::scripted(
+            vec![ClusterEvent {
+                time_hours: f64::NAN,
+                vm: 0,
+                kind: ClusterEventKind::Preempted,
+            }],
+            2.0,
+        );
+        assert!(matches!(r, Err(ClusterError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn zero_host_generation_yields_an_empty_trace() {
+        let t = ClusterTrace::generate_spot_1gpu(0, 10, 4.0, 5.0, 1);
+        assert!(t.events.is_empty());
+        assert_eq!(t.duration_hours, 4.0);
+        assert_eq!(t.gpus_at(2.0), 0);
+    }
+
+    #[test]
+    fn fault_events_do_not_change_granted_capacity() {
+        let t = ClusterTrace::scripted(
+            vec![
+                ClusterEvent {
+                    time_hours: 0.0,
+                    vm: 0,
+                    kind: ClusterEventKind::Granted { gpus: 4 },
+                },
+                ClusterEvent {
+                    time_hours: 0.5,
+                    vm: 0,
+                    kind: ClusterEventKind::EvictionNotice { lead_hours: 0.1 },
+                },
+                ClusterEvent {
+                    time_hours: 1.0,
+                    vm: 0,
+                    kind: ClusterEventKind::SilenceStart,
+                },
+                ClusterEvent {
+                    time_hours: 1.2,
+                    vm: 0,
+                    kind: ClusterEventKind::SilenceEnd,
+                },
+                ClusterEvent {
+                    time_hours: 1.5,
+                    vm: u64::MAX,
+                    kind: ClusterEventKind::StorageOutageStart,
+                },
+                ClusterEvent {
+                    time_hours: 1.8,
+                    vm: u64::MAX,
+                    kind: ClusterEventKind::StorageOutageEnd,
+                },
+                ClusterEvent {
+                    time_hours: 2.0,
+                    vm: u64::MAX,
+                    kind: ClusterEventKind::CheckpointCorrupt,
+                },
+            ],
+            3.0,
+        )
+        .unwrap();
+        assert_eq!(t.gpus_at(2.5), 4, "faults must not alter grants");
+    }
+
+    #[test]
+    fn fault_events_round_trip_through_json() {
+        let t = ClusterTrace::scripted(
+            vec![
+                ClusterEvent {
+                    time_hours: 0.0,
+                    vm: 3,
+                    kind: ClusterEventKind::EvictionNotice { lead_hours: 0.25 },
+                },
+                ClusterEvent {
+                    time_hours: 0.1,
+                    vm: 3,
+                    kind: ClusterEventKind::SilenceStart,
+                },
+                ClusterEvent {
+                    time_hours: 0.2,
+                    vm: u64::MAX,
+                    kind: ClusterEventKind::CheckpointCorrupt,
+                },
+            ],
+            1.0,
+        )
+        .unwrap();
+        let back = ClusterTrace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
     }
 }

@@ -38,6 +38,14 @@ impl From<OomError> for VarunaError {
     }
 }
 
+impl From<varuna_cluster::ClusterError> for VarunaError {
+    fn from(e: varuna_cluster::ClusterError) -> Self {
+        match e {
+            varuna_cluster::ClusterError::InvalidConfig(s) => VarunaError::InvalidConfig(s),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,5 +59,13 @@ mod tests {
         assert!(e.to_string().contains("4 GPUs"));
         let e = VarunaError::InvalidConfig("p > cutpoints".into());
         assert!(e.to_string().contains("p > cutpoints"));
+    }
+
+    #[test]
+    fn cluster_errors_convert_to_invalid_config() {
+        let e: VarunaError =
+            varuna_cluster::ClusterError::InvalidConfig("zero hosts".into()).into();
+        assert!(matches!(e, VarunaError::InvalidConfig(_)));
+        assert!(e.to_string().contains("zero hosts"));
     }
 }

@@ -52,11 +52,11 @@ pub use calibrate::Calibration;
 pub use cutfinder::{find_cutpoints, CutReport};
 pub use error::VarunaError;
 pub use job::TrainingJob;
-pub use manager::{Manager, TimelinePoint};
-pub use morph::MorphController;
+pub use manager::{GracePolicy, Manager, ManagerState, TimelinePoint};
+pub use morph::{MorphBackoff, MorphController};
 pub use observe::TimelineCollector;
 pub use partition::balanced_partition;
-pub use planner::{Config, Planner};
+pub use planner::{Config, FallbackLevel, Planner};
 pub use schedule::{generate_schedule, StaticSchedule, VarunaPolicy};
 pub use simulator::estimate_minibatch_time;
 

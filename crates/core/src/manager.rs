@@ -1,4 +1,4 @@
-//! The Varuna manager (paper §4.6).
+//! The Varuna manager (paper §4.6) and its recovery state machine.
 //!
 //! Runs on a dedicated VM and watches the job: it detects preemptions (no
 //! heartbeat), corrects fail-stutter VMs (outlier compute times → excluded
@@ -6,8 +6,35 @@
 //! morphing whenever the available GPU set changes. Replaying a cluster
 //! trace through the manager produces the dynamic timeline of the paper's
 //! Figure 8.
+//!
+//! # Recovery state machine
+//!
+//! Beyond the happy path, the manager survives injected faults (see the
+//! `varuna-chaos` crate) through an explicit two-state machine:
+//!
+//! ```text
+//!            plan fails / zero schedulable GPUs
+//!   Running ────────────────────────────────────▶ Degraded
+//!      ▲        (DegradedEnter, job suspended)       │
+//!      │                                             │ retry with
+//!      │   plan succeeds (DegradedExit + Morph,      │ exponential
+//!      └──── backoff reset, paused time priced) ◀────┘ backoff
+//! ```
+//!
+//! While `Degraded`, training is paused (no progress, no checkpoints) and
+//! replanning retries follow [`MorphBackoff`]'s exponential schedule, plus
+//! an immediate retry whenever new trace events arrive. Heartbeat silence
+//! is tolerated for a grace window before the VM is treated as lost
+//! ([`GracePolicy::silence_grace_seconds`]), and silent VMs that resume
+//! are re-admitted. Checkpoint writes during a storage outage fail (the
+//! durable resume point does not advance), a corrupt checkpoint falls
+//! back one interval, and an eviction notice triggers a proactive
+//! checkpoint. Work is never rolled back: mini-batch progress is
+//! monotone, and work at risk beyond the durable checkpoint is priced
+//! explicitly as `LostWork`/downtime.
 
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 use varuna_cluster::cluster::VmId;
 use varuna_cluster::heartbeat::{Heartbeat, HeartbeatMonitor};
 use varuna_cluster::trace::{ClusterEventKind, ClusterTrace};
@@ -16,7 +43,7 @@ use varuna_obs::{Event, EventBus, EventKind};
 use crate::calibrate::Calibration;
 use crate::checkpoint::CheckpointPolicy;
 use crate::error::VarunaError;
-use crate::morph::MorphController;
+use crate::morph::{MorphBackoff, MorphController};
 use crate::observe::TimelineCollector;
 
 /// What happened at a timeline point.
@@ -60,12 +87,87 @@ pub struct TimelinePoint {
     pub event: TimelineEvent,
 }
 
-/// The manager: heartbeat tracking plus morph orchestration.
+/// Where the manager's recovery machine currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ManagerState {
+    /// A configuration is active and training progresses.
+    Running,
+    /// No feasible configuration: the job is paused and replanning
+    /// retries follow the morph backoff schedule.
+    Degraded,
+}
+
+/// Tolerance windows before the manager acts on bad health signals.
+///
+/// Acting on the first missed heartbeat or the first outlier reading makes
+/// the manager flap on transient network blips; these thresholds require
+/// the signal to persist before capacity is given up, and let it return
+/// when the signal clears.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GracePolicy {
+    /// Consecutive outlier observations before a VM is excluded from
+    /// scheduling.
+    pub exclude_after: u32,
+    /// Consecutive healthy observations before an excluded VM is
+    /// re-admitted.
+    pub readmit_after: u32,
+    /// Seconds of heartbeat silence tolerated before a silent VM is
+    /// treated as lost capacity.
+    pub silence_grace_seconds: f64,
+}
+
+impl GracePolicy {
+    /// Default tuning: exclude after 2 consecutive outlier rounds,
+    /// re-admit after 2 healthy rounds, 120 s silence grace.
+    pub fn default_tuning() -> Self {
+        GracePolicy {
+            exclude_after: 2,
+            readmit_after: 2,
+            silence_grace_seconds: 120.0,
+        }
+    }
+
+    /// A policy with explicit thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero thresholds and a non-positive/non-finite grace window
+    /// (any of which would re-create the flapping this policy exists to
+    /// prevent).
+    pub fn new(
+        exclude_after: u32,
+        readmit_after: u32,
+        silence_grace_seconds: f64,
+    ) -> Result<Self, VarunaError> {
+        if exclude_after == 0 || readmit_after == 0 {
+            return Err(VarunaError::InvalidConfig(
+                "grace thresholds must be at least 1 observation".to_string(),
+            ));
+        }
+        if !(silence_grace_seconds > 0.0 && silence_grace_seconds.is_finite()) {
+            return Err(VarunaError::InvalidConfig(format!(
+                "silence grace must be positive and finite, got {silence_grace_seconds}"
+            )));
+        }
+        Ok(GracePolicy {
+            exclude_after,
+            readmit_after,
+            silence_grace_seconds,
+        })
+    }
+}
+
+/// The manager: heartbeat tracking plus morph orchestration and recovery.
 pub struct Manager<'a> {
     morph: MorphController<'a>,
     monitor: HeartbeatMonitor,
     checkpoint: CheckpointPolicy,
+    grace: GracePolicy,
+    backoff: MorphBackoff,
+    state: ManagerState,
     excluded: Vec<VmId>,
+    miss_streak: BTreeMap<VmId, u32>,
+    healthy_streak: BTreeMap<VmId, u32>,
 }
 
 impl<'a> Manager<'a> {
@@ -75,23 +177,92 @@ impl<'a> Manager<'a> {
             morph: MorphController::new(calib, m_total).micro_batch(micro),
             monitor: HeartbeatMonitor::default_tuning(),
             checkpoint: CheckpointPolicy::default_tuning(),
+            grace: GracePolicy::default_tuning(),
+            backoff: MorphBackoff::default_tuning(),
+            state: ManagerState::Running,
             excluded: Vec::new(),
+            miss_streak: BTreeMap::new(),
+            healthy_streak: BTreeMap::new(),
         }
     }
 
-    /// Ingests task heartbeats; returns VMs newly excluded for
-    /// fail-stutter behavior.
+    /// Replaces the grace policy.
+    pub fn with_grace(mut self, grace: GracePolicy) -> Self {
+        self.grace = grace;
+        self
+    }
+
+    /// Replaces the morph-retry backoff schedule.
+    pub fn with_backoff(mut self, backoff: MorphBackoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Replaces the checkpoint policy (e.g. a denser interval).
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointPolicy) -> Self {
+        self.checkpoint = checkpoint;
+        self
+    }
+
+    /// The active checkpoint policy.
+    pub fn checkpoint_policy(&self) -> CheckpointPolicy {
+        self.checkpoint
+    }
+
+    /// Enables the planner's recovery ladder (reduced micro-batch, then
+    /// offload) when the preferred configuration stops fitting.
+    pub fn with_fallback(mut self) -> Self {
+        self.morph = self.morph.with_fallback();
+        self
+    }
+
+    /// Where the recovery machine currently sits.
+    pub fn state(&self) -> ManagerState {
+        self.state
+    }
+
+    /// The active grace policy.
+    pub fn grace(&self) -> GracePolicy {
+        self.grace
+    }
+
+    /// Ingests one round of task heartbeats; returns VMs newly excluded
+    /// for fail-stutter behavior.
+    ///
+    /// Exclusion requires [`GracePolicy::exclude_after`] consecutive
+    /// rounds of outlier readings (a single slow reading is forgiven);
+    /// an excluded VM that reports healthy for
+    /// [`GracePolicy::readmit_after`] consecutive rounds is re-admitted
+    /// and disappears from [`Manager::excluded_vms`].
     pub fn handle_heartbeats(&mut self, hbs: &[Heartbeat]) -> Vec<VmId> {
         for hb in hbs {
             self.monitor.record(*hb);
         }
-        let outliers = self.monitor.stutter_outliers();
-        let new: Vec<VmId> = outliers
-            .into_iter()
-            .filter(|vm| !self.excluded.contains(vm))
-            .collect();
-        self.excluded.extend(&new);
-        new
+        let outliers: BTreeSet<VmId> = self.monitor.stutter_outliers().into_iter().collect();
+        // Healthy reports break miss streaks and build re-admission credit.
+        let reporting: BTreeSet<VmId> = hbs.iter().map(|hb| hb.vm).collect();
+        for &vm in reporting.difference(&outliers) {
+            self.miss_streak.remove(&vm);
+            if self.excluded.contains(&vm) {
+                let streak = self.healthy_streak.entry(vm).or_insert(0);
+                *streak += 1;
+                if *streak >= self.grace.readmit_after {
+                    self.excluded.retain(|&v| v != vm);
+                    self.healthy_streak.remove(&vm);
+                }
+            }
+        }
+        let mut newly = Vec::new();
+        for &vm in &outliers {
+            self.healthy_streak.remove(&vm);
+            let streak = self.miss_streak.entry(vm).or_insert(0);
+            *streak += 1;
+            if *streak >= self.grace.exclude_after && !self.excluded.contains(&vm) {
+                self.excluded.push(vm);
+                newly.push(vm);
+            }
+        }
+        newly
     }
 
     /// VMs excluded from scheduling.
@@ -114,7 +285,9 @@ impl<'a> Manager<'a> {
     ///
     /// # Errors
     ///
-    /// Fails if at some point no configuration fits the surviving GPUs.
+    /// Infeasible capacity no longer fails the replay — the manager parks
+    /// in [`ManagerState::Degraded`] and retries — so errors are reserved
+    /// for genuinely invalid inputs.
     pub fn replay(&mut self, trace: &ClusterTrace) -> Result<Vec<TimelinePoint>, VarunaError> {
         let collector = TimelineCollector::new();
         let mut bus = EventBus::with_sink(Box::new(collector.clone()));
@@ -122,37 +295,76 @@ impl<'a> Manager<'a> {
         Ok(collector.take())
     }
 
-    /// Replays a cluster trace, reporting every preemption, morph /
-    /// replacement decision, and periodic checkpoint through `bus` as
-    /// [`varuna_obs::Event`]s (source `Manager`, `t_sim` in seconds since
+    /// Replays a cluster trace, reporting every preemption, fault, morph /
+    /// replacement decision, recovery action, and periodic checkpoint
+    /// through `bus` as [`varuna_obs::Event`]s (`t_sim` in seconds since
     /// trace start).
     ///
     /// Morph and checkpoint events are self-contained — they carry the
     /// held/used GPU counts and throughputs — so a [`TimelineCollector`]
     /// sink rebuilds the Figure 8 [`TimelinePoint`] sequence from the
-    /// stream alone.
+    /// stream alone (fault and recovery events are ignored by it).
+    ///
+    /// The replay is a small discrete-event loop over *action points*:
+    /// trace-event timestamps, silence-grace expiries, and backoff-gated
+    /// morph retries. It is fully deterministic — the same trace produces
+    /// a byte-identical event stream.
     ///
     /// # Errors
     ///
-    /// Fails if at some point no configuration fits the surviving GPUs.
+    /// Infeasible capacity parks the manager in
+    /// [`ManagerState::Degraded`] rather than failing; errors are
+    /// reserved for invalid inputs.
     pub fn replay_on_bus(
         &mut self,
         trace: &ClusterTrace,
         bus: &mut EventBus,
     ) -> Result<(), VarunaError> {
-        let mut held: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
-        let mut stuttering: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut held: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut stuttering: BTreeSet<u64> = BTreeSet::new();
+        // Silent-but-still-granted VMs and when their silence began.
+        let mut silent_since: BTreeMap<u64, f64> = BTreeMap::new();
+        // Silent VMs whose grace window expired: treated as lost capacity.
+        let mut lost_to_silence: BTreeSet<u64> = BTreeSet::new();
+        let mut storage_outage = false;
         let mut step: f64 = 0.0;
-        let mut last_t = 0.0f64;
+        // Schedule pointer for periodic checkpoints (interval multiples).
         let mut last_ckpt_step: u64 = 0;
+        // The step a resume would actually restart from.
+        let mut durable_step: u64 = 0;
+        let mut last_t = 0.0f64;
+        let mut degraded_since: Option<f64> = None;
+        let mut next_retry_at: Option<f64> = None;
+        let mut grace_wakeups: Vec<f64> = Vec::new();
+        let duration = trace.duration_hours;
+        let grace_hours = self.grace.silence_grace_seconds / 3600.0;
+        self.state = ManagerState::Running;
 
-        // Group events by timestamp.
         let mut i = 0;
-        while i < trace.events.len() {
-            let t = trace.events[i].time_hours;
+        loop {
+            // Next action point: trace event, grace expiry, or retry.
+            let mut t = f64::INFINITY;
+            if i < trace.events.len() {
+                t = trace.events[i].time_hours;
+            }
+            for &w in &grace_wakeups {
+                if w < t {
+                    t = w;
+                }
+            }
+            if let Some(r) = next_retry_at {
+                if r < t {
+                    t = r;
+                }
+            }
+            if !t.is_finite() || t > duration {
+                break;
+            }
+
             // Advance training between last_t and t under the current
-            // config, emitting periodic checkpoint markers.
-            if let Some(cfg) = self.morph.current() {
+            // config, emitting periodic checkpoint markers. During a
+            // storage outage the write fails and the durable step stays.
+            if let Some(cfg) = self.morph.current().cloned() {
                 let dt_sec = (t - last_t) * 3600.0;
                 let steps_done = dt_sec / cfg.est_minibatch_time;
                 step += steps_done;
@@ -163,25 +375,46 @@ impl<'a> Manager<'a> {
                         + (t - last_t)
                             * ((last_ckpt_step as f64 - (step - steps_done))
                                 / steps_done.max(1e-9));
-                    bus.emit_with(|| {
-                        Event::manager(
-                            t_ckpt * 3600.0,
-                            EventKind::Checkpoint {
-                                step: last_ckpt_step,
-                                gpus_held: held.values().sum(),
-                                gpus_used: cfg.gpus_used(),
-                                p: cfg.p,
-                                d: cfg.d,
-                                examples_per_sec: cfg.throughput(),
-                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                            },
-                        )
-                    });
+                    if storage_outage {
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t_ckpt * 3600.0,
+                                EventKind::CheckpointWriteFailed {
+                                    step: last_ckpt_step,
+                                },
+                            )
+                        });
+                    } else {
+                        durable_step = durable_step.max(last_ckpt_step);
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t_ckpt * 3600.0,
+                                EventKind::Checkpoint {
+                                    step: last_ckpt_step,
+                                    gpus_held: held.values().sum(),
+                                    gpus_used: cfg.gpus_used(),
+                                    p: cfg.p,
+                                    d: cfg.d,
+                                    examples_per_sec: cfg.throughput(),
+                                    examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                },
+                            )
+                        });
+                    }
                 }
             }
             last_t = t;
-            // Apply all events at this timestamp.
+
+            // Snapshot capacity before applying this timestamp's events:
+            // proactive checkpoints emitted mid-application must describe
+            // the state the active config was planned against, not a
+            // half-applied one.
+            let held_before: usize = held.values().sum();
+
+            // Apply all trace events at this timestamp.
+            let mut applied = false;
             while i < trace.events.len() && trace.events[i].time_hours == t {
+                applied = true;
                 let e = &trace.events[i];
                 match e.kind {
                     ClusterEventKind::Granted { gpus } => {
@@ -190,6 +423,8 @@ impl<'a> Manager<'a> {
                     ClusterEventKind::Preempted => {
                         held.remove(&e.vm);
                         stuttering.remove(&e.vm);
+                        silent_since.remove(&e.vm);
+                        lost_to_silence.remove(&e.vm);
                         self.monitor.forget(e.vm);
                         bus.emit_with(|| {
                             Event::manager(t * 3600.0, EventKind::Preemption { vm: e.vm })
@@ -204,33 +439,213 @@ impl<'a> Manager<'a> {
                     ClusterEventKind::StutterEnd => {
                         stuttering.remove(&e.vm);
                     }
+                    ClusterEventKind::EvictionNotice { lead_hours } => {
+                        bus.emit_with(|| {
+                            Event::cluster(
+                                t * 3600.0,
+                                EventKind::EvictionNotice {
+                                    vm: e.vm,
+                                    lead_seconds: lead_hours * 3600.0,
+                                },
+                            )
+                        });
+                        // §4.5: use the warning to checkpoint proactively,
+                        // moving the durable point up to "now".
+                        if !storage_outage {
+                            if let Some(cfg) = self.morph.current().cloned() {
+                                let at = step as u64;
+                                if at > durable_step {
+                                    durable_step = at;
+                                    bus.emit_with(|| {
+                                        Event::manager(
+                                            t * 3600.0,
+                                            EventKind::Checkpoint {
+                                                step: at,
+                                                gpus_held: held_before,
+                                                gpus_used: cfg.gpus_used(),
+                                                p: cfg.p,
+                                                d: cfg.d,
+                                                examples_per_sec: cfg.throughput(),
+                                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                            },
+                                        )
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    ClusterEventKind::SilenceStart => {
+                        silent_since.insert(e.vm, t);
+                        bus.emit_with(|| {
+                            Event::cluster(t * 3600.0, EventKind::SilenceStart { vm: e.vm })
+                        });
+                        let expiry = t + grace_hours;
+                        if expiry <= duration {
+                            grace_wakeups.push(expiry);
+                        }
+                    }
+                    ClusterEventKind::SilenceEnd => {
+                        silent_since.remove(&e.vm);
+                        bus.emit_with(|| {
+                            Event::cluster(t * 3600.0, EventKind::SilenceEnd { vm: e.vm })
+                        });
+                        if lost_to_silence.remove(&e.vm) {
+                            bus.emit_with(|| {
+                                Event::manager(t * 3600.0, EventKind::VmReadmitted { vm: e.vm })
+                            });
+                        }
+                    }
+                    ClusterEventKind::StorageOutageStart => {
+                        storage_outage = true;
+                    }
+                    ClusterEventKind::StorageOutageEnd => {
+                        storage_outage = false;
+                    }
+                    ClusterEventKind::CheckpointCorrupt => {
+                        let from = durable_step;
+                        durable_step =
+                            durable_step.saturating_sub(self.checkpoint.interval_minibatches);
+                        let to = durable_step;
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t * 3600.0,
+                                EventKind::CheckpointFallback {
+                                    from_step: from,
+                                    to_step: to,
+                                },
+                            )
+                        });
+                    }
                 }
                 i += 1;
             }
-            let gpus: usize = held
+
+            // Expire silence grace windows due at t: the VM is now treated
+            // as lost capacity (exactly once per episode).
+            grace_wakeups.retain(|&w| w > t);
+            let mut newly_lost = false;
+            let expired: Vec<u64> = silent_since
                 .iter()
-                .filter(|(vm, _)| !stuttering.contains(*vm))
-                .map(|(_, g)| *g)
-                .sum();
-            if gpus == 0 {
+                .filter(|(vm, &since)| t >= since + grace_hours && !lost_to_silence.contains(*vm))
+                .map(|(vm, _)| *vm)
+                .collect();
+            for vm in expired {
+                lost_to_silence.insert(vm);
+                newly_lost = true;
+                bus.emit_with(|| {
+                    Event::manager(
+                        t * 3600.0,
+                        EventKind::VmExcluded {
+                            vm,
+                            consecutive_misses: self.grace.exclude_after,
+                        },
+                    )
+                });
+            }
+
+            let retry_due = matches!(next_retry_at, Some(r) if t >= r);
+            if retry_due {
+                next_retry_at = None;
+            }
+            if !(applied || newly_lost || retry_due) {
                 continue;
             }
-            let decision = self.morph.on_resources_changed(gpus, step as u64)?;
-            let cfg = &decision.config;
-            bus.emit_with(|| {
-                Event::manager(
-                    t * 3600.0,
-                    EventKind::Morph {
-                        p: cfg.p,
-                        d: cfg.d,
-                        gpus_held: gpus,
-                        gpus_used: cfg.gpus_used(),
-                        examples_per_sec: cfg.throughput(),
-                        examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                        reconfigured: decision.reconfigured,
-                    },
-                )
-            });
+
+            // Schedulable capacity: granted minus stuttering minus
+            // silence-lost VMs.
+            let gpus: usize = held
+                .iter()
+                .filter(|(vm, _)| !stuttering.contains(*vm) && !lost_to_silence.contains(*vm))
+                .map(|(_, g)| *g)
+                .sum();
+
+            let planned = if gpus == 0 {
+                Err(VarunaError::NoFeasibleConfig {
+                    gpus: 0,
+                    reason: "no schedulable GPUs (preempted, silent, or stuttering)".to_string(),
+                })
+            } else {
+                self.morph
+                    .on_resources_changed_from(gpus, step as u64, durable_step)
+            };
+            match planned {
+                Ok(decision) => {
+                    if let Some(since) = degraded_since.take() {
+                        self.state = ManagerState::Running;
+                        self.backoff.reset();
+                        next_retry_at = None;
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t * 3600.0,
+                                EventKind::DegradedExit {
+                                    gpus,
+                                    paused_seconds: (t - since) * 3600.0,
+                                },
+                            )
+                        });
+                    }
+                    // Work past the durable checkpoint is re-run on a
+                    // reconfiguration: price it, never roll progress back.
+                    let lost = (step as u64).saturating_sub(durable_step);
+                    if decision.reconfigured && lost > 0 {
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t * 3600.0,
+                                EventKind::LostWork {
+                                    minibatches: lost,
+                                    seconds: lost as f64 * decision.config.est_minibatch_time,
+                                },
+                            )
+                        });
+                    }
+                    let cfg = &decision.config;
+                    bus.emit_with(|| {
+                        Event::manager(
+                            t * 3600.0,
+                            EventKind::Morph {
+                                p: cfg.p,
+                                d: cfg.d,
+                                gpus_held: gpus,
+                                gpus_used: cfg.gpus_used(),
+                                examples_per_sec: cfg.throughput(),
+                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                reconfigured: decision.reconfigured,
+                            },
+                        )
+                    });
+                }
+                Err(e) => {
+                    if degraded_since.is_none() {
+                        degraded_since = Some(t);
+                        self.state = ManagerState::Degraded;
+                        // Pause the job: no config means no progress and
+                        // no checkpoints until capacity returns.
+                        self.morph.suspend();
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t * 3600.0,
+                                EventKind::DegradedEnter {
+                                    gpus,
+                                    reason: e.to_string(),
+                                },
+                            )
+                        });
+                    }
+                    let delay = self.backoff.next_delay();
+                    bus.emit_with(|| {
+                        Event::manager(
+                            t * 3600.0,
+                            EventKind::MorphRetry {
+                                attempt: self.backoff.attempts(),
+                                backoff_seconds: delay,
+                                gpus,
+                            },
+                        )
+                    });
+                    let at = t + delay / 3600.0;
+                    next_retry_at = if at <= duration { Some(at) } else { None };
+                }
+            }
         }
         Ok(())
     }
@@ -240,10 +655,22 @@ impl<'a> Manager<'a> {
 mod tests {
     use super::*;
     use crate::VarunaCluster;
+    use varuna_cluster::trace::ClusterEvent;
     use varuna_models::ModelZoo;
+    use varuna_obs::{Source, VecSink};
 
     fn calib() -> Calibration {
         Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(160))
+    }
+
+    fn grants(n: u64, gpus: usize) -> Vec<ClusterEvent> {
+        (0..n)
+            .map(|vm| ClusterEvent {
+                time_hours: 0.0,
+                vm,
+                kind: ClusterEventKind::Granted { gpus },
+            })
+            .collect()
     }
 
     #[test]
@@ -300,17 +727,9 @@ mod tests {
 
     #[test]
     fn stuttering_vms_are_omitted_from_scheduling_in_replay() {
-        use varuna_cluster::trace::{ClusterEvent, ClusterEventKind, ClusterTrace};
         let c = calib();
         let mut mgr = Manager::new(&c, 8192, 4);
-        let mut events = Vec::new();
-        for vm in 0..30u64 {
-            events.push(ClusterEvent {
-                time_hours: 0.0,
-                vm,
-                kind: ClusterEventKind::Granted { gpus: 1 },
-            });
-        }
+        let mut events = grants(30, 1);
         events.push(ClusterEvent {
             time_hours: 1.0,
             vm: 5,
@@ -321,7 +740,7 @@ mod tests {
             vm: 5,
             kind: ClusterEventKind::StutterEnd,
         });
-        let trace = ClusterTrace::scripted(events, 3.0);
+        let trace = ClusterTrace::scripted(events, 3.0).unwrap();
         let timeline = mgr.replay(&trace).unwrap();
         // While VM 5 stutters the job schedules on 29 GPUs, then recovers.
         let during = timeline.iter().find(|p| p.t_hours == 1.0).unwrap();
@@ -337,7 +756,7 @@ mod tests {
     }
 
     #[test]
-    fn fail_stutter_vms_are_excluded_once() {
+    fn fail_stutter_exclusion_respects_the_grace_window() {
         let c = calib();
         let mut mgr = Manager::new(&c, 8192, 4);
         let hbs: Vec<Heartbeat> = (0..8)
@@ -348,11 +767,73 @@ mod tests {
                 bwd_time: if vm == 3 { 0.9 } else { 0.66 },
             })
             .collect();
+        // Default grace excludes after 2 consecutive outlier rounds: the
+        // first slow reading is forgiven.
+        assert!(mgr.handle_heartbeats(&hbs).is_empty(), "one round forgiven");
         let newly = mgr.handle_heartbeats(&hbs);
         assert_eq!(newly, vec![3], "the 35% slower VM is the outlier");
         let again = mgr.handle_heartbeats(&hbs);
         assert!(again.is_empty(), "already-excluded VMs are not re-reported");
         assert_eq!(mgr.excluded_vms(), &[3]);
+    }
+
+    #[test]
+    fn transient_outliers_are_never_excluded() {
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let slow: Vec<Heartbeat> = (0..8)
+            .map(|vm| Heartbeat {
+                vm,
+                time: 0.0,
+                fwd_time: if vm == 3 { 0.45 } else { 0.33 },
+                bwd_time: if vm == 3 { 0.9 } else { 0.66 },
+            })
+            .collect();
+        let healthy: Vec<Heartbeat> = (0..8)
+            .map(|vm| Heartbeat {
+                vm,
+                time: 1.0,
+                fwd_time: 0.33,
+                bwd_time: 0.66,
+            })
+            .collect();
+        // Alternating slow/healthy rounds never build a 2-round streak.
+        for _ in 0..4 {
+            assert!(mgr.handle_heartbeats(&slow).is_empty());
+            assert!(mgr.handle_heartbeats(&healthy).is_empty());
+        }
+        assert!(mgr.excluded_vms().is_empty(), "flapping must not exclude");
+    }
+
+    #[test]
+    fn excluded_vms_are_readmitted_after_healthy_streak() {
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let slow: Vec<Heartbeat> = (0..8)
+            .map(|vm| Heartbeat {
+                vm,
+                time: 0.0,
+                fwd_time: if vm == 3 { 0.45 } else { 0.33 },
+                bwd_time: if vm == 3 { 0.9 } else { 0.66 },
+            })
+            .collect();
+        mgr.handle_heartbeats(&slow);
+        assert_eq!(mgr.handle_heartbeats(&slow), vec![3]);
+        let healthy: Vec<Heartbeat> = (0..8)
+            .map(|vm| Heartbeat {
+                vm,
+                time: 1.0,
+                fwd_time: 0.33,
+                bwd_time: 0.66,
+            })
+            .collect();
+        mgr.handle_heartbeats(&healthy);
+        assert_eq!(mgr.excluded_vms(), &[3], "one healthy round is not enough");
+        mgr.handle_heartbeats(&healthy);
+        assert!(
+            mgr.excluded_vms().is_empty(),
+            "two healthy rounds re-admit the VM"
+        );
     }
 
     #[test]
@@ -367,5 +848,339 @@ mod tests {
         }]);
         assert_eq!(mgr.silent_vms(120.0), vec![7]);
         assert!(mgr.silent_vms(30.0).is_empty());
+    }
+
+    #[test]
+    fn invalid_grace_policies_are_typed_errors() {
+        assert!(GracePolicy::new(0, 2, 60.0).is_err());
+        assert!(GracePolicy::new(2, 0, 60.0).is_err());
+        assert!(GracePolicy::new(2, 2, 0.0).is_err());
+        assert!(GracePolicy::new(2, 2, f64::NAN).is_err());
+        assert!(GracePolicy::new(1, 1, 30.0).is_ok());
+    }
+
+    #[test]
+    fn capacity_collapse_enters_degraded_and_recovers() {
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let mut events = grants(20, 1);
+        for vm in 0..20u64 {
+            events.push(ClusterEvent {
+                time_hours: 1.0,
+                vm,
+                kind: ClusterEventKind::Preempted,
+            });
+        }
+        for vm in 20..40u64 {
+            events.push(ClusterEvent {
+                time_hours: 2.0,
+                vm,
+                kind: ClusterEventKind::Granted { gpus: 1 },
+            });
+        }
+        let trace = ClusterTrace::scripted(events, 3.0).unwrap();
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        mgr.replay_on_bus(&trace, &mut bus).unwrap();
+        assert_eq!(mgr.state(), ManagerState::Running, "recovered by t=2");
+        let events = sink.take();
+        let enter = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::DegradedEnter { .. }))
+            .expect("losing all VMs must enter Degraded");
+        assert_eq!(enter.t_sim, 3600.0);
+        let exit = events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::DegradedExit { .. }))
+            .expect("regrowth must exit Degraded");
+        assert_eq!(exit.t_sim, 7200.0);
+        if let EventKind::DegradedExit { paused_seconds, .. } = exit.kind {
+            assert!((paused_seconds - 3600.0).abs() < 1e-6);
+        }
+        let retries = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MorphRetry { .. }))
+            .count();
+        assert!(retries >= 1, "degraded state must record retries");
+        assert_eq!(mgr.state(), ManagerState::Running);
+    }
+
+    #[test]
+    fn degraded_retries_follow_exponential_backoff() {
+        let c = calib();
+        let mut mgr =
+            Manager::new(&c, 8192, 4).with_backoff(MorphBackoff::new(60.0, 2.0, 3600.0).unwrap());
+        let mut events = grants(10, 1);
+        for vm in 0..10u64 {
+            events.push(ClusterEvent {
+                time_hours: 1.0,
+                vm,
+                kind: ClusterEventKind::Preempted,
+            });
+        }
+        // No capacity ever returns: retries must space out 60, 120, 240 s.
+        let trace = ClusterTrace::scripted(events, 1.5).unwrap();
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        mgr.replay_on_bus(&trace, &mut bus).unwrap();
+        assert_eq!(mgr.state(), ManagerState::Degraded);
+        let retry_times: Vec<f64> = sink
+            .take()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::MorphRetry { .. }))
+            .map(|e| e.t_sim)
+            .collect();
+        assert!(retry_times.len() >= 3);
+        let gaps: Vec<f64> = retry_times.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!((gaps[0] - 60.0).abs() < 1e-6, "first gap 60s, got {gaps:?}");
+        assert!(
+            (gaps[1] - 120.0).abs() < 1e-6,
+            "second gap doubles, got {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn silence_is_forgiven_within_the_grace_window() {
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let mut events = grants(20, 1);
+        // VM 4 goes silent for 60 s — under the 120 s default grace.
+        events.push(ClusterEvent {
+            time_hours: 1.0,
+            vm: 4,
+            kind: ClusterEventKind::SilenceStart,
+        });
+        events.push(ClusterEvent {
+            time_hours: 1.0 + 60.0 / 3600.0,
+            vm: 4,
+            kind: ClusterEventKind::SilenceEnd,
+        });
+        let trace = ClusterTrace::scripted(events, 2.0).unwrap();
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        mgr.replay_on_bus(&trace, &mut bus).unwrap();
+        let events = sink.take();
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::VmExcluded { .. })),
+            "a blip inside the grace window must not exclude"
+        );
+        // Silence boundaries are still observable.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SilenceStart { vm: 4 })
+                && e.source == Source::Cluster));
+    }
+
+    #[test]
+    fn silence_past_grace_excludes_once_and_readmits() {
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let mut events = grants(20, 1);
+        // VM 4 silent for 10 minutes: grace (120 s) expires mid-silence.
+        events.push(ClusterEvent {
+            time_hours: 1.0,
+            vm: 4,
+            kind: ClusterEventKind::SilenceStart,
+        });
+        events.push(ClusterEvent {
+            time_hours: 1.0 + 600.0 / 3600.0,
+            vm: 4,
+            kind: ClusterEventKind::SilenceEnd,
+        });
+        let trace = ClusterTrace::scripted(events, 2.0).unwrap();
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        mgr.replay_on_bus(&trace, &mut bus).unwrap();
+        let events = sink.take();
+        let excluded: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::VmExcluded { vm: 4, .. }))
+            .collect();
+        assert_eq!(excluded.len(), 1, "no double-exclusion of a VM");
+        let expiry = (1.0 + 120.0 / 3600.0) * 3600.0;
+        assert!((excluded[0].t_sim - expiry).abs() < 1e-6);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::VmReadmitted { vm: 4 })),
+            "resumed heartbeats must re-admit the VM"
+        );
+        // Capacity drops to 19 at expiry, returns to 20 on re-admission.
+        let morph_held: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Morph { gpus_held, .. } => Some(gpus_held),
+                _ => None,
+            })
+            .collect();
+        assert!(morph_held.contains(&19), "held dips while excluded");
+        assert_eq!(*morph_held.last().unwrap(), 20, "held recovers");
+    }
+
+    #[test]
+    fn storage_outage_fails_writes_and_prices_lost_work() {
+        let c = calib();
+        // A dense checkpoint interval so both failed and successful
+        // writes land inside the short scripted trace.
+        let mut mgr = Manager::new(&c, 8192, 4).with_checkpoint(CheckpointPolicy {
+            interval_minibatches: 2,
+            ..CheckpointPolicy::default_tuning()
+        });
+        let mut events = grants(20, 1);
+        events.push(ClusterEvent {
+            time_hours: 0.01,
+            vm: u64::MAX,
+            kind: ClusterEventKind::StorageOutageStart,
+        });
+        // Force a reconfiguration while no checkpoint could be written.
+        for vm in 0..10u64 {
+            events.push(ClusterEvent {
+                time_hours: 1.0,
+                vm,
+                kind: ClusterEventKind::Preempted,
+            });
+        }
+        events.push(ClusterEvent {
+            time_hours: 1.5,
+            vm: u64::MAX,
+            kind: ClusterEventKind::StorageOutageEnd,
+        });
+        // A late grant keeps the replay advancing past the outage so
+        // post-recovery checkpoints can fire.
+        events.push(ClusterEvent {
+            time_hours: 1.9,
+            vm: 100,
+            kind: ClusterEventKind::Granted { gpus: 1 },
+        });
+        let trace = ClusterTrace::scripted(events, 2.0).unwrap();
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        mgr.replay_on_bus(&trace, &mut bus).unwrap();
+        let events = sink.take();
+        let failed = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CheckpointWriteFailed { .. }))
+            .count();
+        assert!(failed >= 1, "outage must fail periodic writes");
+        let lost = events
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::LostWork {
+                    minibatches,
+                    seconds,
+                } => Some((minibatches, seconds)),
+                _ => None,
+            })
+            .expect("reconfiguring with a stale durable point loses work");
+        assert!(lost.0 > 2, "all work since step 0 is at risk: {lost:?}");
+        assert!(lost.1 > 0.0);
+        // After the outage ends, writes succeed again.
+        let ok_after = events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Checkpoint { .. }) && e.t_sim > 1.5 * 3600.0);
+        assert!(ok_after, "checkpoints resume after the outage");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_one_interval() {
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let mut events = grants(20, 1);
+        events.push(ClusterEvent {
+            time_hours: 1.0,
+            vm: u64::MAX,
+            kind: ClusterEventKind::CheckpointCorrupt,
+        });
+        let trace = ClusterTrace::scripted(events, 1.2).unwrap();
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        mgr.replay_on_bus(&trace, &mut bus).unwrap();
+        let events = sink.take();
+        let (from, to) = events
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::CheckpointFallback { from_step, to_step } => Some((from_step, to_step)),
+                _ => None,
+            })
+            .expect("corruption must emit a fallback");
+        assert_eq!(from - to, 16, "falls back exactly one interval");
+    }
+
+    #[test]
+    fn eviction_notice_triggers_a_proactive_checkpoint() {
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let mut events = grants(20, 1);
+        events.push(ClusterEvent {
+            time_hours: 1.0,
+            vm: 7,
+            kind: ClusterEventKind::EvictionNotice { lead_hours: 0.05 },
+        });
+        events.push(ClusterEvent {
+            time_hours: 1.05,
+            vm: 7,
+            kind: ClusterEventKind::Preempted,
+        });
+        let trace = ClusterTrace::scripted(events, 1.2).unwrap();
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        mgr.replay_on_bus(&trace, &mut bus).unwrap();
+        let events = sink.take();
+        assert!(events.iter().any(
+            |e| matches!(e.kind, EventKind::EvictionNotice { vm: 7, lead_seconds }
+                    if (lead_seconds - 180.0).abs() < 1e-6)
+        ));
+        // The proactive checkpoint lands at the notice time with a step
+        // that is not an interval multiple.
+        let proactive = events.iter().any(|e| {
+            matches!(e.kind, EventKind::Checkpoint { step, .. } if step % 16 != 0)
+                && (e.t_sim - 3600.0).abs() < 1e-6
+        });
+        assert!(proactive, "notice must checkpoint proactively");
+    }
+
+    #[test]
+    fn zero_capacity_replay_completes_without_config() {
+        // An empty trace (e.g. a zero-host market) must not panic or loop.
+        let c = calib();
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let trace = ClusterTrace {
+            events: Vec::new(),
+            duration_hours: 5.0,
+        };
+        let timeline = mgr.replay(&trace).unwrap();
+        assert!(timeline.is_empty());
+    }
+
+    #[test]
+    fn same_trace_replays_to_identical_event_streams() {
+        let c = calib();
+        let mut events = grants(20, 1);
+        events.push(ClusterEvent {
+            time_hours: 0.5,
+            vm: 3,
+            kind: ClusterEventKind::SilenceStart,
+        });
+        for vm in 0..8u64 {
+            events.push(ClusterEvent {
+                time_hours: 1.0,
+                vm,
+                kind: ClusterEventKind::Preempted,
+            });
+        }
+        let trace = ClusterTrace::scripted(events, 2.0).unwrap();
+        let run = || {
+            let mut mgr = Manager::new(&c, 8192, 4);
+            let sink = VecSink::new();
+            let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+            mgr.replay_on_bus(&trace, &mut bus).unwrap();
+            sink.take()
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "replay must be deterministic");
     }
 }

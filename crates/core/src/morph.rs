@@ -12,7 +12,84 @@ use serde::{Deserialize, Serialize};
 use crate::calibrate::Calibration;
 use crate::checkpoint::CheckpointPolicy;
 use crate::error::VarunaError;
-use crate::planner::{Config, Planner};
+use crate::planner::{Config, FallbackLevel, Planner};
+
+/// Exponential backoff between morph-retry attempts while planning keeps
+/// failing (e.g. capacity below the minimum memory-feasible fit). The
+/// delay doubles per consecutive failure and caps; a success resets it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MorphBackoff {
+    /// Delay before the first retry, seconds.
+    pub initial_seconds: f64,
+    /// Multiplier applied per consecutive failure.
+    pub multiplier: f64,
+    /// Ceiling on the delay, seconds.
+    pub max_seconds: f64,
+    attempts: u32,
+}
+
+impl MorphBackoff {
+    /// Default tuning: 30 s initial, doubling, capped at 15 minutes.
+    pub fn default_tuning() -> Self {
+        MorphBackoff {
+            initial_seconds: 30.0,
+            multiplier: 2.0,
+            max_seconds: 900.0,
+            attempts: 0,
+        }
+    }
+
+    /// A backoff with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive/non-finite delays and a multiplier below 1.
+    pub fn new(
+        initial_seconds: f64,
+        multiplier: f64,
+        max_seconds: f64,
+    ) -> Result<Self, VarunaError> {
+        if !(initial_seconds > 0.0 && initial_seconds.is_finite()) {
+            return Err(VarunaError::InvalidConfig(format!(
+                "backoff initial delay must be positive and finite, got {initial_seconds}"
+            )));
+        }
+        if !(multiplier >= 1.0 && multiplier.is_finite()) {
+            return Err(VarunaError::InvalidConfig(format!(
+                "backoff multiplier must be >= 1 and finite, got {multiplier}"
+            )));
+        }
+        if !(max_seconds >= initial_seconds && max_seconds.is_finite()) {
+            return Err(VarunaError::InvalidConfig(format!(
+                "backoff cap must be >= initial delay and finite, got {max_seconds}"
+            )));
+        }
+        Ok(MorphBackoff {
+            initial_seconds,
+            multiplier,
+            max_seconds,
+            attempts: 0,
+        })
+    }
+
+    /// Consecutive failures recorded since the last reset.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Records a failure and returns the delay to wait before retrying.
+    pub fn next_delay(&mut self) -> f64 {
+        let delay = (self.initial_seconds * self.multiplier.powi(self.attempts as i32))
+            .min(self.max_seconds);
+        self.attempts = self.attempts.saturating_add(1);
+        delay
+    }
+
+    /// Clears the failure streak after a successful plan.
+    pub fn reset(&mut self) {
+        self.attempts = 0;
+    }
+}
 
 /// A morphing decision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,6 +101,9 @@ pub struct MorphDecision {
     pub reconfigured: bool,
     /// Estimated seconds of downtime for the transition.
     pub downtime: f64,
+    /// How far down the planner's recovery ladder this plan sits
+    /// ([`FallbackLevel::None`] unless fallback is enabled and needed).
+    pub fallback: FallbackLevel,
 }
 
 /// Tracks the running configuration and re-plans on resource changes.
@@ -35,11 +115,17 @@ pub struct MorphController<'a> {
     checkpoint: CheckpointPolicy,
     /// Fixed per-morph overhead: process restart, NCCL re-setup, resume.
     pub restart_overhead: f64,
+    /// Whether planning failures walk the planner's recovery ladder
+    /// (reduced micro-batch, then offload) before giving up.
+    fallback: bool,
     current: Option<Config>,
     /// Plans are pure functions of the GPU count (m* and the calibration
     /// are fixed), so repeats of a capacity level reuse the cached plan —
     /// the same reuse the paper applies to `m*` across morphing decisions.
-    plan_cache: std::collections::HashMap<usize, Config>,
+    /// Invalidated whenever the micro-batch override changes.
+    plan_cache: std::collections::HashMap<usize, (Config, FallbackLevel)>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl<'a> MorphController<'a> {
@@ -51,20 +137,76 @@ impl<'a> MorphController<'a> {
             micro_override: None,
             checkpoint: CheckpointPolicy::default_tuning(),
             restart_overhead: 60.0,
+            fallback: false,
             current: None,
             plan_cache: std::collections::HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
     /// Pins the micro-batch size (otherwise `m*` from calibration).
     pub fn micro_batch(mut self, m: usize) -> Self {
-        self.micro_override = Some(m);
+        self.set_micro_batch(Some(m));
         self
+    }
+
+    /// Enables the planner's recovery ladder on planning failure.
+    pub fn with_fallback(mut self) -> Self {
+        self.fallback = true;
+        self.plan_cache.clear();
+        self
+    }
+
+    /// Changes (or clears) the micro-batch override in place. Cached plans
+    /// were computed for the previous micro-batch and are discarded — a
+    /// stale hit here would silently run the wrong configuration.
+    pub fn set_micro_batch(&mut self, m: Option<usize>) {
+        if self.micro_override != m {
+            self.micro_override = m;
+            self.plan_cache.clear();
+        }
     }
 
     /// The active configuration, if any.
     pub fn current(&self) -> Option<&Config> {
         self.current.as_ref()
+    }
+
+    /// Drops the active configuration (the job is paused, e.g. while the
+    /// manager sits in its degraded state with no feasible capacity).
+    /// Cached plans survive — they are still valid for future capacity.
+    pub fn suspend(&mut self) {
+        self.current = None;
+    }
+
+    /// Plan-cache hits since construction.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Plan-cache misses (fresh planner invocations) since construction.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    fn plan(&mut self, gpus: usize) -> Result<(Config, FallbackLevel), VarunaError> {
+        if let Some(cached) = self.plan_cache.get(&gpus) {
+            self.cache_hits += 1;
+            return Ok(cached.clone());
+        }
+        self.cache_misses += 1;
+        let mut planner = Planner::new(&self.calib.model, self.calib).batch_size(self.m_total);
+        if let Some(m) = self.micro_override {
+            planner = planner.micro_batch(m);
+        }
+        let planned = if self.fallback {
+            planner.best_config_with_fallback(gpus)?
+        } else {
+            (planner.best_config(gpus)?, FallbackLevel::None)
+        };
+        self.plan_cache.insert(gpus, planned.clone());
+        Ok(planned)
     }
 
     /// Re-plans for `gpus` available GPUs at training `step`.
@@ -77,31 +219,41 @@ impl<'a> MorphController<'a> {
         gpus: usize,
         step: u64,
     ) -> Result<MorphDecision, VarunaError> {
-        let config = match self.plan_cache.get(&gpus) {
-            Some(c) => c.clone(),
-            None => {
-                let mut planner =
-                    Planner::new(&self.calib.model, self.calib).batch_size(self.m_total);
-                if let Some(m) = self.micro_override {
-                    planner = planner.micro_batch(m);
-                }
-                let c = planner.best_config(gpus)?;
-                self.plan_cache.insert(gpus, c.clone());
-                c
-            }
-        };
+        let durable = step - self.checkpoint.lost_minibatches(step);
+        self.on_resources_changed_from(gpus, step, durable)
+    }
+
+    /// Like [`MorphController::on_resources_changed`], but prices lost
+    /// work against an explicit durable checkpoint step rather than the
+    /// periodic schedule — the form the recovery machine uses when
+    /// checkpoint writes have failed or a checkpoint proved corrupt, so
+    /// the true durable point is older (or, after a proactive
+    /// eviction-notice checkpoint, newer) than the schedule implies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failure when no configuration fits.
+    pub fn on_resources_changed_from(
+        &mut self,
+        gpus: usize,
+        step: u64,
+        durable_step: u64,
+    ) -> Result<MorphDecision, VarunaError> {
+        let (config, fallback) = self.plan(gpus)?;
         let reconfigured = match &self.current {
             Some(c) => c.p != config.p || c.d != config.d,
             None => true,
         };
-        // Downtime: restart + re-run of work lost since the checkpoint.
-        let lost = self.checkpoint.lost_minibatches(step) as f64;
+        // Downtime: restart + re-run of work lost since the durable
+        // checkpoint.
+        let lost = step.saturating_sub(durable_step) as f64;
         let downtime = self.restart_overhead + lost * config.est_minibatch_time;
         self.current = Some(config.clone());
         Ok(MorphDecision {
             config,
             reconfigured,
             downtime,
+            fallback,
         })
     }
 }
@@ -165,5 +317,117 @@ mod tests {
             ctl.on_resources_changed(4, 0).is_err(),
             "8.3B cannot fit on 4 GPUs"
         );
+    }
+
+    #[test]
+    fn churn_reuses_cached_plans_per_capacity_level() {
+        let c = calib();
+        let mut ctl = MorphController::new(&c, 8192).micro_batch(4);
+        // Grow/shrink cycles over three capacity levels: each level plans
+        // once, every revisit is a cache hit with an identical config.
+        let levels = [100usize, 64, 36, 100, 64, 36, 100, 64, 36, 64, 100];
+        let mut first_seen: std::collections::HashMap<usize, Config> =
+            std::collections::HashMap::new();
+        for (i, &g) in levels.iter().enumerate() {
+            let d = ctl.on_resources_changed(g, i as u64).unwrap();
+            match first_seen.get(&g) {
+                Some(prev) => assert_eq!(prev, &d.config, "revisit of {g} GPUs changed plan"),
+                None => {
+                    first_seen.insert(g, d.config.clone());
+                }
+            }
+        }
+        assert_eq!(ctl.cache_misses(), 3, "one planner run per distinct level");
+        assert_eq!(ctl.cache_hits(), levels.len() as u64 - 3);
+    }
+
+    #[test]
+    fn micro_batch_override_change_invalidates_cached_plans() {
+        let c = calib();
+        let mut ctl = MorphController::new(&c, 8192).micro_batch(4);
+        let at_m4 = ctl.on_resources_changed(72, 0).unwrap();
+        assert_eq!(at_m4.config.m, 4);
+        ctl.set_micro_batch(Some(2));
+        let at_m2 = ctl.on_resources_changed(72, 1).unwrap();
+        assert_eq!(at_m2.config.m, 2, "stale m=4 plan must not be served");
+        assert_eq!(ctl.cache_misses(), 2, "override change forces a re-plan");
+        // Setting the same override again is a no-op: the cache survives.
+        ctl.set_micro_batch(Some(2));
+        let again = ctl.on_resources_changed(72, 2).unwrap();
+        assert_eq!(again.config, at_m2.config);
+        assert_eq!(ctl.cache_misses(), 2);
+        assert_eq!(ctl.cache_hits(), 1);
+    }
+
+    #[test]
+    fn suspend_clears_current_but_keeps_cache() {
+        let c = calib();
+        let mut ctl = MorphController::new(&c, 8192).micro_batch(4);
+        ctl.on_resources_changed(64, 0).unwrap();
+        assert!(ctl.current().is_some());
+        ctl.suspend();
+        assert!(ctl.current().is_none());
+        let d = ctl.on_resources_changed(64, 1).unwrap();
+        assert!(d.reconfigured, "resume after suspend is a reconfiguration");
+        assert_eq!(ctl.cache_hits(), 1, "cached plan survives suspension");
+    }
+
+    #[test]
+    fn fallback_controller_recovers_what_default_rejects() {
+        let model = ModelZoo::gpt2_8_3b();
+        let c = Calibration::profile(&model, &VarunaCluster::commodity_1gpu(128));
+        // m=8 on 24 GPUs: the forced micro-batch may not fit, but the
+        // ladder walks m down until a depth fits.
+        let mut strict = MorphController::new(&c, 8192).micro_batch(8);
+        let mut lenient = MorphController::new(&c, 8192)
+            .micro_batch(8)
+            .with_fallback();
+        match strict.on_resources_changed(24, 0) {
+            Err(_) => {
+                let d = lenient.on_resources_changed(24, 0).unwrap();
+                assert!(d.fallback != FallbackLevel::None);
+            }
+            Ok(d) => {
+                // If m=8 happens to fit, fallback must agree with strict.
+                let l = lenient.on_resources_changed(24, 0).unwrap();
+                assert_eq!(l.config, d.config);
+                assert_eq!(l.fallback, FallbackLevel::None);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_resets() {
+        let mut b = MorphBackoff::new(30.0, 2.0, 200.0).unwrap();
+        assert_eq!(b.next_delay(), 30.0);
+        assert_eq!(b.next_delay(), 60.0);
+        assert_eq!(b.next_delay(), 120.0);
+        assert_eq!(b.next_delay(), 200.0, "capped");
+        assert_eq!(b.next_delay(), 200.0, "stays capped");
+        assert_eq!(b.attempts(), 5);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert_eq!(b.next_delay(), 30.0);
+    }
+
+    #[test]
+    fn invalid_backoff_tunings_are_typed_errors() {
+        assert!(MorphBackoff::new(0.0, 2.0, 100.0).is_err());
+        assert!(MorphBackoff::new(30.0, 0.5, 100.0).is_err());
+        assert!(MorphBackoff::new(30.0, 2.0, 10.0).is_err());
+        assert!(MorphBackoff::new(f64::NAN, 2.0, 100.0).is_err());
+    }
+
+    #[test]
+    fn downtime_prices_lost_work_from_the_durable_step() {
+        let c = calib();
+        let mut ctl = MorphController::new(&c, 8192).micro_batch(4);
+        // Schedule says durable = 16 at step 20; but if writes failed and
+        // the durable point is still 0, 20 minibatches are at risk.
+        let scheduled = ctl.on_resources_changed(64, 20).unwrap();
+        let stale = ctl.on_resources_changed_from(64, 20, 0).unwrap();
+        assert!(stale.downtime > scheduled.downtime);
+        let expected = ctl.restart_overhead + 20.0 * stale.config.est_minibatch_time;
+        assert!((stale.downtime - expected).abs() < 1e-9);
     }
 }

@@ -184,6 +184,54 @@ impl<'a> Planner<'a> {
                 ),
             })
     }
+
+    /// Like [`Planner::best_config`], but instead of failing outright when
+    /// the chosen micro-batch does not fit, degrades gracefully: first it
+    /// halves the micro-batch size down to 1, then it enables CPU
+    /// optimizer-state offload at `m = 1` — the recovery ladder a morph
+    /// uses when capacity drops below what the preferred configuration
+    /// needs.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when no rung of the ladder fits `g` GPUs.
+    pub fn best_config_with_fallback(
+        &self,
+        g: usize,
+    ) -> Result<(Config, FallbackLevel), VarunaError> {
+        let primary = match self.best_config(g) {
+            Ok(cfg) => return Ok((cfg, FallbackLevel::None)),
+            Err(e) => e,
+        };
+        let mut m = self.chosen_m() / 2;
+        while m >= 1 {
+            let reduced = self.clone().micro_batch(m);
+            if let Ok(cfg) = reduced.best_config(g) {
+                return Ok((cfg, FallbackLevel::ReducedMicroBatch(m)));
+            }
+            if m == 1 {
+                break;
+            }
+            m /= 2;
+        }
+        let offloaded = self.clone().micro_batch(1).offload(true);
+        if let Ok(cfg) = offloaded.best_config(g) {
+            return Ok((cfg, FallbackLevel::Offload));
+        }
+        Err(primary)
+    }
+}
+
+/// How far down the recovery ladder
+/// [`Planner::best_config_with_fallback`] had to go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FallbackLevel {
+    /// The preferred configuration fit as-is.
+    None,
+    /// The micro-batch size was reduced to the carried value.
+    ReducedMicroBatch(usize),
+    /// CPU optimizer-state offload was enabled at `m = 1`.
+    Offload,
 }
 
 #[cfg(test)]
@@ -262,6 +310,37 @@ mod tests {
         let planner = Planner::new(&model, &calib).batch_size(512).micro_batch(1);
         let err = planner.best_config(8).unwrap_err();
         assert!(err.to_string().contains("gpt2-200b"), "{err}");
+    }
+
+    #[test]
+    fn fallback_ladder_recovers_infeasible_micro_batches() {
+        // 8.3B at m=4 has feasible depths on 72 GPUs, so no fallback.
+        let (model, calib) = planner_for(&ModelZoo::gpt2_8_3b(), 72);
+        let planner = Planner::new(&model, &calib).batch_size(8192).micro_batch(4);
+        let (cfg, level) = planner.best_config_with_fallback(72).unwrap();
+        assert_eq!(level, FallbackLevel::None);
+        assert!(cfg.gpus_used() <= 72);
+    }
+
+    #[test]
+    fn fallback_ladder_reaches_offload_for_200b() {
+        // 200B cannot fit resident at any micro-batch size; the ladder
+        // must land on the offload rung (the paper's 200B configuration).
+        let model = ModelZoo::gpt2_200b();
+        let calib = Calibration::profile(&model, &VarunaCluster::commodity_1gpu(102));
+        let planner = Planner::new(&model, &calib).batch_size(512).micro_batch(2);
+        let (cfg, level) = planner.best_config_with_fallback(102).unwrap();
+        assert_eq!(level, FallbackLevel::Offload);
+        assert!(cfg.offload);
+        assert_eq!(cfg.m, 1);
+    }
+
+    #[test]
+    fn fallback_ladder_still_errors_when_nothing_fits() {
+        // 8 GPUs cannot hold 200B even offloaded at m=1 (depth > GPUs).
+        let (model, calib) = planner_for(&ModelZoo::gpt2_200b(), 8);
+        let planner = Planner::new(&model, &calib).batch_size(512).micro_batch(1);
+        assert!(planner.best_config_with_fallback(8).is_err());
     }
 
     #[test]

@@ -77,32 +77,59 @@ impl PlacedJob {
         self.stutter.get(e).copied().unwrap_or(1.0)
     }
 
+    /// Checks shape invariants, returning a description of the first
+    /// violation instead of panicking — the form recovery paths use to
+    /// reject a candidate configuration without aborting the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the job is inconsistent (zero
+    /// stages/replicas/micro-batches, a topology with too few GPUs, or a
+    /// placement built for a different shape).
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.stages.is_empty() {
+            return Err("job needs at least one stage".to_string());
+        }
+        if self.d == 0 {
+            return Err("job needs at least one replica".to_string());
+        }
+        if self.n_micro == 0 {
+            return Err("job needs at least one micro-batch".to_string());
+        }
+        if self.m == 0 {
+            return Err("micro-batch size must be positive".to_string());
+        }
+        if self.topology.num_gpus() < self.gpus() {
+            return Err(format!(
+                "topology has {} GPUs but the job needs {}",
+                self.topology.num_gpus(),
+                self.gpus()
+            ));
+        }
+        if self.placement.p() != self.p() {
+            return Err(format!(
+                "placement was built for pipeline depth {} but the job has {}",
+                self.placement.p(),
+                self.p()
+            ));
+        }
+        if self.placement.d() < self.d {
+            return Err("placement has too few replicas".to_string());
+        }
+        Ok(())
+    }
+
     /// Validates shape invariants.
     ///
     /// # Panics
     ///
     /// Panics on an inconsistent job (zero stages/replicas/micro-batches or
-    /// a topology with too few GPUs).
+    /// a topology with too few GPUs). Use [`PlacedJob::try_validate`] where
+    /// a recoverable check is needed.
     pub fn validate(&self) {
-        assert!(!self.stages.is_empty(), "job needs at least one stage");
-        assert!(self.d > 0, "job needs at least one replica");
-        assert!(self.n_micro > 0, "job needs at least one micro-batch");
-        assert!(self.m > 0, "micro-batch size must be positive");
-        assert!(
-            self.topology.num_gpus() >= self.gpus(),
-            "topology has {} GPUs but the job needs {}",
-            self.topology.num_gpus(),
-            self.gpus()
-        );
-        assert_eq!(
-            self.placement.p(),
-            self.p(),
-            "placement was built for a different pipeline depth"
-        );
-        assert!(
-            self.placement.d() >= self.d,
-            "placement has too few replicas"
-        );
+        if let Err(why) = self.try_validate() {
+            panic!("{why}");
+        }
     }
 
     /// Builds a job by splitting a cut-point graph into `p` stages of
@@ -221,5 +248,17 @@ mod tests {
     fn stutter_defaults_to_healthy() {
         let j = job(6, 2);
         assert_eq!(j.stutter_of(3, 1), 1.0);
+    }
+
+    #[test]
+    fn try_validate_reports_reasons_without_panicking() {
+        let mut j = job(6, 2);
+        assert!(j.try_validate().is_ok());
+        j.m = 0;
+        let why = j.try_validate().unwrap_err();
+        assert!(why.contains("micro-batch"));
+        j.m = 4;
+        j.d = 0;
+        assert!(j.try_validate().is_err());
     }
 }

@@ -70,6 +70,23 @@ pub fn stash_window(
     Ok(window)
 }
 
+/// Largest micro-batch size in `1..=m_max` for which the stage still fits
+/// in `capacity` bytes (with at least a window of 1), or `None` when even
+/// `m = 1` OOMs. Recovery paths walk down this value instead of failing a
+/// morph outright when the chosen micro-batch no longer fits.
+pub fn max_feasible_micro_batch(
+    config: &TransformerConfig,
+    params: u64,
+    layers: usize,
+    m_max: usize,
+    capacity: f64,
+    cpu_offload: bool,
+) -> Option<usize> {
+    (1..=m_max)
+        .rev()
+        .find(|&m| stash_window(config, params, layers, m, capacity, cpu_offload).is_ok())
+}
+
 /// Checks PipeDream's footprint (weight versions + stored activations) on a
 /// GPU with `capacity` bytes.
 ///
@@ -136,6 +153,22 @@ mod tests {
         assert!(
             w >= 102,
             "200B at m=1 with offload should support deep windows, got {w}"
+        );
+    }
+
+    #[test]
+    fn max_feasible_micro_batch_walks_down_to_fit() {
+        let c = ModelZoo::gpt2_8_3b();
+        let params = c.total_params() / 18;
+        // m=4 fits for the paper's 18-stage split, so the cap is returned.
+        assert_eq!(
+            max_feasible_micro_batch(&c, params, 4, 4, 16.0 * GIB, false),
+            Some(4)
+        );
+        // A 4-stage split of 8.3B cannot fit at any micro-batch size.
+        assert_eq!(
+            max_feasible_micro_batch(&c, c.total_params() / 4, 18, 8, 16.0 * GIB, false),
+            None
         );
     }
 

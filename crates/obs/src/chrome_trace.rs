@@ -161,6 +161,122 @@ fn to_trace_event(e: &Event) -> Option<Value> {
             e.t_sim * US,
             vec![("loss".to_string(), Value::Float(*loss))],
         )),
+        EventKind::EvictionNotice { vm, lead_seconds } => Some(instant(
+            format!("eviction-notice vm{vm}"),
+            "cluster",
+            e.t_sim * US,
+            vec![
+                ("vm".to_string(), Value::UInt(*vm)),
+                ("lead_seconds".to_string(), Value::Float(*lead_seconds)),
+            ],
+        )),
+        EventKind::SilenceStart { vm } => Some(instant(
+            format!("silence-start vm{vm}"),
+            "cluster",
+            e.t_sim * US,
+            vec![("vm".to_string(), Value::UInt(*vm))],
+        )),
+        EventKind::SilenceEnd { vm } => Some(instant(
+            format!("silence-end vm{vm}"),
+            "cluster",
+            e.t_sim * US,
+            vec![("vm".to_string(), Value::UInt(*vm))],
+        )),
+        EventKind::CheckpointWriteFailed { step } => Some(instant(
+            format!("checkpoint-failed @{step}"),
+            "manager",
+            e.t_sim * US,
+            vec![("step".to_string(), Value::UInt(*step))],
+        )),
+        EventKind::CheckpointFallback { from_step, to_step } => Some(instant(
+            format!("checkpoint-fallback {from_step}->{to_step}"),
+            "manager",
+            e.t_sim * US,
+            vec![
+                ("from_step".to_string(), Value::UInt(*from_step)),
+                ("to_step".to_string(), Value::UInt(*to_step)),
+            ],
+        )),
+        EventKind::VmExcluded {
+            vm,
+            consecutive_misses,
+        } => Some(instant(
+            format!("vm-excluded vm{vm}"),
+            "manager",
+            e.t_sim * US,
+            vec![
+                ("vm".to_string(), Value::UInt(*vm)),
+                (
+                    "consecutive_misses".to_string(),
+                    Value::UInt(*consecutive_misses as u64),
+                ),
+            ],
+        )),
+        EventKind::VmReadmitted { vm } => Some(instant(
+            format!("vm-readmitted vm{vm}"),
+            "manager",
+            e.t_sim * US,
+            vec![("vm".to_string(), Value::UInt(*vm))],
+        )),
+        EventKind::MorphRetry {
+            attempt,
+            backoff_seconds,
+            gpus,
+        } => Some(instant(
+            format!("morph-retry #{attempt}"),
+            "manager",
+            e.t_sim * US,
+            vec![
+                ("attempt".to_string(), Value::UInt(*attempt as u64)),
+                (
+                    "backoff_seconds".to_string(),
+                    Value::Float(*backoff_seconds),
+                ),
+                ("gpus".to_string(), Value::UInt(*gpus as u64)),
+            ],
+        )),
+        EventKind::DegradedEnter { gpus, reason } => Some(instant(
+            "degraded-enter".to_string(),
+            "manager",
+            e.t_sim * US,
+            vec![
+                ("gpus".to_string(), Value::UInt(*gpus as u64)),
+                ("reason".to_string(), Value::Str(reason.clone())),
+            ],
+        )),
+        EventKind::DegradedExit {
+            gpus,
+            paused_seconds,
+        } => Some(instant(
+            "degraded-exit".to_string(),
+            "manager",
+            e.t_sim * US,
+            vec![
+                ("gpus".to_string(), Value::UInt(*gpus as u64)),
+                ("paused_seconds".to_string(), Value::Float(*paused_seconds)),
+            ],
+        )),
+        EventKind::LostWork {
+            minibatches,
+            seconds,
+        } => Some(instant(
+            format!("lost-work {minibatches}mb"),
+            "manager",
+            e.t_sim * US,
+            vec![
+                ("minibatches".to_string(), Value::UInt(*minibatches)),
+                ("seconds".to_string(), Value::Float(*seconds)),
+            ],
+        )),
+        EventKind::FaultInjected { fault, vm } => Some(instant(
+            format!("fault {fault}"),
+            "chaos",
+            e.t_sim * US,
+            vec![
+                ("fault".to_string(), Value::Str(fault.clone())),
+                ("vm".to_string(), Value::UInt(*vm)),
+            ],
+        )),
     }
 }
 

@@ -15,6 +15,8 @@ pub enum Source {
     Train,
     /// A benchmark harness binary (`varuna-bench`).
     Bench,
+    /// The fault injector (`varuna-chaos`).
+    Chaos,
 }
 
 /// What happened, with the payload inline.
@@ -143,6 +145,92 @@ pub enum EventKind {
         /// Examples per wall-clock second for this batch.
         examples_per_sec: f64,
     },
+    /// The cloud announced an upcoming preemption of a VM (the spot
+    /// eviction notice some providers send ahead of the kill).
+    EvictionNotice {
+        /// The VM about to be preempted.
+        vm: u64,
+        /// Seconds of warning before the preemption lands.
+        lead_seconds: f64,
+    },
+    /// A VM stopped sending heartbeats while still holding its grant
+    /// (network partition / heartbeat loss — possibly a false positive).
+    SilenceStart {
+        /// The VM that went quiet.
+        vm: u64,
+    },
+    /// A silent VM resumed sending heartbeats.
+    SilenceEnd {
+        /// The VM that recovered.
+        vm: u64,
+    },
+    /// A periodic checkpoint write failed (storage outage); the durable
+    /// resume point did not advance.
+    CheckpointWriteFailed {
+        /// The mini-batch step the failed checkpoint would have covered.
+        step: u64,
+    },
+    /// The manager fell back to an older durable checkpoint because the
+    /// newest one was lost or corrupt.
+    CheckpointFallback {
+        /// Durable step before the fallback.
+        from_step: u64,
+        /// Durable step after the fallback.
+        to_step: u64,
+    },
+    /// The manager excluded a VM from scheduling after its grace window
+    /// expired (fail-stutter outlier or sustained heartbeat silence).
+    VmExcluded {
+        /// The excluded VM.
+        vm: u64,
+        /// Consecutive bad observations that triggered the exclusion.
+        consecutive_misses: u32,
+    },
+    /// A previously excluded VM was re-admitted after recovering.
+    VmReadmitted {
+        /// The re-admitted VM.
+        vm: u64,
+    },
+    /// A morph planning attempt failed; the manager will retry after a
+    /// backoff delay.
+    MorphRetry {
+        /// 1-based attempt number within the current degraded episode.
+        attempt: u32,
+        /// Seconds until the next retry.
+        backoff_seconds: f64,
+        /// GPUs that were available for the failed attempt.
+        gpus: usize,
+    },
+    /// Capacity fell below the minimum feasible configuration; training
+    /// is paused, not failed.
+    DegradedEnter {
+        /// GPUs available when the job degraded.
+        gpus: usize,
+        /// Why the last planning attempt failed.
+        reason: String,
+    },
+    /// Capacity returned and planning succeeded; training resumes.
+    DegradedExit {
+        /// GPUs available at recovery.
+        gpus: usize,
+        /// Seconds spent paused in the degraded state.
+        paused_seconds: f64,
+    },
+    /// Work lost to a restart was priced into downtime (re-run from the
+    /// durable checkpoint).
+    LostWork {
+        /// Mini-batches that must be re-run.
+        minibatches: u64,
+        /// Seconds of re-run time charged.
+        seconds: f64,
+    },
+    /// The chaos harness injected a fault into a trace replay.
+    FaultInjected {
+        /// Short machine-readable fault label (e.g. `"preemption_burst"`).
+        fault: String,
+        /// The VM the fault targets (`u64::MAX` when not VM-specific).
+        vm: u64,
+    },
 }
 
 /// One timestamped observation.
@@ -192,6 +280,15 @@ impl Event {
             kind,
         }
     }
+
+    /// An event from the fault injector.
+    pub fn chaos(t_sim: f64, kind: EventKind) -> Self {
+        Event {
+            t_sim,
+            source: Source::Chaos,
+            kind,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +327,78 @@ mod tests {
                     step: 5,
                     loss: 3.5,
                     examples_per_sec: 4.0,
+                },
+            ),
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(e, back, "round trip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn fault_and_recovery_events_round_trip() {
+        let events = vec![
+            Event::cluster(
+                10.0,
+                EventKind::EvictionNotice {
+                    vm: 3,
+                    lead_seconds: 30.0,
+                },
+            ),
+            Event::cluster(11.0, EventKind::SilenceStart { vm: 9 }),
+            Event::cluster(12.0, EventKind::SilenceEnd { vm: 9 }),
+            Event::manager(13.0, EventKind::CheckpointWriteFailed { step: 48 }),
+            Event::manager(
+                14.0,
+                EventKind::CheckpointFallback {
+                    from_step: 48,
+                    to_step: 32,
+                },
+            ),
+            Event::manager(
+                15.0,
+                EventKind::VmExcluded {
+                    vm: 9,
+                    consecutive_misses: 3,
+                },
+            ),
+            Event::manager(16.0, EventKind::VmReadmitted { vm: 9 }),
+            Event::manager(
+                17.0,
+                EventKind::MorphRetry {
+                    attempt: 2,
+                    backoff_seconds: 60.0,
+                    gpus: 4,
+                },
+            ),
+            Event::manager(
+                18.0,
+                EventKind::DegradedEnter {
+                    gpus: 4,
+                    reason: "no feasible depth".into(),
+                },
+            ),
+            Event::manager(
+                19.0,
+                EventKind::DegradedExit {
+                    gpus: 40,
+                    paused_seconds: 3600.0,
+                },
+            ),
+            Event::manager(
+                20.0,
+                EventKind::LostWork {
+                    minibatches: 7,
+                    seconds: 91.0,
+                },
+            ),
+            Event::chaos(
+                21.0,
+                EventKind::FaultInjected {
+                    fault: "preemption_burst".into(),
+                    vm: u64::MAX,
                 },
             ),
         ];
