@@ -10,8 +10,8 @@
 //! its forward activations are still live ("S4 in Gpipe ... only avoids
 //! recompute for the fifth micro-batch").
 
-use varuna_exec::op::{Op, OpKind};
-use varuna_exec::policy::{SchedulePolicy, StageView};
+use varuna_sched::op::{Op, OpKind};
+use varuna_sched::policy::{SchedulePolicy, StageView};
 
 /// GPipe's strict two-phase schedule.
 #[derive(Debug, Default, Clone)]
@@ -52,12 +52,12 @@ impl SchedulePolicy for GPipePolicy {
 mod tests {
     use super::*;
     use varuna_exec::job::PlacedJob;
-    use varuna_exec::op::OpKind;
     use varuna_exec::pipeline::{simulate_minibatch, SimOptions};
     use varuna_exec::placement::Placement;
-    use varuna_exec::policy::GreedyPolicy;
     use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
     use varuna_net::Topology;
+    use varuna_sched::op::OpKind;
+    use varuna_sched::policy::GreedyPolicy;
 
     fn job(p: usize, n_micro: usize) -> PlacedJob {
         let graph = CutpointGraph::from_transformer(&ModelZoo::bert_72());

@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 //! Comparator systems from the paper's evaluation (Section 7).
 //!
-//! Every pipeline baseline is a [`varuna_exec::policy::SchedulePolicy`]
+//! Every pipeline baseline is a [`varuna_sched::policy::SchedulePolicy`]
 //! executed by the same discrete-event engine as Varuna, so comparisons
 //! isolate scheduling and memory-discipline differences:
 //!

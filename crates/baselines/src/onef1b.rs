@@ -6,8 +6,8 @@
 //! the stage idles rather than reordering — the jitter-intolerance Varuna's
 //! opportunistic deviation fixes (Table 6 shows Varuna 13-26% ahead).
 
-use varuna_exec::op::{Op, OpKind};
-use varuna_exec::policy::{SchedulePolicy, StageView};
+use varuna_sched::op::{Op, OpKind};
+use varuna_sched::policy::{SchedulePolicy, StageView};
 
 /// Strict non-interleaved 1F1B.
 #[derive(Debug, Default, Clone)]
@@ -48,11 +48,11 @@ impl SchedulePolicy for OneF1BPolicy {
 mod tests {
     use super::*;
     use varuna_exec::job::PlacedJob;
-    use varuna_exec::op::OpKind;
     use varuna_exec::pipeline::{simulate_minibatch, SimOptions};
     use varuna_exec::placement::Placement;
     use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
     use varuna_net::Topology;
+    use varuna_sched::op::OpKind;
 
     fn job(p: usize, n_micro: usize) -> PlacedJob {
         let graph = CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());

@@ -10,8 +10,8 @@
 //!
 //! [`SimOptions::recompute`]: varuna_exec::pipeline::SimOptions
 
-use varuna_exec::op::{Op, OpKind};
-use varuna_exec::policy::{SchedulePolicy, StageView};
+use varuna_sched::op::{Op, OpKind};
+use varuna_sched::policy::{SchedulePolicy, StageView};
 
 /// PipeDream's steady-state 1F1B discipline (no recompute).
 #[derive(Debug, Default, Clone)]
@@ -65,7 +65,7 @@ mod tests {
         let recs = res
             .trace
             .iter()
-            .filter(|t| t.op.kind == varuna_exec::op::OpKind::Recompute)
+            .filter(|t| t.op.kind == varuna_sched::op::OpKind::Recompute)
             .count();
         assert_eq!(recs, 0, "PipeDream stores activations, never recomputes");
     }
@@ -101,7 +101,7 @@ mod tests {
         .unwrap();
         let greedy = simulate_minibatch(
             &job,
-            &|_, _| Box::new(varuna_exec::policy::GreedyPolicy),
+            &|_, _| Box::new(varuna_sched::policy::GreedyPolicy),
             &SimOptions {
                 compute_jitter: 0.0,
                 ..SimOptions::default()

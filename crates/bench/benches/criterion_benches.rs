@@ -7,10 +7,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use varuna::calibrate::Calibration;
 use varuna::partition::balanced_partition;
 use varuna::planner::Planner;
-use varuna::schedule::generate_schedule;
 use varuna::simulator::{estimate_minibatch_time, SimInput};
 use varuna::VarunaCluster;
 use varuna_models::ModelZoo;
+use varuna_sched::schedule::generate_schedule;
 
 fn bench_fast_simulator(c: &mut Criterion) {
     let model = ModelZoo::gpt2_8_3b();
@@ -86,7 +86,7 @@ fn bench_calibration(c: &mut Criterion) {
 
 fn bench_emulator(c: &mut Criterion) {
     use varuna_exec::pipeline::{simulate_minibatch, SimOptions};
-    use varuna_exec::policy::GreedyPolicy;
+    use varuna_sched::policy::GreedyPolicy;
     let graph = varuna_models::CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());
     let job = varuna_exec::job::PlacedJob::uniform_from_graph(
         &graph,

@@ -16,11 +16,11 @@
 use varuna::calibrate::Calibration;
 use varuna::job::TrainingJob;
 use varuna::planner::{Config, Planner};
-use varuna::schedule::VarunaPolicy;
 use varuna::VarunaCluster;
 use varuna_exec::pipeline::SimOptions;
-use varuna_exec::policy::SchedulePolicy;
 use varuna_models::ModelZoo;
+use varuna_sched::policy::SchedulePolicy;
+use varuna_sched::schedule::VarunaPolicy;
 
 /// Result of one ablation: the mechanism on vs off.
 #[derive(Debug, Clone)]

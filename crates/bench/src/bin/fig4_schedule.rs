@@ -18,9 +18,14 @@ fn main() {
         r.gpipe_jitter_time,
         (r.gpipe_jitter_time / r.varuna_jitter_time - 1.0) * 100.0
     );
+
+    println!("\nAll-discipline smoke (same workload, via varuna-sched policies):");
+    for (name, t) in varuna_bench::fig4::smoke_all_disciplines() {
+        println!("  {name:<9} {t:.2}s");
+    }
 }
 
-fn print_schedule(s: &varuna::schedule::StaticSchedule) {
+fn print_schedule(s: &varuna_sched::schedule::StaticSchedule) {
     for (stage, ops) in s.per_stage.iter().enumerate().rev() {
         let line: Vec<String> = ops
             .iter()

@@ -1,14 +1,14 @@
 //! Figure 4: Varuna's micro-batch schedule vs GPipe's (4 stages, 5
 //! micro-batches), plus the jitter-sensitivity claim executed for real.
 
-use varuna::schedule::{enumerate, Discipline, StaticSchedule, VarunaPolicy};
-use varuna_baselines::GPipePolicy;
+use varuna_baselines::{GPipePolicy, OneF1BPolicy, PipeDreamPolicy};
 use varuna_exec::job::PlacedJob;
 use varuna_exec::pipeline::{simulate_minibatch, SimOptions};
 use varuna_exec::placement::Placement;
-use varuna_exec::policy::SchedulePolicy;
 use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
 use varuna_net::Topology;
+use varuna_sched::policy::SchedulePolicy;
+use varuna_sched::schedule::{enumerate, Discipline, StaticSchedule, VarunaPolicy};
 
 /// The Figure 4 result.
 #[derive(Debug, Clone)]
@@ -59,6 +59,52 @@ pub fn run() -> Fig4 {
     }
 }
 
+/// Emulated pipeline time for every discipline on the Figure 4 workload.
+///
+/// Runs Varuna, GPipe, 1F1B, and PipeDream through the same
+/// [`varuna_sched::policy::SchedulePolicy`] interface on the
+/// discrete-event emulator (BERT-72, 4 stages x 16 micro-batches over
+/// commodity Ethernet). Used as the CI smoke: every discipline must
+/// drive a full minibatch to completion through the scheduling crate.
+pub fn smoke_all_disciplines() -> Vec<(&'static str, f64)> {
+    let graph = CutpointGraph::from_transformer(&ModelZoo::bert_72());
+    let job = PlacedJob::uniform_from_graph(
+        &graph,
+        &GpuModel::v100(),
+        4,
+        1,
+        16,
+        16,
+        Topology::commodity_1gpu(4),
+        Placement::one_stage_per_gpu(4, 1),
+    );
+    let opts = SimOptions::default();
+    let sched = enumerate(4, 16, usize::MAX, Discipline::Varuna);
+    let varuna = simulate_minibatch(
+        &job,
+        &move |s, _| -> Box<dyn SchedulePolicy> { Box::new(VarunaPolicy::for_stage(&sched, s)) },
+        &opts,
+    )
+    .expect("varuna completes");
+    let gpipe =
+        simulate_minibatch(&job, &|_, _| Box::new(GPipePolicy), &opts).expect("gpipe completes");
+    let onef1b =
+        simulate_minibatch(&job, &|_, _| Box::new(OneF1BPolicy), &opts).expect("1f1b completes");
+    // PipeDream stashes activations instead of recomputing them.
+    let pd_opts = SimOptions {
+        recompute: false,
+        ..opts
+    };
+    let pipedream = simulate_minibatch(&job, &|_, _| Box::new(PipeDreamPolicy), &pd_opts)
+        .expect("pipedream completes");
+    vec![
+        ("varuna", varuna.pipeline_time),
+        ("gpipe", gpipe.pipeline_time),
+        ("1f1b", onef1b.pipeline_time),
+        ("pipedream", pipedream.pipeline_time),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +121,14 @@ mod tests {
             r.varuna_jitter_time,
             r.gpipe_jitter_time
         );
+    }
+
+    #[test]
+    fn every_discipline_completes_the_smoke_workload() {
+        let times = smoke_all_disciplines();
+        assert_eq!(times.len(), 4);
+        for (name, t) in times {
+            assert!(t > 0.0, "{name} must finish with a positive pipeline time");
+        }
     }
 }

@@ -8,10 +8,10 @@ use varuna::job::TrainingJob;
 use varuna::planner::Planner;
 use varuna::VarunaCluster;
 use varuna_exec::observe::SpanCollector;
-use varuna_exec::op::OpSpan;
 use varuna_exec::pipeline::SimOptions;
 use varuna_models::ModelZoo;
 use varuna_obs::{Event, EventBus, EventKind, EventSink};
+use varuna_sched::op::OpSpan;
 
 /// The Figure 7 result: the execution trace of one replica plus summary
 /// timings.
@@ -102,7 +102,7 @@ pub fn run_traced() -> (Fig7, Vec<Event>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use varuna_exec::op::OpKind;
+    use varuna_sched::op::OpKind;
 
     #[test]
     fn gantt_has_the_papers_structure() {

@@ -37,12 +37,12 @@ fn bert72_row(m: usize, base: &SimOptions) -> Row {
         Topology::commodity_4gpu(1),
         Placement::one_stage_per_gpu(4, 1),
     );
-    let sched = varuna::schedule::generate_schedule(4, n_micro, usize::MAX);
+    let sched = varuna_sched::schedule::generate_schedule(4, n_micro, usize::MAX);
     let opts = base.clone();
     let v = simulate_minibatch(
         &job,
-        &move |s, _| -> Box<dyn varuna_exec::policy::SchedulePolicy> {
-            Box::new(varuna::schedule::VarunaPolicy::for_stage(&sched, s))
+        &move |s, _| -> Box<dyn varuna_sched::policy::SchedulePolicy> {
+            Box::new(varuna_sched::schedule::VarunaPolicy::for_stage(&sched, s))
         },
         &opts,
     )

@@ -18,10 +18,10 @@ use std::process::ExitCode;
 use varuna::calibrate::Calibration;
 use varuna::manager::{Manager, TimelineEvent};
 use varuna::planner::Planner;
-use varuna::schedule::{enumerate, Discipline};
 use varuna::VarunaCluster;
 use varuna_cluster::trace::ClusterTrace;
 use varuna_models::{ModelZoo, TransformerConfig};
+use varuna_sched::schedule::{enumerate, Discipline};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

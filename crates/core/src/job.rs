@@ -13,15 +13,15 @@ use varuna_exec::pipeline::{
     simulate_minibatch, simulate_minibatch_on_bus, MinibatchResult, SimOptions,
 };
 use varuna_exec::placement::Placement;
-use varuna_exec::policy::{PolicyFactory, SchedulePolicy};
 use varuna_obs::{Event, EventBus, EventKind};
+use varuna_sched::policy::{PolicyFactory, SchedulePolicy};
 
 use crate::calibrate::Calibration;
 use crate::error::VarunaError;
 use crate::planner::Config;
-use crate::schedule::{StaticSchedule, VarunaPolicy};
 use crate::simulator::{plan_schedule, SimInput};
 use crate::VarunaCluster;
+use varuna_sched::schedule::{StaticSchedule, VarunaPolicy};
 
 /// Statistics of an emulated steady-state run with checkpointing.
 #[derive(Debug, Clone, Copy, PartialEq)]

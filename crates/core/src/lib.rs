@@ -45,8 +45,11 @@ pub mod morph;
 pub mod observe;
 pub mod partition;
 pub mod planner;
-pub mod schedule;
 pub mod simulator;
+
+// The schedule enumerator and run-time policy moved to `varuna-sched`;
+// this alias keeps the historical `varuna::schedule::*` paths working.
+pub use varuna_sched::schedule;
 
 pub use calibrate::Calibration;
 pub use cutfinder::{find_cutpoints, CutReport};
@@ -57,8 +60,8 @@ pub use morph::{MorphBackoff, MorphController};
 pub use observe::TimelineCollector;
 pub use partition::balanced_partition;
 pub use planner::{Config, FallbackLevel, Planner};
-pub use schedule::{generate_schedule, StaticSchedule, VarunaPolicy};
 pub use simulator::estimate_minibatch_time;
+pub use varuna_sched::schedule::{generate_schedule, StaticSchedule, VarunaPolicy};
 
 /// The hardware environment a job runs in: a topology plus SKU metadata.
 #[derive(Debug, Clone)]
@@ -116,7 +119,7 @@ pub mod prelude {
     pub use crate::job::TrainingJob;
     pub use crate::manager::Manager;
     pub use crate::planner::{Config, Planner};
-    pub use crate::schedule::{generate_schedule, VarunaPolicy};
     pub use crate::VarunaCluster;
     pub use varuna_models::{GpuModel, ModelZoo, TransformerConfig};
+    pub use varuna_sched::schedule::{generate_schedule, VarunaPolicy};
 }

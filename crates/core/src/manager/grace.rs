@@ -1,0 +1,65 @@
+//! Tolerance windows for health-signal flapping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::VarunaError;
+
+/// Tolerance windows before the manager acts on bad health signals.
+///
+/// Acting on the first missed heartbeat or the first outlier reading makes
+/// the manager flap on transient network blips; these thresholds require
+/// the signal to persist before capacity is given up, and let it return
+/// when the signal clears.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GracePolicy {
+    /// Consecutive outlier observations before a VM is excluded from
+    /// scheduling.
+    pub exclude_after: u32,
+    /// Consecutive healthy observations before an excluded VM is
+    /// re-admitted.
+    pub readmit_after: u32,
+    /// Seconds of heartbeat silence tolerated before a silent VM is
+    /// treated as lost capacity.
+    pub silence_grace_seconds: f64,
+}
+
+impl GracePolicy {
+    /// Default tuning: exclude after 2 consecutive outlier rounds,
+    /// re-admit after 2 healthy rounds, 120 s silence grace.
+    pub fn default_tuning() -> Self {
+        GracePolicy {
+            exclude_after: 2,
+            readmit_after: 2,
+            silence_grace_seconds: 120.0,
+        }
+    }
+
+    /// A policy with explicit thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero thresholds and a non-positive/non-finite grace window
+    /// (any of which would re-create the flapping this policy exists to
+    /// prevent).
+    pub fn new(
+        exclude_after: u32,
+        readmit_after: u32,
+        silence_grace_seconds: f64,
+    ) -> Result<Self, VarunaError> {
+        if exclude_after == 0 || readmit_after == 0 {
+            return Err(VarunaError::InvalidConfig(
+                "grace thresholds must be at least 1 observation".to_string(),
+            ));
+        }
+        if !(silence_grace_seconds > 0.0 && silence_grace_seconds.is_finite()) {
+            return Err(VarunaError::InvalidConfig(format!(
+                "silence grace must be positive and finite, got {silence_grace_seconds}"
+            )));
+        }
+        Ok(GracePolicy {
+            exclude_after,
+            readmit_after,
+            silence_grace_seconds,
+        })
+    }
+}

@@ -1,0 +1,61 @@
+//! Fail-stutter detection, exclusion, and re-admission from heartbeats.
+
+use std::collections::BTreeSet;
+use varuna_cluster::cluster::VmId;
+use varuna_cluster::heartbeat::Heartbeat;
+
+use super::Manager;
+
+impl Manager<'_> {
+    /// Ingests one round of task heartbeats; returns VMs newly excluded
+    /// for fail-stutter behavior.
+    ///
+    /// Exclusion requires [`GracePolicy::exclude_after`] consecutive
+    /// rounds of outlier readings (a single slow reading is forgiven);
+    /// an excluded VM that reports healthy for
+    /// [`GracePolicy::readmit_after`] consecutive rounds is re-admitted
+    /// and disappears from [`Manager::excluded_vms`].
+    ///
+    /// [`GracePolicy::exclude_after`]: super::GracePolicy::exclude_after
+    /// [`GracePolicy::readmit_after`]: super::GracePolicy::readmit_after
+    pub fn handle_heartbeats(&mut self, hbs: &[Heartbeat]) -> Vec<VmId> {
+        for hb in hbs {
+            self.monitor.record(*hb);
+        }
+        let outliers: BTreeSet<VmId> = self.monitor.stutter_outliers().into_iter().collect();
+        // Healthy reports break miss streaks and build re-admission credit.
+        let reporting: BTreeSet<VmId> = hbs.iter().map(|hb| hb.vm).collect();
+        for &vm in reporting.difference(&outliers) {
+            self.miss_streak.remove(&vm);
+            if self.excluded.contains(&vm) {
+                let streak = self.healthy_streak.entry(vm).or_insert(0);
+                *streak += 1;
+                if *streak >= self.grace.readmit_after {
+                    self.excluded.retain(|&v| v != vm);
+                    self.healthy_streak.remove(&vm);
+                }
+            }
+        }
+        let mut newly = Vec::new();
+        for &vm in &outliers {
+            self.healthy_streak.remove(&vm);
+            let streak = self.miss_streak.entry(vm).or_insert(0);
+            *streak += 1;
+            if *streak >= self.grace.exclude_after && !self.excluded.contains(&vm) {
+                self.excluded.push(vm);
+                newly.push(vm);
+            }
+        }
+        newly
+    }
+
+    /// VMs excluded from scheduling.
+    pub fn excluded_vms(&self) -> &[VmId] {
+        &self.excluded
+    }
+
+    /// VMs presumed preempted because they went silent.
+    pub fn silent_vms(&self, now: f64) -> Vec<VmId> {
+        self.monitor.silent_vms(now)
+    }
+}

@@ -1,0 +1,130 @@
+//! The Varuna manager (paper §4.6) and its recovery state machine.
+//!
+//! Runs on a dedicated VM and watches the job: it detects preemptions (no
+//! heartbeat), corrects fail-stutter VMs (outlier compute times → excluded
+//! from placement), keeps trying to grow the cluster, and triggers
+//! morphing whenever the available GPU set changes. Replaying a cluster
+//! trace through the manager produces the dynamic timeline of the paper's
+//! Figure 8.
+//!
+//! The module splits along the manager's responsibilities:
+//!
+//! - [`grace`](self): the [`GracePolicy`] tolerance windows,
+//! - [`timeline`](self): the [`TimelinePoint`] samples and
+//!   [`ManagerState`] machine states,
+//! - `heartbeats`: fail-stutter detection and re-admission,
+//! - `replay`: the discrete-event trace replay and recovery loop.
+//!
+//! # Recovery state machine
+//!
+//! Beyond the happy path, the manager survives injected faults (see the
+//! `varuna-chaos` crate) through an explicit two-state machine:
+//!
+//! ```text
+//!            plan fails / zero schedulable GPUs
+//!   Running ────────────────────────────────────▶ Degraded
+//!      ▲        (DegradedEnter, job suspended)       │
+//!      │                                             │ retry with
+//!      │   plan succeeds (DegradedExit + Morph,      │ exponential
+//!      └──── backoff reset, paused time priced) ◀────┘ backoff
+//! ```
+//!
+//! While `Degraded`, training is paused (no progress, no checkpoints) and
+//! replanning retries follow [`MorphBackoff`]'s exponential schedule, plus
+//! an immediate retry whenever new trace events arrive. Heartbeat silence
+//! is tolerated for a grace window before the VM is treated as lost
+//! ([`GracePolicy::silence_grace_seconds`]), and silent VMs that resume
+//! are re-admitted. Checkpoint writes during a storage outage fail (the
+//! durable resume point does not advance), a corrupt checkpoint falls
+//! back one interval, and an eviction notice triggers a proactive
+//! checkpoint. Work is never rolled back: mini-batch progress is
+//! monotone, and work at risk beyond the durable checkpoint is priced
+//! explicitly as `LostWork`/downtime.
+
+mod grace;
+mod heartbeats;
+mod replay;
+#[cfg(test)]
+mod tests;
+mod timeline;
+
+pub use grace::GracePolicy;
+pub use timeline::{ManagerState, TimelineEvent, TimelinePoint};
+
+use std::collections::BTreeMap;
+use varuna_cluster::cluster::VmId;
+use varuna_cluster::heartbeat::HeartbeatMonitor;
+
+use crate::calibrate::Calibration;
+use crate::checkpoint::CheckpointPolicy;
+use crate::morph::{MorphBackoff, MorphController};
+
+/// The manager: heartbeat tracking plus morph orchestration and recovery.
+pub struct Manager<'a> {
+    morph: MorphController<'a>,
+    monitor: HeartbeatMonitor,
+    checkpoint: CheckpointPolicy,
+    grace: GracePolicy,
+    backoff: MorphBackoff,
+    state: ManagerState,
+    excluded: Vec<VmId>,
+    miss_streak: BTreeMap<VmId, u32>,
+    healthy_streak: BTreeMap<VmId, u32>,
+}
+
+impl<'a> Manager<'a> {
+    /// A manager for a job calibrated as `calib` with fixed `m_total`.
+    pub fn new(calib: &'a Calibration, m_total: usize, micro: usize) -> Self {
+        Manager {
+            morph: MorphController::new(calib, m_total).micro_batch(micro),
+            monitor: HeartbeatMonitor::default_tuning(),
+            checkpoint: CheckpointPolicy::default_tuning(),
+            grace: GracePolicy::default_tuning(),
+            backoff: MorphBackoff::default_tuning(),
+            state: ManagerState::Running,
+            excluded: Vec::new(),
+            miss_streak: BTreeMap::new(),
+            healthy_streak: BTreeMap::new(),
+        }
+    }
+
+    /// Replaces the grace policy.
+    pub fn with_grace(mut self, grace: GracePolicy) -> Self {
+        self.grace = grace;
+        self
+    }
+
+    /// Replaces the morph-retry backoff schedule.
+    pub fn with_backoff(mut self, backoff: MorphBackoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Replaces the checkpoint policy (e.g. a denser interval).
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointPolicy) -> Self {
+        self.checkpoint = checkpoint;
+        self
+    }
+
+    /// The active checkpoint policy.
+    pub fn checkpoint_policy(&self) -> CheckpointPolicy {
+        self.checkpoint
+    }
+
+    /// Enables the planner's recovery ladder (reduced micro-batch, then
+    /// offload) when the preferred configuration stops fitting.
+    pub fn with_fallback(mut self) -> Self {
+        self.morph = self.morph.with_fallback();
+        self
+    }
+
+    /// Where the recovery machine currently sits.
+    pub fn state(&self) -> ManagerState {
+        self.state
+    }
+
+    /// The active grace policy.
+    pub fn grace(&self) -> GracePolicy {
+        self.grace
+    }
+}

@@ -1,0 +1,386 @@
+//! Discrete-event trace replay: morphing, checkpointing, and recovery.
+
+use std::collections::{BTreeMap, BTreeSet};
+use varuna_cluster::trace::{ClusterEventKind, ClusterTrace};
+use varuna_obs::{Event, EventBus, EventKind};
+
+use super::{Manager, ManagerState, TimelinePoint};
+use crate::error::VarunaError;
+use crate::observe::TimelineCollector;
+
+impl Manager<'_> {
+    /// Replays a cluster trace, morphing on every capacity change, and
+    /// returns the Figure 8 timeline.
+    ///
+    /// A convenience wrapper over [`Manager::replay_on_bus`]: it attaches
+    /// a [`TimelineCollector`] to a private bus and returns the derived
+    /// timeline (identical to what this method historically built
+    /// in-line).
+    ///
+    /// # Errors
+    ///
+    /// Infeasible capacity no longer fails the replay — the manager parks
+    /// in [`ManagerState::Degraded`] and retries — so errors are reserved
+    /// for genuinely invalid inputs.
+    pub fn replay(&mut self, trace: &ClusterTrace) -> Result<Vec<TimelinePoint>, VarunaError> {
+        let collector = TimelineCollector::new();
+        let mut bus = EventBus::with_sink(Box::new(collector.clone()));
+        self.replay_on_bus(trace, &mut bus)?;
+        Ok(collector.take())
+    }
+
+    /// Replays a cluster trace, reporting every preemption, fault, morph /
+    /// replacement decision, recovery action, and periodic checkpoint
+    /// through `bus` as [`varuna_obs::Event`]s (`t_sim` in seconds since
+    /// trace start).
+    ///
+    /// Morph and checkpoint events are self-contained — they carry the
+    /// held/used GPU counts and throughputs — so a [`TimelineCollector`]
+    /// sink rebuilds the Figure 8 [`TimelinePoint`] sequence from the
+    /// stream alone (fault and recovery events are ignored by it).
+    ///
+    /// The replay is a small discrete-event loop over *action points*:
+    /// trace-event timestamps, silence-grace expiries, and backoff-gated
+    /// morph retries. It is fully deterministic — the same trace produces
+    /// a byte-identical event stream.
+    ///
+    /// # Errors
+    ///
+    /// Infeasible capacity parks the manager in
+    /// [`ManagerState::Degraded`] rather than failing; errors are
+    /// reserved for invalid inputs.
+    pub fn replay_on_bus(
+        &mut self,
+        trace: &ClusterTrace,
+        bus: &mut EventBus,
+    ) -> Result<(), VarunaError> {
+        let mut held: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut stuttering: BTreeSet<u64> = BTreeSet::new();
+        // Silent-but-still-granted VMs and when their silence began.
+        let mut silent_since: BTreeMap<u64, f64> = BTreeMap::new();
+        // Silent VMs whose grace window expired: treated as lost capacity.
+        let mut lost_to_silence: BTreeSet<u64> = BTreeSet::new();
+        let mut storage_outage = false;
+        let mut step: f64 = 0.0;
+        // Schedule pointer for periodic checkpoints (interval multiples).
+        let mut last_ckpt_step: u64 = 0;
+        // The step a resume would actually restart from.
+        let mut durable_step: u64 = 0;
+        let mut last_t = 0.0f64;
+        let mut degraded_since: Option<f64> = None;
+        let mut next_retry_at: Option<f64> = None;
+        let mut grace_wakeups: Vec<f64> = Vec::new();
+        let duration = trace.duration_hours;
+        let grace_hours = self.grace.silence_grace_seconds / 3600.0;
+        self.state = ManagerState::Running;
+
+        let mut i = 0;
+        loop {
+            // Next action point: trace event, grace expiry, or retry.
+            let mut t = f64::INFINITY;
+            if i < trace.events.len() {
+                t = trace.events[i].time_hours;
+            }
+            for &w in &grace_wakeups {
+                if w < t {
+                    t = w;
+                }
+            }
+            if let Some(r) = next_retry_at {
+                if r < t {
+                    t = r;
+                }
+            }
+            if !t.is_finite() || t > duration {
+                break;
+            }
+
+            // Advance training between last_t and t under the current
+            // config, emitting periodic checkpoint markers. During a
+            // storage outage the write fails and the durable step stays.
+            if let Some(cfg) = self.morph.current().cloned() {
+                let dt_sec = (t - last_t) * 3600.0;
+                let steps_done = dt_sec / cfg.est_minibatch_time;
+                step += steps_done;
+                let interval = self.checkpoint.interval_minibatches;
+                while step as u64 >= last_ckpt_step + interval {
+                    last_ckpt_step += interval;
+                    let t_ckpt = last_t
+                        + (t - last_t)
+                            * ((last_ckpt_step as f64 - (step - steps_done))
+                                / steps_done.max(1e-9));
+                    if storage_outage {
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t_ckpt * 3600.0,
+                                EventKind::CheckpointWriteFailed {
+                                    step: last_ckpt_step,
+                                },
+                            )
+                        });
+                    } else {
+                        durable_step = durable_step.max(last_ckpt_step);
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t_ckpt * 3600.0,
+                                EventKind::Checkpoint {
+                                    step: last_ckpt_step,
+                                    gpus_held: held.values().sum(),
+                                    gpus_used: cfg.gpus_used(),
+                                    p: cfg.p,
+                                    d: cfg.d,
+                                    examples_per_sec: cfg.throughput(),
+                                    examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                },
+                            )
+                        });
+                    }
+                }
+            }
+            last_t = t;
+
+            // Snapshot capacity before applying this timestamp's events:
+            // proactive checkpoints emitted mid-application must describe
+            // the state the active config was planned against, not a
+            // half-applied one.
+            let held_before: usize = held.values().sum();
+
+            // Apply all trace events at this timestamp.
+            let mut applied = false;
+            while i < trace.events.len() && trace.events[i].time_hours == t {
+                applied = true;
+                let e = &trace.events[i];
+                match e.kind {
+                    ClusterEventKind::Granted { gpus } => {
+                        held.insert(e.vm, gpus);
+                    }
+                    ClusterEventKind::Preempted => {
+                        held.remove(&e.vm);
+                        stuttering.remove(&e.vm);
+                        silent_since.remove(&e.vm);
+                        lost_to_silence.remove(&e.vm);
+                        self.monitor.forget(e.vm);
+                        bus.emit_with(|| {
+                            Event::manager(t * 3600.0, EventKind::Preemption { vm: e.vm })
+                        });
+                    }
+                    // §4.6: outlier heartbeat timings get the VM omitted
+                    // from scheduling; it counts as lost capacity until it
+                    // recovers or is replaced.
+                    ClusterEventKind::StutterStart { .. } => {
+                        stuttering.insert(e.vm);
+                    }
+                    ClusterEventKind::StutterEnd => {
+                        stuttering.remove(&e.vm);
+                    }
+                    ClusterEventKind::EvictionNotice { lead_hours } => {
+                        bus.emit_with(|| {
+                            Event::cluster(
+                                t * 3600.0,
+                                EventKind::EvictionNotice {
+                                    vm: e.vm,
+                                    lead_seconds: lead_hours * 3600.0,
+                                },
+                            )
+                        });
+                        // §4.5: use the warning to checkpoint proactively,
+                        // moving the durable point up to "now".
+                        if !storage_outage {
+                            if let Some(cfg) = self.morph.current().cloned() {
+                                let at = step as u64;
+                                if at > durable_step {
+                                    durable_step = at;
+                                    bus.emit_with(|| {
+                                        Event::manager(
+                                            t * 3600.0,
+                                            EventKind::Checkpoint {
+                                                step: at,
+                                                gpus_held: held_before,
+                                                gpus_used: cfg.gpus_used(),
+                                                p: cfg.p,
+                                                d: cfg.d,
+                                                examples_per_sec: cfg.throughput(),
+                                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                            },
+                                        )
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    ClusterEventKind::SilenceStart => {
+                        silent_since.insert(e.vm, t);
+                        bus.emit_with(|| {
+                            Event::cluster(t * 3600.0, EventKind::SilenceStart { vm: e.vm })
+                        });
+                        let expiry = t + grace_hours;
+                        if expiry <= duration {
+                            grace_wakeups.push(expiry);
+                        }
+                    }
+                    ClusterEventKind::SilenceEnd => {
+                        silent_since.remove(&e.vm);
+                        bus.emit_with(|| {
+                            Event::cluster(t * 3600.0, EventKind::SilenceEnd { vm: e.vm })
+                        });
+                        if lost_to_silence.remove(&e.vm) {
+                            bus.emit_with(|| {
+                                Event::manager(t * 3600.0, EventKind::VmReadmitted { vm: e.vm })
+                            });
+                        }
+                    }
+                    ClusterEventKind::StorageOutageStart => {
+                        storage_outage = true;
+                    }
+                    ClusterEventKind::StorageOutageEnd => {
+                        storage_outage = false;
+                    }
+                    ClusterEventKind::CheckpointCorrupt => {
+                        let from = durable_step;
+                        durable_step =
+                            durable_step.saturating_sub(self.checkpoint.interval_minibatches);
+                        let to = durable_step;
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t * 3600.0,
+                                EventKind::CheckpointFallback {
+                                    from_step: from,
+                                    to_step: to,
+                                },
+                            )
+                        });
+                    }
+                }
+                i += 1;
+            }
+
+            // Expire silence grace windows due at t: the VM is now treated
+            // as lost capacity (exactly once per episode).
+            grace_wakeups.retain(|&w| w > t);
+            let mut newly_lost = false;
+            let expired: Vec<u64> = silent_since
+                .iter()
+                .filter(|(vm, &since)| t >= since + grace_hours && !lost_to_silence.contains(*vm))
+                .map(|(vm, _)| *vm)
+                .collect();
+            for vm in expired {
+                lost_to_silence.insert(vm);
+                newly_lost = true;
+                bus.emit_with(|| {
+                    Event::manager(
+                        t * 3600.0,
+                        EventKind::VmExcluded {
+                            vm,
+                            consecutive_misses: self.grace.exclude_after,
+                        },
+                    )
+                });
+            }
+
+            let retry_due = matches!(next_retry_at, Some(r) if t >= r);
+            if retry_due {
+                next_retry_at = None;
+            }
+            if !(applied || newly_lost || retry_due) {
+                continue;
+            }
+
+            // Schedulable capacity: granted minus stuttering minus
+            // silence-lost VMs.
+            let gpus: usize = held
+                .iter()
+                .filter(|(vm, _)| !stuttering.contains(*vm) && !lost_to_silence.contains(*vm))
+                .map(|(_, g)| *g)
+                .sum();
+
+            let planned = if gpus == 0 {
+                Err(VarunaError::NoFeasibleConfig {
+                    gpus: 0,
+                    reason: "no schedulable GPUs (preempted, silent, or stuttering)".to_string(),
+                })
+            } else {
+                self.morph
+                    .on_resources_changed_from(gpus, step as u64, durable_step)
+            };
+            match planned {
+                Ok(decision) => {
+                    if let Some(since) = degraded_since.take() {
+                        self.state = ManagerState::Running;
+                        self.backoff.reset();
+                        next_retry_at = None;
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t * 3600.0,
+                                EventKind::DegradedExit {
+                                    gpus,
+                                    paused_seconds: (t - since) * 3600.0,
+                                },
+                            )
+                        });
+                    }
+                    // Work past the durable checkpoint is re-run on a
+                    // reconfiguration: price it, never roll progress back.
+                    let lost = (step as u64).saturating_sub(durable_step);
+                    if decision.reconfigured && lost > 0 {
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t * 3600.0,
+                                EventKind::LostWork {
+                                    minibatches: lost,
+                                    seconds: lost as f64 * decision.config.est_minibatch_time,
+                                },
+                            )
+                        });
+                    }
+                    let cfg = &decision.config;
+                    bus.emit_with(|| {
+                        Event::manager(
+                            t * 3600.0,
+                            EventKind::Morph {
+                                p: cfg.p,
+                                d: cfg.d,
+                                gpus_held: gpus,
+                                gpus_used: cfg.gpus_used(),
+                                examples_per_sec: cfg.throughput(),
+                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                reconfigured: decision.reconfigured,
+                            },
+                        )
+                    });
+                }
+                Err(e) => {
+                    if degraded_since.is_none() {
+                        degraded_since = Some(t);
+                        self.state = ManagerState::Degraded;
+                        // Pause the job: no config means no progress and
+                        // no checkpoints until capacity returns.
+                        self.morph.suspend();
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t * 3600.0,
+                                EventKind::DegradedEnter {
+                                    gpus,
+                                    reason: e.to_string(),
+                                },
+                            )
+                        });
+                    }
+                    let delay = self.backoff.next_delay();
+                    bus.emit_with(|| {
+                        Event::manager(
+                            t * 3600.0,
+                            EventKind::MorphRetry {
+                                attempt: self.backoff.attempts(),
+                                backoff_seconds: delay,
+                                gpus,
+                            },
+                        )
+                    });
+                    let at = t + delay / 3600.0;
+                    next_retry_at = if at <= duration { Some(at) } else { None };
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,533 @@
+use super::*;
+use crate::calibrate::Calibration;
+use crate::checkpoint::CheckpointPolicy;
+use crate::morph::MorphBackoff;
+use crate::VarunaCluster;
+use varuna_cluster::heartbeat::Heartbeat;
+use varuna_cluster::trace::{ClusterEvent, ClusterEventKind, ClusterTrace};
+use varuna_models::ModelZoo;
+use varuna_obs::{Event, EventBus, EventKind, Source, VecSink};
+
+fn calib() -> Calibration {
+    Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(160))
+}
+
+fn grants(n: u64, gpus: usize) -> Vec<ClusterEvent> {
+    (0..n)
+        .map(|vm| ClusterEvent {
+            time_hours: 0.0,
+            vm,
+            kind: ClusterEventKind::Granted { gpus },
+        })
+        .collect()
+}
+
+#[test]
+fn replay_produces_morphs_and_checkpoints() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let trace = varuna_cluster::trace::ClusterTrace::generate_spot_1gpu(60, 120, 20.0, 5.0, 3);
+    let timeline = mgr.replay(&trace).unwrap();
+    assert!(!timeline.is_empty());
+    let morphs = timeline
+        .iter()
+        .filter(|p| matches!(p.event, TimelineEvent::Morph { .. }))
+        .count();
+    let ckpts = timeline
+        .iter()
+        .filter(|p| p.event == TimelineEvent::Checkpoint)
+        .count();
+    assert!(morphs >= 1, "capacity swings must trigger morphs");
+    assert!(ckpts >= 1, "periodic checkpoints must appear");
+    // Configurations never exceed held GPUs.
+    for p in &timeline {
+        assert!(p.gpus_used <= p.gpus_held, "{p:?}");
+    }
+}
+
+#[test]
+fn per_gpu_throughput_is_far_more_stable_than_total() {
+    // Figure 8's takeaway: total ex/s swings ~5x with capacity while
+    // ex/s/GPU varies only ~15%.
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    // A small, heavily contended pool over two diurnal cycles produces
+    // the large capacity swings of the paper's Figure 8.
+    let trace = varuna_cluster::trace::ClusterTrace::generate_spot_1gpu(40, 160, 48.0, 10.0, 9);
+    let timeline = mgr.replay(&trace).unwrap();
+    let totals: Vec<f64> = timeline.iter().map(|p| p.ex_per_sec).collect();
+    let per_gpu: Vec<f64> = timeline.iter().map(|p| p.ex_per_sec_per_gpu).collect();
+    let spread = |v: &[f64]| {
+        let max = v.iter().fold(f64::MIN, |a, &b| a.max(b));
+        let min = v.iter().fold(f64::MAX, |a, &b| a.min(b));
+        max / min
+    };
+    assert!(
+        spread(&totals) > 1.5 * spread(&per_gpu),
+        "total spread {:.2} vs per-gpu spread {:.2}",
+        spread(&totals),
+        spread(&per_gpu)
+    );
+    assert!(
+        spread(&per_gpu) < 2.0,
+        "per-GPU throughput should be stable"
+    );
+}
+
+#[test]
+fn stuttering_vms_are_omitted_from_scheduling_in_replay() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let mut events = grants(30, 1);
+    events.push(ClusterEvent {
+        time_hours: 1.0,
+        vm: 5,
+        kind: ClusterEventKind::StutterStart { factor: 1.3 },
+    });
+    events.push(ClusterEvent {
+        time_hours: 2.0,
+        vm: 5,
+        kind: ClusterEventKind::StutterEnd,
+    });
+    let trace = ClusterTrace::scripted(events, 3.0).unwrap();
+    let timeline = mgr.replay(&trace).unwrap();
+    // While VM 5 stutters the job schedules on 29 GPUs, then recovers.
+    let during = timeline.iter().find(|p| p.t_hours == 1.0).unwrap();
+    assert!(
+        during.gpus_used <= 29,
+        "stutterer must be omitted: {during:?}"
+    );
+    let after = timeline.iter().find(|p| p.t_hours == 2.0).unwrap();
+    assert!(
+        after.gpus_used > during.gpus_used,
+        "capacity returns on recovery"
+    );
+}
+
+#[test]
+fn fail_stutter_exclusion_respects_the_grace_window() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let hbs: Vec<Heartbeat> = (0..8)
+        .map(|vm| Heartbeat {
+            vm,
+            time: 0.0,
+            fwd_time: if vm == 3 { 0.45 } else { 0.33 },
+            bwd_time: if vm == 3 { 0.9 } else { 0.66 },
+        })
+        .collect();
+    // Default grace excludes after 2 consecutive outlier rounds: the
+    // first slow reading is forgiven.
+    assert!(mgr.handle_heartbeats(&hbs).is_empty(), "one round forgiven");
+    let newly = mgr.handle_heartbeats(&hbs);
+    assert_eq!(newly, vec![3], "the 35% slower VM is the outlier");
+    let again = mgr.handle_heartbeats(&hbs);
+    assert!(again.is_empty(), "already-excluded VMs are not re-reported");
+    assert_eq!(mgr.excluded_vms(), &[3]);
+}
+
+#[test]
+fn transient_outliers_are_never_excluded() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let slow: Vec<Heartbeat> = (0..8)
+        .map(|vm| Heartbeat {
+            vm,
+            time: 0.0,
+            fwd_time: if vm == 3 { 0.45 } else { 0.33 },
+            bwd_time: if vm == 3 { 0.9 } else { 0.66 },
+        })
+        .collect();
+    let healthy: Vec<Heartbeat> = (0..8)
+        .map(|vm| Heartbeat {
+            vm,
+            time: 1.0,
+            fwd_time: 0.33,
+            bwd_time: 0.66,
+        })
+        .collect();
+    // Alternating slow/healthy rounds never build a 2-round streak.
+    for _ in 0..4 {
+        assert!(mgr.handle_heartbeats(&slow).is_empty());
+        assert!(mgr.handle_heartbeats(&healthy).is_empty());
+    }
+    assert!(mgr.excluded_vms().is_empty(), "flapping must not exclude");
+}
+
+#[test]
+fn excluded_vms_are_readmitted_after_healthy_streak() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let slow: Vec<Heartbeat> = (0..8)
+        .map(|vm| Heartbeat {
+            vm,
+            time: 0.0,
+            fwd_time: if vm == 3 { 0.45 } else { 0.33 },
+            bwd_time: if vm == 3 { 0.9 } else { 0.66 },
+        })
+        .collect();
+    mgr.handle_heartbeats(&slow);
+    assert_eq!(mgr.handle_heartbeats(&slow), vec![3]);
+    let healthy: Vec<Heartbeat> = (0..8)
+        .map(|vm| Heartbeat {
+            vm,
+            time: 1.0,
+            fwd_time: 0.33,
+            bwd_time: 0.66,
+        })
+        .collect();
+    mgr.handle_heartbeats(&healthy);
+    assert_eq!(mgr.excluded_vms(), &[3], "one healthy round is not enough");
+    mgr.handle_heartbeats(&healthy);
+    assert!(
+        mgr.excluded_vms().is_empty(),
+        "two healthy rounds re-admit the VM"
+    );
+}
+
+#[test]
+fn silent_vms_are_reported_for_preemption_handling() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    mgr.handle_heartbeats(&[Heartbeat {
+        vm: 7,
+        time: 0.0,
+        fwd_time: 0.3,
+        bwd_time: 0.6,
+    }]);
+    assert_eq!(mgr.silent_vms(120.0), vec![7]);
+    assert!(mgr.silent_vms(30.0).is_empty());
+}
+
+#[test]
+fn invalid_grace_policies_are_typed_errors() {
+    assert!(GracePolicy::new(0, 2, 60.0).is_err());
+    assert!(GracePolicy::new(2, 0, 60.0).is_err());
+    assert!(GracePolicy::new(2, 2, 0.0).is_err());
+    assert!(GracePolicy::new(2, 2, f64::NAN).is_err());
+    assert!(GracePolicy::new(1, 1, 30.0).is_ok());
+}
+
+#[test]
+fn capacity_collapse_enters_degraded_and_recovers() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let mut events = grants(20, 1);
+    for vm in 0..20u64 {
+        events.push(ClusterEvent {
+            time_hours: 1.0,
+            vm,
+            kind: ClusterEventKind::Preempted,
+        });
+    }
+    for vm in 20..40u64 {
+        events.push(ClusterEvent {
+            time_hours: 2.0,
+            vm,
+            kind: ClusterEventKind::Granted { gpus: 1 },
+        });
+    }
+    let trace = ClusterTrace::scripted(events, 3.0).unwrap();
+    let sink = VecSink::new();
+    let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    mgr.replay_on_bus(&trace, &mut bus).unwrap();
+    assert_eq!(mgr.state(), ManagerState::Running, "recovered by t=2");
+    let events = sink.take();
+    let enter = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::DegradedEnter { .. }))
+        .expect("losing all VMs must enter Degraded");
+    assert_eq!(enter.t_sim, 3600.0);
+    let exit = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::DegradedExit { .. }))
+        .expect("regrowth must exit Degraded");
+    assert_eq!(exit.t_sim, 7200.0);
+    if let EventKind::DegradedExit { paused_seconds, .. } = exit.kind {
+        assert!((paused_seconds - 3600.0).abs() < 1e-6);
+    }
+    let retries = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::MorphRetry { .. }))
+        .count();
+    assert!(retries >= 1, "degraded state must record retries");
+    assert_eq!(mgr.state(), ManagerState::Running);
+}
+
+#[test]
+fn degraded_retries_follow_exponential_backoff() {
+    let c = calib();
+    let mut mgr =
+        Manager::new(&c, 8192, 4).with_backoff(MorphBackoff::new(60.0, 2.0, 3600.0).unwrap());
+    let mut events = grants(10, 1);
+    for vm in 0..10u64 {
+        events.push(ClusterEvent {
+            time_hours: 1.0,
+            vm,
+            kind: ClusterEventKind::Preempted,
+        });
+    }
+    // No capacity ever returns: retries must space out 60, 120, 240 s.
+    let trace = ClusterTrace::scripted(events, 1.5).unwrap();
+    let sink = VecSink::new();
+    let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    mgr.replay_on_bus(&trace, &mut bus).unwrap();
+    assert_eq!(mgr.state(), ManagerState::Degraded);
+    let retry_times: Vec<f64> = sink
+        .take()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::MorphRetry { .. }))
+        .map(|e| e.t_sim)
+        .collect();
+    assert!(retry_times.len() >= 3);
+    let gaps: Vec<f64> = retry_times.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!((gaps[0] - 60.0).abs() < 1e-6, "first gap 60s, got {gaps:?}");
+    assert!(
+        (gaps[1] - 120.0).abs() < 1e-6,
+        "second gap doubles, got {gaps:?}"
+    );
+}
+
+#[test]
+fn silence_is_forgiven_within_the_grace_window() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let mut events = grants(20, 1);
+    // VM 4 goes silent for 60 s — under the 120 s default grace.
+    events.push(ClusterEvent {
+        time_hours: 1.0,
+        vm: 4,
+        kind: ClusterEventKind::SilenceStart,
+    });
+    events.push(ClusterEvent {
+        time_hours: 1.0 + 60.0 / 3600.0,
+        vm: 4,
+        kind: ClusterEventKind::SilenceEnd,
+    });
+    let trace = ClusterTrace::scripted(events, 2.0).unwrap();
+    let sink = VecSink::new();
+    let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    mgr.replay_on_bus(&trace, &mut bus).unwrap();
+    let events = sink.take();
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::VmExcluded { .. })),
+        "a blip inside the grace window must not exclude"
+    );
+    // Silence boundaries are still observable.
+    assert!(events.iter().any(
+        |e| matches!(e.kind, EventKind::SilenceStart { vm: 4 }) && e.source == Source::Cluster
+    ));
+}
+
+#[test]
+fn silence_past_grace_excludes_once_and_readmits() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let mut events = grants(20, 1);
+    // VM 4 silent for 10 minutes: grace (120 s) expires mid-silence.
+    events.push(ClusterEvent {
+        time_hours: 1.0,
+        vm: 4,
+        kind: ClusterEventKind::SilenceStart,
+    });
+    events.push(ClusterEvent {
+        time_hours: 1.0 + 600.0 / 3600.0,
+        vm: 4,
+        kind: ClusterEventKind::SilenceEnd,
+    });
+    let trace = ClusterTrace::scripted(events, 2.0).unwrap();
+    let sink = VecSink::new();
+    let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    mgr.replay_on_bus(&trace, &mut bus).unwrap();
+    let events = sink.take();
+    let excluded: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::VmExcluded { vm: 4, .. }))
+        .collect();
+    assert_eq!(excluded.len(), 1, "no double-exclusion of a VM");
+    let expiry = (1.0 + 120.0 / 3600.0) * 3600.0;
+    assert!((excluded[0].t_sim - expiry).abs() < 1e-6);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::VmReadmitted { vm: 4 })),
+        "resumed heartbeats must re-admit the VM"
+    );
+    // Capacity drops to 19 at expiry, returns to 20 on re-admission.
+    let morph_held: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Morph { gpus_held, .. } => Some(gpus_held),
+            _ => None,
+        })
+        .collect();
+    assert!(morph_held.contains(&19), "held dips while excluded");
+    assert_eq!(*morph_held.last().unwrap(), 20, "held recovers");
+}
+
+#[test]
+fn storage_outage_fails_writes_and_prices_lost_work() {
+    let c = calib();
+    // A dense checkpoint interval so both failed and successful
+    // writes land inside the short scripted trace.
+    let mut mgr = Manager::new(&c, 8192, 4).with_checkpoint(CheckpointPolicy {
+        interval_minibatches: 2,
+        ..CheckpointPolicy::default_tuning()
+    });
+    let mut events = grants(20, 1);
+    events.push(ClusterEvent {
+        time_hours: 0.01,
+        vm: u64::MAX,
+        kind: ClusterEventKind::StorageOutageStart,
+    });
+    // Force a reconfiguration while no checkpoint could be written.
+    for vm in 0..10u64 {
+        events.push(ClusterEvent {
+            time_hours: 1.0,
+            vm,
+            kind: ClusterEventKind::Preempted,
+        });
+    }
+    events.push(ClusterEvent {
+        time_hours: 1.5,
+        vm: u64::MAX,
+        kind: ClusterEventKind::StorageOutageEnd,
+    });
+    // A late grant keeps the replay advancing past the outage so
+    // post-recovery checkpoints can fire.
+    events.push(ClusterEvent {
+        time_hours: 1.9,
+        vm: 100,
+        kind: ClusterEventKind::Granted { gpus: 1 },
+    });
+    let trace = ClusterTrace::scripted(events, 2.0).unwrap();
+    let sink = VecSink::new();
+    let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    mgr.replay_on_bus(&trace, &mut bus).unwrap();
+    let events = sink.take();
+    let failed = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::CheckpointWriteFailed { .. }))
+        .count();
+    assert!(failed >= 1, "outage must fail periodic writes");
+    let lost = events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::LostWork {
+                minibatches,
+                seconds,
+            } => Some((minibatches, seconds)),
+            _ => None,
+        })
+        .expect("reconfiguring with a stale durable point loses work");
+    assert!(lost.0 > 2, "all work since step 0 is at risk: {lost:?}");
+    assert!(lost.1 > 0.0);
+    // After the outage ends, writes succeed again.
+    let ok_after = events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::Checkpoint { .. }) && e.t_sim > 1.5 * 3600.0);
+    assert!(ok_after, "checkpoints resume after the outage");
+}
+
+#[test]
+fn corrupt_checkpoint_falls_back_one_interval() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let mut events = grants(20, 1);
+    events.push(ClusterEvent {
+        time_hours: 1.0,
+        vm: u64::MAX,
+        kind: ClusterEventKind::CheckpointCorrupt,
+    });
+    let trace = ClusterTrace::scripted(events, 1.2).unwrap();
+    let sink = VecSink::new();
+    let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    mgr.replay_on_bus(&trace, &mut bus).unwrap();
+    let events = sink.take();
+    let (from, to) = events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::CheckpointFallback { from_step, to_step } => Some((from_step, to_step)),
+            _ => None,
+        })
+        .expect("corruption must emit a fallback");
+    assert_eq!(from - to, 16, "falls back exactly one interval");
+}
+
+#[test]
+fn eviction_notice_triggers_a_proactive_checkpoint() {
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let mut events = grants(20, 1);
+    events.push(ClusterEvent {
+        time_hours: 1.0,
+        vm: 7,
+        kind: ClusterEventKind::EvictionNotice { lead_hours: 0.05 },
+    });
+    events.push(ClusterEvent {
+        time_hours: 1.05,
+        vm: 7,
+        kind: ClusterEventKind::Preempted,
+    });
+    let trace = ClusterTrace::scripted(events, 1.2).unwrap();
+    let sink = VecSink::new();
+    let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    mgr.replay_on_bus(&trace, &mut bus).unwrap();
+    let events = sink.take();
+    assert!(events.iter().any(
+        |e| matches!(e.kind, EventKind::EvictionNotice { vm: 7, lead_seconds }
+                if (lead_seconds - 180.0).abs() < 1e-6)
+    ));
+    // The proactive checkpoint lands at the notice time with a step
+    // that is not an interval multiple.
+    let proactive = events.iter().any(|e| {
+        matches!(e.kind, EventKind::Checkpoint { step, .. } if step % 16 != 0)
+            && (e.t_sim - 3600.0).abs() < 1e-6
+    });
+    assert!(proactive, "notice must checkpoint proactively");
+}
+
+#[test]
+fn zero_capacity_replay_completes_without_config() {
+    // An empty trace (e.g. a zero-host market) must not panic or loop.
+    let c = calib();
+    let mut mgr = Manager::new(&c, 8192, 4);
+    let trace = ClusterTrace {
+        events: Vec::new(),
+        duration_hours: 5.0,
+    };
+    let timeline = mgr.replay(&trace).unwrap();
+    assert!(timeline.is_empty());
+}
+
+#[test]
+fn same_trace_replays_to_identical_event_streams() {
+    let c = calib();
+    let mut events = grants(20, 1);
+    events.push(ClusterEvent {
+        time_hours: 0.5,
+        vm: 3,
+        kind: ClusterEventKind::SilenceStart,
+    });
+    for vm in 0..8u64 {
+        events.push(ClusterEvent {
+            time_hours: 1.0,
+            vm,
+            kind: ClusterEventKind::Preempted,
+        });
+    }
+    let trace = ClusterTrace::scripted(events, 2.0).unwrap();
+    let run = || {
+        let mut mgr = Manager::new(&c, 8192, 4);
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        mgr.replay_on_bus(&trace, &mut bus).unwrap();
+        sink.take()
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "replay must be deterministic");
+}

@@ -90,7 +90,9 @@ pub fn estimate_minibatch_time(input: &SimInput<'_>) -> Result<f64, VarunaError>
 /// Enumerates the static per-stage op order for a configuration using the
 /// calibrated times — this is the paper's offline rule-based schedule
 /// (§3.2), produced by the same event-driven model the estimator runs.
-pub fn plan_schedule(input: &SimInput<'_>) -> Result<crate::schedule::StaticSchedule, VarunaError> {
+pub fn plan_schedule(
+    input: &SimInput<'_>,
+) -> Result<varuna_sched::schedule::StaticSchedule, VarunaError> {
     let p = input.assignment.len();
     let calib = input.calib;
     let n = input.n_micro;
@@ -110,7 +112,7 @@ pub fn plan_schedule(input: &SimInput<'_>) -> Result<crate::schedule::StaticSche
         })
         .collect();
     let (makespan, _, per_stage) = simulate_pipeline(&f, &b, &delay, &window, n);
-    Ok(crate::schedule::StaticSchedule {
+    Ok(varuna_sched::schedule::StaticSchedule {
         p,
         n_micro: n,
         per_stage,
@@ -127,7 +129,7 @@ fn simulate_pipeline(
     delay: &[f64],
     window: &[usize],
     n: usize,
-) -> (f64, Vec<f64>, Vec<Vec<varuna_exec::op::Op>>) {
+) -> (f64, Vec<f64>, Vec<Vec<varuna_sched::op::Op>>) {
     use varuna_exec::engine::EventQueue;
 
     let p = f.len();
@@ -159,7 +161,7 @@ fn simulate_pipeline(
         stash: usize,
         running: Option<(char, usize)>,
         last_bwd: f64,
-        order: Vec<varuna_exec::op::Op>,
+        order: Vec<varuna_sched::op::Op>,
     }
     let mut st: Vec<St> = (0..p)
         .map(|s| St {
@@ -247,11 +249,11 @@ fn simulate_pipeline(
         };
         stage.running = Some((kind, m));
         stage.free_at = now + dur;
-        stage.order.push(varuna_exec::op::Op::new(
+        stage.order.push(varuna_sched::op::Op::new(
             match kind {
-                'F' => varuna_exec::op::OpKind::Forward,
-                'R' => varuna_exec::op::OpKind::Recompute,
-                _ => varuna_exec::op::OpKind::Backward,
+                'F' => varuna_sched::op::OpKind::Forward,
+                'R' => varuna_sched::op::OpKind::Recompute,
+                _ => varuna_sched::op::OpKind::Backward,
             },
             m,
         ));

@@ -1,6 +1,6 @@
 //! Gantt-chart rendering of execution traces (paper Figures 4 and 7).
 
-use crate::op::{OpKind, OpSpan};
+use varuna_sched::op::{OpKind, OpSpan};
 
 /// Renders an ASCII Gantt chart of one replica's trace.
 ///
@@ -69,7 +69,7 @@ pub fn idle_fraction(chart: &str) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::Op;
+    use varuna_sched::op::Op;
 
     fn span(stage: usize, kind: OpKind, micro: usize, start: f64, end: f64) -> OpSpan {
         OpSpan {

@@ -34,15 +34,17 @@ pub mod job;
 pub mod metrics;
 pub mod observe;
 pub mod oom;
-pub mod op;
 pub mod pipeline;
 pub mod placement;
-pub mod policy;
+
+// The scheduling vocabulary lives in `varuna-sched`; these aliases keep
+// the historical `varuna_exec::op::*` / `varuna_exec::policy::*` paths
+// working for downstream crates.
+pub use varuna_sched::{op, policy};
 
 pub use job::{PlacedJob, StageSpec};
 pub use metrics::Throughput;
 pub use observe::SpanCollector;
-pub use op::{OpKind, OpSpan};
 pub use pipeline::{simulate_minibatch, simulate_minibatch_on_bus, MinibatchResult, SimOptions};
 pub use placement::Placement;
-pub use policy::{GreedyPolicy, PolicyFactory, SchedulePolicy, StageView};
+pub use varuna_sched::{GreedyPolicy, OpKind, OpSpan, PolicyFactory, SchedulePolicy, StageView};

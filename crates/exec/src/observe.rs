@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 
 use varuna_obs::{Event, EventKind, EventSink};
 
-use crate::op::{Op, OpKind, OpSpan};
+use varuna_sched::op::{Op, OpKind, OpSpan};
 
 /// Rebuilds the legacy per-op span trace from `OpEnd` events.
 ///

@@ -17,8 +17,8 @@ use varuna_obs::{Event, EventBus, EventKind};
 use crate::engine::EventQueue;
 use crate::job::PlacedJob;
 use crate::observe::SpanCollector;
-use crate::op::{Op, OpKind, OpSpan};
-use crate::policy::{PolicyFactory, StageView};
+use varuna_sched::op::{Op, OpKind, OpSpan};
+use varuna_sched::policy::{PolicyFactory, StageView};
 
 /// Options controlling one simulation run.
 #[derive(Debug, Clone)]
@@ -154,7 +154,7 @@ struct StageRt {
     /// the previous stage and the gradient channel from the next stage.
     chan_act_last: f64,
     chan_grad_last: f64,
-    policy: Box<dyn crate::policy::SchedulePolicy>,
+    policy: Box<dyn varuna_sched::policy::SchedulePolicy>,
 }
 
 /// Simulates one mini-batch of `job` under the schedule produced by
@@ -673,9 +673,9 @@ fn release_flow(job: &PlacedJob, inflight: &mut [usize], s_from: usize, r: usize
 mod tests {
     use super::*;
     use crate::placement::Placement;
-    use crate::policy::GreedyPolicy;
     use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
     use varuna_net::Topology;
+    use varuna_sched::policy::GreedyPolicy;
 
     fn small_job(p: usize, d: usize, n_micro: usize) -> PlacedJob {
         let graph = CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());
@@ -691,7 +691,7 @@ mod tests {
         )
     }
 
-    fn greedy() -> Box<dyn Fn(usize, usize) -> Box<dyn crate::policy::SchedulePolicy>> {
+    fn greedy() -> Box<dyn Fn(usize, usize) -> Box<dyn varuna_sched::policy::SchedulePolicy>> {
         Box::new(|_, _| Box::new(GreedyPolicy))
     }
 

@@ -9,10 +9,10 @@
 use varuna_exec::job::PlacedJob;
 use varuna_exec::pipeline::{simulate_minibatch_on_bus, SimOptions};
 use varuna_exec::placement::Placement;
-use varuna_exec::policy::GreedyPolicy;
 use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
 use varuna_net::Topology;
 use varuna_obs::{chrome_trace_json, Event, EventBus, VecSink};
+use varuna_sched::policy::GreedyPolicy;
 
 const GOLDEN: &str = include_str!("golden/tiny_2stage_chrome_trace.json");
 

@@ -3,13 +3,13 @@
 
 use proptest::prelude::*;
 use varuna_exec::job::PlacedJob;
-use varuna_exec::op::OpKind;
 use varuna_exec::pipeline::{simulate_minibatch, simulate_minibatch_on_bus, SimOptions};
 use varuna_exec::placement::Placement;
-use varuna_exec::policy::GreedyPolicy;
 use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
 use varuna_net::Topology;
 use varuna_obs::{EventBus, EventKind, VecSink};
+use varuna_sched::op::OpKind;
+use varuna_sched::policy::GreedyPolicy;
 
 fn job(p: usize, d: usize, n_micro: usize, m: usize) -> PlacedJob {
     let graph = CutpointGraph::from_transformer(&ModelZoo::gpt2_355m());

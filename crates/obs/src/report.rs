@@ -3,7 +3,7 @@
 //! Every `BENCH_*.json` file produced by `varuna-bench` is one
 //! [`BenchReport`]: a schema tag, the benchmark's identity and input
 //! parameters, a flat map of headline numbers, and an optional full
-//! [`MetricsRegistry`](crate::MetricsRegistry) snapshot. Keeping the
+//! [`MetricsRegistry`] snapshot. Keeping the
 //! shape uniform lets downstream tooling diff runs without knowing each
 //! figure's internals.
 

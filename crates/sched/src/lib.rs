@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! The scheduling substrate of the Varuna reproduction.
+//!
+//! The paper's central comparisons (Figure 4, Tables 5–6) are between
+//! *schedules* — Varuna's opportunistic static schedule vs. GPipe / 1F1B /
+//! PipeDream — and its morphing-correctness argument rests on schedule
+//! choice never changing training semantics. This crate is therefore the
+//! single home of everything schedule-shaped, shared by every substrate
+//! that executes one:
+//!
+//! - [`op`]: the `F`/`R`/`B` operation vocabulary and trace spans.
+//! - [`policy`]: the [`SchedulePolicy`] trait, the [`StageView`] legality
+//!   interface, and the greedy reference policy.
+//! - [`schedule`]: the offline [`StaticSchedule`] enumerator (paper §3.2)
+//!   and the run-time [`VarunaPolicy`] that follows it opportunistically.
+//!
+//! The contract splits responsibility in two:
+//!
+//! - the **engine** (the discrete-event emulator in `varuna-exec`, or the
+//!   real numeric trainer in `varuna-train`) owns *legality* — it knows
+//!   which inputs have arrived, how full the activation stash is, which
+//!   gradients are in hand, and whether a finished recompute has committed
+//!   the stage (paper constraint 2) — and exposes it as a [`StageView`];
+//! - the **policy** owns *discipline* — given the view, it picks which of
+//!   the legal ops to run, or idles.
+//!
+//! Because both the emulator and the trainer drive the same policies
+//! through the same view, emulated op order can be checked against real
+//! execution (the paper's "simulation faithful to execution" premise,
+//! Table 7), and final weights can be shown schedule-invariant on real
+//! numerics.
+
+pub mod op;
+pub mod policy;
+pub mod schedule;
+
+pub use op::{Op, OpKind, OpSpan};
+pub use policy::{GreedyPolicy, PolicyFactory, SchedulePolicy, StageView};
+pub use schedule::{
+    enumerate, enumerate_policy, generate_schedule, Discipline, StaticSchedule, VarunaPolicy,
+};

@@ -17,8 +17,9 @@
 //! and 1F1B stall.
 
 use serde::{Deserialize, Serialize};
-use varuna_exec::op::{Op, OpKind};
-use varuna_exec::policy::{SchedulePolicy, StageView};
+
+use crate::op::{Op, OpKind};
+use crate::policy::{PolicyFactory, SchedulePolicy, StageView};
 
 /// Which offline discipline to enumerate (GPipe is included so Figure 4
 /// can be regenerated from the same simulator).
@@ -224,6 +225,179 @@ pub fn enumerate(p: usize, n_micro: usize, window: usize, disc: Discipline) -> S
     let makespan = st
         .iter()
         .flat_map(|s| s.bwd_end.iter())
+        .fold(0.0f64, |a, &b| a.max(b));
+    StaticSchedule {
+        p,
+        n_micro,
+        per_stage: st.into_iter().map(|s| s.order).collect(),
+        makespan,
+    }
+}
+
+/// Enumerates the offline op order produced by an arbitrary
+/// [`SchedulePolicy`] under the same idealized unit-time model as
+/// [`enumerate`] (`F = R = 1`, `B = 2`, zero network latency).
+///
+/// Where [`enumerate`] hard-codes the Varuna/GPipe dispatch rules, this
+/// drives one policy instance per stage through the [`StageView`] legality
+/// interface — exactly as the emulator and the numeric trainer do — so any
+/// discipline (1F1B, PipeDream, greedy, …) can be rendered as a
+/// [`StaticSchedule`] without a second rule encoding. Pass
+/// `recompute_enabled = false` for disciplines that store activations
+/// instead of rematerializing them (PipeDream).
+///
+/// # Panics
+///
+/// Panics if a policy returns an illegal op, or if the policies wedge (no
+/// stage can make progress and the schedule cannot terminate).
+pub fn enumerate_policy(
+    p: usize,
+    n_micro: usize,
+    window: usize,
+    recompute_enabled: bool,
+    factory: &PolicyFactory<'_>,
+) -> StaticSchedule {
+    assert!(p >= 1 && n_micro >= 1 && window >= 1);
+    const F: f64 = 1.0;
+    const R: f64 = 1.0;
+    const B: f64 = 2.0;
+
+    struct St {
+        policy: Box<dyn SchedulePolicy>,
+        free_at: f64,
+        fwd_done: usize,
+        fwd_end: Vec<f64>,
+        bwd_done: Vec<bool>,
+        bwd_end: Vec<f64>,
+        rec_done: Vec<bool>,
+        pending_rec: Option<usize>,
+        live: Option<usize>,
+        stash: usize,
+        order: Vec<Op>,
+    }
+
+    let mut st: Vec<St> = (0..p)
+        .map(|s| St {
+            policy: factory(s, 0),
+            free_at: 0.0,
+            fwd_done: 0,
+            fwd_end: vec![f64::INFINITY; n_micro],
+            bwd_done: vec![false; n_micro],
+            bwd_end: vec![f64::INFINITY; n_micro],
+            rec_done: vec![false; n_micro],
+            pending_rec: None,
+            live: None,
+            stash: 0,
+            order: Vec::with_capacity(3 * n_micro),
+        })
+        .collect();
+
+    let mut now = 0.0f64;
+    let total_backwards = p * n_micro;
+    let mut done = 0usize;
+    let mut guard = 0usize;
+    while done < total_backwards {
+        guard += 1;
+        assert!(
+            guard < 100 * total_backwards + 100,
+            "policy enumeration diverged"
+        );
+        for s in 0..p {
+            if st[s].free_at > now {
+                continue;
+            }
+            let last = s == p - 1;
+            // Zero-latency event model, identical to `enumerate`: the
+            // gradient for micro-batch m lands at stage s when stage s+1's
+            // backward ends (for the last stage, when its own forward
+            // ends); the input for the next forward lands when stage s-1's
+            // forward ends.
+            let grads_ready: Vec<bool> = (0..n_micro)
+                .map(|m| {
+                    !st[s].bwd_done[m]
+                        && if last {
+                            st[s].fwd_end[m] <= now
+                        } else {
+                            st[s + 1].bwd_end[m] <= now
+                        }
+                })
+                .collect();
+            let stage = &st[s];
+            let next_forward_ready = stage.fwd_done < n_micro
+                && stage.stash < window
+                && (s == 0 || st[s - 1].fwd_end[stage.fwd_done] <= now);
+            // Snapshot the per-mb state so the view does not hold a borrow
+            // of `st` across the (mutable) policy pick.
+            let rec_done = stage.rec_done.clone();
+            let bwd_done = stage.bwd_done.clone();
+            let view = StageView {
+                stage: s,
+                p,
+                last_stage: last,
+                n_micro,
+                forwards_done: stage.fwd_done,
+                next_forward_ready,
+                grads_ready: &grads_ready,
+                recomputes_done: &rec_done,
+                backwards_done: &bwd_done,
+                live_acts: stage.live,
+                pending_recompute: stage.pending_rec,
+                stash_len: stage.stash,
+                stash_window: window,
+                recompute_enabled,
+            };
+            let Some(op) = st[s].policy.pick(&view) else {
+                continue;
+            };
+            assert!(view.is_legal(op), "stage {s} picked illegal {op:?}");
+            let stage = &mut st[s];
+            stage.order.push(op);
+            // Starting any op other than the backward that consumes them
+            // invalidates live activations (same rule as the emulator).
+            if !(op.kind == OpKind::Backward && stage.live == Some(op.micro)) {
+                stage.live = None;
+            }
+            match op.kind {
+                OpKind::Forward => {
+                    stage.fwd_end[op.micro] = now + F;
+                    stage.fwd_done += 1;
+                    stage.stash += 1;
+                    stage.live = Some(op.micro);
+                    stage.free_at = now + F;
+                }
+                OpKind::Recompute => {
+                    stage.rec_done[op.micro] = true;
+                    stage.pending_rec = Some(op.micro);
+                    stage.live = Some(op.micro);
+                    stage.free_at = now + R;
+                }
+                OpKind::Backward => {
+                    stage.bwd_done[op.micro] = true;
+                    stage.bwd_end[op.micro] = now + B;
+                    stage.pending_rec = None;
+                    stage.live = None;
+                    stage.stash -= 1;
+                    stage.free_at = now + B;
+                    done += 1;
+                }
+            }
+        }
+        let mut next = f64::INFINITY;
+        for stage in &st {
+            if stage.free_at > now {
+                next = next.min(stage.free_at);
+            }
+        }
+        if next.is_finite() {
+            now = next;
+        } else if done < total_backwards {
+            now += F;
+        }
+    }
+    let makespan = st
+        .iter()
+        .flat_map(|s| s.bwd_end.iter())
+        .filter(|e| e.is_finite())
         .fold(0.0f64, |a, &b| a.max(b));
     StaticSchedule {
         p,
@@ -440,6 +614,31 @@ mod tests {
                 assert!(outstanding <= 2, "window violated in {ops:?}");
             }
         }
+    }
+
+    #[test]
+    fn policy_enumeration_runs_greedy_to_completion() {
+        use crate::policy::GreedyPolicy;
+        let s = enumerate_policy(4, 5, usize::MAX, true, &|_, _| Box::new(GreedyPolicy));
+        for (stage, ops) in s.per_stage.iter().enumerate() {
+            let f = ops.iter().filter(|o| o.kind == OpKind::Forward).count();
+            let b = ops.iter().filter(|o| o.kind == OpKind::Backward).count();
+            assert_eq!(f, 5, "stage {stage} forwards");
+            assert_eq!(b, 5, "stage {stage} backwards");
+        }
+        assert!(s.makespan > 0.0);
+    }
+
+    #[test]
+    fn strict_varuna_policy_replays_its_static_schedule() {
+        // Driving the strict VarunaPolicy through the generic enumerator
+        // under the same unit-time model must reproduce the static order —
+        // the policy and the offline rules are two views of one schedule.
+        let s = generate_schedule(4, 6, usize::MAX);
+        let replayed = enumerate_policy(4, 6, usize::MAX, true, &|stage, _| {
+            Box::new(VarunaPolicy::strict_for_stage(&s, stage))
+        });
+        assert_eq!(s.per_stage, replayed.per_stage);
     }
 
     #[test]

@@ -8,12 +8,23 @@
 //! real ring allreduce; and the tied embedding gradient is summed between
 //! the first and last stages every mini-batch (Section 5.2).
 //!
-//! The result is bit-for-bit the same *semantics* as the single-process
-//! reference trainer — the property the paper's correctness-preserving
-//! morphing depends on — verified by the equivalence tests below.
+//! Each stage thread is driven by a [`SchedulePolicy`] from `varuna-sched`
+//! — the same trait the discrete-event emulator executes — with the same
+//! split of responsibility: the thread computes *legality* (which inputs
+//! have arrived, stash-window headroom, which gradients are in hand,
+//! pending-recompute commitment) and exposes it as a [`StageView`]; the
+//! policy picks the *discipline*. Varuna, GPipe, 1F1B, PipeDream, and the
+//! greedy reference policy therefore all run on real numerics.
+//!
+//! Per-micro-batch gradient contributions are reduced canonically (summed
+//! in micro-batch-index order, whatever order the backwards actually ran
+//! in), so the final weights are bit-identical across schedule disciplines
+//! — the schedule-invariance the paper's correctness-preserving morphing
+//! depends on — verified by the equivalence tests below.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use varuna_obs::{Event, EventBus, EventKind};
+use varuna_sched::{GreedyPolicy, Op, OpKind, PolicyFactory, SchedulePolicy, StageView};
 
 use crate::data::Corpus;
 use crate::layers::{Block, LayerNorm, Param};
@@ -246,6 +257,13 @@ pub struct PipelineTrainer {
     /// Peak stash observed per stage (max over replicas) in the last
     /// mini-batch.
     pub peak_stash: Vec<usize>,
+    /// Per-stage op sequence executed by replica 0 in the last mini-batch
+    /// (the trainer-side record for emulator-vs-trainer cross-validation).
+    pub last_op_order: Vec<Vec<Op>>,
+    /// Whether stages rematerialize activations from stashed inputs before
+    /// backward (`true`, Varuna/GPipe/1F1B) or store every forward's
+    /// caches instead (`false`, PipeDream).
+    pub recompute: bool,
     lr: f32,
     /// Wall-clock seconds spent inside `train_minibatch_observed`, used as
     /// the `t_sim` axis of emitted training events.
@@ -297,6 +315,8 @@ impl PipelineTrainer {
             step: 0,
             window: usize::MAX,
             peak_stash: vec![0; p],
+            last_op_order: vec![Vec::new(); p],
+            recompute: true,
             lr,
             elapsed_train_seconds: 0.0,
         }
@@ -307,6 +327,14 @@ impl PipelineTrainer {
     pub fn with_window(mut self, window: usize) -> Self {
         assert!(window >= 1, "a stage must stash at least one input");
         self.window = window;
+        self
+    }
+
+    /// Selects whether stages rematerialize activations before backward
+    /// (the default) or store every forward's caches instead — the memory
+    /// model PipeDream-style disciplines assume.
+    pub fn with_recompute(mut self, recompute: bool) -> Self {
+        self.recompute = recompute;
         self
     }
 
@@ -348,6 +376,7 @@ impl PipelineTrainer {
         let model = self.reassemble();
         let step = self.step;
         let window = self.window;
+        let recompute = self.recompute;
         let elapsed = self.elapsed_train_seconds;
         *self = PipelineTrainer::from_model(
             model,
@@ -359,18 +388,33 @@ impl PipelineTrainer {
             micro,
         );
         self.window = window;
+        self.recompute = recompute;
         self.step = step;
         self.elapsed_train_seconds = elapsed;
     }
 
-    /// Runs one mini-batch across all stages and replicas; returns the
-    /// mean loss.
+    /// Runs one mini-batch across all stages and replicas under the greedy
+    /// reference discipline; returns the mean loss.
     pub fn train_minibatch(&mut self) -> f32 {
+        self.train_minibatch_with(&|_, _| Box::new(GreedyPolicy))
+    }
+
+    /// Runs one mini-batch with each (stage, replica) thread driven by a
+    /// policy from `factory(stage, replica)`; returns the mean loss.
+    ///
+    /// The thread computes legality — input arrival, stash-window
+    /// headroom, gradient availability, pending-recompute commitment — and
+    /// the policy chooses among the legal ops, exactly as in the
+    /// discrete-event emulator. Because per-micro-batch gradient deltas
+    /// are reduced in canonical (micro-batch-index) order, the resulting
+    /// weights are bit-identical for every discipline.
+    pub fn train_minibatch_with(&mut self, factory: &PolicyFactory<'_>) -> f32 {
         let seq = self.cfg.seq;
         let p = self.p();
         let d = self.d();
         let micro = self.micro;
         let n_micro = self.n_micro();
+        let recompute = self.recompute;
         let (tokens, targets) = self.corpus.batch(self.m_total, seq, self.step);
 
         for replica in &mut self.parts {
@@ -379,54 +423,70 @@ impl PipelineTrainer {
             }
         }
 
+        // Policies are instantiated up front on this thread: the factory
+        // itself need not be `Sync`, but the boxed policies are `Send`.
+        let mut policies: Vec<Vec<Box<dyn SchedulePolicy>>> = (0..d)
+            .map(|r| (0..p).map(|s| factory(s, r)).collect())
+            .collect();
+
         // Slice the mini-batch: replica r takes chunk r, split into
         // micro-batches — the same examples the reference trainer sees.
         let mut total_loss = 0.0f32;
         let window = self.window;
         let mut peaks = vec![0usize; p];
+        let mut op_order = vec![Vec::new(); p];
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (r, replica) in self.parts.iter_mut().enumerate() {
-                // Per-replica channels between adjacent stages.
-                let mut act_tx: Vec<Option<Sender<Tensor>>> = vec![None; p];
-                let mut act_rx: Vec<Option<Receiver<Tensor>>> = vec![None; p];
-                let mut grad_tx: Vec<Option<Sender<Tensor>>> = vec![None; p];
-                let mut grad_rx: Vec<Option<Receiver<Tensor>>> = vec![None; p];
-                for s in 0..p.saturating_sub(1) {
-                    let (atx, arx) = unbounded();
-                    act_tx[s] = Some(atx);
-                    act_rx[s + 1] = Some(arx);
-                    let (gtx, grx) = unbounded();
-                    grad_tx[s + 1] = Some(gtx);
-                    grad_rx[s] = Some(grx);
-                }
+            for (r, (replica, pols)) in self.parts.iter_mut().zip(&mut policies).enumerate() {
+                // One merged message channel per stage; each neighbor
+                // holds a sender clone (acts flow down, grads flow up).
+                let chans: Vec<(Sender<StageMsg>, Receiver<StageMsg>)> =
+                    (0..p).map(|_| unbounded()).collect();
                 let rep_lo = r * n_micro * micro * seq;
-                for (s, part) in replica.iter_mut().enumerate() {
-                    let atx = act_tx[s].take();
-                    let arx = act_rx[s].take();
-                    let gtx = grad_tx[s].take();
-                    let grx = grad_rx[s].take();
+                for (s, (part, policy)) in replica.iter_mut().zip(pols.drain(..)).enumerate() {
+                    let rx = chans[s].1.clone();
+                    let act_tx = (s + 1 < p).then(|| chans[s + 1].0.clone());
+                    let grad_tx = (s > 0).then(|| chans[s - 1].0.clone());
                     let tokens = &tokens;
                     let targets = &targets;
                     handles.push((
+                        r,
                         s,
                         scope.spawn(move || {
-                            run_stage(
-                                part, atx, arx, gtx, grx, n_micro, micro, seq, rep_lo, window,
-                                tokens, targets,
-                            )
+                            run_stage(StageRun {
+                                part,
+                                policy,
+                                rx,
+                                act_tx,
+                                grad_tx,
+                                n_micro,
+                                micro,
+                                seq,
+                                rep_lo,
+                                window,
+                                recompute,
+                                tokens,
+                                targets,
+                            })
                         }),
                     ));
                 }
+                // `chans` drops here, leaving only the neighbor-held
+                // sender clones: a stage that idles with no live senders
+                // panics instead of hanging.
             }
-            for (stage, h) in handles {
-                let (loss, peak) = h.join().expect("stage thread panicked");
+            for (r, stage, h) in handles {
+                let (loss, peak, ops) = h.join().expect("stage thread panicked");
                 total_loss += loss;
                 peaks[stage] = peaks[stage].max(peak);
+                if r == 0 {
+                    op_order[stage] = ops;
+                }
             }
         });
 
         self.peak_stash = peaks;
+        self.last_op_order = op_order;
 
         // Average gradients: micro-batches within a replica were summed,
         // and replicas must average — overall each parameter's gradient
@@ -537,119 +597,252 @@ impl PipelineTrainer {
     }
 }
 
-/// One stage thread's work for a mini-batch, following the schedule
-/// discipline of the paper: backwards are preferred as soon as their
-/// gradient arrives (constraint 3), the input-activation stash is bounded
-/// by `window` so forwards exert backpressure exactly as on a memory-
-/// limited GPU, and activations are rematerialized from the stashed input
-/// before each backward (recompute). Returns `(summed loss, peak stash)`.
-#[allow(clippy::too_many_arguments)]
-fn run_stage(
-    part: &mut StagePart,
-    act_tx: Option<Sender<Tensor>>,
-    act_rx: Option<Receiver<Tensor>>,
-    grad_tx: Option<Sender<Tensor>>,
-    grad_rx: Option<Receiver<Tensor>>,
+/// A message between adjacent stage threads, tagged with its micro-batch.
+enum StageMsg {
+    /// Boundary activations from the upstream stage.
+    Act(usize, Tensor),
+    /// Boundary gradient from the downstream stage.
+    Grad(usize, Tensor),
+}
+
+/// Everything one stage thread needs for a mini-batch.
+struct StageRun<'a> {
+    part: &'a mut StagePart,
+    policy: Box<dyn SchedulePolicy>,
+    /// Merged inbox: acts from stage `s-1`, grads from stage `s+1`.
+    rx: Receiver<StageMsg>,
+    /// Sender into stage `s+1`'s inbox (interior stages).
+    act_tx: Option<Sender<StageMsg>>,
+    /// Sender into stage `s-1`'s inbox (non-first stages).
+    grad_tx: Option<Sender<StageMsg>>,
     n_micro: usize,
     micro: usize,
     seq: usize,
     rep_lo: usize,
     window: usize,
-    tokens: &[usize],
-    targets: &[usize],
-) -> (f32, usize) {
+    recompute: bool,
+    tokens: &'a [usize],
+    targets: &'a [usize],
+}
+
+/// One stage thread's work for a mini-batch, driven by a
+/// [`SchedulePolicy`]. The thread owns *legality*: it tracks which inputs
+/// have arrived, bounds the input-activation stash by `window` so forwards
+/// exert backpressure exactly as on a memory-limited GPU, records which
+/// gradients are in hand, and enforces the pending-recompute commitment
+/// (paper constraint 2). The policy owns the *discipline* — which legal op
+/// runs next. Every pick is asserted legal against the [`StageView`].
+///
+/// Gradient contributions are kept as per-micro-batch deltas and reduced
+/// in micro-batch-index order after the loop, so the accumulated gradient
+/// (and therefore the weight update) is bit-identical regardless of the
+/// order the policy ran the backwards in.
+///
+/// Returns `(summed loss, peak stash, executed op sequence)`.
+fn run_stage(run: StageRun<'_>) -> (f32, usize, Vec<Op>) {
+    let StageRun {
+        part,
+        mut policy,
+        rx,
+        act_tx,
+        grad_tx,
+        n_micro,
+        micro,
+        seq,
+        rep_lo,
+        window,
+        recompute,
+        tokens,
+        targets,
+    } = run;
     let first = part.stage == 0;
     let last = part.final_part.is_some();
-    // Input stashes for micro-batches forwarded but not yet backwarded,
-    // keyed FIFO: stash[0] belongs to micro-batch `bwd_done`.
-    let mut stash: std::collections::VecDeque<StageInput> =
-        std::collections::VecDeque::with_capacity(window.min(n_micro));
+    let p = part.p;
+
+    // Stashed inputs of forwarded-but-not-backwarded micro-batches.
+    let mut stash: Vec<Option<StageInput>> = (0..n_micro).map(|_| None).collect();
+    let mut stash_len = 0usize;
     let mut peak_stash = 0usize;
+    // Boundary activations that arrived but have not been forwarded yet.
+    let mut acts: Vec<Option<Tensor>> = vec![None; n_micro];
+    // Boundary gradients in hand (interior stages).
+    let mut grad_inbox: Vec<Option<Tensor>> = vec![None; n_micro];
+    let mut grads_ready = vec![false; n_micro];
+    let mut recomputes_done = vec![false; n_micro];
+    let mut backwards_done = vec![false; n_micro];
+    // Materialized caches (plus, on the last stage, the logits needed to
+    // form the loss gradient). With recompute enabled at most one is held
+    // — the live one; with it disabled every forward's cache is retained.
+    let mut caches: Vec<Option<StageCache>> = (0..n_micro).map(|_| None).collect();
+    let mut outs: Vec<Option<Tensor>> = vec![None; n_micro];
+    let mut live: Option<usize> = None;
+    let mut pending: Option<usize> = None;
+    // Per-micro-batch gradient deltas, reduced canonically after the loop.
+    let mut deltas: Vec<Option<Vec<Tensor>>> = (0..n_micro).map(|_| None).collect();
     let mut fwd_done = 0usize;
-    let mut bwd_done = 0usize;
+    let mut done = 0usize;
     let mut loss_sum = 0.0f32;
-    // Gradients that arrived before we were ready for them (FIFO).
-    let mut grad_queue: std::collections::VecDeque<Tensor> = std::collections::VecDeque::new();
+    let mut order: Vec<Op> = Vec::with_capacity(3 * n_micro);
 
     let slice_lo = |mb: usize| rep_lo + mb * micro * seq;
 
-    while bwd_done < n_micro {
-        // Drain any gradients that have already arrived (non-blocking).
-        if let Some(rx) = &grad_rx {
-            while let Ok(g) = rx.try_recv() {
-                grad_queue.push_back(g);
+    while done < n_micro {
+        // Drain everything that has already arrived (non-blocking).
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                StageMsg::Act(mb, a) => acts[mb] = Some(a),
+                StageMsg::Grad(mb, g) => {
+                    grad_inbox[mb] = Some(g);
+                    grads_ready[mb] = true;
+                }
             }
         }
 
-        // Constraint 3: a ready backward wins. The last stage's gradient
-        // is its own loss gradient, available once the forward ran.
-        let backward_ready = if last {
-            bwd_done < fwd_done
-        } else {
-            !grad_queue.is_empty()
+        let next_forward_ready =
+            fwd_done < n_micro && stash_len < window && (first || acts[fwd_done].is_some());
+        let view = StageView {
+            stage: part.stage,
+            p,
+            last_stage: last,
+            n_micro,
+            forwards_done: fwd_done,
+            next_forward_ready,
+            grads_ready: &grads_ready,
+            recomputes_done: &recomputes_done,
+            backwards_done: &backwards_done,
+            live_acts: live,
+            pending_recompute: pending,
+            stash_len,
+            stash_window: window,
+            recompute_enabled: recompute,
         };
-        if backward_ready {
-            let mb = bwd_done;
-            let input = stash.pop_front().expect("stash holds the FIFO input");
-            // Recompute: rebuild the caches from the stashed input.
-            let (out, cache) = part.forward(&input, micro);
-            let dout = if last {
-                let lo = slice_lo(mb);
-                let (_, dlogits) = cross_entropy(&out, &targets[lo..lo + micro * seq]);
-                dlogits
-            } else {
-                grad_queue.pop_front().expect("backward_ready checked")
-            };
-            if let Some(dinput) = part.backward(&cache, &dout) {
-                if let Some(tx) = &grad_tx {
-                    tx.send(dinput).expect("gradient receiver dropped");
+        let Some(op) = policy.pick(&view) else {
+            // The policy idles: block until the next message. A policy
+            // that idles with no live senders left has wedged the stage —
+            // the expect turns that into a panic rather than a hang.
+            let msg = rx.recv().expect("policy idled with no inbound messages");
+            match msg {
+                StageMsg::Act(mb, a) => acts[mb] = Some(a),
+                StageMsg::Grad(mb, g) => {
+                    grad_inbox[mb] = Some(g);
+                    grads_ready[mb] = true;
                 }
             }
-            bwd_done += 1;
             continue;
+        };
+        assert!(
+            view.is_legal(op),
+            "stage {} picked illegal {op:?}",
+            part.stage
+        );
+        order.push(op);
+
+        // Starting any op other than the backward that consumes them
+        // invalidates live activations (same rule as the emulator); with
+        // recompute disabled all caches persist until their backward.
+        if recompute && !(op.kind == OpKind::Backward && live == Some(op.micro)) {
+            if let Some(m) = live.take() {
+                caches[m] = None;
+                outs[m] = None;
+            }
         }
 
-        // Otherwise forward the next micro-batch if memory allows.
-        if fwd_done < n_micro && stash.len() < window {
-            let input = if first {
-                let lo = slice_lo(fwd_done);
-                StageInput::Tokens(tokens[lo..lo + micro * seq].to_vec())
-            } else {
-                // Blocking receive: upstream will send eventually.
-                StageInput::Act(
-                    act_rx
+        match op.kind {
+            OpKind::Forward => {
+                let mb = op.micro;
+                let input = if first {
+                    let lo = slice_lo(mb);
+                    StageInput::Tokens(tokens[lo..lo + micro * seq].to_vec())
+                } else {
+                    StageInput::Act(acts[mb].take().expect("forward legality implies arrival"))
+                };
+                let (out, cache) = part.forward(&input, micro);
+                stash[mb] = Some(input);
+                stash_len += 1;
+                peak_stash = peak_stash.max(stash_len);
+                fwd_done += 1;
+                if last {
+                    let lo = slice_lo(mb);
+                    let (loss, _) = cross_entropy(&out, &targets[lo..lo + micro * seq]);
+                    loss_sum += loss;
+                    // The loss gradient is locally available: the last
+                    // stage's "gradient arrival" is its own forward.
+                    grads_ready[mb] = true;
+                    outs[mb] = Some(out);
+                } else {
+                    act_tx
                         .as_ref()
-                        .expect("interior stage has an input channel")
-                        .recv()
-                        .expect("activation channel closed early"),
-                )
-            };
-            let (out, _cache_dropped) = part.forward(&input, micro);
-            stash.push_back(input);
-            peak_stash = peak_stash.max(stash.len());
-            fwd_done += 1;
-            match &act_tx {
-                Some(tx) => tx.send(out).expect("activation receiver dropped"),
-                None => {
-                    if last {
-                        let lo = slice_lo(fwd_done - 1);
-                        let (loss, _) = cross_entropy(&out, &targets[lo..lo + micro * seq]);
-                        loss_sum += loss;
-                    }
+                        .expect("interior stage has a downstream channel")
+                        .send(StageMsg::Act(mb, out))
+                        .expect("activation receiver dropped");
                 }
+                caches[mb] = Some(cache);
+                live = Some(mb);
             }
-            continue;
+            OpKind::Recompute => {
+                let mb = op.micro;
+                let input = stash[mb].as_ref().expect("recompute reads the stash");
+                let (out, cache) = part.forward(input, micro);
+                caches[mb] = Some(cache);
+                if last {
+                    outs[mb] = Some(out);
+                }
+                recomputes_done[mb] = true;
+                pending = Some(mb);
+                live = Some(mb);
+            }
+            OpKind::Backward => {
+                let mb = op.micro;
+                let cache = caches[mb].take().expect("backward needs a cache");
+                let dout = if last {
+                    let out = outs[mb].take().expect("last stage retains logits");
+                    let lo = slice_lo(mb);
+                    let (_, dlogits) = cross_entropy(&out, &targets[lo..lo + micro * seq]);
+                    dlogits
+                } else {
+                    grad_inbox[mb]
+                        .take()
+                        .expect("backward legality implies grad")
+                };
+                let dinput = part.backward(&cache, &dout);
+                if let Some(dinput) = dinput {
+                    grad_tx
+                        .as_ref()
+                        .expect("non-first stage has an upstream channel")
+                        .send(StageMsg::Grad(mb, dinput))
+                        .expect("gradient receiver dropped");
+                }
+                // Extract this micro-batch's gradient delta and reset the
+                // accumulators for the next backward.
+                deltas[mb] = Some(
+                    part.params_mut()
+                        .iter_mut()
+                        .map(|prm| {
+                            let g = prm.g.clone();
+                            prm.zero_grad();
+                            g
+                        })
+                        .collect(),
+                );
+                stash[mb] = None;
+                stash_len -= 1;
+                backwards_done[mb] = true;
+                grads_ready[mb] = false;
+                pending = None;
+                live = None;
+                done += 1;
+            }
         }
-
-        // Nothing runnable: block until the next gradient arrives.
-        let g = grad_rx
-            .as_ref()
-            .expect("a non-terminal state always awaits gradients")
-            .recv()
-            .expect("gradient channel closed early");
-        grad_queue.push_back(g);
     }
-    (loss_sum, peak_stash)
+
+    // Canonical reduction: sum the deltas in micro-batch-index order so
+    // the accumulated gradient is independent of the execution order.
+    for delta in deltas.into_iter().flatten() {
+        for (prm, d) in part.params_mut().iter_mut().zip(&delta) {
+            prm.g.add_assign(d);
+        }
+    }
+    (loss_sum, peak_stash, order)
 }
 
 impl Default for StagePart {
@@ -926,6 +1119,82 @@ mod tests {
                 }
                 other => panic!("unexpected event {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn disciplines_are_bit_identical_to_the_reference_trainer() {
+        // The acceptance bar for the policy-driven trainer: Varuna, GPipe,
+        // and 1F1B all produce *bit-identical* final weights to the
+        // single-process oracle, thanks to the canonical per-micro-batch
+        // delta reduction shared by both trainers.
+        //
+        // Untied embeddings: the tied reference couples head and embedding
+        // gradients inside each backward — a different float grouping than
+        // the pipeline's end-of-batch tie sync — so exact equality is only
+        // well-posed without weight tying.
+        use varuna_baselines::{GPipePolicy, OneF1BPolicy};
+        use varuna_sched::schedule::{generate_schedule, VarunaPolicy};
+        let cfg = ModelConfig {
+            tied: false,
+            ..cfg()
+        };
+        for p in [2usize, 4] {
+            let corpus = Corpus::synthetic(4000, 21);
+            let mut reference = Trainer::new(cfg, corpus.clone(), 0.1, 8);
+            for _ in 0..3 {
+                reference.train_minibatch(2);
+            }
+            let run = |name: &str, factory: &PolicyFactory<'_>| {
+                let mut pipe = PipelineTrainer::new(cfg, corpus.clone(), 0.1, 8, p, 1, 2);
+                for _ in 0..3 {
+                    pipe.train_minibatch_with(factory);
+                }
+                let diff = max_weight_diff(&reference.model, &pipe.reassemble());
+                assert_eq!(diff, 0.0, "{name} at p={p} diverged by {diff}");
+            };
+            let sched = generate_schedule(p, 4, usize::MAX);
+            run("varuna", &|s, _| {
+                Box::new(VarunaPolicy::for_stage(&sched, s))
+            });
+            run("gpipe", &|_, _| Box::new(GPipePolicy));
+            run("1f1b", &|_, _| Box::new(OneF1BPolicy));
+        }
+    }
+
+    #[test]
+    fn final_weights_are_schedule_invariant() {
+        // Between disciplines the equivalence is unconditional — tied
+        // embeddings, data parallelism, even PipeDream's no-recompute
+        // memory model all yield the same bits, because the gradient each
+        // micro-batch contributes does not depend on when it was scheduled.
+        use varuna_baselines::{GPipePolicy, OneF1BPolicy, PipeDreamPolicy};
+        use varuna_sched::schedule::{generate_schedule, VarunaPolicy};
+        let corpus = Corpus::synthetic(4000, 22);
+        let run = |factory: &PolicyFactory<'_>, recompute: bool| -> MiniGpt {
+            let mut pipe = PipelineTrainer::new(cfg(), corpus.clone(), 0.1, 8, 2, 2, 1)
+                .with_recompute(recompute);
+            for _ in 0..2 {
+                pipe.train_minibatch_with(factory);
+            }
+            pipe.reassemble()
+        };
+        let greedy = run(&|_, _| Box::new(GreedyPolicy), true);
+        let sched = generate_schedule(2, 4, usize::MAX);
+        for (name, model) in [
+            (
+                "varuna",
+                run(&|s, _| Box::new(VarunaPolicy::for_stage(&sched, s)), true),
+            ),
+            ("gpipe", run(&|_, _| Box::new(GPipePolicy), true)),
+            ("1f1b", run(&|_, _| Box::new(OneF1BPolicy), true)),
+            ("pipedream", run(&|_, _| Box::new(PipeDreamPolicy), false)),
+        ] {
+            assert_eq!(
+                max_weight_diff(&greedy, &model),
+                0.0,
+                "{name} diverged from the greedy reference discipline"
+            );
         }
     }
 

@@ -59,12 +59,33 @@ impl Trainer {
         let chunks = self.m_total / micro;
         self.model.zero_grads();
         let mut loss_sum = 0.0f32;
+        // Each micro-batch's gradient is extracted as a standalone delta
+        // and the deltas are summed in micro-batch-index order — the same
+        // canonical reduction the pipeline trainer uses, so pipelined runs
+        // are bit-identical to this oracle (not merely close).
+        let mut deltas: Vec<Vec<crate::tensor::Tensor>> = Vec::with_capacity(chunks);
         for c in 0..chunks {
             let lo = c * micro * seq;
             let hi = (c + 1) * micro * seq;
             loss_sum += self
                 .model
                 .loss_step(&tokens[lo..hi], &targets[lo..hi], micro);
+            deltas.push(
+                self.model
+                    .params_mut()
+                    .iter_mut()
+                    .map(|p| {
+                        let g = p.g.clone();
+                        p.zero_grad();
+                        g
+                    })
+                    .collect(),
+            );
+        }
+        for delta in &deltas {
+            for (p, d) in self.model.params_mut().iter_mut().zip(delta) {
+                p.g.add_assign(d);
+            }
         }
         // Each micro-batch contributed a mean gradient; average them so
         // the update equals the full-batch gradient.

@@ -1,33 +1,46 @@
-//! Visualize Varuna's pipeline schedule against GPipe's (paper Figure 4).
+//! Visualize pipeline schedules for every discipline (paper Figure 4).
 //!
-//! Prints ASCII Gantt charts of the two offline schedules for a 4-stage
-//! pipeline with 5 micro-batches, then executes both on the discrete-event
-//! emulator to show the gap widening under network jitter.
+//! Prints ASCII Gantt charts of the offline schedules — Varuna, GPipe,
+//! 1F1B, and PipeDream — for a 4-stage pipeline with 5 micro-batches,
+//! then executes Varuna and GPipe on the discrete-event emulator to show
+//! the gap widening under network jitter. Every chart is produced by the
+//! same `varuna-sched` enumerator: the built-in disciplines via
+//! [`enumerate`], the baseline policies via [`enumerate_policy`], which
+//! drives any [`SchedulePolicy`] through the unit-time offline model.
 //!
 //! ```console
 //! $ cargo run --release --example schedule_viz
 //! ```
 
-use varuna::schedule::{enumerate, Discipline, VarunaPolicy};
-use varuna_baselines::GPipePolicy;
+use varuna_baselines::{GPipePolicy, OneF1BPolicy, PipeDreamPolicy};
 use varuna_exec::gantt::ascii_gantt;
 use varuna_exec::job::PlacedJob;
 use varuna_exec::pipeline::{simulate_minibatch, SimOptions};
 use varuna_exec::placement::Placement;
-use varuna_exec::policy::SchedulePolicy;
 use varuna_models::{CutpointGraph, GpuModel, ModelZoo};
 use varuna_net::Topology;
+use varuna_sched::policy::SchedulePolicy;
+use varuna_sched::schedule::{enumerate, enumerate_policy, Discipline, VarunaPolicy};
 
 fn main() {
     // Offline unit-time schedules (F = R = 1, B = 2), as in Figure 4.
     let v = enumerate(4, 5, usize::MAX, Discipline::Varuna);
     let g = enumerate(4, 5, usize::MAX, Discipline::GPipe);
+    let f = enumerate_policy(4, 5, usize::MAX, true, &|_, _| Box::new(OneF1BPolicy));
+    let d = enumerate_policy(4, 5, usize::MAX, false, &|_, _| Box::new(PipeDreamPolicy));
     println!("Varuna static schedule (makespan {} units):", v.makespan);
     print_ops(&v.per_stage);
     println!("\nGPipe schedule (makespan {} units):", g.makespan);
     print_ops(&g.per_stage);
+    println!("\n1F1B schedule (makespan {} units):", f.makespan);
+    print_ops(&f.per_stage);
     println!(
-        "\nVaruna is {} unit(s) shorter and spreads its idle slots (jitter buffers).",
+        "\nPipeDream schedule, no recompute (makespan {} units):",
+        d.makespan
+    );
+    print_ops(&d.per_stage);
+    println!(
+        "\nVaruna is {} unit(s) shorter than GPipe and spreads its idle slots (jitter buffers).",
         g.makespan - v.makespan
     );
 
@@ -47,7 +60,7 @@ fn main() {
         record_trace: true,
         ..SimOptions::default()
     };
-    let sched = varuna::schedule::generate_schedule(4, 16, usize::MAX);
+    let sched = varuna_sched::schedule::generate_schedule(4, 16, usize::MAX);
     let varuna_run = simulate_minibatch(
         &job,
         &move |s, _| -> Box<dyn SchedulePolicy> { Box::new(VarunaPolicy::for_stage(&sched, s)) },
@@ -70,7 +83,7 @@ fn main() {
     println!("{}", ascii_gantt(&gpipe_run.trace, 4, 0, cell));
 }
 
-fn print_ops(per_stage: &[Vec<varuna_exec::op::Op>]) {
+fn print_ops(per_stage: &[Vec<varuna_sched::op::Op>]) {
     for (s, ops) in per_stage.iter().enumerate().rev() {
         let line: Vec<String> = ops
             .iter()

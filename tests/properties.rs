@@ -2,11 +2,11 @@
 
 use proptest::prelude::*;
 use varuna::partition::{bottleneck_cost, partition_costs};
-use varuna::schedule::{enumerate, generate_schedule, Discipline};
-use varuna_exec::op::OpKind;
 use varuna_models::{CutpointGraph, ModelZoo};
 use varuna_net::collective::{allreduce_time, AllreduceSpec};
 use varuna_net::Link;
+use varuna_sched::op::OpKind;
+use varuna_sched::schedule::{enumerate, generate_schedule, Discipline};
 use varuna_train::data::{Corpus, VOCAB};
 use varuna_train::model::ModelConfig;
 use varuna_train::pipeline::PipelineTrainer;
