@@ -7,6 +7,7 @@ use varuna_models::config::TransformerConfig;
 use varuna_models::efficiency::GpuModel;
 use varuna_models::ModelZoo;
 use varuna_net::Topology;
+use varuna_obs::BenchReport;
 
 use crate::util::varuna_throughput;
 
@@ -155,6 +156,22 @@ pub fn run_fig6() -> Figure {
         model: model.name,
         points,
     }
+}
+
+/// Packages both figures as one [`BenchReport`] (`BENCH_fig5_fig6.json`).
+///
+/// The simulation seed is fixed, so the report is byte-stable — the
+/// golden-file regression test pins its exact JSON.
+pub fn report(fig5: &Figure, fig6: &Figure) -> BenchReport {
+    let mut rep = BenchReport::new("fig5_fig6")
+        .param("m", 4.0)
+        .param("m_total", 8192.0);
+    for (tag, fig) in [("fig5", fig5), ("fig6", fig6)] {
+        for p in &fig.points {
+            rep = rep.result(&format!("{tag}_{}_ex_s_gpu", p.system), p.ex_s_gpu);
+        }
+    }
+    rep
 }
 
 /// Finds a point whose label starts with `prefix`.

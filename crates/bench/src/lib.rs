@@ -16,6 +16,7 @@ pub mod fig5_fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9_fig10;
+pub mod plan_latency;
 pub mod table3;
 pub mod table4;
 pub mod table5;

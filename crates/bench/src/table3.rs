@@ -3,6 +3,7 @@
 
 use varuna::VarunaCluster;
 use varuna_models::ModelZoo;
+use varuna_obs::BenchReport;
 
 use crate::util::varuna_throughput;
 
@@ -49,6 +50,23 @@ pub fn run() -> Vec<Row> {
             }
         })
         .collect()
+}
+
+/// Packages the rows as a [`BenchReport`] (`BENCH_table3_depth.json`).
+///
+/// The simulation seed is fixed, so the report is byte-stable — the
+/// golden-file regression test pins its exact JSON.
+pub fn report(rows: &[Row]) -> BenchReport {
+    let mut rep = BenchReport::new("table3_depth")
+        .param("m", 4.0)
+        .param("m_total", 8192.0);
+    for r in rows {
+        let key = format!("{}gpu_p{}", r.num_gpus, r.p);
+        rep = rep
+            .result(&format!("{key}_total_ex_s"), r.total_ex_s)
+            .result(&format!("{key}_ex_s_gpu"), r.ex_s_gpu);
+    }
+    rep
 }
 
 #[cfg(test)]

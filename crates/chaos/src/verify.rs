@@ -29,6 +29,9 @@ use varuna_obs::{Event, EventKind};
 ///    `t_sim`): work is conserved *modulo explicitly-priced loss*.
 /// 7. **Fallback sanity** — `CheckpointFallback` never moves the durable
 ///    point forward.
+/// 8. **Plan-search accounting** — every `PlanSearch` event's candidates
+///    are fully accounted for: simulated + memo hits + analytic
+///    fallbacks equals the candidate count.
 pub fn check_invariants(events: &[Event]) -> Vec<String> {
     let mut violations = Vec::new();
     let mut last_t = f64::NEG_INFINITY;
@@ -149,6 +152,19 @@ pub fn check_invariants(events: &[Event]) -> Vec<String> {
                     violations.push(format!(
                         "event {i}: fallback advances the durable point \
                          ({from_step} -> {to_step})"
+                    ));
+                }
+            }
+            EventKind::PlanSearch {
+                candidates,
+                simulated,
+                memo_hits,
+                analytic_fallbacks,
+            } => {
+                if simulated + memo_hits + analytic_fallbacks != *candidates {
+                    violations.push(format!(
+                        "event {i}: plan search loses candidates \
+                         ({simulated} + {memo_hits} + {analytic_fallbacks} != {candidates})"
                     ));
                 }
             }
@@ -277,6 +293,66 @@ mod tests {
         )]);
         assert!(v.iter().any(|s| s.contains("zero minibatches")), "{v:?}");
         assert!(v.iter().any(|s| s.contains("not attached")), "{v:?}");
+    }
+
+    #[test]
+    fn unaccounted_plan_search_candidates_are_flagged() {
+        let search = |simulated: u64| {
+            Event::manager(
+                1.0,
+                EventKind::PlanSearch {
+                    candidates: 10,
+                    simulated,
+                    memo_hits: 3,
+                    analytic_fallbacks: 1,
+                },
+            )
+        };
+        assert!(check_invariants(&[search(6)]).is_empty());
+        let v = check_invariants(&[search(5)]);
+        assert!(v.iter().any(|s| s.contains("loses candidates")), "{v:?}");
+    }
+
+    #[test]
+    fn ci_smoke_digests_match_the_golden_corpus() {
+        // The 8-seed CI chaos smoke (`chaos_sweep -- 8`) is pinned here:
+        // `golden_digests.txt` holds the stream-invariant digest of every
+        // seed's full event stream on the Figure-8 workload. Same seed
+        // must mean byte-identical stream — any change to the manager,
+        // planner, injector, or event schema that perturbs a replay shows
+        // up as a digest mismatch and must be re-pinned deliberately.
+        use varuna::{Calibration, VarunaCluster};
+        use varuna_cluster::trace::ClusterTrace;
+        use varuna_models::ModelZoo;
+
+        use crate::config::ChaosConfig;
+        use crate::harness::run_chaos;
+
+        let golden: Vec<(u64, u64)> = include_str!("../golden_digests.txt")
+            .lines()
+            .map(|l| {
+                let (seed, digest) = l.split_once(' ').expect("corpus line is `seed digest`");
+                (
+                    seed.parse().expect("seed"),
+                    u64::from_str_radix(digest, 16).expect("digest"),
+                )
+            })
+            .collect();
+        assert_eq!(golden.len(), 8, "the CI smoke pins exactly 8 seeds");
+
+        let calib =
+            Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(160));
+        let base = ClusterTrace::generate_spot_1gpu(40, 60, 3.0, 10.0, 7);
+        for (seed, expected) in golden {
+            let run = run_chaos(&calib, &base, &ChaosConfig::from_seed(seed))
+                .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+            assert!(run.is_clean(), "seed {seed}: {:?}", run.violations);
+            assert_eq!(
+                run.digest, expected,
+                "seed {seed}: stream digest {:016x} drifted from the golden corpus",
+                run.digest
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! Builds the placed job (stage specs from calibration, contiguous
 //! placement, memory-derived stash windows), generates the static Varuna
 //! schedule, and runs mini-batches on the discrete-event emulator with the
-//! opportunistic policy — or with any other [`SchedulePolicy`] factory,
+//! opportunistic policy — or with any other
+//! [`SchedulePolicy`](varuna_sched::policy::SchedulePolicy) factory,
 //! which is how the baseline comparisons hold everything else constant.
 
 use varuna_exec::job::{PlacedJob, StageSpec};
@@ -14,14 +15,14 @@ use varuna_exec::pipeline::{
 };
 use varuna_exec::placement::Placement;
 use varuna_obs::{Event, EventBus, EventKind};
-use varuna_sched::policy::{PolicyFactory, SchedulePolicy};
+use varuna_sched::policy::PolicyFactory;
 
 use crate::calibrate::Calibration;
 use crate::error::VarunaError;
 use crate::planner::Config;
 use crate::simulator::{plan_schedule, SimInput};
 use crate::VarunaCluster;
-use varuna_sched::schedule::{StaticSchedule, VarunaPolicy};
+use varuna_sched::schedule::StaticSchedule;
 
 /// Statistics of an emulated steady-state run with checkpointing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -197,11 +198,7 @@ impl TrainingJob {
         &self,
         opts: &SimOptions,
     ) -> Result<(MinibatchResult, Throughput), VarunaError> {
-        let schedule = &self.schedule;
-        let factory = move |s: usize, _r: usize| -> Box<dyn SchedulePolicy> {
-            Box::new(VarunaPolicy::for_stage(schedule, s))
-        };
-        self.run_with_policy(&factory, opts)
+        self.run_with_policy(&self.schedule.factory(), opts)
     }
 
     /// Runs one mini-batch under the Varuna schedule, reporting every op,
@@ -216,11 +213,7 @@ impl TrainingJob {
         opts: &SimOptions,
         bus: &mut EventBus,
     ) -> Result<(MinibatchResult, Throughput), VarunaError> {
-        let schedule = &self.schedule;
-        let factory = move |s: usize, _r: usize| -> Box<dyn SchedulePolicy> {
-            Box::new(VarunaPolicy::for_stage(schedule, s))
-        };
-        let res = simulate_minibatch_on_bus(&self.job, &factory, opts, bus)
+        let res = simulate_minibatch_on_bus(&self.job, &self.schedule.factory(), opts, bus)
             .map_err(|e| VarunaError::InvalidConfig(e.to_string()))?;
         let tput = Throughput::from_time(
             &self.model,

@@ -11,7 +11,9 @@
 //!   ([`calibrate`], §4.3, Table 2),
 //! - a fast **parametrized simulator** that predicts mini-batch time for
 //!   any configuration ([`simulator`], §4.4),
-//! - a **planner** that sweeps configurations in `O(G)` ([`planner`]),
+//! - a **planner** that sweeps configurations in `O(G)` ([`planner`]) and
+//!   a budgeted, memoized **simulator-in-the-loop search** over the same
+//!   candidates ([`plansearch`]),
 //! - correctness-preserving **job morphing** across preemptions
 //!   ([`morph`], §4.2),
 //! - **continuous checkpointing** sharded across replicas
@@ -45,6 +47,7 @@ pub mod morph;
 pub mod observe;
 pub mod partition;
 pub mod planner;
+pub mod plansearch;
 pub mod simulator;
 
 // The schedule enumerator and run-time policy moved to `varuna-sched`;
@@ -60,6 +63,7 @@ pub use morph::{MorphBackoff, MorphController};
 pub use observe::TimelineCollector;
 pub use partition::balanced_partition;
 pub use planner::{Config, FallbackLevel, Planner};
+pub use plansearch::{ClusterTemplate, EvalPath, PlanBudget, PlanMetrics, SimSearch};
 pub use simulator::estimate_minibatch_time;
 pub use varuna_sched::schedule::{generate_schedule, StaticSchedule, VarunaPolicy};
 

@@ -118,6 +118,16 @@ impl<'a> Manager<'a> {
         self
     }
 
+    /// Enables simulator-in-the-loop re-planning: every morph scores its
+    /// candidates on the discrete-event emulator under `budget` (memoized
+    /// across morph events, analytic fallback once the budget runs out),
+    /// and replays emit an [`varuna_obs::EventKind::PlanSearch`] event per
+    /// planning decision.
+    pub fn with_sim_planner(mut self, budget: crate::plansearch::PlanBudget) -> Self {
+        self.morph = self.morph.with_sim_planner(budget);
+        self
+    }
+
     /// Where the recovery machine currently sits.
     pub fn state(&self) -> ManagerState {
         self.state

@@ -332,6 +332,23 @@ impl Manager<'_> {
                             )
                         });
                     }
+                    // On the simulator path, describe the search that
+                    // produced this decision (deterministic counters only
+                    // — never wall-clock latency, which would break
+                    // same-seed byte-identity of replays).
+                    if let Some(pm) = self.morph.take_last_plan_metrics() {
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t * 3600.0,
+                                EventKind::PlanSearch {
+                                    candidates: pm.candidates,
+                                    simulated: pm.simulated,
+                                    memo_hits: pm.memo_hits,
+                                    analytic_fallbacks: pm.analytic_fallbacks,
+                                },
+                            )
+                        });
+                    }
                     let cfg = &decision.config;
                     bus.emit_with(|| {
                         Event::manager(

@@ -503,6 +503,65 @@ fn zero_capacity_replay_completes_without_config() {
 }
 
 #[test]
+fn sim_planner_replay_emits_plan_search_events() {
+    use crate::plansearch::PlanBudget;
+    let c = calib();
+    let mut events = grants(24, 1);
+    for vm in 0..4u64 {
+        events.push(ClusterEvent {
+            time_hours: 0.5,
+            vm,
+            kind: ClusterEventKind::Preempted,
+        });
+    }
+    for vm in 24..28u64 {
+        events.push(ClusterEvent {
+            time_hours: 1.0,
+            vm,
+            kind: ClusterEventKind::Granted { gpus: 1 },
+        });
+    }
+    let trace = ClusterTrace::scripted(events, 1.5).unwrap();
+    let mut mgr = Manager::new(&c, 768, 4).with_sim_planner(PlanBudget::unlimited());
+    let sink = VecSink::new();
+    let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    mgr.replay_on_bus(&trace, &mut bus).unwrap();
+    let events = sink.take();
+    let searches: Vec<(u64, u64, u64, u64)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::PlanSearch {
+                candidates,
+                simulated,
+                memo_hits,
+                analytic_fallbacks,
+            } => Some((candidates, simulated, memo_hits, analytic_fallbacks)),
+            _ => None,
+        })
+        .collect();
+    let morphs = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Morph { .. }))
+        .count();
+    assert_eq!(
+        searches.len(),
+        morphs,
+        "every morph decision documents its search"
+    );
+    assert_eq!(searches.len(), 3, "24 -> 20 -> 24 GPUs is three plans");
+    let (c0, s0, h0, _) = searches[0];
+    assert_eq!(h0, 0, "cold search has no memo hits");
+    assert_eq!(s0, c0, "cold search emulates every candidate");
+    let (c2, s2, h2, _) = searches[2];
+    assert_eq!(h2, c2, "revisiting 24 GPUs is served from the memo");
+    assert_eq!(s2, 0);
+    // Search counters are invariant-consistent everywhere.
+    for &(c, s, h, a) in &searches {
+        assert_eq!(s + h + a, c, "every candidate is accounted for");
+    }
+}
+
+#[test]
 fn same_trace_replays_to_identical_event_streams() {
     let c = calib();
     let mut events = grants(20, 1);

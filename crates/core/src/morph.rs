@@ -13,6 +13,7 @@ use crate::calibrate::Calibration;
 use crate::checkpoint::CheckpointPolicy;
 use crate::error::VarunaError;
 use crate::planner::{Config, FallbackLevel, Planner};
+use crate::plansearch::{PlanBudget, PlanMetrics, SimSearch};
 
 /// Exponential backoff between morph-retry attempts while planning keeps
 /// failing (e.g. capacity below the minimum memory-feasible fit). The
@@ -126,6 +127,14 @@ pub struct MorphController<'a> {
     plan_cache: std::collections::HashMap<usize, (Config, FallbackLevel)>,
     cache_hits: u64,
     cache_misses: u64,
+    /// When set, re-planning scores candidates with the discrete-event
+    /// emulator (budgeted, memoized) instead of the analytic estimate
+    /// alone — the paper's simulator-in-the-loop manager behavior. The
+    /// outer `plan_cache` is bypassed on this path: the memo table inside
+    /// the search provides the reuse, and every morph re-ranks (so plan
+    /// metrics are emitted per event).
+    sim: Option<SimSearch>,
+    last_plan: Option<PlanMetrics>,
 }
 
 impl<'a> MorphController<'a> {
@@ -142,6 +151,8 @@ impl<'a> MorphController<'a> {
             plan_cache: std::collections::HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
+            sim: None,
+            last_plan: None,
         }
     }
 
@@ -156,6 +167,27 @@ impl<'a> MorphController<'a> {
         self.fallback = true;
         self.plan_cache.clear();
         self
+    }
+
+    /// Enables simulator-in-the-loop re-planning under `budget`: every
+    /// morph scores its candidates on the discrete-event emulator, with
+    /// memoized reuse across morph events and analytic fallback once the
+    /// budget is exhausted.
+    pub fn with_sim_planner(mut self, budget: PlanBudget) -> Self {
+        self.sim = Some(SimSearch::new(budget));
+        self.plan_cache.clear();
+        self
+    }
+
+    /// Whether simulator-in-the-loop re-planning is enabled.
+    pub fn sim_enabled(&self) -> bool {
+        self.sim.is_some()
+    }
+
+    /// Metrics of the most recent planning event on the simulator path
+    /// (cleared by the take), `None` on the analytic path.
+    pub fn take_last_plan_metrics(&mut self) -> Option<PlanMetrics> {
+        self.last_plan.take()
     }
 
     /// Changes (or clears) the micro-batch override in place. Cached plans
@@ -191,15 +223,29 @@ impl<'a> MorphController<'a> {
     }
 
     fn plan(&mut self, gpus: usize) -> Result<(Config, FallbackLevel), VarunaError> {
+        let mut planner = Planner::new(&self.calib.model, self.calib).batch_size(self.m_total);
+        if let Some(m) = self.micro_override {
+            planner = planner.micro_batch(m);
+        }
+        if let Some(sim) = &self.sim {
+            // Simulator path: the memo table inside the search (keyed on
+            // candidate shape, not capacity) is the cache; re-rank every
+            // event so metrics reflect each morph.
+            let (planned, metrics) = if self.fallback {
+                let (cfg, level, metrics) = sim.best_config_with_fallback(&planner, gpus)?;
+                ((cfg, level), metrics)
+            } else {
+                let (cfg, metrics) = sim.best_config(&planner, gpus)?;
+                ((cfg, FallbackLevel::None), metrics)
+            };
+            self.last_plan = Some(metrics);
+            return Ok(planned);
+        }
         if let Some(cached) = self.plan_cache.get(&gpus) {
             self.cache_hits += 1;
             return Ok(cached.clone());
         }
         self.cache_misses += 1;
-        let mut planner = Planner::new(&self.calib.model, self.calib).batch_size(self.m_total);
-        if let Some(m) = self.micro_override {
-            planner = planner.micro_batch(m);
-        }
         let planned = if self.fallback {
             planner.best_config_with_fallback(gpus)?
         } else {
@@ -394,6 +440,48 @@ mod tests {
                 assert_eq!(l.fallback, FallbackLevel::None);
             }
         }
+    }
+
+    #[test]
+    fn sim_planner_memoizes_across_morph_events() {
+        let c = Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(32));
+        let mut ctl = MorphController::new(&c, 768)
+            .micro_batch(4)
+            .with_sim_planner(PlanBudget::unlimited());
+        assert!(ctl.sim_enabled());
+        let cold = ctl.on_resources_changed(24, 0).unwrap();
+        let m1 = ctl.take_last_plan_metrics().unwrap();
+        assert!(m1.simulated > 0, "first morph must emulate candidates");
+        assert_eq!(m1.memo_hits, 0);
+        let warm = ctl.on_resources_changed(24, 5).unwrap();
+        let m2 = ctl.take_last_plan_metrics().unwrap();
+        assert_eq!(m2.memo_hits, m2.candidates, "repeat morph is all memo hits");
+        assert_eq!(m2.simulated, 0);
+        assert!(m2.cache_hit_rate() > 0.0);
+        assert_eq!(cold.config, warm.config, "memoized plan is identical");
+        assert!(!warm.reconfigured, "same capacity keeps the shape");
+    }
+
+    #[test]
+    fn sim_planner_respects_capacity_and_batch_contract() {
+        let c = Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(32));
+        let mut ctl = MorphController::new(&c, 768)
+            .micro_batch(4)
+            .with_sim_planner(PlanBudget::default_tuning());
+        for (i, &g) in [24usize, 12, 20].iter().enumerate() {
+            let d = ctl.on_resources_changed(g, i as u64).unwrap();
+            assert!(d.config.gpus_used() <= g);
+            assert_eq!(d.config.examples, 768, "M_total preserved");
+        }
+    }
+
+    #[test]
+    fn analytic_path_has_no_plan_metrics() {
+        let c = calib();
+        let mut ctl = MorphController::new(&c, 8192).micro_batch(4);
+        assert!(!ctl.sim_enabled());
+        ctl.on_resources_changed(64, 0).unwrap();
+        assert!(ctl.take_last_plan_metrics().is_none());
     }
 
     #[test]

@@ -101,6 +101,17 @@ impl<'a> Planner<'a> {
         self.m_override.unwrap_or_else(|| self.calib.pick_m(0.05))
     }
 
+    /// The calibration this planner scores candidates against (the
+    /// simulator-in-the-loop search needs it to build emulator jobs).
+    pub fn calibration(&self) -> &'a Calibration {
+        self.calib
+    }
+
+    /// The fixed mini-batch size `M_total`.
+    pub fn total_batch(&self) -> usize {
+        self.m_total
+    }
+
     /// Evaluates one explicit `(p, d)` configuration.
     ///
     /// # Errors

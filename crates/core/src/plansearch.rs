@@ -1,0 +1,703 @@
+//! Simulator-in-the-loop configuration search (paper §4.4, Table 7).
+//!
+//! The analytic planner ranks `(p, d, m)` candidates with a closed-form
+//! estimate; the paper's job manager instead scores each candidate with
+//! its *simulator* before morphing. [`SimSearch`] reproduces that loop:
+//! every candidate from [`Planner::sweep`] is re-scored by running the
+//! `varuna-exec` discrete-event emulator at zero jitter, with
+//!
+//! - a **scoped-thread fan-out** so candidates are emulated in parallel,
+//! - a **memo table** keyed on `(p, d, m, N_m, offload, fingerprint)` —
+//!   the fingerprint covers the model's cut-point graph and every
+//!   calibrated primitive, so repeated morph events during a preemption
+//!   burst reuse prior evaluations even when total capacity differs, and
+//! - a **plan budget** (simulation count and/or wall-clock deadline) so
+//!   manager re-planning stays bounded; candidates left unscored when the
+//!   budget runs out keep their analytic estimate, degrading the search
+//!   to the paper's `O(G)` analytic ranking rather than failing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use varuna_exec::pipeline::SimOptions;
+
+use crate::calibrate::Calibration;
+use crate::error::VarunaError;
+use crate::job::TrainingJob;
+use crate::planner::{Config, FallbackLevel, Planner};
+use crate::VarunaCluster;
+
+/// Bounds on one planning event (a sweep, or a whole fallback ladder).
+///
+/// `None` fields are unbounded. The simulation-count bound is
+/// deterministic — two runs with the same budget score the same
+/// candidates — while the wall-clock deadline depends on the machine;
+/// tests that need byte-identical output should use count-only budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanBudget {
+    /// Maximum emulator runs per planning event (memo hits are free).
+    pub max_simulations: Option<usize>,
+    /// Wall-clock deadline per planning event, seconds.
+    pub deadline_seconds: Option<f64>,
+}
+
+impl PlanBudget {
+    /// No bounds: every candidate is simulated.
+    pub fn unlimited() -> Self {
+        PlanBudget {
+            max_simulations: None,
+            deadline_seconds: None,
+        }
+    }
+
+    /// At most `n` emulator runs per planning event (deterministic).
+    pub fn simulations(n: usize) -> Self {
+        PlanBudget {
+            max_simulations: Some(n),
+            deadline_seconds: None,
+        }
+    }
+
+    /// A wall-clock deadline of `seconds` per planning event.
+    pub fn deadline(seconds: f64) -> Self {
+        PlanBudget {
+            max_simulations: None,
+            deadline_seconds: Some(seconds),
+        }
+    }
+
+    /// Default manager tuning: at most 64 emulator runs and 10 s per
+    /// planning event — far above what a Table-3-scale sweep needs, low
+    /// enough that morph latency stays within the paper's "seconds".
+    pub fn default_tuning() -> Self {
+        PlanBudget {
+            max_simulations: Some(64),
+            deadline_seconds: Some(10.0),
+        }
+    }
+}
+
+/// How a candidate's mini-batch time was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalPath {
+    /// The closed-form estimate (budget exhausted or emulator error).
+    Analytic,
+    /// A fresh discrete-event emulation.
+    Simulated,
+    /// A memo-table hit from a previous planning event.
+    Memoized,
+}
+
+/// Counters for one planning event, reported through `varuna-obs` and the
+/// plan-latency bench.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PlanMetrics {
+    /// Candidates the sweep produced.
+    pub candidates: u64,
+    /// Candidates scored by a fresh emulation.
+    pub simulated: u64,
+    /// Candidates scored from the memo table.
+    pub memo_hits: u64,
+    /// Candidates left on their analytic estimate (budget exhausted or
+    /// emulator error).
+    pub analytic_fallbacks: u64,
+    /// Wall-clock planning time, seconds (not deterministic; never put
+    /// this in an event stream that must be byte-identical across runs).
+    pub plan_seconds: f64,
+    /// Whether a budget bound cut the search short.
+    pub budget_exhausted: bool,
+}
+
+impl PlanMetrics {
+    /// Fraction of candidates served from the memo table.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / self.candidates as f64
+        }
+    }
+
+    /// Folds another event's counters into this one (ladder rungs).
+    pub fn merge(&mut self, other: &PlanMetrics) {
+        self.candidates += other.candidates;
+        self.simulated += other.simulated;
+        self.memo_hits += other.memo_hits;
+        self.analytic_fallbacks += other.analytic_fallbacks;
+        self.plan_seconds += other.plan_seconds;
+        self.budget_exhausted |= other.budget_exhausted;
+    }
+}
+
+/// Which cluster family candidate jobs are emulated on, derived from the
+/// calibration's `gpus_per_node` (the planner never sees the live cluster
+/// object, only its calibrated parameters — §4.3's scale invariance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterTemplate {
+    /// 1-GPU spot VMs (NC6_v3).
+    Commodity1Gpu,
+    /// 4-GPU spot VMs (NC24_v3).
+    Commodity4Gpu,
+    /// 16-GPU dedicated nodes (DGX-2).
+    Hypercluster,
+}
+
+impl ClusterTemplate {
+    /// The template matching `calib`'s profiled node shape.
+    pub fn from_calibration(calib: &Calibration) -> Self {
+        match calib.gpus_per_node {
+            n if n >= 16 => ClusterTemplate::Hypercluster,
+            n if n >= 4 => ClusterTemplate::Commodity4Gpu,
+            _ => ClusterTemplate::Commodity1Gpu,
+        }
+    }
+
+    /// Builds the smallest cluster of this family holding `gpus` GPUs.
+    ///
+    /// The emulated cluster is sized to the *candidate* (`p · d`), not to
+    /// total capacity: the emulation result is then a pure function of the
+    /// candidate, which is what makes the memo table valid across
+    /// different capacity levels of a preemption burst.
+    pub fn build(self, gpus: usize) -> VarunaCluster {
+        match self {
+            ClusterTemplate::Commodity1Gpu => VarunaCluster::commodity_1gpu(gpus),
+            ClusterTemplate::Commodity4Gpu => VarunaCluster::commodity_4gpu(gpus.div_ceil(4)),
+            ClusterTemplate::Hypercluster => VarunaCluster::hypercluster(gpus.div_ceil(16)),
+        }
+    }
+}
+
+/// Memo key: the candidate shape plus a fingerprint of everything else
+/// the emulation depends on. Total GPU count is deliberately absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MemoKey {
+    p: usize,
+    d: usize,
+    m: usize,
+    n_micro: usize,
+    offload: bool,
+    fingerprint: u64,
+}
+
+impl MemoKey {
+    fn of(cfg: &Config, fingerprint: u64) -> Self {
+        MemoKey {
+            p: cfg.p,
+            d: cfg.d,
+            m: cfg.m,
+            n_micro: cfg.n_micro,
+            offload: cfg.offload,
+            fingerprint,
+        }
+    }
+}
+
+/// FNV-1a over the cut-point graph and every calibrated primitive the
+/// emulator reads — two calibrations with equal fingerprints produce
+/// identical emulations for any candidate.
+fn search_fingerprint(calib: &Calibration) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn mix(h: &mut u64, v: u64) {
+        for byte in v.to_le_bytes() {
+            *h ^= byte as u64;
+            *h = h.wrapping_mul(PRIME);
+        }
+    }
+    let mut h = calib.graph.fingerprint();
+    mix(&mut h, calib.gpus_per_node as u64);
+    mix(&mut h, calib.gpu_memory.to_bits());
+    mix(&mut h, calib.inter_bw.to_bits());
+    mix(&mut h, calib.inter_lat.to_bits());
+    mix(&mut h, calib.ar_contention.to_bits());
+    for &m in &calib.ms {
+        mix(&mut h, m as u64);
+    }
+    for row in calib.fwd.iter().chain(calib.bwd.iter()) {
+        for &t in row {
+            mix(&mut h, t.to_bits());
+        }
+    }
+    for &t in calib
+        .act_intra
+        .iter()
+        .chain(calib.act_inter.iter())
+        .chain(calib.ar_probe.iter())
+    {
+        mix(&mut h, t.to_bits());
+    }
+    h
+}
+
+/// The simulator-in-the-loop search. Interior-mutable (the memo table is
+/// behind a mutex) so a `&SimSearch` can score sweeps from worker threads.
+#[derive(Debug)]
+pub struct SimSearch {
+    budget: PlanBudget,
+    threads: usize,
+    memo: Mutex<HashMap<MemoKey, f64>>,
+}
+
+impl Clone for SimSearch {
+    fn clone(&self) -> Self {
+        SimSearch {
+            budget: self.budget,
+            threads: self.threads,
+            memo: Mutex::new(self.memo.lock().expect("memo poisoned").clone()),
+        }
+    }
+}
+
+impl SimSearch {
+    /// A search with `budget` and a thread count matching the host.
+    pub fn new(budget: PlanBudget) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        SimSearch {
+            budget,
+            threads,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Overrides the fan-out width (results are identical for any width;
+    /// only wall-clock time changes).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> PlanBudget {
+        self.budget
+    }
+
+    /// Entries in the memo table.
+    pub fn memo_len(&self) -> usize {
+        self.memo.lock().expect("memo poisoned").len()
+    }
+
+    /// Drops every memoized evaluation.
+    pub fn clear_memo(&self) {
+        self.memo.lock().expect("memo poisoned").clear();
+    }
+
+    /// Emulates one candidate on a right-sized cluster of `template`'s
+    /// family and returns its mini-batch wall-clock time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates job-construction or emulator failures.
+    pub fn simulate_candidate(
+        calib: &Calibration,
+        template: ClusterTemplate,
+        cfg: &Config,
+    ) -> Result<f64, VarunaError> {
+        let cluster = template.build(cfg.gpus_used());
+        let job = TrainingJob::build(calib, &cluster, cfg.clone())?;
+        let (res, _) = job.run_minibatch(&SimOptions::deterministic())?;
+        Ok(res.total_time)
+    }
+
+    /// Sweeps `g` GPUs like [`Planner::sweep`], re-scoring every candidate
+    /// with the emulator (subject to budget), and tags each with how its
+    /// score was obtained.
+    pub fn sweep_scored(
+        &self,
+        planner: &Planner<'_>,
+        g: usize,
+    ) -> (Vec<(Config, EvalPath)>, PlanMetrics) {
+        let start = Instant::now();
+        let deadline = self
+            .budget
+            .deadline_seconds
+            .map(|s| start + Duration::from_secs_f64(s));
+        let mut sims_left = self.budget.max_simulations.unwrap_or(usize::MAX);
+        let (scored, mut metrics) = self.sweep_inner(planner, g, deadline, &mut sims_left);
+        metrics.plan_seconds = start.elapsed().as_secs_f64();
+        (scored, metrics)
+    }
+
+    /// Like [`SimSearch::sweep_scored`] but dropping the per-candidate
+    /// evaluation paths.
+    pub fn sweep(&self, planner: &Planner<'_>, g: usize) -> (Vec<Config>, PlanMetrics) {
+        let (scored, metrics) = self.sweep_scored(planner, g);
+        (scored.into_iter().map(|(c, _)| c).collect(), metrics)
+    }
+
+    fn sweep_inner(
+        &self,
+        planner: &Planner<'_>,
+        g: usize,
+        deadline: Option<Instant>,
+        sims_left: &mut usize,
+    ) -> (Vec<(Config, EvalPath)>, PlanMetrics) {
+        let calib = planner.calibration();
+        let fingerprint = search_fingerprint(calib);
+        let template = ClusterTemplate::from_calibration(calib);
+        let mut scored: Vec<(Config, EvalPath)> = planner
+            .sweep(g)
+            .into_iter()
+            .map(|c| (c, EvalPath::Analytic))
+            .collect();
+        let mut metrics = PlanMetrics {
+            candidates: scored.len() as u64,
+            ..PlanMetrics::default()
+        };
+
+        // Memo pass: hits are free and never count against the budget.
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let memo = self.memo.lock().expect("memo poisoned");
+            for (i, (cfg, path)) in scored.iter_mut().enumerate() {
+                if let Some(&t) = memo.get(&MemoKey::of(cfg, fingerprint)) {
+                    cfg.est_minibatch_time = t;
+                    *path = EvalPath::Memoized;
+                    metrics.memo_hits += 1;
+                } else {
+                    misses.push(i);
+                }
+            }
+        }
+
+        // Budget pass: only the first `sims_left` misses get emulated; the
+        // rest keep their analytic estimate.
+        if misses.len() > *sims_left {
+            metrics.budget_exhausted = true;
+            metrics.analytic_fallbacks += (misses.len() - *sims_left) as u64;
+            misses.truncate(*sims_left);
+        }
+
+        // Parallel fan-out: scoped workers claim miss indices from a shared
+        // cursor. Results land in per-slot cells, so the outcome is
+        // independent of thread count and interleaving.
+        let miss_cfgs: Vec<Config> = misses.iter().map(|&i| scored[i].0.clone()).collect();
+        let results: Vec<Mutex<Option<Result<f64, VarunaError>>>> =
+            miss_cfgs.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.threads.min(miss_cfgs.len());
+        if workers > 0 {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= miss_cfgs.len() {
+                            break;
+                        }
+                        if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                            break;
+                        }
+                        let outcome = Self::simulate_candidate(calib, template, &miss_cfgs[k]);
+                        *results[k].lock().expect("result slot poisoned") = Some(outcome);
+                    });
+                }
+            });
+        }
+
+        let mut memo = self.memo.lock().expect("memo poisoned");
+        for (k, &idx) in misses.iter().enumerate() {
+            match results[k].lock().expect("result slot poisoned").take() {
+                Some(Ok(t)) => {
+                    *sims_left -= 1;
+                    metrics.simulated += 1;
+                    let (cfg, path) = &mut scored[idx];
+                    cfg.est_minibatch_time = t;
+                    *path = EvalPath::Simulated;
+                    memo.insert(MemoKey::of(cfg, fingerprint), t);
+                }
+                Some(Err(_)) => {
+                    // The analytic sweep accepted it but the emulator
+                    // could not run it; keep the analytic score.
+                    *sims_left = sims_left.saturating_sub(1);
+                    metrics.analytic_fallbacks += 1;
+                }
+                None => {
+                    // Deadline expired before a worker reached this slot.
+                    metrics.budget_exhausted = true;
+                    metrics.analytic_fallbacks += 1;
+                }
+            }
+        }
+        (scored, metrics)
+    }
+
+    fn try_best(
+        &self,
+        planner: &Planner<'_>,
+        g: usize,
+        deadline: Option<Instant>,
+        sims_left: &mut usize,
+        total: &mut PlanMetrics,
+    ) -> Option<Config> {
+        let (scored, metrics) = self.sweep_inner(planner, g, deadline, sims_left);
+        total.merge(&metrics);
+        scored
+            .into_iter()
+            .map(|(c, _)| c)
+            .max_by(|a, b| a.throughput().total_cmp(&b.throughput()))
+    }
+
+    /// The best configuration for `g` GPUs by emulator-scored throughput.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no pipeline depth fits memory on `g` GPUs (same
+    /// feasibility set as the analytic [`Planner::best_config`]).
+    pub fn best_config(
+        &self,
+        planner: &Planner<'_>,
+        g: usize,
+    ) -> Result<(Config, PlanMetrics), VarunaError> {
+        let start = Instant::now();
+        let deadline = self
+            .budget
+            .deadline_seconds
+            .map(|s| start + Duration::from_secs_f64(s));
+        let mut sims_left = self.budget.max_simulations.unwrap_or(usize::MAX);
+        let mut metrics = PlanMetrics::default();
+        let best = self.try_best(planner, g, deadline, &mut sims_left, &mut metrics);
+        metrics.plan_seconds = start.elapsed().as_secs_f64();
+        best.map(|c| (c, metrics))
+            .ok_or_else(|| no_feasible(planner, g))
+    }
+
+    /// The emulator-scored counterpart of
+    /// [`Planner::best_config_with_fallback`]: the same recovery ladder
+    /// (halve the micro-batch to 1, then offload at `m = 1`), with every
+    /// rung's sweep re-scored by the emulator. The budget spans the whole
+    /// ladder, not each rung.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when no rung of the ladder fits `g` GPUs.
+    pub fn best_config_with_fallback(
+        &self,
+        planner: &Planner<'_>,
+        g: usize,
+    ) -> Result<(Config, FallbackLevel, PlanMetrics), VarunaError> {
+        let start = Instant::now();
+        let deadline = self
+            .budget
+            .deadline_seconds
+            .map(|s| start + Duration::from_secs_f64(s));
+        let mut sims_left = self.budget.max_simulations.unwrap_or(usize::MAX);
+        let mut metrics = PlanMetrics::default();
+        let finish = |cfg: Config, level: FallbackLevel, mut metrics: PlanMetrics| {
+            metrics.plan_seconds = start.elapsed().as_secs_f64();
+            Ok((cfg, level, metrics))
+        };
+        if let Some(cfg) = self.try_best(planner, g, deadline, &mut sims_left, &mut metrics) {
+            return finish(cfg, FallbackLevel::None, metrics);
+        }
+        let mut m = planner.chosen_m() / 2;
+        while m >= 1 {
+            let reduced = planner.clone().micro_batch(m);
+            if let Some(cfg) = self.try_best(&reduced, g, deadline, &mut sims_left, &mut metrics) {
+                return finish(cfg, FallbackLevel::ReducedMicroBatch(m), metrics);
+            }
+            if m == 1 {
+                break;
+            }
+            m /= 2;
+        }
+        let offloaded = planner.clone().micro_batch(1).offload(true);
+        if let Some(cfg) = self.try_best(&offloaded, g, deadline, &mut sims_left, &mut metrics) {
+            return finish(cfg, FallbackLevel::Offload, metrics);
+        }
+        Err(no_feasible(planner, g))
+    }
+}
+
+fn no_feasible(planner: &Planner<'_>, g: usize) -> VarunaError {
+    let model = &planner.calibration().model;
+    VarunaError::NoFeasibleConfig {
+        gpus: g,
+        reason: format!(
+            "{} ({}B params) has no memory-feasible pipeline depth",
+            model.name,
+            model.params_billions()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use varuna_models::ModelZoo;
+
+    fn setup(gpus: usize) -> Calibration {
+        Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(gpus))
+    }
+
+    #[test]
+    fn simulated_sweep_covers_the_analytic_candidate_set() {
+        let calib = setup(24);
+        let planner = Planner::new(&calib.model, &calib)
+            .batch_size(768)
+            .micro_batch(4);
+        let search = SimSearch::new(PlanBudget::unlimited());
+        let (scored, metrics) = search.sweep_scored(&planner, 24);
+        let analytic = planner.sweep(24);
+        assert_eq!(scored.len(), analytic.len());
+        assert_eq!(metrics.candidates as usize, analytic.len());
+        assert_eq!(metrics.simulated as usize, analytic.len());
+        assert_eq!(metrics.memo_hits, 0);
+        assert_eq!(metrics.analytic_fallbacks, 0);
+        for ((sim, path), ana) in scored.iter().zip(&analytic) {
+            assert_eq!(
+                (sim.p, sim.d, sim.m, sim.n_micro),
+                (ana.p, ana.d, ana.m, ana.n_micro)
+            );
+            assert_eq!(*path, EvalPath::Simulated);
+            assert!(sim.est_minibatch_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn second_sweep_is_served_from_the_memo() {
+        let calib = setup(24);
+        let planner = Planner::new(&calib.model, &calib)
+            .batch_size(768)
+            .micro_batch(4);
+        let search = SimSearch::new(PlanBudget::unlimited());
+        let (cold, m1) = search.sweep(&planner, 24);
+        let (warm, m2) = search.sweep(&planner, 24);
+        assert_eq!(cold, warm, "memoized scores must equal fresh ones");
+        assert_eq!(m1.memo_hits, 0);
+        assert_eq!(m2.memo_hits, m1.candidates);
+        assert_eq!(m2.simulated, 0);
+        assert!(m2.cache_hit_rate() > 0.99);
+    }
+
+    #[test]
+    fn memo_survives_capacity_changes_that_share_candidates() {
+        // A preemption from 24 to 12 GPUs re-plans; the (p, d) pairs with
+        // d = 12/p coincide with d = 24/(2p) candidates only when shapes
+        // repeat — but candidates from a revisit of 24 GPUs must all hit.
+        let calib = setup(24);
+        let planner = Planner::new(&calib.model, &calib)
+            .batch_size(768)
+            .micro_batch(4);
+        let search = SimSearch::new(PlanBudget::unlimited());
+        let (_, _) = search.sweep(&planner, 24);
+        let (_, down) = search.sweep(&planner, 12);
+        let (_, back) = search.sweep(&planner, 24);
+        assert_eq!(back.memo_hits, back.candidates, "full revisit reuse");
+        assert!(down.simulated <= down.candidates);
+    }
+
+    #[test]
+    fn zero_budget_degrades_to_the_analytic_ranking() {
+        let calib = setup(24);
+        let planner = Planner::new(&calib.model, &calib)
+            .batch_size(768)
+            .micro_batch(4);
+        let search = SimSearch::new(PlanBudget::simulations(0));
+        let (scored, metrics) = search.sweep_scored(&planner, 24);
+        assert!(metrics.budget_exhausted);
+        assert_eq!(metrics.simulated, 0);
+        assert_eq!(metrics.analytic_fallbacks, metrics.candidates);
+        let analytic = planner.sweep(24);
+        for ((sim, path), ana) in scored.iter().zip(&analytic) {
+            assert_eq!(*path, EvalPath::Analytic);
+            assert_eq!(sim.est_minibatch_time, ana.est_minibatch_time);
+        }
+        // Ranking identical to the analytic planner's.
+        let (best, _) = search.best_config(&planner, 24).unwrap();
+        let ana_best = planner.best_config(24).unwrap();
+        assert_eq!((best.p, best.d), (ana_best.p, ana_best.d));
+    }
+
+    #[test]
+    fn partial_budget_scores_a_prefix_and_flags_exhaustion() {
+        let calib = setup(24);
+        let planner = Planner::new(&calib.model, &calib)
+            .batch_size(768)
+            .micro_batch(4);
+        let search = SimSearch::new(PlanBudget::simulations(2));
+        let (scored, metrics) = search.sweep_scored(&planner, 24);
+        assert!(metrics.candidates > 2, "need >2 candidates for this test");
+        assert_eq!(metrics.simulated, 2);
+        assert!(metrics.budget_exhausted);
+        let simulated = scored
+            .iter()
+            .filter(|(_, p)| *p == EvalPath::Simulated)
+            .count();
+        assert_eq!(simulated, 2);
+    }
+
+    #[test]
+    fn fallback_ladder_matches_the_analytic_rungs() {
+        // 8.3B at m=8 on 24 GPUs forces the ladder down; the simulated
+        // ladder must land on the same rung as the analytic one.
+        let model = ModelZoo::gpt2_8_3b();
+        let calib = Calibration::profile(&model, &VarunaCluster::commodity_1gpu(128));
+        let planner = Planner::new(&model, &calib).batch_size(512).micro_batch(8);
+        let (_, ana_level) = planner.best_config_with_fallback(24).unwrap();
+        let search = SimSearch::new(PlanBudget::unlimited());
+        let (cfg, sim_level, metrics) = search.best_config_with_fallback(&planner, 24).unwrap();
+        assert_eq!(sim_level, ana_level);
+        assert!(cfg.gpus_used() <= 24);
+        assert!(metrics.candidates > 0);
+    }
+
+    #[test]
+    fn infeasible_capacity_is_a_typed_error() {
+        let model = ModelZoo::gpt2_8_3b();
+        let calib = Calibration::profile(&model, &VarunaCluster::commodity_1gpu(128));
+        let planner = Planner::new(&model, &calib).batch_size(8192).micro_batch(4);
+        let search = SimSearch::new(PlanBudget::unlimited());
+        let err = search.best_config(&planner, 4).unwrap_err();
+        assert!(matches!(err, VarunaError::NoFeasibleConfig { gpus: 4, .. }));
+        assert!(search.best_config_with_fallback(&planner, 2).is_err());
+    }
+
+    #[test]
+    fn thread_width_does_not_change_scores() {
+        let calib = setup(16);
+        let planner = Planner::new(&calib.model, &calib)
+            .batch_size(512)
+            .micro_batch(4);
+        let wide = SimSearch::new(PlanBudget::unlimited()).threads(8);
+        let narrow = SimSearch::new(PlanBudget::unlimited()).threads(1);
+        let (a, _) = wide.sweep(&planner, 16);
+        let (b, _) = narrow.sweep(&planner, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cluster_template_follows_the_calibrated_node_shape() {
+        let model = ModelZoo::gpt2_2_5b();
+        let c1 = Calibration::profile(&model, &VarunaCluster::commodity_1gpu(8));
+        let c4 = Calibration::profile(&model, &VarunaCluster::commodity_4gpu(2));
+        let c16 = Calibration::profile(&model, &VarunaCluster::hypercluster(1));
+        assert_eq!(
+            ClusterTemplate::from_calibration(&c1),
+            ClusterTemplate::Commodity1Gpu
+        );
+        assert_eq!(
+            ClusterTemplate::from_calibration(&c4),
+            ClusterTemplate::Commodity4Gpu
+        );
+        assert_eq!(
+            ClusterTemplate::from_calibration(&c16),
+            ClusterTemplate::Hypercluster
+        );
+        assert_eq!(ClusterTemplate::Commodity4Gpu.build(6).gpus(), 8);
+        assert_eq!(ClusterTemplate::Hypercluster.build(17).gpus(), 32);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_calibrations() {
+        let a = setup(16);
+        let b = setup(16);
+        assert_eq!(search_fingerprint(&a), search_fingerprint(&b));
+        let other =
+            Calibration::profile(&ModelZoo::bert_large(), &VarunaCluster::commodity_1gpu(16));
+        assert_ne!(search_fingerprint(&a), search_fingerprint(&other));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests over both planner evaluation paths.
+//!
+//! Random model / cluster-size / batch draws must never produce a plan
+//! that violates the hard contracts: GPU-memory feasibility of every
+//! stage, `d * p <= g`, and a covered mini-batch. The memoized simulated
+//! search must also be byte-identical to an unmemoized one — the memo
+//! table is a cache, never a different answer.
+
+use proptest::prelude::*;
+use varuna::{
+    Calibration, Config, PlanBudget, Planner, SimSearch, TrainingJob, VarunaCluster, VarunaError,
+};
+use varuna_models::config::TransformerConfig;
+use varuna_models::ModelZoo;
+
+/// The model scales small enough to profile repeatedly under proptest.
+fn model(index: usize) -> TransformerConfig {
+    match index % 3 {
+        0 => ModelZoo::bert_large(),
+        1 => ModelZoo::gpt2_355m(),
+        _ => ModelZoo::gpt2_2_5b(),
+    }
+}
+
+/// Asserts the contracts every plan must honor, whichever path produced it.
+fn assert_plan_contracts(
+    cfg: &Config,
+    calib: &Calibration,
+    cluster: &VarunaCluster,
+    g: usize,
+    m_total: usize,
+) {
+    assert!(cfg.p >= 1 && cfg.d >= 1);
+    assert!(
+        cfg.d * cfg.p <= g,
+        "{}x{} oversubscribes {g} GPUs",
+        cfg.p,
+        cfg.d
+    );
+    assert_eq!(cfg.gpus_used(), cfg.p * cfg.d);
+    assert!(
+        cfg.m * cfg.d * cfg.n_micro >= m_total,
+        "plan covers only {} of {m_total} examples",
+        cfg.m * cfg.d * cfg.n_micro
+    );
+    // Memory feasibility: every stage of the planned job fits the GPU.
+    let job = TrainingJob::build(calib, cluster, cfg.clone())
+        .unwrap_or_else(|e| panic!("planned config {}x{} failed to build: {e}", cfg.p, cfg.d));
+    for (stage, mem) in job.memory_report().iter().enumerate() {
+        assert!(
+            mem.fits(cluster.gpu_memory()),
+            "stage {stage} of {}x{} needs {:.1} GiB on a {:.1} GiB GPU",
+            cfg.p,
+            cfg.d,
+            mem.total() / (1u64 << 30) as f64,
+            cluster.gpu_memory() / (1u64 << 30) as f64
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Both evaluation paths obey the feasibility contracts — or both
+    /// agree the capacity is infeasible.
+    #[test]
+    fn both_paths_respect_feasibility(
+        mi in 0usize..3,
+        g in 4usize..29,
+        mt in 0usize..2,
+    ) {
+        let model = model(mi);
+        let m_total = [256usize, 512][mt];
+        let cluster = VarunaCluster::commodity_1gpu(g);
+        let calib = Calibration::profile(&model, &cluster);
+        let planner = Planner::new(&model, &calib).batch_size(m_total).micro_batch(4);
+
+        let analytic = planner.best_config(g);
+        let search = SimSearch::new(PlanBudget::unlimited());
+        let simulated = search.best_config(&planner, g);
+
+        match (analytic, simulated) {
+            (Ok(a), Ok((s, metrics))) => {
+                assert_plan_contracts(&a, &calib, &cluster, g, m_total);
+                assert_plan_contracts(&s, &calib, &cluster, g, m_total);
+                prop_assert_eq!(
+                    metrics.simulated + metrics.memo_hits + metrics.analytic_fallbacks,
+                    metrics.candidates
+                );
+                prop_assert_eq!(metrics.analytic_fallbacks, 0u64);
+            }
+            (
+                Err(VarunaError::NoFeasibleConfig { .. }),
+                Err(VarunaError::NoFeasibleConfig { .. }),
+            ) => {
+                // Infeasible capacity must be infeasible on both paths.
+            }
+            (a, s) => {
+                prop_assert!(
+                    false,
+                    "paths disagree on feasibility: analytic {:?} vs simulated {:?}",
+                    a.map(|c| (c.p, c.d)),
+                    s.map(|(c, _)| (c.p, c.d))
+                );
+            }
+        }
+    }
+
+    /// A warmed memo table returns byte-identical plans to a cold,
+    /// unmemoized search over the same candidates.
+    #[test]
+    fn memoized_search_is_byte_identical_to_unmemoized(
+        mi in 0usize..3,
+        g in 4usize..25,
+    ) {
+        let model = model(mi);
+        let cluster = VarunaCluster::commodity_1gpu(g);
+        let calib = Calibration::profile(&model, &cluster);
+        let planner = Planner::new(&model, &calib).batch_size(512).micro_batch(4);
+
+        let warmed = SimSearch::new(PlanBudget::unlimited());
+        let cold = warmed.best_config(&planner, g);
+        let memoized = warmed.best_config(&planner, g);
+        let unmemoized = SimSearch::new(PlanBudget::unlimited()).best_config(&planner, g);
+
+        match (cold, memoized, unmemoized) {
+            (Ok((c, cm)), Ok((m, mm)), Ok((u, um))) => {
+                let c_json = serde_json::to_string(&c).unwrap();
+                let m_json = serde_json::to_string(&m).unwrap();
+                let u_json = serde_json::to_string(&u).unwrap();
+                prop_assert_eq!(&m_json, &u_json, "memoized plan differs from unmemoized");
+                prop_assert_eq!(&c_json, &u_json, "cold repeat is not deterministic");
+                prop_assert_eq!(mm.memo_hits, mm.candidates);
+                prop_assert_eq!(mm.simulated, 0u64);
+                prop_assert_eq!(cm.simulated, um.simulated);
+            }
+            (Err(_), Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "feasibility changed between identical searches"),
+        }
+    }
+}

@@ -56,6 +56,19 @@ impl Default for SimOptions {
     }
 }
 
+impl SimOptions {
+    /// Options for a fully deterministic emulation: zero compute jitter and
+    /// a fixed seed, no trace recording. This is the configuration the
+    /// planner uses when scoring candidate `(p, d, m)` configs — the paper's
+    /// simulator predicts mean mini-batch time, so jitter is noise there.
+    pub fn deterministic() -> Self {
+        SimOptions {
+            compute_jitter: 0.0,
+            ..SimOptions::default()
+        }
+    }
+}
+
 /// Outcome of one simulated mini-batch.
 #[derive(Debug, Clone)]
 pub struct MinibatchResult {

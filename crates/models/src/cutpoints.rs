@@ -142,6 +142,44 @@ impl CutpointGraph {
     pub fn range_params(&self, lo: usize, hi: usize) -> u64 {
         self.cutpoints[lo..hi].iter().map(|c| c.params).sum()
     }
+
+    /// Structural fingerprint of the graph: an FNV-1a hash over every
+    /// cut-point's compute/parameter/activation costs and the shared
+    /// parameters. Two graphs with the same fingerprint partition and
+    /// simulate identically, so the planner can use it as part of a memo
+    /// key that survives cluster-size changes during a preemption burst.
+    pub fn fingerprint(&self) -> u64 {
+        const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, v: u64) {
+            for byte in v.to_le_bytes() {
+                *h ^= byte as u64;
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = BASIS;
+        mix(&mut h, self.cutpoints.len() as u64);
+        for c in &self.cutpoints {
+            mix(&mut h, c.index as u64);
+            mix(&mut h, c.fwd_flops.to_bits());
+            mix(&mut h, c.bwd_flops.to_bits());
+            mix(&mut h, c.params);
+            mix(&mut h, c.activation_bytes.to_bits());
+            mix(&mut h, c.has_embedding as u64);
+            mix(&mut h, c.has_head as u64);
+        }
+        mix(&mut h, self.shared.len() as u64);
+        for s in &self.shared {
+            for &byte in s.name.as_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            mix(&mut h, s.params);
+            mix(&mut h, s.cutpoints.0 as u64);
+            mix(&mut h, s.cutpoints.1 as u64);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +236,22 @@ mod tests {
             assert_eq!(c.fwd_flops, mid.fwd_flops);
             assert_eq!(c.params, mid.params);
         }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structure_sensitive() {
+        let a = CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());
+        let b = CutpointGraph::from_transformer(&ModelZoo::gpt2_2_5b());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        for c in ModelZoo::all() {
+            let other = CutpointGraph::from_transformer(&c);
+            if other != a {
+                assert_ne!(other.fingerprint(), a.fingerprint(), "{}", c.name);
+            }
+        }
+        let mut mutated = a.clone();
+        mutated.cutpoints[3].params += 1;
+        assert_ne!(mutated.fingerprint(), a.fingerprint());
     }
 
     #[test]

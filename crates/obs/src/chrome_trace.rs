@@ -268,6 +268,25 @@ fn to_trace_event(e: &Event) -> Option<Value> {
                 ("seconds".to_string(), Value::Float(*seconds)),
             ],
         )),
+        EventKind::PlanSearch {
+            candidates,
+            simulated,
+            memo_hits,
+            analytic_fallbacks,
+        } => Some(instant(
+            format!("plan-search {candidates}c"),
+            "manager",
+            e.t_sim * US,
+            vec![
+                ("candidates".to_string(), Value::UInt(*candidates)),
+                ("simulated".to_string(), Value::UInt(*simulated)),
+                ("memo_hits".to_string(), Value::UInt(*memo_hits)),
+                (
+                    "analytic_fallbacks".to_string(),
+                    Value::UInt(*analytic_fallbacks),
+                ),
+            ],
+        )),
         EventKind::FaultInjected { fault, vm } => Some(instant(
             format!("fault {fault}"),
             "chaos",

@@ -224,6 +224,21 @@ pub enum EventKind {
         /// Seconds of re-run time charged.
         seconds: f64,
     },
+    /// A simulator-in-the-loop planning event completed (one morph's
+    /// candidate search). Carries only deterministic counters — plan
+    /// wall-clock latency lives in the metrics registry, never in the
+    /// event stream, so same-seed replays stay byte-identical.
+    PlanSearch {
+        /// Candidates the sweep produced.
+        candidates: u64,
+        /// Candidates scored by a fresh emulation.
+        simulated: u64,
+        /// Candidates served from the memo table.
+        memo_hits: u64,
+        /// Candidates left on their analytic estimate (budget exhausted
+        /// or emulator error).
+        analytic_fallbacks: u64,
+    },
     /// The chaos harness injected a fault into a trace replay.
     FaultInjected {
         /// Short machine-readable fault label (e.g. `"preemption_burst"`).
@@ -399,6 +414,15 @@ mod tests {
                 EventKind::FaultInjected {
                     fault: "preemption_burst".into(),
                     vm: u64::MAX,
+                },
+            ),
+            Event::manager(
+                22.0,
+                EventKind::PlanSearch {
+                    candidates: 12,
+                    simulated: 5,
+                    memo_hits: 6,
+                    analytic_fallbacks: 1,
                 },
             ),
         ];

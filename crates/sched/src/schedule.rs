@@ -45,6 +45,15 @@ pub struct StaticSchedule {
     pub makespan: f64,
 }
 
+impl StaticSchedule {
+    /// A [`PolicyFactory`]-shaped closure that hands every `(stage,
+    /// replica)` an opportunistic [`VarunaPolicy`] replaying this schedule.
+    /// All data-parallel replicas of a stage share the same static order.
+    pub fn factory(&self) -> impl Fn(usize, usize) -> Box<dyn SchedulePolicy> + '_ {
+        move |stage, _replica| Box::new(VarunaPolicy::for_stage(self, stage))
+    }
+}
+
 /// Generates the Varuna static schedule for `p` stages and `n_micro`
 /// micro-batches with activation-stash window `window`.
 pub fn generate_schedule(p: usize, n_micro: usize, window: usize) -> StaticSchedule {
