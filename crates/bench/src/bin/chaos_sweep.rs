@@ -71,6 +71,14 @@ fn main() {
     );
 
     if !s.is_clean() {
+        // Dump each dirty seed's failure artifacts (violations, downtime
+        // profile, flight-recorder tail) where CI can upload them.
+        for (seed, artifacts) in &s.failures {
+            let path = format!("chaos_failure_seed{seed}.txt");
+            std::fs::write(&path, artifacts).expect("write failure artifacts");
+            eprintln!("failure artifacts for seed {seed} written to {path}");
+            eprint!("{artifacts}");
+        }
         eprintln!("CHAOS SWEEP FAILED: recovery invariants violated");
         std::process::exit(1);
     }

@@ -44,4 +44,17 @@ fn main() {
          open it at https://ui.perfetto.dev or chrome://tracing.",
         events.len()
     );
+
+    println!(
+        "\nTime attribution (replica 0): bubble fraction {:.1}%",
+        r.profile.bubble_fraction * 100.0
+    );
+    if let Some(cp) = &r.profile.critical_path {
+        println!(
+            "critical path {:.2}s over {} ops ({:.2}s compute, {:.2}s wait), \
+             bottleneck stage {}",
+            cp.length, cp.ops, cp.compute_seconds, cp.wait_seconds, cp.bottleneck_stage
+        );
+    }
+    println!("(full per-stage table: `varuna-profile fig7_trace.json`)");
 }

@@ -44,6 +44,9 @@ pub struct ChaosSweep {
     pub panics: usize,
     /// Seeds whose harness errored before replaying (must be 0).
     pub errors: usize,
+    /// Rendered failure artifacts (violations + downtime profile +
+    /// flight-recorder tail) for every dirty seed, in seed order.
+    pub failures: Vec<(u64, String)>,
 }
 
 impl ChaosSweep {
@@ -85,10 +88,16 @@ pub fn run(seeds: u64) -> ChaosSweep {
     let mut rows = Vec::new();
     let mut panics = 0;
     let mut errors = 0;
+    let mut failures = Vec::new();
     for seed in 0..seeds {
         let cfg = ChaosConfig::from_seed(seed);
         match catch_unwind(AssertUnwindSafe(|| run_chaos(&calib, &base, &cfg))) {
-            Ok(Ok(r)) => rows.push(row(&r)),
+            Ok(Ok(r)) => {
+                if !r.is_clean() {
+                    failures.push((seed, r.failure_artifacts()));
+                }
+                rows.push(row(&r));
+            }
             Ok(Err(_)) => errors += 1,
             Err(_) => panics += 1,
         }
@@ -97,6 +106,7 @@ pub fn run(seeds: u64) -> ChaosSweep {
         rows,
         panics,
         errors,
+        failures,
     }
 }
 

@@ -7,17 +7,17 @@ use varuna::calibrate::Calibration;
 use varuna::job::TrainingJob;
 use varuna::planner::Planner;
 use varuna::VarunaCluster;
-use varuna_exec::observe::SpanCollector;
 use varuna_exec::pipeline::SimOptions;
 use varuna_models::ModelZoo;
-use varuna_obs::{Event, EventBus, EventKind, EventSink};
-use varuna_sched::op::OpSpan;
+use varuna_obs::{profile, Event, EventBus, EventKind, EventSink, ProfileReport};
+use varuna_sched::op::{Op, OpKind, OpSpan};
 
 /// The Figure 7 result: the execution trace of one replica plus summary
 /// timings.
 #[derive(Debug, Clone)]
 pub struct Fig7 {
-    /// Spans of replica 0 (all stages).
+    /// Spans of replica 0 (all stages), derived from the profiler's span
+    /// extraction over the captured event stream.
     pub trace: Vec<OpSpan>,
     /// Pipeline phase duration, seconds.
     pub pipeline_time: f64,
@@ -28,12 +28,16 @@ pub struct Fig7 {
     pub allreduce: Vec<f64>,
     /// Pipeline depth.
     pub p: usize,
+    /// Time attribution of the captured (replica 0) stream: per-stage
+    /// compute / transfer / allreduce / bubble decomposition, straggler
+    /// scores, and the critical path.
+    pub profile: ProfileReport,
 }
 
 /// A bus sink keeping only the events the Figure 7 chart needs: replica 0
-/// op completions plus the per-stage allreduces. At 49x6 the full event
-/// stream is ~6x larger; collecting one replica keeps the chrome trace
-/// loadable.
+/// op completions and transfers plus the per-stage allreduces. At 49x6 the
+/// full event stream is ~6x larger; collecting one replica keeps the
+/// chrome trace loadable.
 #[derive(Debug, Clone, Default)]
 struct Replica0Sink {
     events: Arc<Mutex<Vec<Event>>>,
@@ -48,7 +52,9 @@ impl Replica0Sink {
 impl EventSink for Replica0Sink {
     fn record(&mut self, event: &Event) {
         let keep = match &event.kind {
-            EventKind::OpEnd { replica, .. } | EventKind::Transfer { replica, .. } => *replica == 0,
+            EventKind::OpEnd { replica, .. }
+            | EventKind::Transfer { replica, .. }
+            | EventKind::SendBusy { replica, .. } => *replica == 0,
             EventKind::Allreduce { .. } => true,
             _ => false,
         };
@@ -64,7 +70,8 @@ pub fn run() -> Fig7 {
 }
 
 /// Like [`run`], but also returns the replica 0 op/transfer/allreduce
-/// events, ready for [`varuna_obs::chrome_trace_json`].
+/// events, ready for [`varuna_obs::chrome_trace_json`] or the
+/// `varuna-profile` CLI.
 pub fn run_traced() -> (Fig7, Vec<Event>) {
     let model = ModelZoo::gpt2_20b();
     let cluster = VarunaCluster::commodity_1gpu(294);
@@ -75,19 +82,30 @@ pub fn run_traced() -> (Fig7, Vec<Event>) {
         .evaluate(49, 6)
         .expect("the paper's 49x6 20B configuration is feasible");
     let job = TrainingJob::build(&calib, &cluster, cfg).unwrap();
-    let spans = SpanCollector::new();
     let raw = Replica0Sink::default();
-    let mut bus = EventBus::new();
-    bus.add_sink(Box::new(spans.clone()));
-    bus.add_sink(Box::new(raw.clone()));
+    let mut bus = EventBus::with_sink(Box::new(raw.clone()));
     let (res, _) = job
         .run_minibatch_on_bus(&SimOptions::default(), &mut bus)
         .unwrap();
-    let trace: Vec<OpSpan> = spans
-        .take()
+    let events = raw.take();
+    // The gantt trace and the time attribution both come from the same
+    // profiler pass over the captured stream; `profile::spans` preserves
+    // event-arrival order, so the trace is identical to what the legacy
+    // `SpanCollector` produced.
+    let report = profile(&events);
+    let trace: Vec<OpSpan> = profile::spans(&events)
         .iter()
-        .filter(|t| t.replica == 0)
-        .copied()
+        .filter(|s| s.replica == 0)
+        .map(|s| OpSpan {
+            stage: s.stage,
+            replica: s.replica,
+            op: Op::new(
+                OpKind::from_code(s.op).expect("profiler spans carry valid op codes"),
+                s.micro,
+            ),
+            start: s.start,
+            end: s.end,
+        })
         .collect();
     let fig = Fig7 {
         trace,
@@ -95,14 +113,15 @@ pub fn run_traced() -> (Fig7, Vec<Event>) {
         total_time: res.total_time,
         allreduce: res.allreduce,
         p: 49,
+        profile: report,
     };
-    (fig, raw.take())
+    (fig, events)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use varuna_sched::op::OpKind;
+    use varuna_exec::observe::SpanCollector;
 
     #[test]
     fn gantt_has_the_papers_structure() {
@@ -128,5 +147,70 @@ mod tests {
         // The allreduce region exists and sits at the far right.
         assert!(r.allreduce.iter().all(|&a| a > 0.0));
         assert!(r.total_time > r.pipeline_time);
+    }
+
+    #[test]
+    fn profiler_trace_is_identical_to_the_legacy_span_collector() {
+        // The pre-profiler pipeline attached a SpanCollector and filtered
+        // replica 0; the profiler-derived trace must match it exactly,
+        // spans and order both.
+        let model = ModelZoo::gpt2_20b();
+        let cluster = VarunaCluster::commodity_1gpu(294);
+        let calib = Calibration::profile(&model, &cluster);
+        let cfg = Planner::new(&model, &calib)
+            .batch_size(8192)
+            .micro_batch(4)
+            .evaluate(49, 6)
+            .unwrap();
+        let job = TrainingJob::build(&calib, &cluster, cfg).unwrap();
+        let spans = SpanCollector::new();
+        let mut bus = EventBus::with_sink(Box::new(spans.clone()));
+        job.run_minibatch_on_bus(&SimOptions::default(), &mut bus)
+            .unwrap();
+        let legacy: Vec<OpSpan> = spans
+            .take()
+            .iter()
+            .filter(|t| t.replica == 0)
+            .copied()
+            .collect();
+        let r = run();
+        assert_eq!(r.trace, legacy);
+    }
+
+    #[test]
+    fn profile_attribution_matches_the_minibatch_summary() {
+        let r = run();
+        // The profiler's pipeline end is the last captured op completion.
+        // The capture keeps replica 0 only, so it can land slightly before
+        // the global (max-over-replicas, jittered) pipeline boundary — but
+        // never after, and the six replicas jitter within a few percent.
+        assert!(
+            r.profile.pipeline_end <= r.pipeline_time + 1e-9,
+            "pipeline_end {} vs pipeline_time {}",
+            r.profile.pipeline_end,
+            r.pipeline_time
+        );
+        assert!(
+            r.profile.pipeline_end > 0.95 * r.pipeline_time,
+            "pipeline_end {} vs pipeline_time {}",
+            r.profile.pipeline_end,
+            r.pipeline_time
+        );
+        // One lane per stage (replica 0 only), each decomposing exactly
+        // to the makespan.
+        assert_eq!(r.profile.lanes.len(), r.p);
+        for lane in &r.profile.lanes {
+            assert!(
+                (lane.total() - r.profile.makespan).abs() < 1e-6 * r.profile.makespan,
+                "stage {} lane decomposition leaks time",
+                lane.stage
+            );
+        }
+        // A 49-deep pipeline at this micro count has a real but bounded
+        // bubble.
+        assert!(r.profile.bubble_fraction > 0.0 && r.profile.bubble_fraction < 0.9);
+        let cp = r.profile.critical_path.as_ref().expect("ops exist");
+        assert!(cp.length <= r.profile.makespan + 1e-9);
+        assert!(cp.bottleneck_stage < r.p);
     }
 }

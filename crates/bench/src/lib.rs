@@ -17,6 +17,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9_fig10;
 pub mod plan_latency;
+pub mod profile;
 pub mod table3;
 pub mod table4;
 pub mod table5;

@@ -1,0 +1,34 @@
+//! Golden-file regression test for the `varuna-profile` pipeline: the
+//! fig7 capture, exported to a chrome trace and re-imported — exactly
+//! what `varuna-profile fig7_trace.json` does — must profile to the
+//! committed `fig7_profile.json` report, byte for byte.
+//!
+//! This pins the whole capture -> export -> import -> attribute ->
+//! serialize chain at once (the 19 MB trace itself is a regenerable
+//! build artifact, so the committed golden is the report, not the
+//! trace). Regenerate after an intentional change:
+//!
+//! ```console
+//! $ cargo run --release -p varuna-bench --bin fig7_gantt
+//! $ cargo run --release -p varuna-obs --bin varuna-profile -- \
+//!       fig7_trace.json --out fig7_profile.json
+//! ```
+
+use varuna_bench::fig7;
+use varuna_obs::{chrome_trace_json, events_from_chrome_trace, profile};
+
+const GOLDEN: &str = include_str!("../../../fig7_profile.json");
+
+#[test]
+fn fig7_trace_profiles_to_the_committed_report() {
+    let (_, events) = fig7::run_traced();
+    let trace = chrome_trace_json(&events);
+    let imported = events_from_chrome_trace(&trace).expect("own trace imports");
+    let report = profile(&imported);
+    assert_eq!(
+        report.to_json(),
+        GOLDEN,
+        "fig7_profile.json drifted from profiling the fig7 chrome trace; \
+         regenerate via fig7_gantt + varuna-profile if the change is intentional"
+    );
+}

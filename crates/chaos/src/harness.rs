@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use varuna::{Calibration, Manager, ManagerState};
 use varuna_cluster::trace::ClusterTrace;
-use varuna_obs::{Event, EventBus, EventKind, VecSink};
+use varuna_obs::{profile, Event, EventBus, EventKind, ProfileReport, RingBufferSink, VecSink};
 
 use crate::config::{ChaosConfig, ChaosError};
 use crate::fault::InjectedFault;
@@ -32,12 +32,70 @@ pub struct ChaosRun {
     pub lost_minibatches: u64,
     /// Whether the manager finished the trace Running or Degraded.
     pub ended_degraded: bool,
+    /// Time-attribution profile of the replay stream, attached only when
+    /// an invariant was violated so the fault's cost is visible in the
+    /// failure report.
+    pub profile: Option<ProfileReport>,
+    /// The flight recorder's last events (newest last), drained only on
+    /// an invariant violation — the tail of the stream that led up to it.
+    pub flight_recorder: Vec<Event>,
 }
+
+/// Ring-buffer capacity of the always-on flight recorder: enough tail to
+/// see the episode leading into a violation without retaining the full
+/// multi-thousand-event stream in failure artifacts.
+pub const FLIGHT_RECORDER_EVENTS: usize = 256;
 
 impl ChaosRun {
     /// Whether the run upheld every invariant.
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Renders the failure artifacts for a dirty run: the violations, the
+    /// downtime accounting from the attached profile, and the flight
+    /// recorder's tail, one readable block for CI logs / artifact files.
+    /// Empty for a clean run.
+    pub fn failure_artifacts(&self) -> String {
+        if self.is_clean() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "chaos seed {} FAILED: {} violation(s), digest {:016x}\n",
+            self.seed,
+            self.violations.len(),
+            self.digest
+        ));
+        for v in &self.violations {
+            out.push_str(&format!("  violation: {v}\n"));
+        }
+        if let Some(p) = &self.profile {
+            let dt = &p.downtime;
+            out.push_str(&format!(
+                "profile: makespan {:.1}s, useful {:.1}s, degraded {:.1}s, \
+                 restarts {:.1}s, ckpt writes {:.1}s, lost work {:.1}s \
+                 ({} morphs, {} checkpoints, {} preemptions, {} faults)\n",
+                p.makespan,
+                dt.useful_seconds,
+                dt.degraded_seconds,
+                dt.morph_restart_seconds,
+                dt.checkpoint_write_seconds,
+                dt.lost_work_seconds,
+                dt.morphs,
+                dt.checkpoints,
+                dt.preemptions,
+                dt.faults_injected,
+            ));
+        }
+        out.push_str(&format!(
+            "flight recorder (last {} events):\n",
+            self.flight_recorder.len()
+        ));
+        for e in &self.flight_recorder {
+            out.push_str(&format!("  [{:>12.3}s] {:?}\n", e.t_sim, e.kind));
+        }
+        out
     }
 }
 
@@ -71,7 +129,9 @@ pub fn run_chaos(
 ) -> Result<ChaosRun, ChaosError> {
     let injector = ChaosInjector::new(cfg.clone())?;
     let sink = VecSink::new();
+    let recorder = RingBufferSink::new(FLIGHT_RECORDER_EVENTS);
     let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+    bus.add_sink(Box::new(recorder.clone()));
     let (trace, faults) = injector.perturb_observed(base, &mut bus);
     let mut mgr = Manager::new(calib, 8192, 4).with_fallback();
     mgr.replay_on_bus(&trace, &mut bus)
@@ -110,6 +170,13 @@ pub fn run_chaos(
             _ => None,
         })
         .sum();
+    // Failure artifacts: a dirty run ships its time-attribution profile
+    // and the flight recorder's tail; clean runs stay lean.
+    let (profile, flight_recorder) = if violations.is_empty() {
+        (None, Vec::new())
+    } else {
+        (Some(profile(&replay_events)), recorder.snapshot())
+    };
     Ok(ChaosRun {
         seed: cfg.seed,
         digest: digest_events(&events),
@@ -120,6 +187,8 @@ pub fn run_chaos(
         degraded_entries,
         lost_minibatches,
         ended_degraded: mgr.state() == ManagerState::Degraded,
+        profile,
+        flight_recorder,
     })
 }
 

@@ -37,5 +37,5 @@ pub mod verify;
 
 pub use config::{ChaosConfig, ChaosError};
 pub use fault::{FaultKind, InjectedFault};
-pub use harness::{digest_events, run_chaos, ChaosRun};
+pub use harness::{digest_events, run_chaos, ChaosRun, FLIGHT_RECORDER_EVENTS};
 pub use inject::ChaosInjector;

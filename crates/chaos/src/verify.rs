@@ -23,7 +23,9 @@ use varuna_obs::{Event, EventKind};
 /// 4. **Degraded alternation** — `DegradedEnter`/`DegradedExit` strictly
 ///    alternate, and every exit prices a non-negative pause.
 /// 5. **Capacity honesty** — every `Morph` and `Checkpoint` uses at most
-///    the GPUs it holds, with finite non-negative throughputs.
+///    the GPUs it holds, with finite non-negative throughputs; downtime
+///    pricing is honest too (finite non-negative restart / write
+///    seconds, and only actual reconfigurations price a restart).
 /// 6. **Priced lost work** — every `LostWork` event carries a positive
 ///    cost and is attached to a reconfiguration (a `Morph` at the same
 ///    `t_sim`): work is conserved *modulo explicitly-priced loss*.
@@ -61,6 +63,7 @@ pub fn check_invariants(events: &[Event]) -> Vec<String> {
                 gpus_held,
                 gpus_used,
                 examples_per_sec,
+                write_seconds,
                 ..
             } => {
                 if *step < last_ckpt_step {
@@ -79,11 +82,18 @@ pub fn check_invariants(events: &[Event]) -> Vec<String> {
                         "event {i}: bad checkpoint throughput {examples_per_sec}"
                     ));
                 }
+                if !(write_seconds.is_finite() && *write_seconds >= 0.0) {
+                    violations.push(format!(
+                        "event {i}: bad checkpoint write_seconds {write_seconds}"
+                    ));
+                }
             }
             EventKind::Morph {
                 gpus_held,
                 gpus_used,
                 examples_per_sec,
+                reconfigured,
+                restart_seconds,
                 ..
             } => {
                 if gpus_used > gpus_held {
@@ -94,6 +104,17 @@ pub fn check_invariants(events: &[Event]) -> Vec<String> {
                 if !(examples_per_sec.is_finite() && *examples_per_sec >= 0.0) {
                     violations.push(format!(
                         "event {i}: bad morph throughput {examples_per_sec}"
+                    ));
+                }
+                if !(restart_seconds.is_finite() && *restart_seconds >= 0.0) {
+                    violations.push(format!(
+                        "event {i}: bad morph restart_seconds {restart_seconds}"
+                    ));
+                }
+                if !reconfigured && *restart_seconds != 0.0 {
+                    violations.push(format!(
+                        "event {i}: same-shape replacement priced a restart \
+                         ({restart_seconds}s)"
                     ));
                 }
             }
@@ -215,6 +236,7 @@ mod tests {
                     d: 2,
                     examples_per_sec: 10.0,
                     examples_per_sec_per_gpu: 2.5,
+                    write_seconds: 0.5,
                 },
             )
         };
@@ -277,9 +299,44 @@ mod tests {
                 examples_per_sec: 10.0,
                 examples_per_sec_per_gpu: 1.25,
                 reconfigured: true,
+                restart_seconds: 60.0,
             },
         )]);
         assert!(v.iter().any(|s| s.contains("uses 8 GPUs")), "{v:?}");
+    }
+
+    #[test]
+    fn dishonest_downtime_pricing_is_flagged() {
+        // A same-shape replacement must not price a restart, and
+        // checkpoint writes must price a finite non-negative pause.
+        let v = check_invariants(&[Event::manager(
+            1.0,
+            EventKind::Morph {
+                p: 4,
+                d: 2,
+                gpus_held: 8,
+                gpus_used: 8,
+                examples_per_sec: 10.0,
+                examples_per_sec_per_gpu: 1.25,
+                reconfigured: false,
+                restart_seconds: 60.0,
+            },
+        )]);
+        assert!(v.iter().any(|s| s.contains("priced a restart")), "{v:?}");
+        let v = check_invariants(&[Event::manager(
+            1.0,
+            EventKind::Checkpoint {
+                step: 16,
+                gpus_held: 8,
+                gpus_used: 8,
+                p: 4,
+                d: 2,
+                examples_per_sec: 10.0,
+                examples_per_sec_per_gpu: 1.25,
+                write_seconds: f64::NAN,
+            },
+        )]);
+        assert!(v.iter().any(|s| s.contains("write_seconds")), "{v:?}");
     }
 
     #[test]

@@ -9,6 +9,17 @@ use crate::error::VarunaError;
 use crate::observe::TimelineCollector;
 
 impl Manager<'_> {
+    /// Foreground pause priced for one sharded checkpoint write under
+    /// `cfg` — the policy's local-SSD cost model over this config's
+    /// per-stage shard. Infeasible inputs price as zero rather than
+    /// failing the replay.
+    fn checkpoint_write_seconds(&self, cfg: &crate::planner::Config) -> f64 {
+        let stage_params = self.morph.calibration().model.total_params() / cfg.p.max(1) as u64;
+        self.checkpoint
+            .pause_seconds(stage_params, cfg.d)
+            .unwrap_or(0.0)
+    }
+
     /// Replays a cluster trace, morphing on every capacity change, and
     /// returns the Figure 8 timeline.
     ///
@@ -120,6 +131,7 @@ impl Manager<'_> {
                         });
                     } else {
                         durable_step = durable_step.max(last_ckpt_step);
+                        let write_seconds = self.checkpoint_write_seconds(&cfg);
                         bus.emit_with(|| {
                             Event::manager(
                                 t_ckpt * 3600.0,
@@ -131,6 +143,7 @@ impl Manager<'_> {
                                     d: cfg.d,
                                     examples_per_sec: cfg.throughput(),
                                     examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                    write_seconds,
                                 },
                             )
                         });
@@ -190,6 +203,7 @@ impl Manager<'_> {
                                 let at = step as u64;
                                 if at > durable_step {
                                     durable_step = at;
+                                    let write_seconds = self.checkpoint_write_seconds(&cfg);
                                     bus.emit_with(|| {
                                         Event::manager(
                                             t * 3600.0,
@@ -201,6 +215,7 @@ impl Manager<'_> {
                                                 d: cfg.d,
                                                 examples_per_sec: cfg.throughput(),
                                                 examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                                write_seconds,
                                             },
                                         )
                                     });
@@ -361,6 +376,11 @@ impl Manager<'_> {
                                 examples_per_sec: cfg.throughput(),
                                 examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
                                 reconfigured: decision.reconfigured,
+                                restart_seconds: if decision.reconfigured {
+                                    self.morph.restart_overhead
+                                } else {
+                                    0.0
+                                },
                             },
                         )
                     });

@@ -156,6 +156,11 @@ impl<'a> MorphController<'a> {
         }
     }
 
+    /// The calibration this controller plans against.
+    pub fn calibration(&self) -> &'a Calibration {
+        self.calib
+    }
+
     /// Pins the micro-batch size (otherwise `m*` from calibration).
     pub fn micro_batch(mut self, m: usize) -> Self {
         self.set_micro_batch(Some(m));

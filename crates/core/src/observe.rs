@@ -59,6 +59,7 @@ impl EventSink for TimelineCollector {
                 examples_per_sec,
                 examples_per_sec_per_gpu,
                 reconfigured,
+                ..
             } => Some(TimelinePoint {
                 t_hours: event.t_sim / 3600.0,
                 gpus_held: *gpus_held,
@@ -119,6 +120,7 @@ mod tests {
                 examples_per_sec: 20.0,
                 examples_per_sec_per_gpu: 20.0 / 35.0,
                 reconfigured: true,
+                restart_seconds: 60.0,
             },
         ));
         bus.emit(Event::manager(
@@ -131,6 +133,7 @@ mod tests {
                 examples_per_sec: 20.0,
                 examples_per_sec_per_gpu: 20.0 / 35.0,
                 reconfigured: false,
+                restart_seconds: 0.0,
             },
         ));
         bus.emit(Event::manager(
@@ -143,6 +146,7 @@ mod tests {
                 d: 5,
                 examples_per_sec: 20.0,
                 examples_per_sec_per_gpu: 20.0 / 35.0,
+                write_seconds: 0.5,
             },
         ));
         let timeline = collector.take();

@@ -440,6 +440,17 @@ pub fn simulate_minibatch_on_bus(
                             if opts.blocking_sends {
                                 st[i].busy = true;
                                 st[i].busy_time += ser;
+                                bus.emit_with(|| {
+                                    Event::exec(
+                                        now,
+                                        EventKind::SendBusy {
+                                            stage: s,
+                                            replica: r,
+                                            micro: op.micro,
+                                            seconds: ser,
+                                        },
+                                    )
+                                });
                                 q.push(now + ser, Ev::SendDone { s, r });
                             }
                         }
@@ -498,6 +509,17 @@ pub fn simulate_minibatch_on_bus(
                             if opts.blocking_sends {
                                 st[i].busy = true;
                                 st[i].busy_time += ser;
+                                bus.emit_with(|| {
+                                    Event::exec(
+                                        now,
+                                        EventKind::SendBusy {
+                                            stage: s,
+                                            replica: r,
+                                            micro: op.micro,
+                                            seconds: ser,
+                                        },
+                                    )
+                                });
                                 q.push(now + ser, Ev::SendDone { s, r });
                             }
                         }

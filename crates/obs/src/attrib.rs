@@ -1,0 +1,454 @@
+//! Critical-path extraction and downtime pricing for the profiler.
+//!
+//! Two passes sit on top of the per-lane decomposition in
+//! [`crate::profile()`]:
+//!
+//! - [`critical_path`] walks the op dependency graph backwards from the
+//!   last op to finish, at each step following the *binding* predecessor
+//!   (the latest-finishing of: the previous op on the same GPU lane, the
+//!   upstream forward the op's input came from, or the downstream
+//!   backward its gradient came from). The per-stage time along that
+//!   path names the bottleneck stage — the stage to speed up next.
+//! - [`downtime`] scans manager / cluster events and prices everything
+//!   that is *not* useful training time on a spot trace: degraded
+//!   pauses, morph restarts, checkpoint write stalls, and re-run (lost)
+//!   work, each from its own event field so the components never
+//!   double-count.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind};
+use crate::profile::ProfileSpan;
+
+/// The critical path through one mini-batch's op graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// End time of the path's final op — the pipeline makespan the path
+    /// explains, seconds.
+    pub length: f64,
+    /// Seconds of the path spent computing.
+    pub compute_seconds: f64,
+    /// Seconds of the path spent waiting (transfer latency, stalled
+    /// dependencies, and the initial warmup from t=0), so
+    /// `compute_seconds + wait_seconds == length`.
+    pub wait_seconds: f64,
+    /// Ops on the path.
+    pub ops: usize,
+    /// Stage contributing the most compute time to the path — the
+    /// pipeline's bottleneck.
+    pub bottleneck_stage: usize,
+    /// Per-stage compute seconds along the path (index = stage).
+    pub stage_seconds: Vec<f64>,
+}
+
+/// Extracts the critical path from op spans (`None` when empty).
+///
+/// The dependency model matches the emulator: an op waits on the
+/// previous op of its own lane; a forward additionally waits on the same
+/// micro-batch's forward one stage upstream; a backward additionally
+/// waits on the same micro-batch's backward one stage downstream. The
+/// binding predecessor is whichever candidate finished last (ties break
+/// deterministically toward the lowest `(stage, replica)`), and the walk
+/// ends at an op with no earlier predecessor — its start time is charged
+/// as initial wait.
+pub fn critical_path(spans: &[ProfileSpan]) -> Option<CriticalPath> {
+    use std::collections::HashMap;
+
+    if spans.is_empty() {
+        return None;
+    }
+
+    // Lane-sorted order and per-op lookup.
+    let mut by_lane: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    let mut by_key: HashMap<(usize, usize, char, usize), usize> = HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        by_lane.entry((s.stage, s.replica)).or_default().push(i);
+        by_key.insert((s.stage, s.replica, s.op, s.micro), i);
+    }
+    let mut lane_pos: HashMap<usize, usize> = HashMap::new();
+    for lane in by_lane.values_mut() {
+        lane.sort_by(|&a, &b| {
+            spans[a]
+                .start
+                .total_cmp(&spans[b].start)
+                .then(spans[a].end.total_cmp(&spans[b].end))
+        });
+        for (pos, &i) in lane.iter().enumerate() {
+            lane_pos.insert(i, pos);
+        }
+    }
+
+    // Start from the last op to finish (deterministic tie-break).
+    let mut cur = 0;
+    for (i, s) in spans.iter().enumerate() {
+        let best = &spans[cur];
+        if s.end > best.end
+            || (s.end == best.end
+                && (s.stage, s.replica, s.micro) < (best.stage, best.replica, best.micro))
+        {
+            cur = i;
+        }
+    }
+
+    let length = spans[cur].end;
+    let mut compute = 0.0f64;
+    let mut wait = 0.0f64;
+    let mut ops = 0usize;
+    let max_stage = spans.iter().map(|s| s.stage).max().unwrap_or(0);
+    let mut stage_seconds = vec![0.0f64; max_stage + 1];
+    let eps = 1e-9;
+
+    // Bounded walk: each step moves to an op ending at or before the
+    // current op's start, so `spans.len()` steps always suffice.
+    for _ in 0..=spans.len() {
+        let s = spans[cur];
+        compute += s.duration();
+        stage_seconds[s.stage] += s.duration();
+        ops += 1;
+
+        let mut candidates: Vec<usize> = Vec::with_capacity(3);
+        if let Some(pos) = lane_pos.get(&cur) {
+            if *pos > 0 {
+                candidates.push(by_lane[&(s.stage, s.replica)][pos - 1]);
+            }
+        }
+        if s.op == 'F' && s.stage > 0 {
+            if let Some(&i) = by_key.get(&(s.stage - 1, s.replica, 'F', s.micro)) {
+                candidates.push(i);
+            }
+        }
+        if s.op == 'B' {
+            if let Some(&i) = by_key.get(&(s.stage + 1, s.replica, 'B', s.micro)) {
+                candidates.push(i);
+            }
+        }
+        let pred = candidates
+            .into_iter()
+            .filter(|&i| i != cur && spans[i].end <= s.start + eps)
+            .max_by(|&a, &b| {
+                spans[a].end.total_cmp(&spans[b].end).then_with(|| {
+                    // Lower (stage, replica) wins ties, so the pick is
+                    // deterministic regardless of candidate order.
+                    (spans[b].stage, spans[b].replica).cmp(&(spans[a].stage, spans[a].replica))
+                })
+            });
+        match pred {
+            Some(p) => {
+                wait += (s.start - spans[p].end).max(0.0);
+                cur = p;
+            }
+            None => {
+                wait += s.start.max(0.0);
+                break;
+            }
+        }
+    }
+
+    // Strict `>` keeps the first (lowest) stage on ties.
+    let mut bottleneck_stage = 0;
+    for (s, &v) in stage_seconds.iter().enumerate() {
+        if v > stage_seconds[bottleneck_stage] {
+            bottleneck_stage = s;
+        }
+    }
+    Some(CriticalPath {
+        length,
+        compute_seconds: compute,
+        wait_seconds: wait,
+        ops,
+        bottleneck_stage,
+        stage_seconds,
+    })
+}
+
+/// Priced downtime over a manager / spot-trace event stream.
+///
+/// The four priced components come from disjoint event fields —
+/// `DegradedExit::paused_seconds` (plus any still-open episode at stream
+/// end), `Morph::restart_seconds`, `Checkpoint::write_seconds`, and
+/// `LostWork::seconds` — so their sum never double-counts.
+/// `useful_seconds` is the remainder of the stream window, making
+/// `useful + degraded + restart + checkpoint + lost == makespan` an
+/// identity the chaos tests pin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DowntimeProfile {
+    /// Morph / replacement decisions observed.
+    pub morphs: usize,
+    /// Morphs that actually changed the `P x D` shape.
+    pub reconfigurations: usize,
+    /// Successful checkpoints observed.
+    pub checkpoints: usize,
+    /// Checkpoint writes that failed (storage outage).
+    pub checkpoint_write_failures: usize,
+    /// VM preemptions observed.
+    pub preemptions: usize,
+    /// Degraded episodes entered.
+    pub degraded_episodes: usize,
+    /// Faults injected by the chaos harness.
+    pub faults_injected: usize,
+    /// Mini-batches explicitly priced as lost.
+    pub lost_minibatches: u64,
+    /// Seconds paused in the degraded state (closed episodes use the
+    /// exit event's own pause; an episode still open at stream end is
+    /// charged up to the makespan).
+    pub degraded_seconds: f64,
+    /// Seconds of fixed morph restart overhead.
+    pub morph_restart_seconds: f64,
+    /// Seconds of foreground checkpoint write stalls.
+    pub checkpoint_write_seconds: f64,
+    /// Seconds of re-run work priced by `LostWork` events.
+    pub lost_work_seconds: f64,
+    /// The stream window minus every priced component above.
+    pub useful_seconds: f64,
+}
+
+impl DowntimeProfile {
+    /// Total priced downtime (everything but `useful_seconds`).
+    pub fn downtime_seconds(&self) -> f64 {
+        self.degraded_seconds
+            + self.morph_restart_seconds
+            + self.checkpoint_write_seconds
+            + self.lost_work_seconds
+    }
+}
+
+/// Computes the [`DowntimeProfile`] of a stream whose window is
+/// `[0, makespan]`.
+pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
+    let mut d = DowntimeProfile {
+        morphs: 0,
+        reconfigurations: 0,
+        checkpoints: 0,
+        checkpoint_write_failures: 0,
+        preemptions: 0,
+        degraded_episodes: 0,
+        faults_injected: 0,
+        lost_minibatches: 0,
+        degraded_seconds: 0.0,
+        morph_restart_seconds: 0.0,
+        checkpoint_write_seconds: 0.0,
+        lost_work_seconds: 0.0,
+        useful_seconds: 0.0,
+    };
+    let mut open_degraded: Option<f64> = None;
+    for e in events {
+        match &e.kind {
+            EventKind::Morph {
+                reconfigured,
+                restart_seconds,
+                ..
+            } => {
+                d.morphs += 1;
+                if *reconfigured {
+                    d.reconfigurations += 1;
+                }
+                d.morph_restart_seconds += restart_seconds;
+            }
+            EventKind::Checkpoint { write_seconds, .. } => {
+                d.checkpoints += 1;
+                d.checkpoint_write_seconds += write_seconds;
+            }
+            EventKind::CheckpointWriteFailed { .. } => {
+                d.checkpoint_write_failures += 1;
+            }
+            EventKind::Preemption { .. } => {
+                d.preemptions += 1;
+            }
+            EventKind::FaultInjected { .. } => {
+                d.faults_injected += 1;
+            }
+            EventKind::DegradedEnter { .. } => {
+                d.degraded_episodes += 1;
+                open_degraded = Some(e.t_sim);
+            }
+            EventKind::DegradedExit { paused_seconds, .. } => {
+                open_degraded = None;
+                d.degraded_seconds += paused_seconds;
+            }
+            EventKind::LostWork {
+                minibatches,
+                seconds,
+            } => {
+                d.lost_minibatches += minibatches;
+                d.lost_work_seconds += seconds;
+            }
+            _ => {}
+        }
+    }
+    if let Some(since) = open_degraded {
+        d.degraded_seconds += (makespan - since).max(0.0);
+    }
+    d.useful_seconds = makespan - d.downtime_seconds();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        stage: usize,
+        replica: usize,
+        op: char,
+        micro: usize,
+        start: f64,
+        end: f64,
+    ) -> ProfileSpan {
+        ProfileSpan {
+            stage,
+            replica,
+            op,
+            micro,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn empty_spans_have_no_critical_path() {
+        assert!(critical_path(&[]).is_none());
+    }
+
+    #[test]
+    fn a_chained_pipeline_is_fully_explained() {
+        // Exact chaining: F0 -> F1 -> B1 -> B0, zero latency.
+        let spans = vec![
+            span(0, 0, 'F', 0, 0.0, 1.0),
+            span(1, 0, 'F', 0, 1.0, 2.0),
+            span(1, 0, 'B', 0, 2.0, 4.0),
+            span(0, 0, 'B', 0, 4.0, 6.0),
+        ];
+        let c = critical_path(&spans).unwrap();
+        assert_eq!(c.length, 6.0);
+        assert_eq!(c.ops, 4);
+        assert!((c.compute_seconds - 6.0).abs() < 1e-9);
+        assert!(c.wait_seconds.abs() < 1e-9);
+        assert!((c.compute_seconds + c.wait_seconds - c.length).abs() < 1e-9);
+        // Both stages carry 3s; tie breaks to the lower stage.
+        assert_eq!(c.bottleneck_stage, 0);
+        assert_eq!(c.stage_seconds, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn transfer_latency_appears_as_wait() {
+        let spans = vec![
+            span(0, 0, 'F', 0, 0.5, 1.0),  // 0.5 initial wait
+            span(1, 0, 'F', 0, 1.25, 2.0), // 0.25 transfer gap
+        ];
+        let c = critical_path(&spans).unwrap();
+        assert_eq!(c.length, 2.0);
+        assert!((c.compute_seconds - 1.25).abs() < 1e-9);
+        assert!((c.wait_seconds - 0.75).abs() < 1e-9);
+        assert_eq!(c.bottleneck_stage, 1);
+    }
+
+    #[test]
+    fn the_slow_stage_is_the_bottleneck() {
+        // Stage 1 is 4x slower; the path should spend its time there.
+        let spans = vec![
+            span(0, 0, 'F', 0, 0.0, 1.0),
+            span(0, 0, 'F', 1, 1.0, 2.0),
+            span(1, 0, 'F', 0, 1.0, 5.0),
+            span(1, 0, 'F', 1, 5.0, 9.0),
+            span(1, 0, 'B', 1, 9.0, 13.0),
+            span(0, 0, 'B', 1, 13.0, 14.0),
+        ];
+        let c = critical_path(&spans).unwrap();
+        assert_eq!(c.bottleneck_stage, 1);
+        assert!(c.stage_seconds[1] > c.stage_seconds[0]);
+        assert!((c.compute_seconds + c.wait_seconds - c.length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_spans_terminate() {
+        // Degenerate all-zero spans at t=0 must not loop forever.
+        let spans = vec![
+            span(0, 0, 'F', 0, 0.0, 0.0),
+            span(0, 0, 'F', 1, 0.0, 0.0),
+            span(1, 0, 'F', 0, 0.0, 0.0),
+        ];
+        let c = critical_path(&spans).unwrap();
+        assert_eq!(c.length, 0.0);
+        assert!(c.ops <= spans.len() + 1);
+    }
+
+    #[test]
+    fn downtime_prices_each_component_once() {
+        let events = vec![
+            Event::manager(
+                100.0,
+                EventKind::LostWork {
+                    minibatches: 5,
+                    seconds: 50.0,
+                },
+            ),
+            Event::manager(
+                100.0,
+                EventKind::Morph {
+                    p: 4,
+                    d: 2,
+                    gpus_held: 8,
+                    gpus_used: 8,
+                    examples_per_sec: 10.0,
+                    examples_per_sec_per_gpu: 1.25,
+                    reconfigured: true,
+                    restart_seconds: 60.0,
+                },
+            ),
+            Event::manager(
+                200.0,
+                EventKind::Checkpoint {
+                    step: 16,
+                    gpus_held: 8,
+                    gpus_used: 8,
+                    p: 4,
+                    d: 2,
+                    examples_per_sec: 10.0,
+                    examples_per_sec_per_gpu: 1.25,
+                    write_seconds: 2.5,
+                },
+            ),
+            Event::manager(
+                300.0,
+                EventKind::DegradedEnter {
+                    gpus: 0,
+                    reason: "x".into(),
+                },
+            ),
+            Event::manager(
+                400.0,
+                EventKind::DegradedExit {
+                    gpus: 8,
+                    paused_seconds: 100.0,
+                },
+            ),
+        ];
+        let d = downtime(&events, 1000.0);
+        assert_eq!(d.morphs, 1);
+        assert_eq!(d.reconfigurations, 1);
+        assert_eq!(d.checkpoints, 1);
+        assert_eq!(d.lost_minibatches, 5);
+        assert_eq!(d.degraded_episodes, 1);
+        assert_eq!(d.degraded_seconds, 100.0);
+        assert_eq!(d.morph_restart_seconds, 60.0);
+        assert_eq!(d.checkpoint_write_seconds, 2.5);
+        assert_eq!(d.lost_work_seconds, 50.0);
+        assert_eq!(d.downtime_seconds(), 212.5);
+        assert_eq!(d.useful_seconds, 787.5);
+        assert!((d.useful_seconds + d.downtime_seconds() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn an_open_degraded_episode_is_charged_to_stream_end() {
+        let events = vec![Event::manager(
+            600.0,
+            EventKind::DegradedEnter {
+                gpus: 0,
+                reason: "capacity collapse".into(),
+            },
+        )];
+        let d = downtime(&events, 1000.0);
+        assert_eq!(d.degraded_seconds, 400.0);
+        assert_eq!(d.useful_seconds, 600.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! `varuna-profile` — turn a captured event stream into a time-attribution
+//! report.
+//!
+//! Accepts either a `JsonlSink` capture (one `Event` per line) or a chrome
+//! trace document written by `chrome_trace_json` (auto-detected by the
+//! `traceEvents` key), prints a headline decomposition plus the per-stage
+//! utilization table, and optionally writes the full `ProfileReport` JSON:
+//!
+//! ```text
+//! varuna-profile <capture.{jsonl,json}> [--out report.json]
+//! ```
+
+use std::process::ExitCode;
+
+use varuna_obs::{events_from_chrome_trace, events_from_jsonl, profile};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: varuna-profile <capture.{{jsonl,json}}> [--out report.json]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--out" => {
+                if i + 1 >= argv.len() {
+                    return usage();
+                }
+                out = Some(argv[i + 1].clone());
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: varuna-profile <capture.{{jsonl,json}}> [--out report.json]");
+                return ExitCode::SUCCESS;
+            }
+            arg if arg.starts_with("--") => return usage(),
+            arg => {
+                if input.is_some() {
+                    return usage();
+                }
+                input = Some(arg.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = input else { return usage() };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("varuna-profile: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // A chrome trace is one JSON document with a `traceEvents` array; a
+    // JSonlSink capture is one event object per line.
+    let parsed = if text.contains("\"traceEvents\"") {
+        events_from_chrome_trace(&text)
+    } else {
+        events_from_jsonl(&text)
+    };
+    let events = match parsed {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("varuna-profile: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = profile(&events);
+    println!(
+        "{} events, makespan {:.3}s, bubble fraction {:.4}",
+        report.events, report.makespan, report.bubble_fraction
+    );
+    if let Some(cp) = &report.critical_path {
+        println!(
+            "critical path: {:.3}s over {} ops ({:.3}s compute, {:.3}s wait), bottleneck stage {}",
+            cp.length, cp.ops, cp.compute_seconds, cp.wait_seconds, cp.bottleneck_stage
+        );
+    }
+    let dt = &report.downtime;
+    if dt.downtime_seconds() > 0.0 {
+        println!(
+            "downtime: {:.1}s degraded, {:.1}s morph restarts ({} morphs / {} reconfigs), \
+             {:.1}s checkpoint writes ({}), {:.1}s lost work ({} minibatches)",
+            dt.degraded_seconds,
+            dt.morph_restart_seconds,
+            dt.morphs,
+            dt.reconfigurations,
+            dt.checkpoint_write_seconds,
+            dt.checkpoints,
+            dt.lost_work_seconds,
+            dt.lost_minibatches
+        );
+    }
+    println!();
+    print!("{}", report.stage_table());
+
+    if let Some(out_path) = out {
+        if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+            eprintln!("varuna-profile: cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nreport written to {out_path}");
+    }
+    ExitCode::SUCCESS
+}

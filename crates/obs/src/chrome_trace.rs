@@ -60,6 +60,56 @@ fn op_category(code: char) -> &'static str {
     }
 }
 
+fn op_rank(code: char) -> u8 {
+    match code {
+        'F' => 0,
+        'R' => 1,
+        'B' => 2,
+        _ => 3,
+    }
+}
+
+/// Deterministic ordering key for events sharing a `t_sim`: data-plane
+/// events sort by (stage, replica, micro, op); control-plane events sort
+/// after them, keeping their arrival order (the sort is stable).
+fn tie_key(e: &Event) -> (u8, u64, u64, u64, u8) {
+    match &e.kind {
+        EventKind::OpStart {
+            stage,
+            replica,
+            op,
+            micro,
+        }
+        | EventKind::OpEnd {
+            stage,
+            replica,
+            op,
+            micro,
+            ..
+        } => (
+            0,
+            *stage as u64,
+            *replica as u64,
+            *micro as u64,
+            op_rank(*op),
+        ),
+        EventKind::SendBusy {
+            stage,
+            replica,
+            micro,
+            ..
+        } => (0, *stage as u64, *replica as u64, *micro as u64, 4),
+        EventKind::Transfer {
+            from_stage,
+            replica,
+            micro,
+            ..
+        } => (0, *from_stage as u64, *replica as u64, *micro as u64, 5),
+        EventKind::Allreduce { stage, .. } => (0, *stage as u64, 0, 0, 6),
+        _ => (1, 0, 0, 0, 0),
+    }
+}
+
 fn to_trace_event(e: &Event) -> Option<Value> {
     match &e.kind {
         // OpStart is intentionally skipped: the matching OpEnd carries the
@@ -115,6 +165,20 @@ fn to_trace_event(e: &Event) -> Option<Value> {
                 ("bytes".to_string(), Value::Float(*bytes)),
                 ("ring".to_string(), Value::UInt(*ring as u64)),
             ],
+        )),
+        EventKind::SendBusy {
+            stage,
+            replica,
+            micro,
+            seconds,
+        } => Some(complete(
+            format!("send m{micro}"),
+            "send",
+            *replica as u64,
+            *stage as u64,
+            e.t_sim * US,
+            seconds * US,
+            vec![("micro".to_string(), Value::UInt(*micro as u64))],
         )),
         EventKind::Preemption { vm } => Some(instant(
             format!("preempt vm{vm}"),
@@ -301,16 +365,162 @@ fn to_trace_event(e: &Event) -> Option<Value> {
 
 /// Renders events as one Perfetto-loadable JSON document.
 ///
-/// The output is a pure function of the input slice: the same events in
-/// the same order always produce byte-identical JSON, which the golden
-/// test in `varuna-exec` relies on.
+/// Events are serialized in `t_sim` order with a deterministic tie-break
+/// keyed on (stage, replica, micro, op) for data-plane events —
+/// control-plane instants at the same timestamp come after them, in
+/// arrival order. Data-plane output is therefore byte-stable across any
+/// reordering of simultaneous events, which the golden test in
+/// `varuna-exec` relies on.
 pub fn chrome_trace_json(events: &[Event]) -> String {
-    let trace_events: Vec<Value> = events.iter().filter_map(to_trace_event).collect();
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by(|&a, &b| {
+        events[a]
+            .t_sim
+            .total_cmp(&events[b].t_sim)
+            .then_with(|| tie_key(&events[a]).cmp(&tie_key(&events[b])))
+    });
+    let trace_events: Vec<Value> = order
+        .into_iter()
+        .filter_map(|i| to_trace_event(&events[i]))
+        .collect();
     let doc = Value::Map(vec![
         ("traceEvents".to_string(), Value::Seq(trace_events)),
         ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
     ]);
     serde_json::to_string_pretty(&doc).expect("trace documents always serialize")
+}
+
+fn num_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Float(f) => Some(*f),
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn num_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(u) => Some(*u),
+        Value::Int(i) if *i >= 0 => Some(*i as u64),
+        Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn slice_field_f64(s: &Value, key: &str) -> Result<f64, String> {
+    s.get(key)
+        .and_then(num_f64)
+        .ok_or_else(|| format!("trace slice missing numeric `{key}`"))
+}
+
+/// Recovers the data-plane [`Event`]s from a chrome trace document (the
+/// inverse of [`chrome_trace_json`] for `"ph": "X"` slices).
+///
+/// Instant markers carry no duration and are skipped, so a trace
+/// round-tripped through this importer profiles identically on the
+/// compute/comms/bubble axes but loses control-plane downtime pricing —
+/// feed the profiler a `JsonlSink` capture when that matters.
+pub fn events_from_chrome_trace(text: &str) -> Result<Vec<Event>, String> {
+    let doc = serde_json::parse_value(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let slices = doc
+        .get("traceEvents")
+        .ok_or_else(|| "missing `traceEvents` array".to_string())?
+        .as_seq_for("traceEvents")
+        .map_err(|e| e.to_string())?;
+    let mut events = Vec::new();
+    for s in slices {
+        if s.get("ph") != Some(&Value::Str("X".to_string())) {
+            continue;
+        }
+        let cat = match s.get("cat") {
+            Some(Value::Str(c)) => c.clone(),
+            _ => continue,
+        };
+        let ts = slice_field_f64(s, "ts")? / US;
+        let dur = slice_field_f64(s, "dur")? / US;
+        let pid = s.get("pid").and_then(num_u64).unwrap_or(0) as usize;
+        let tid = s.get("tid").and_then(num_u64).unwrap_or(0) as usize;
+        let arg_u64 = |key: &str| {
+            s.get("args")
+                .and_then(|a| a.get(key))
+                .and_then(num_u64)
+                .unwrap_or(0)
+        };
+        let arg_f64 = |key: &str| {
+            s.get("args")
+                .and_then(|a| a.get(key))
+                .and_then(num_f64)
+                .unwrap_or(0.0)
+        };
+        match cat.as_str() {
+            "forward" | "recompute" | "backward" => {
+                let op = match cat.as_str() {
+                    "forward" => 'F',
+                    "recompute" => 'R',
+                    _ => 'B',
+                };
+                events.push(Event::exec(
+                    ts + dur,
+                    EventKind::OpEnd {
+                        stage: tid,
+                        replica: pid,
+                        op,
+                        micro: arg_u64("micro") as usize,
+                        start: ts,
+                    },
+                ));
+            }
+            "send" => {
+                events.push(Event::exec(
+                    ts,
+                    EventKind::SendBusy {
+                        stage: tid,
+                        replica: pid,
+                        micro: arg_u64("micro") as usize,
+                        seconds: dur,
+                    },
+                ));
+            }
+            "transfer" => {
+                let from_stage = tid.saturating_sub(NET_TID_BASE as usize);
+                // The destination only lives in the slice name
+                // ("xfer a->b"); fall back to the downstream neighbour.
+                let to_stage = match s.get("name") {
+                    Some(Value::Str(name)) => name
+                        .rsplit("->")
+                        .next()
+                        .and_then(|t| t.trim().parse::<usize>().ok())
+                        .unwrap_or(from_stage + 1),
+                    _ => from_stage + 1,
+                };
+                events.push(Event::exec(
+                    ts,
+                    EventKind::Transfer {
+                        from_stage,
+                        to_stage,
+                        replica: pid,
+                        micro: arg_u64("micro") as usize,
+                        bytes: arg_f64("bytes"),
+                        seconds: dur,
+                    },
+                ));
+            }
+            "allreduce" => {
+                events.push(Event::exec(
+                    ts + dur,
+                    EventKind::Allreduce {
+                        stage: tid,
+                        bytes: arg_f64("bytes"),
+                        ring: arg_u64("ring") as usize,
+                        seconds: dur,
+                    },
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(events)
 }
 
 #[cfg(test)]
@@ -370,6 +580,7 @@ mod tests {
                     examples_per_sec: 100.0,
                     examples_per_sec_per_gpu: 1.4,
                     reconfigured: true,
+                    restart_seconds: 60.0,
                 },
             ),
             Event::cluster(7300.0, EventKind::Preemption { vm: 3 }),
@@ -401,5 +612,143 @@ mod tests {
         e.source = Source::Bench;
         let json = chrome_trace_json(&[e]);
         assert!(json.contains("\"F1\""));
+    }
+
+    #[test]
+    fn send_busy_renders_as_a_send_slice() {
+        let events = vec![Event::exec(
+            2.0,
+            EventKind::SendBusy {
+                stage: 1,
+                replica: 3,
+                micro: 4,
+                seconds: 0.5,
+            },
+        )];
+        let json = chrome_trace_json(&events);
+        let doc = serde_json::parse_value(&json).unwrap();
+        let slices = doc.get("traceEvents").unwrap().as_seq_for("t").unwrap();
+        assert_eq!(slices.len(), 1);
+        let s = &slices[0];
+        assert_eq!(s.get("name"), Some(&Value::Str("send m4".to_string())));
+        assert_eq!(s.get("cat"), Some(&Value::Str("send".to_string())));
+        assert_eq!(s.get("ph"), Some(&Value::Str("X".to_string())));
+        assert_eq!(s.get("ts"), Some(&Value::Float(2.0e6)));
+        assert_eq!(s.get("dur"), Some(&Value::Float(0.5e6)));
+        assert_eq!(s.get("pid"), Some(&Value::UInt(3)));
+        assert_eq!(s.get("tid"), Some(&Value::UInt(1)));
+    }
+
+    #[test]
+    fn colliding_timestamps_serialize_in_canonical_order() {
+        // Four data-plane events all ending at t=1.0, presented in two
+        // different arrival orders, must render byte-identically with
+        // slices keyed on (stage, replica, micro, op).
+        let end = |stage: usize, replica: usize, op: char, micro: usize| {
+            Event::exec(
+                1.0,
+                EventKind::OpEnd {
+                    stage,
+                    replica,
+                    op,
+                    micro,
+                    start: 0.5,
+                },
+            )
+        };
+        let a = vec![
+            end(1, 0, 'B', 0),
+            end(0, 1, 'F', 2),
+            end(0, 1, 'F', 1),
+            end(0, 0, 'F', 0),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        let json_a = chrome_trace_json(&a);
+        assert_eq!(json_a, chrome_trace_json(&b), "order must not leak");
+        let doc = serde_json::parse_value(&json_a).unwrap();
+        let slices = doc.get("traceEvents").unwrap().as_seq_for("t").unwrap();
+        let names: Vec<_> = slices
+            .iter()
+            .map(|s| match s.get("name") {
+                Some(Value::Str(n)) => n.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["F0", "F1", "F2", "B0"]);
+    }
+
+    #[test]
+    fn control_plane_instants_sort_after_data_plane_slices() {
+        let events = vec![
+            Event::cluster(1.0, EventKind::Preemption { vm: 7 }),
+            op_pair(0, 0, 0.5, 1.0).pop().unwrap(),
+        ];
+        let json = chrome_trace_json(&events);
+        let doc = serde_json::parse_value(&json).unwrap();
+        let slices = doc.get("traceEvents").unwrap().as_seq_for("t").unwrap();
+        assert_eq!(slices[0].get("ph"), Some(&Value::Str("X".to_string())));
+        assert_eq!(slices[1].get("ph"), Some(&Value::Str("i".to_string())));
+    }
+
+    #[test]
+    fn importer_recovers_data_plane_events() {
+        let events = vec![
+            Event::exec(
+                1.0,
+                EventKind::OpEnd {
+                    stage: 2,
+                    replica: 1,
+                    op: 'R',
+                    micro: 3,
+                    start: 0.25,
+                },
+            ),
+            Event::exec(
+                1.0,
+                EventKind::Transfer {
+                    from_stage: 2,
+                    to_stage: 1,
+                    replica: 1,
+                    micro: 3,
+                    bytes: 4096.0,
+                    seconds: 0.125,
+                },
+            ),
+            Event::exec(
+                2.0,
+                EventKind::SendBusy {
+                    stage: 2,
+                    replica: 1,
+                    micro: 3,
+                    seconds: 0.5,
+                },
+            ),
+            Event::exec(
+                3.0,
+                EventKind::Allreduce {
+                    stage: 0,
+                    bytes: 1.5e9,
+                    ring: 4,
+                    seconds: 0.75,
+                },
+            ),
+            // Instants are skipped by the importer.
+            Event::cluster(4.0, EventKind::Preemption { vm: 0 }),
+        ];
+        let back = events_from_chrome_trace(&chrome_trace_json(&events)).unwrap();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back[0].kind, events[0].kind);
+        assert_eq!(back[0].t_sim, 1.0);
+        assert_eq!(back[1].kind, events[1].kind);
+        assert_eq!(back[2].kind, events[2].kind);
+        assert_eq!(back[3].kind, events[3].kind);
+        assert_eq!(back[3].t_sim, 3.0);
+    }
+
+    #[test]
+    fn importer_rejects_garbage() {
+        assert!(events_from_chrome_trace("not json").is_err());
+        assert!(events_from_chrome_trace("{\"nope\": 1}").is_err());
     }
 }

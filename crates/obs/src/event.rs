@@ -66,6 +66,21 @@ pub enum EventKind {
         /// Delivery delay (latency + jitter + serialization), seconds.
         seconds: f64,
     },
+    /// A sender GPU is busy serializing an outgoing message (emitted only
+    /// under blocking sends, where communication does not overlap
+    /// compute). `t_sim` is when the send starts; the GPU is occupied for
+    /// `seconds`. Together with `OpEnd` this makes every GPU-busy interval
+    /// visible, so the profiler can classify idle gaps exactly.
+    SendBusy {
+        /// Sending stage.
+        stage: usize,
+        /// Data-parallel replica.
+        replica: usize,
+        /// Micro-batch index of the message.
+        micro: usize,
+        /// Serialization time the sender is blocked for, seconds.
+        seconds: f64,
+    },
     /// A per-stage data-parallel gradient allreduce finished. `t_sim` is
     /// the completion time.
     Allreduce {
@@ -106,6 +121,11 @@ pub enum EventKind {
         /// `true` when the `P x D` shape changed; `false` for a
         /// same-shape replacement (the paper's `p` markers).
         reconfigured: bool,
+        /// Fixed restart overhead charged for this transition (process
+        /// restart, NCCL re-setup, resume), seconds. Zero for a
+        /// same-shape replacement. Lost work is priced separately by the
+        /// accompanying `LostWork` event, so the two never double-count.
+        restart_seconds: f64,
     },
     /// A periodic checkpoint completed (paper §4.5).
     Checkpoint {
@@ -123,6 +143,9 @@ pub enum EventKind {
         examples_per_sec: f64,
         /// Per-GPU throughput over the GPUs in use.
         examples_per_sec_per_gpu: f64,
+        /// Foreground pause for the sharded local-SSD write, seconds
+        /// (the checkpoint policy's cost model).
+        write_seconds: f64,
     },
     /// A configuration was rejected because a stage does not fit GPU
     /// memory.
@@ -323,6 +346,15 @@ mod tests {
                     start: 1.0,
                 },
             ),
+            Event::exec(
+                2.5,
+                EventKind::SendBusy {
+                    stage: 3,
+                    replica: 1,
+                    micro: 7,
+                    seconds: 0.125,
+                },
+            ),
             Event::cluster(60.0, EventKind::Preemption { vm: 42 }),
             Event::manager(
                 3600.0,
@@ -334,6 +366,20 @@ mod tests {
                     examples_per_sec: 120.5,
                     examples_per_sec_per_gpu: 1.67,
                     reconfigured: true,
+                    restart_seconds: 60.0,
+                },
+            ),
+            Event::manager(
+                7200.0,
+                EventKind::Checkpoint {
+                    step: 1600,
+                    gpus_held: 80,
+                    gpus_used: 72,
+                    p: 9,
+                    d: 8,
+                    examples_per_sec: 120.5,
+                    examples_per_sec_per_gpu: 1.67,
+                    write_seconds: 0.55,
                 },
             ),
             Event::train(

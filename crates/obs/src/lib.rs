@@ -20,17 +20,27 @@
 //! On top of the event stream sit a [`MetricsRegistry`] (counters, gauges,
 //! fixed-bucket histograms, snapshot-able to one JSON document), a
 //! `chrome://tracing` exporter ([`chrome_trace_json`]) whose output loads
-//! directly in Perfetto, and the [`BenchReport`] schema the bench binaries
-//! emit as `BENCH_*.json`.
+//! directly in Perfetto, the [`BenchReport`] schema the bench binaries
+//! emit as `BENCH_*.json`, and the post-hoc time-attribution profiler
+//! ([`profile()`]) that decomposes any captured stream into compute,
+//! communication, bubble, and downtime — with a critical-path pass that
+//! names the bottleneck stage (`varuna-profile` is its CLI front-end).
 
+pub mod attrib;
 pub mod bus;
 pub mod chrome_trace;
 pub mod event;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 
+pub use attrib::{critical_path, downtime, CriticalPath, DowntimeProfile};
 pub use bus::{EventBus, EventSink, JsonlSink, NullSink, RingBufferSink, VecSink};
-pub use chrome_trace::chrome_trace_json;
+pub use chrome_trace::{chrome_trace_json, events_from_chrome_trace};
 pub use event::{Event, EventKind, Source};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use profile::{
+    events_from_jsonl, profile, LaneProfile, ProfileReport, ProfileSpan, StageProfile,
+    PROFILE_SCHEMA,
+};
 pub use report::{BenchReport, REPORT_SCHEMA};

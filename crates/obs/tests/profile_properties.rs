@@ -1,0 +1,172 @@
+//! Property-based invariants of the time-attribution profiler.
+//!
+//! The generator builds dependency-consistent GPipe-style schedules
+//! (forwards chain down the pipeline, backwards chain back up, each lane
+//! runs its ops back to back as soon as inputs arrive, zero link
+//! latency). On such schedules four properties must hold exactly:
+//!
+//! 1. every lane's component decomposition sums to the makespan,
+//! 2. all bubble terms are nonnegative and the bubble fraction is in
+//!    `[0, 1)`,
+//! 3. critical path length <= makespan <= sum of lane busy times (the
+//!    chain construction leaves no instant where every lane idles),
+//! 4. a JSONL round trip of the stream profiles identically.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use varuna_obs::{profile, Event, EventKind};
+
+/// Stages never exceed this, so duration vectors are drawn at this
+/// length and sliced to the drawn `p`.
+const MAX_P: usize = 4;
+
+/// Per-replica GPipe schedule over `p` stages and `n_micro` micros with
+/// per-stage forward/backward durations. Start times respect both the
+/// lane order and the producer dependency with zero latency, so every
+/// op starts exactly when its latest prerequisite ends.
+fn gpipe_events(p: usize, d: usize, n_micro: usize, fwd: &[f64], bwd: &[f64]) -> Vec<Event> {
+    let mut events = Vec::new();
+    for r in 0..d {
+        let mut lane_free = vec![0.0f64; p];
+        let mut f_end = vec![vec![0.0f64; n_micro]; p];
+        let mut b_end = vec![vec![0.0f64; n_micro]; p];
+        for m in 0..n_micro {
+            for s in 0..p {
+                let dep = if s == 0 { 0.0 } else { f_end[s - 1][m] };
+                let start = lane_free[s].max(dep);
+                let end = start + fwd[s];
+                lane_free[s] = end;
+                f_end[s][m] = end;
+                events.push(Event::exec(
+                    end,
+                    EventKind::OpEnd {
+                        stage: s,
+                        replica: r,
+                        op: 'F',
+                        micro: m,
+                        start,
+                    },
+                ));
+            }
+        }
+        for m in 0..n_micro {
+            for s in (0..p).rev() {
+                let dep = if s == p - 1 {
+                    f_end[s][m]
+                } else {
+                    b_end[s + 1][m]
+                };
+                let start = lane_free[s].max(dep);
+                let end = start + bwd[s];
+                lane_free[s] = end;
+                b_end[s][m] = end;
+                events.push(Event::exec(
+                    end,
+                    EventKind::OpEnd {
+                        stage: s,
+                        replica: r,
+                        op: 'B',
+                        micro: m,
+                        start,
+                    },
+                ));
+            }
+        }
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn components_sum_to_the_makespan(
+        p in 1usize..MAX_P + 1,
+        d in 1usize..3,
+        n_micro in 1usize..7,
+        fwd in vec(0.01f64..1.0, MAX_P..MAX_P + 1),
+        bwd in vec(0.01f64..1.0, MAX_P..MAX_P + 1),
+    ) {
+        let events = gpipe_events(p, d, n_micro, &fwd[..p], &bwd[..p]);
+        let r = profile(&events);
+        prop_assert!(r.makespan > 0.0);
+        for lane in &r.lanes {
+            prop_assert!(
+                (lane.total() - r.makespan).abs() <= 1e-9 * r.makespan,
+                "lane ({}, {}): total {} vs makespan {}",
+                lane.stage, lane.replica, lane.total(), r.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn bubbles_are_nonnegative(
+        p in 1usize..MAX_P + 1,
+        d in 1usize..3,
+        n_micro in 1usize..7,
+        fwd in vec(0.01f64..1.0, MAX_P..MAX_P + 1),
+        bwd in vec(0.01f64..1.0, MAX_P..MAX_P + 1),
+    ) {
+        let events = gpipe_events(p, d, n_micro, &fwd[..p], &bwd[..p]);
+        let r = profile(&events);
+        for lane in &r.lanes {
+            prop_assert!(lane.warmup >= 0.0);
+            prop_assert!(lane.stall >= 0.0);
+            prop_assert!(lane.drain >= 0.0);
+        }
+        prop_assert!(r.bubble_fraction >= 0.0 && r.bubble_fraction < 1.0);
+        for s in &r.stages {
+            prop_assert!(s.bubble() >= 0.0);
+            prop_assert!(s.straggler >= 1.0 - 1e-12, "max < mean is impossible");
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds_the_makespan(
+        p in 1usize..MAX_P + 1,
+        d in 1usize..3,
+        n_micro in 1usize..7,
+        fwd in vec(0.01f64..1.0, MAX_P..MAX_P + 1),
+        bwd in vec(0.01f64..1.0, MAX_P..MAX_P + 1),
+    ) {
+        let events = gpipe_events(p, d, n_micro, &fwd[..p], &bwd[..p]);
+        let r = profile(&events);
+        let cp = r.critical_path.as_ref().expect("schedules have ops");
+        let total_busy: f64 = r.lanes.iter().map(|l| l.busy()).sum();
+        prop_assert!(
+            cp.length <= r.makespan + 1e-9 * r.makespan,
+            "critical path {} exceeds makespan {}", cp.length, r.makespan
+        );
+        prop_assert!(
+            r.makespan <= total_busy + 1e-9 * total_busy,
+            "makespan {} exceeds total busy {}", r.makespan, total_busy
+        );
+        // Zero-latency chained schedules have a fully-busy critical
+        // chain: the path explains the entire makespan.
+        prop_assert!(
+            (cp.length - r.makespan).abs() <= 1e-9 * r.makespan,
+            "critical path {} does not reach the makespan {}", cp.length, r.makespan
+        );
+        prop_assert!(
+            (cp.compute_seconds + cp.wait_seconds - cp.length).abs() <= 1e-9 * cp.length,
+            "path decomposition leaks"
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trip_profiles_identically(
+        p in 1usize..MAX_P + 1,
+        d in 1usize..3,
+        n_micro in 1usize..7,
+        fwd in vec(0.01f64..1.0, MAX_P..MAX_P + 1),
+        bwd in vec(0.01f64..1.0, MAX_P..MAX_P + 1),
+    ) {
+        let events = gpipe_events(p, d, n_micro, &fwd[..p], &bwd[..p]);
+        let jsonl: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("events serialize") + "\n")
+            .collect();
+        let back = varuna_obs::events_from_jsonl(&jsonl).expect("round trip parses");
+        prop_assert_eq!(profile(&back), profile(&events));
+    }
+}

@@ -347,14 +347,29 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Copy one UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Copy one multi-byte UTF-8 character. Validate only
+                    // its own bytes — validating the whole remaining
+                    // input here would make parsing quadratic.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    let end = self.pos + len;
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..end)
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    let s = std::str::from_utf8(chunk)
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push(s.chars().next().unwrap());
+                    self.pos = end;
                 }
             }
         }
