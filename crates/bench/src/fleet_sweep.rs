@@ -1,0 +1,357 @@
+//! Fleet sweep: N jobs vs one contended, multi-day shared spot market.
+//!
+//! Runs the same fleet (same jobs, same market trace) under all three
+//! provisioning policies and compares them on the DeepVM-style cost
+//! axes:
+//!
+//! - **spot-only** is cheapest per GPU-hour but loses goodput whenever
+//!   the market starves a job,
+//! - **on-demand-only** never starves but pays the dedicated rate
+//!   (~5x spot) for every GPU-hour,
+//! - **spot-with-fallback** should beat on-demand-only on aggregate
+//!   $/token *and* beat spot-only on goodput — the headline claim the
+//!   committed `BENCH_fleet_sweep.json` certifies.
+//!
+//! The shared market is stitched from one-day segments via
+//! [`ClusterTrace::merge_shifted`], so a multi-day trace reuses the
+//! seeded single-day generator.
+
+use varuna_cluster::trace::ClusterTrace;
+use varuna_fleet::{run_fleet, FleetConfig, FleetOutcome, JobSpec, ProvisionPolicy};
+use varuna_models::ModelZoo;
+use varuna_obs::BenchReport;
+
+/// One provisioning policy's aggregate outcome on the shared market.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// Policy label (`spot_only`, `on_demand_only`, `spot_with_fallback`).
+    pub policy: &'static str,
+    /// Total fleet spend.
+    pub dollars: f64,
+    /// Total tokens trained.
+    pub tokens: f64,
+    /// Aggregate cost efficiency, $ per thousand tokens.
+    pub dollars_per_ktoken: f64,
+    /// Aggregate goodput, tokens per trace hour.
+    pub goodput_tokens_per_hour: f64,
+    /// Jain fairness index over weight-normalized per-job progress.
+    pub jain: f64,
+    /// Spot GPU-hours billed.
+    pub spot_gpu_hours: f64,
+    /// On-demand GPU-hours billed.
+    pub on_demand_gpu_hours: f64,
+    /// Capacity-invariant violations (must be 0).
+    pub capacity_violations: usize,
+    /// Fair-share violations (must be 0).
+    pub fairness_violations: usize,
+    /// Deterministic fleet digest.
+    pub digest: u64,
+}
+
+/// Result of sweeping the three policies over one market.
+#[derive(Debug, Clone)]
+pub struct FleetSweep {
+    /// Jobs in the fleet.
+    pub jobs: usize,
+    /// Trace length, hours.
+    pub hours: f64,
+    /// Market seed.
+    pub seed: u64,
+    /// Market host-pool size (GPUs, 1-GPU VMs).
+    pub hosts: usize,
+    /// Sum of per-job demands (GPUs); > `hosts` means contention.
+    pub total_demand: usize,
+    /// One row per policy, in [`POLICIES`] order.
+    pub rows: Vec<PolicyRow>,
+    /// Full outcome of the spot-with-fallback run, for per-job tables.
+    pub mixed: FleetOutcome,
+    /// Whether a second spot-with-fallback run produced a byte-identical
+    /// digest (must be true).
+    pub rerun_digest_match: bool,
+}
+
+/// The swept policies, in row order.
+pub const POLICIES: [ProvisionPolicy; 3] = [
+    ProvisionPolicy::SpotOnly,
+    ProvisionPolicy::OnDemandOnly,
+    ProvisionPolicy::SpotWithFallback,
+];
+
+impl FleetSweep {
+    /// The row for `policy`.
+    pub fn row(&self, policy: ProvisionPolicy) -> &PolicyRow {
+        self.rows
+            .iter()
+            .find(|r| r.policy == policy.label())
+            .expect("all policies swept")
+    }
+
+    /// Whether every policy run upheld capacity + fairness invariants
+    /// and produced finite aggregates.
+    pub fn is_clean(&self) -> bool {
+        self.rerun_digest_match
+            && self.rows.iter().all(|r| {
+                r.capacity_violations == 0
+                    && r.fairness_violations == 0
+                    && r.dollars.is_finite()
+                    && r.dollars_per_ktoken.is_finite()
+                    && r.tokens > 0.0
+            })
+    }
+
+    /// Whether the mixed policy wins both headline comparisons: cheaper
+    /// per token than on-demand-only, higher goodput than spot-only.
+    pub fn mixed_wins(&self) -> bool {
+        let spot = self.row(ProvisionPolicy::SpotOnly);
+        let od = self.row(ProvisionPolicy::OnDemandOnly);
+        let mixed = self.row(ProvisionPolicy::SpotWithFallback);
+        mixed.dollars_per_ktoken < od.dollars_per_ktoken
+            && mixed.goodput_tokens_per_hour > spot.goodput_tokens_per_hour
+    }
+}
+
+/// A deterministic heterogeneous job mix: every third job is a 2.5B
+/// heavyweight (weight 2, demand 48), the rest are 355M lightweights
+/// (weight 1, demand 24). Floors sit at half of demand — a deadline-ish
+/// minimum-throughput guarantee the contended market cannot always meet
+/// from spot alone, which is exactly when the fallback provisioner earns
+/// its keep.
+pub fn job_mix(jobs: usize) -> Vec<JobSpec> {
+    (0..jobs)
+        .map(|i| {
+            if i % 3 == 0 {
+                JobSpec {
+                    name: format!("gpt2-2.5b-{i}"),
+                    model: ModelZoo::gpt2_2_5b(),
+                    m_total: 8192,
+                    micro: 4,
+                    weight: 2.0,
+                    demand_gpus: 48,
+                    floor_gpus: 24,
+                }
+            } else {
+                JobSpec {
+                    name: format!("gpt2-355m-{i}"),
+                    model: ModelZoo::gpt2_355m(),
+                    m_total: 1024,
+                    micro: 4,
+                    weight: 1.0,
+                    demand_gpus: 24,
+                    floor_gpus: 12,
+                }
+            }
+        })
+        .collect()
+}
+
+/// A multi-day shared market: one-day seeded segments concatenated with
+/// [`ClusterTrace::merge_shifted`], day `k` seeded `seed + k`.
+///
+/// Spot leases rotate daily: every VM still live at the end of a segment
+/// is preempted at the boundary, so one day's grants cannot silently
+/// pile on top of the next day's independent market (which would grow
+/// the pool past its physical host count). The rotation doubles as a
+/// daily correlated-churn event for the arbiter to absorb.
+pub fn multi_day_market(hosts: usize, hours: f64, seed: u64) -> ClusterTrace {
+    use varuna_cluster::trace::{ClusterEvent, ClusterEventKind};
+
+    let mut parts = Vec::new();
+    let mut start = 0.0f64;
+    let mut day = 0u64;
+    while start < hours {
+        let len = (hours - start).min(24.0);
+        let mut part = ClusterTrace::generate_spot_1gpu(hosts, hosts, len, 10.0, seed + day);
+        // Daily rotation: preempt whatever the segment leaves alive.
+        let mut live = std::collections::BTreeSet::new();
+        for e in &part.events {
+            match e.kind {
+                ClusterEventKind::Granted { .. } => {
+                    live.insert(e.vm);
+                }
+                ClusterEventKind::Preempted => {
+                    live.remove(&e.vm);
+                }
+                _ => {}
+            }
+        }
+        for vm in live {
+            part.events.push(ClusterEvent {
+                time_hours: len,
+                vm,
+                kind: ClusterEventKind::Preempted,
+            });
+        }
+        parts.push((start, part));
+        start += len;
+        day += 1;
+    }
+    let refs: Vec<(f64, &ClusterTrace)> = parts.iter().map(|(o, p)| (*o, p)).collect();
+    ClusterTrace::merge_shifted(&refs).expect("offsets are finite and non-negative")
+}
+
+fn policy_row(policy: ProvisionPolicy, o: &FleetOutcome) -> PolicyRow {
+    PolicyRow {
+        policy: policy.label(),
+        dollars: o.dollars,
+        tokens: o.tokens,
+        dollars_per_ktoken: o.dollars_per_ktoken,
+        goodput_tokens_per_hour: o.goodput_tokens_per_hour,
+        jain: o.jain_fairness,
+        spot_gpu_hours: o.per_job.iter().map(|j| j.spot_gpu_hours).sum(),
+        on_demand_gpu_hours: o.per_job.iter().map(|j| j.on_demand_gpu_hours).sum(),
+        capacity_violations: o.capacity_violations,
+        fairness_violations: o.fairness_violations,
+        digest: o.digest,
+    }
+}
+
+/// Sweeps all three policies over one contended shared market: `jobs`
+/// jobs, `hours` of trace seeded `seed`, with the host pool sized to
+/// ~45% of total demand — below the fleet's combined floors, so the
+/// spot market alone cannot keep every job at its minimum-throughput
+/// floor and the arbiter always has something to decide.
+pub fn run(jobs: usize, hours: f64, seed: u64) -> FleetSweep {
+    let specs = job_mix(jobs);
+    let total_demand: usize = specs.iter().map(|s| s.demand_gpus).sum();
+    let hosts = (total_demand * 9) / 20;
+    let market = multi_day_market(hosts, hours, seed);
+
+    let mut rows = Vec::new();
+    let mut mixed: Option<FleetOutcome> = None;
+    for policy in POLICIES {
+        let cfg = FleetConfig::new(specs.clone()).with_policy(policy);
+        let o = run_fleet(&cfg, &market).expect("valid fleet config");
+        rows.push(policy_row(policy, &o));
+        if policy == ProvisionPolicy::SpotWithFallback {
+            mixed = Some(o);
+        }
+    }
+    let mixed = mixed.expect("mixed policy swept");
+
+    // Determinism witness: rerun the mixed policy and compare digests.
+    let rerun = run_fleet(
+        &FleetConfig::new(specs).with_policy(ProvisionPolicy::SpotWithFallback),
+        &market,
+    )
+    .expect("valid fleet config");
+    let rerun_digest_match = rerun.digest == mixed.digest;
+
+    FleetSweep {
+        jobs,
+        hours,
+        seed,
+        hosts,
+        total_demand,
+        rows,
+        mixed,
+        rerun_digest_match,
+    }
+}
+
+/// Packages a sweep as a [`BenchReport`] (`BENCH_fleet_sweep.json`).
+pub fn report(s: &FleetSweep) -> BenchReport {
+    let mut r = BenchReport::new("fleet_sweep")
+        .param("jobs", s.jobs as f64)
+        .param("hours", s.hours)
+        .param("seed", s.seed as f64)
+        .param("market_hosts", s.hosts as f64)
+        .param("total_demand_gpus", s.total_demand as f64);
+    for row in &s.rows {
+        let p = row.policy;
+        r = r
+            .result(&format!("{p}_dollars"), row.dollars)
+            .result(&format!("{p}_tokens"), row.tokens)
+            .result(&format!("{p}_dollars_per_ktoken"), row.dollars_per_ktoken)
+            .result(
+                &format!("{p}_goodput_tokens_per_hour"),
+                row.goodput_tokens_per_hour,
+            )
+            .result(&format!("{p}_jain_fairness"), row.jain)
+            .result(&format!("{p}_spot_gpu_hours"), row.spot_gpu_hours)
+            .result(&format!("{p}_on_demand_gpu_hours"), row.on_demand_gpu_hours)
+            .result(
+                &format!("{p}_capacity_violations"),
+                row.capacity_violations as f64,
+            )
+            .result(
+                &format!("{p}_fairness_violations"),
+                row.fairness_violations as f64,
+            )
+            // u64 digests split into two exactly-representable halves.
+            .result(&format!("{p}_digest_hi"), (row.digest >> 32) as f64)
+            .result(&format!("{p}_digest_lo"), (row.digest & 0xFFFF_FFFF) as f64);
+    }
+    let spot = s.row(ProvisionPolicy::SpotOnly);
+    let od = s.row(ProvisionPolicy::OnDemandOnly);
+    let mixed = s.row(ProvisionPolicy::SpotWithFallback);
+    r.result(
+        "mixed_vs_on_demand_cost_ratio",
+        mixed.dollars_per_ktoken / od.dollars_per_ktoken,
+    )
+    .result(
+        "mixed_vs_spot_goodput_ratio",
+        mixed.goodput_tokens_per_hour / spot.goodput_tokens_per_hour,
+    )
+    .result(
+        "rerun_digest_match",
+        if s.rerun_digest_match { 1.0 } else { 0.0 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_clean_and_deterministic() {
+        let s = run(3, 3.0, 7);
+        assert!(s.is_clean(), "rows: {:?}", s.rows);
+        assert_eq!(s.rows.len(), 3);
+        assert!(s.total_demand > s.hosts, "the market must be contended");
+        // Same inputs, same digests, row for row.
+        let again = run(3, 3.0, 7);
+        for (a, b) in s.rows.iter().zip(again.rows.iter()) {
+            assert_eq!(a.digest, b.digest, "policy {} diverged", a.policy);
+        }
+    }
+
+    #[test]
+    fn on_demand_pays_more_per_gpu_hour_than_spot() {
+        let s = run(3, 3.0, 11);
+        let od = s.row(ProvisionPolicy::OnDemandOnly);
+        let spot = s.row(ProvisionPolicy::SpotOnly);
+        assert_eq!(spot.on_demand_gpu_hours, 0.0);
+        assert_eq!(od.spot_gpu_hours, 0.0);
+        // Dedicated pricing: more dollars per GPU-hour.
+        let od_rate = od.dollars / od.on_demand_gpu_hours;
+        let spot_rate = spot.dollars / spot.spot_gpu_hours;
+        assert!(od_rate > spot_rate * 2.0, "{od_rate} vs {spot_rate}");
+    }
+
+    #[test]
+    fn multi_day_market_is_monotone_and_spans_the_request() {
+        let m = multi_day_market(10, 30.0, 3);
+        assert!((m.duration_hours - 30.0).abs() < 1e-9);
+        for w in m.events.windows(2) {
+            assert!(w[0].time_hours <= w[1].time_hours);
+        }
+        assert!(
+            m.events.iter().any(|e| e.time_hours > 24.0),
+            "day two events"
+        );
+    }
+
+    #[test]
+    fn report_carries_the_headline_ratios() {
+        let s = run(2, 2.0, 5);
+        let r = report(&s);
+        assert!(r.summary.contains_key("mixed_vs_on_demand_cost_ratio"));
+        assert!(r.summary.contains_key("spot_only_dollars_per_ktoken"));
+        assert_eq!(r.summary["rerun_digest_match"], 1.0);
+        // Digest halves reassemble exactly.
+        let mixed = s.row(ProvisionPolicy::SpotWithFallback);
+        let hi = r.summary["spot_with_fallback_digest_hi"] as u64;
+        let lo = r.summary["spot_with_fallback_digest_lo"] as u64;
+        assert_eq!((hi << 32) | lo, mixed.digest);
+    }
+}

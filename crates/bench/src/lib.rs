@@ -16,6 +16,7 @@ pub mod fig5_fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9_fig10;
+pub mod fleet_sweep;
 pub mod plan_latency;
 pub mod profile;
 pub mod table3;

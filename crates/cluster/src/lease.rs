@@ -1,0 +1,218 @@
+//! Shared-market capacity accounting: per-job VM leases.
+//!
+//! When many jobs share one contended spot pool, the cloud grants VMs to
+//! the *fleet*, and a control plane decides which job each VM works for.
+//! [`LeaseBook`] is that ledger: it tracks every granted VM, which job (if
+//! any) holds its lease, and enforces the conservation invariant that
+//! leased capacity can never exceed granted capacity. All state lives in
+//! `BTreeMap`s so iteration — and therefore every allocation decision
+//! derived from it — is deterministic.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusterError;
+
+/// A fleet job identifier (dense, assigned by the control plane).
+pub type JobId = u64;
+
+/// One granted VM's ledger entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseEntry {
+    /// GPUs on the VM.
+    pub gpus: usize,
+    /// The job currently leasing the VM, if any.
+    pub holder: Option<JobId>,
+}
+
+/// The fleet's ledger of granted VMs and per-job leases.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LeaseBook {
+    vms: BTreeMap<u64, LeaseEntry>,
+}
+
+impl LeaseBook {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        LeaseBook::default()
+    }
+
+    /// Records a market grant of `vm` with `gpus` GPUs (unleased).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] if the VM is already
+    /// granted or has zero GPUs.
+    pub fn grant(&mut self, vm: u64, gpus: usize) -> Result<(), ClusterError> {
+        if gpus == 0 {
+            return Err(ClusterError::InvalidConfig(format!(
+                "vm {vm} granted with zero GPUs"
+            )));
+        }
+        if self.vms.contains_key(&vm) {
+            return Err(ClusterError::InvalidConfig(format!(
+                "vm {vm} granted twice without an intervening preemption"
+            )));
+        }
+        self.vms.insert(vm, LeaseEntry { gpus, holder: None });
+        Ok(())
+    }
+
+    /// Records a market preemption of `vm`, returning the job whose lease
+    /// died with it (if it was leased). Unknown VMs are ignored — the
+    /// market can preempt capacity the fleet already lost track of.
+    pub fn preempt(&mut self, vm: u64) -> Option<JobId> {
+        self.vms.remove(&vm).and_then(|e| e.holder)
+    }
+
+    /// Leases `vm` to `job`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] if the VM is unknown or
+    /// already leased to another job.
+    pub fn lease(&mut self, vm: u64, job: JobId) -> Result<(), ClusterError> {
+        match self.vms.get_mut(&vm) {
+            None => Err(ClusterError::InvalidConfig(format!(
+                "cannot lease unknown vm {vm}"
+            ))),
+            Some(e) => match e.holder {
+                Some(j) if j != job => Err(ClusterError::InvalidConfig(format!(
+                    "vm {vm} already leased to job {j}"
+                ))),
+                _ => {
+                    e.holder = Some(job);
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    /// Releases `vm` back to the unleased pool (arbiter revocation).
+    /// Returns the previous holder, `None` if it was unleased or unknown.
+    pub fn release(&mut self, vm: u64) -> Option<JobId> {
+        self.vms.get_mut(&vm).and_then(|e| e.holder.take())
+    }
+
+    /// Total GPUs the market currently grants the fleet.
+    pub fn capacity_gpus(&self) -> usize {
+        self.vms.values().map(|e| e.gpus).sum()
+    }
+
+    /// Total GPUs leased out to jobs.
+    pub fn leased_gpus(&self) -> usize {
+        self.vms
+            .values()
+            .filter(|e| e.holder.is_some())
+            .map(|e| e.gpus)
+            .sum()
+    }
+
+    /// GPUs currently leased to `job`.
+    pub fn job_gpus(&self, job: JobId) -> usize {
+        self.vms
+            .values()
+            .filter(|e| e.holder == Some(job))
+            .map(|e| e.gpus)
+            .sum()
+    }
+
+    /// VMs currently leased to `job`, ascending by VM id.
+    pub fn job_vms(&self, job: JobId) -> Vec<u64> {
+        self.vms
+            .iter()
+            .filter(|(_, e)| e.holder == Some(job))
+            .map(|(&vm, _)| vm)
+            .collect()
+    }
+
+    /// Unleased VMs as `(vm, gpus)`, ascending by VM id.
+    pub fn free_vms(&self) -> Vec<(u64, usize)> {
+        self.vms
+            .iter()
+            .filter(|(_, e)| e.holder.is_none())
+            .map(|(&vm, e)| (vm, e.gpus))
+            .collect()
+    }
+
+    /// Per-job leased GPU totals, ascending by job id.
+    pub fn leases_by_job(&self) -> BTreeMap<JobId, usize> {
+        let mut out = BTreeMap::new();
+        for e in self.vms.values() {
+            if let Some(j) = e.holder {
+                *out.entry(j).or_insert(0) += e.gpus;
+            }
+        }
+        out
+    }
+
+    /// The conservation invariant: leased capacity never exceeds granted
+    /// capacity. Structurally true by construction (a lease is a field of
+    /// a grant); callers assert it at every arbitration instant anyway so
+    /// a future refactor cannot silently break it.
+    pub fn check_conservation(&self) -> Result<(), ClusterError> {
+        let leased = self.leased_gpus();
+        let cap = self.capacity_gpus();
+        if leased > cap {
+            return Err(ClusterError::InvalidConfig(format!(
+                "lease conservation violated: {leased} GPUs leased of {cap} granted"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_lease_release_preempt_lifecycle() {
+        let mut book = LeaseBook::new();
+        book.grant(0, 1).unwrap();
+        book.grant(1, 4).unwrap();
+        assert_eq!(book.capacity_gpus(), 5);
+        assert_eq!(book.leased_gpus(), 0);
+
+        book.lease(0, 7).unwrap();
+        book.lease(1, 7).unwrap();
+        assert_eq!(book.job_gpus(7), 5);
+        assert_eq!(book.job_vms(7), vec![0, 1]);
+        book.check_conservation().unwrap();
+
+        assert_eq!(book.release(1), Some(7));
+        assert_eq!(book.job_gpus(7), 1);
+        assert_eq!(book.free_vms(), vec![(1, 4)]);
+
+        assert_eq!(book.preempt(0), Some(7), "market kills the leased VM");
+        assert_eq!(book.preempt(1), None, "unleased VM dies quietly");
+        assert_eq!(book.capacity_gpus(), 0);
+    }
+
+    #[test]
+    fn double_grant_and_foreign_lease_are_typed_errors() {
+        let mut book = LeaseBook::new();
+        book.grant(3, 1).unwrap();
+        assert!(book.grant(3, 1).is_err());
+        assert!(book.grant(4, 0).is_err());
+        book.lease(3, 1).unwrap();
+        assert!(book.lease(3, 2).is_err(), "no lease theft");
+        book.lease(3, 1).unwrap(); // re-lease to the same job is idempotent
+        assert!(book.lease(99, 1).is_err(), "unknown vm");
+    }
+
+    #[test]
+    fn per_job_totals_partition_the_leased_capacity() {
+        let mut book = LeaseBook::new();
+        for vm in 0..6 {
+            book.grant(vm, 1).unwrap();
+            book.lease(vm, vm % 2).unwrap();
+        }
+        let by_job = book.leases_by_job();
+        assert_eq!(by_job[&0], 3);
+        assert_eq!(by_job[&1], 3);
+        assert_eq!(by_job.values().sum::<usize>(), book.leased_gpus());
+        book.check_conservation().unwrap();
+    }
+}

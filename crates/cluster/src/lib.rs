@@ -17,10 +17,13 @@
 //! - [`heartbeat`]: heartbeat records, preemption detection, and
 //!   fail-stutter outlier detection (Section 4.6).
 //! - [`pricing`]: dollar-cost accounting for runs.
+//! - [`lease`]: shared-market capacity accounting — per-job VM leases for
+//!   the multi-job fleet control plane (`varuna-fleet`).
 
 pub mod cluster;
 pub mod error;
 pub mod heartbeat;
+pub mod lease;
 pub mod pricing;
 pub mod sku;
 pub mod spot;
@@ -29,6 +32,7 @@ pub mod trace;
 pub use cluster::{Cluster, VmId};
 pub use error::ClusterError;
 pub use heartbeat::{Heartbeat, HeartbeatMonitor};
+pub use lease::{JobId, LeaseBook, LeaseEntry};
 pub use sku::VmSku;
 pub use spot::SpotMarket;
 pub use trace::{ClusterEvent, ClusterEventKind, ClusterTrace};

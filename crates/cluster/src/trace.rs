@@ -205,6 +205,57 @@ impl ClusterTrace {
         })
     }
 
+    /// Merges traces into one, shifting each by its offset (hours) before
+    /// concatenating — the way fleet benches synthesize correlated
+    /// multi-day, multi-job spot markets from the existing single-job
+    /// traces.
+    ///
+    /// VM ids are renumbered so different parts never collide (each part's
+    /// ids land after every id of the parts before it); the `u64::MAX`
+    /// sentinel used by storage-fault events is preserved as-is. Events
+    /// are stably sorted by shifted timestamp, so ties keep part order,
+    /// and the merged duration covers the farthest-reaching part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] for a negative or
+    /// non-finite offset.
+    pub fn merge_shifted(parts: &[(f64, &ClusterTrace)]) -> Result<Self, ClusterError> {
+        for (off, _) in parts {
+            if !(off.is_finite() && *off >= 0.0) {
+                return Err(ClusterError::InvalidConfig(format!(
+                    "merge offset must be finite and >= 0, got {off}"
+                )));
+            }
+        }
+        let mut events = Vec::new();
+        let mut duration_hours: f64 = 0.0;
+        let mut vm_base: u64 = 0;
+        for (off, part) in parts {
+            let mut next_base = vm_base;
+            for e in &part.events {
+                let vm = if e.vm == u64::MAX {
+                    u64::MAX
+                } else {
+                    next_base = next_base.max(vm_base + e.vm + 1);
+                    vm_base + e.vm
+                };
+                events.push(ClusterEvent {
+                    time_hours: e.time_hours + off,
+                    vm,
+                    kind: e.kind,
+                });
+            }
+            vm_base = next_base;
+            duration_hours = duration_hours.max(off + part.duration_hours);
+        }
+        events.sort_by(|a, b| a.time_hours.total_cmp(&b.time_hours));
+        Ok(ClusterTrace {
+            events,
+            duration_hours,
+        })
+    }
+
     /// Number of GPUs held at time `t` (after applying all events ≤ `t`).
     pub fn gpus_at(&self, t: f64) -> usize {
         let mut held: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
@@ -423,6 +474,101 @@ mod tests {
         )
         .unwrap();
         assert_eq!(t.gpus_at(2.5), 4, "faults must not alter grants");
+    }
+
+    #[test]
+    fn merge_shifted_is_time_ordered_with_disjoint_vms() {
+        let a = ClusterTrace::generate_spot_1gpu(20, 30, 4.0, 10.0, 5);
+        let b = ClusterTrace::generate_spot_1gpu(20, 30, 4.0, 10.0, 9);
+        let merged = ClusterTrace::merge_shifted(&[(0.0, &a), (2.0, &b)]).unwrap();
+        assert_eq!(merged.events.len(), a.events.len() + b.events.len());
+        assert_eq!(merged.duration_hours, 6.0);
+        for w in merged.events.windows(2) {
+            assert!(
+                w[0].time_hours <= w[1].time_hours,
+                "merged trace must stay monotone: {} after {}",
+                w[1].time_hours,
+                w[0].time_hours
+            );
+        }
+        // Part B's VM ids land strictly after part A's: the merged events
+        // above A's id range are exactly B's (shifted into [2, 6]), while
+        // A keeps its own ids — including re-grants inside the overlap.
+        let max_a = a.events.iter().map(|e| e.vm).max().unwrap();
+        let b_remapped: Vec<&ClusterEvent> =
+            merged.events.iter().filter(|e| e.vm > max_a).collect();
+        assert_eq!(b_remapped.len(), b.events.len());
+        assert!(b_remapped.iter().all(|e| e.time_hours >= 2.0));
+        assert!(b_remapped
+            .iter()
+            .any(|e| matches!(e.kind, ClusterEventKind::Granted { .. })));
+        // The merged trace is a valid scripted trace (re-validates order).
+        assert!(ClusterTrace::scripted(merged.events.clone(), merged.duration_hours).is_ok());
+    }
+
+    #[test]
+    fn merge_shifted_interleaves_overlapping_parts_stably() {
+        let mk = |t: f64, vm: u64| ClusterEvent {
+            time_hours: t,
+            vm,
+            kind: ClusterEventKind::Granted { gpus: 1 },
+        };
+        let a = ClusterTrace::scripted(vec![mk(0.0, 0), mk(1.0, 1)], 2.0).unwrap();
+        let b = ClusterTrace::scripted(vec![mk(0.5, 0), mk(1.0, 1)], 2.0).unwrap();
+        let m = ClusterTrace::merge_shifted(&[(0.0, &a), (0.0, &b)]).unwrap();
+        let times: Vec<f64> = m.events.iter().map(|e| e.time_hours).collect();
+        assert_eq!(times, vec![0.0, 0.5, 1.0, 1.0]);
+        // The tie at t=1.0 keeps part order: part A's vm 1, then part B's
+        // remapped vm 3.
+        assert_eq!(m.events[2].vm, 1);
+        assert_eq!(m.events[3].vm, 3);
+        // Determinism: merging twice gives the identical trace.
+        assert_eq!(
+            m,
+            ClusterTrace::merge_shifted(&[(0.0, &a), (0.0, &b)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn merge_shifted_preserves_the_storage_sentinel_vm() {
+        let a = ClusterTrace::scripted(
+            vec![ClusterEvent {
+                time_hours: 0.5,
+                vm: u64::MAX,
+                kind: ClusterEventKind::StorageOutageStart,
+            }],
+            1.0,
+        )
+        .unwrap();
+        let b = ClusterTrace::scripted(
+            vec![ClusterEvent {
+                time_hours: 0.0,
+                vm: 0,
+                kind: ClusterEventKind::Granted { gpus: 1 },
+            }],
+            1.0,
+        )
+        .unwrap();
+        let m = ClusterTrace::merge_shifted(&[(0.0, &a), (1.0, &b)]).unwrap();
+        assert_eq!(m.events[0].vm, u64::MAX, "sentinel must not be renumbered");
+        assert_eq!(m.events[1].vm, 0, "no real VMs before part B");
+    }
+
+    #[test]
+    fn merge_shifted_rejects_bad_offsets() {
+        let a = ClusterTrace::generate_spot_1gpu(4, 4, 1.0, 10.0, 1);
+        assert!(matches!(
+            ClusterTrace::merge_shifted(&[(-1.0, &a)]),
+            Err(ClusterError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ClusterTrace::merge_shifted(&[(f64::NAN, &a)]),
+            Err(ClusterError::InvalidConfig(_))
+        ));
+        // Empty merge is a valid empty trace.
+        let empty = ClusterTrace::merge_shifted(&[]).unwrap();
+        assert!(empty.events.is_empty());
+        assert_eq!(empty.duration_hours, 0.0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   any configuration ([`simulator`], §4.4),
 //! - a **planner** that sweeps configurations in `O(G)` ([`planner`]) and
 //!   a budgeted, memoized **simulator-in-the-loop search** over the same
-//!   candidates ([`plansearch`]),
+//!   candidates ([`plansearch`]), unified behind one plan [`oracle`],
 //! - correctness-preserving **job morphing** across preemptions
 //!   ([`morph`], §4.2),
 //! - **continuous checkpointing** sharded across replicas
@@ -45,6 +45,7 @@ pub mod job;
 pub mod manager;
 pub mod morph;
 pub mod observe;
+pub mod oracle;
 pub mod partition;
 pub mod planner;
 pub mod plansearch;
@@ -61,6 +62,7 @@ pub use job::TrainingJob;
 pub use manager::{GracePolicy, Manager, ManagerState, TimelinePoint};
 pub use morph::{MorphBackoff, MorphController};
 pub use observe::TimelineCollector;
+pub use oracle::{AnalyticOracle, Oracle, PlanOracle};
 pub use partition::balanced_partition;
 pub use planner::{Config, FallbackLevel, Planner};
 pub use plansearch::{ClusterTemplate, EvalPath, PlanBudget, PlanMetrics, SimSearch};

@@ -41,6 +41,7 @@
 //! monotone, and work at risk beyond the durable checkpoint is priced
 //! explicitly as `LostWork`/downtime.
 
+mod external;
 mod grace;
 mod heartbeats;
 mod replay;
@@ -70,6 +71,10 @@ pub struct Manager<'a> {
     excluded: Vec<VmId>,
     miss_streak: BTreeMap<VmId, u32>,
     healthy_streak: BTreeMap<VmId, u32>,
+    /// When the current externally-driven degraded episode began (hours),
+    /// used only by [`Manager::on_external_capacity`] — trace replay keeps
+    /// its own episode clock local to the replay loop.
+    ext_degraded_since: Option<f64>,
 }
 
 impl<'a> Manager<'a> {
@@ -85,6 +90,7 @@ impl<'a> Manager<'a> {
             excluded: Vec::new(),
             miss_streak: BTreeMap::new(),
             healthy_streak: BTreeMap::new(),
+            ext_degraded_since: None,
         }
     }
 
@@ -122,10 +128,22 @@ impl<'a> Manager<'a> {
     /// candidates on the discrete-event emulator under `budget` (memoized
     /// across morph events, analytic fallback once the budget runs out),
     /// and replays emit an [`varuna_obs::EventKind::PlanSearch`] event per
-    /// planning decision.
-    pub fn with_sim_planner(mut self, budget: crate::plansearch::PlanBudget) -> Self {
-        self.morph = self.morph.with_sim_planner(budget);
+    /// planning decision. Shorthand for
+    /// [`Manager::with_oracle`]`(Oracle::sim(budget))`.
+    pub fn with_sim_planner(self, budget: crate::plansearch::PlanBudget) -> Self {
+        self.with_oracle(crate::oracle::Oracle::sim(budget))
+    }
+
+    /// Replaces the plan oracle ([`crate::oracle::PlanOracle`]) that
+    /// best-configuration decisions come from.
+    pub fn with_oracle(mut self, oracle: crate::oracle::Oracle) -> Self {
+        self.morph = self.morph.with_oracle(oracle);
         self
+    }
+
+    /// The configuration the job currently runs, if any.
+    pub fn current_config(&self) -> Option<&crate::planner::Config> {
+        self.morph.current()
     }
 
     /// Where the recovery machine currently sits.

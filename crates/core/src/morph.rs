@@ -12,8 +12,9 @@ use serde::{Deserialize, Serialize};
 use crate::calibrate::Calibration;
 use crate::checkpoint::CheckpointPolicy;
 use crate::error::VarunaError;
+use crate::oracle::{Oracle, PlanOracle};
 use crate::planner::{Config, FallbackLevel, Planner};
-use crate::plansearch::{PlanBudget, PlanMetrics, SimSearch};
+use crate::plansearch::{PlanBudget, PlanMetrics};
 
 /// Exponential backoff between morph-retry attempts while planning keeps
 /// failing (e.g. capacity below the minimum memory-feasible fit). The
@@ -127,13 +128,12 @@ pub struct MorphController<'a> {
     plan_cache: std::collections::HashMap<usize, (Config, FallbackLevel)>,
     cache_hits: u64,
     cache_misses: u64,
-    /// When set, re-planning scores candidates with the discrete-event
-    /// emulator (budgeted, memoized) instead of the analytic estimate
-    /// alone — the paper's simulator-in-the-loop manager behavior. The
-    /// outer `plan_cache` is bypassed on this path: the memo table inside
-    /// the search provides the reuse, and every morph re-ranks (so plan
-    /// metrics are emitted per event).
-    sim: Option<SimSearch>,
+    /// Where best-configuration decisions come from. Whether they are
+    /// eligible for the outer capacity-keyed `plan_cache` is the oracle's
+    /// own property ([`PlanOracle::cacheable`]): the analytic path caches,
+    /// the simulated path re-ranks every morph (its memo table provides
+    /// the reuse) so per-event plan metrics stay honest.
+    oracle: Oracle,
     last_plan: Option<PlanMetrics>,
 }
 
@@ -151,7 +151,7 @@ impl<'a> MorphController<'a> {
             plan_cache: std::collections::HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
-            sim: None,
+            oracle: Oracle::analytic(),
             last_plan: None,
         }
     }
@@ -177,16 +177,28 @@ impl<'a> MorphController<'a> {
     /// Enables simulator-in-the-loop re-planning under `budget`: every
     /// morph scores its candidates on the discrete-event emulator, with
     /// memoized reuse across morph events and analytic fallback once the
-    /// budget is exhausted.
-    pub fn with_sim_planner(mut self, budget: PlanBudget) -> Self {
-        self.sim = Some(SimSearch::new(budget));
+    /// budget is exhausted. Shorthand for
+    /// [`MorphController::with_oracle`]`(Oracle::sim(budget))`.
+    pub fn with_sim_planner(self, budget: PlanBudget) -> Self {
+        self.with_oracle(Oracle::sim(budget))
+    }
+
+    /// Replaces the plan oracle. Cached plans were computed by the
+    /// previous oracle and are discarded.
+    pub fn with_oracle(mut self, oracle: Oracle) -> Self {
+        self.oracle = oracle;
         self.plan_cache.clear();
         self
     }
 
+    /// The active plan oracle.
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
     /// Whether simulator-in-the-loop re-planning is enabled.
     pub fn sim_enabled(&self) -> bool {
-        self.sim.is_some()
+        self.oracle.is_sim()
     }
 
     /// Metrics of the most recent planning event on the simulator path
@@ -228,35 +240,28 @@ impl<'a> MorphController<'a> {
     }
 
     fn plan(&mut self, gpus: usize) -> Result<(Config, FallbackLevel), VarunaError> {
+        if self.oracle.cacheable() {
+            if let Some(cached) = self.plan_cache.get(&gpus) {
+                self.cache_hits += 1;
+                return Ok(cached.clone());
+            }
+        }
         let mut planner = Planner::new(&self.calib.model, self.calib).batch_size(self.m_total);
         if let Some(m) = self.micro_override {
             planner = planner.micro_batch(m);
         }
-        if let Some(sim) = &self.sim {
-            // Simulator path: the memo table inside the search (keyed on
-            // candidate shape, not capacity) is the cache; re-rank every
-            // event so metrics reflect each morph.
-            let (planned, metrics) = if self.fallback {
-                let (cfg, level, metrics) = sim.best_config_with_fallback(&planner, gpus)?;
-                ((cfg, level), metrics)
-            } else {
-                let (cfg, metrics) = sim.best_config(&planner, gpus)?;
-                ((cfg, FallbackLevel::None), metrics)
-            };
-            self.last_plan = Some(metrics);
-            return Ok(planned);
-        }
-        if let Some(cached) = self.plan_cache.get(&gpus) {
-            self.cache_hits += 1;
-            return Ok(cached.clone());
-        }
-        self.cache_misses += 1;
-        let planned = if self.fallback {
-            planner.best_config_with_fallback(gpus)?
+        let (config, level, metrics) = if self.fallback {
+            self.oracle.best_config_with_fallback(&planner, gpus)?
         } else {
-            (planner.best_config(gpus)?, FallbackLevel::None)
+            let (config, metrics) = self.oracle.best_config(&planner, gpus)?;
+            (config, FallbackLevel::None, metrics)
         };
-        self.plan_cache.insert(gpus, planned.clone());
+        self.last_plan = metrics;
+        let planned = (config, level);
+        if self.oracle.cacheable() {
+            self.cache_misses += 1;
+            self.plan_cache.insert(gpus, planned.clone());
+        }
         Ok(planned)
     }
 

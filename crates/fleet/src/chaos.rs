@@ -1,0 +1,138 @@
+//! Fleet-level chaos: adversarial fault schedules against the arbiter.
+//!
+//! The single-job chaos harness (`varuna-chaos`) perturbs a market trace
+//! and replays it through one manager. At fleet scale the interesting
+//! failure modes are *correlated*: a preemption burst does not hit one
+//! job, it tears VMs out of many jobs' leases in the same instant, and
+//! the arbiter must rebalance the survivors without breaking capacity or
+//! fairness invariants. [`run_fleet_chaos`] reuses the existing
+//! [`ChaosInjector`] on the *shared* market trace — so every injected
+//! burst lands across whatever jobs happen to hold the victim VMs — and
+//! then checks the fleet-level invariants on the outcome.
+
+use varuna_chaos::{ChaosConfig, ChaosError, ChaosInjector, InjectedFault};
+use varuna_cluster::trace::ClusterTrace;
+
+use crate::error::FleetError;
+use crate::sim::{run_fleet_traced, FleetConfig, FleetOutcome};
+
+/// One fleet chaos run's verdict.
+#[derive(Debug, Clone)]
+pub struct FleetChaosRun {
+    /// The injector seed.
+    pub seed: u64,
+    /// Faults injected into the shared market.
+    pub faults: Vec<InjectedFault>,
+    /// The fleet outcome under the perturbed market.
+    pub outcome: FleetOutcome,
+    /// Human-readable invariant violations (empty = clean).
+    pub violations: Vec<String>,
+}
+
+impl FleetChaosRun {
+    /// Whether every fleet invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Perturbs the shared market with `chaos` and runs the fleet on the
+/// perturbed trace, checking fleet-level invariants:
+///
+/// - no round leased more GPUs than the market held,
+/// - no arbiter revocation hit a job at or below its entitlement,
+/// - every aggregate number came out finite,
+/// - per-job degraded time never exceeds the trace duration.
+pub fn run_fleet_chaos(
+    cfg: &FleetConfig,
+    base_market: &ClusterTrace,
+    chaos: &ChaosConfig,
+) -> Result<FleetChaosRun, FleetError> {
+    let injector =
+        ChaosInjector::new(chaos.clone()).map_err(|e: ChaosError| FleetError::InvalidConfig {
+            reason: format!("chaos config: {e}"),
+        })?;
+    let (market, faults) = injector.perturb(base_market);
+    let run = run_fleet_traced(cfg, &market)?;
+    let o = run.outcome;
+
+    let mut violations = Vec::new();
+    if o.capacity_violations > 0 {
+        violations.push(format!(
+            "{} rounds leased beyond market capacity",
+            o.capacity_violations
+        ));
+    }
+    if o.fairness_violations > 0 {
+        violations.push(format!(
+            "{} arbiter revocations hit an under-share job",
+            o.fairness_violations
+        ));
+    }
+    if !o.dollars.is_finite() || !o.tokens.is_finite() || !o.jain_fairness.is_finite() {
+        violations.push("non-finite aggregate metric".to_string());
+    }
+    for j in &o.per_job {
+        if j.degraded_hours > market.duration_hours + 1e-9 {
+            violations.push(format!(
+                "job `{}` degraded {}h of a {}h trace",
+                j.name, j.degraded_hours, market.duration_hours
+            ));
+        }
+        if !j.dollars.is_finite() || !j.examples.is_finite() {
+            violations.push(format!("job `{}` has a non-finite metric", j.name));
+        }
+    }
+
+    Ok(FleetChaosRun {
+        seed: chaos.seed,
+        faults,
+        outcome: o,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use varuna_cluster::trace::ClusterTrace;
+    use varuna_models::ModelZoo;
+
+    use super::*;
+    use crate::job::JobSpec;
+    use crate::policy::ProvisionPolicy;
+
+    fn fleet() -> FleetConfig {
+        let job = |name: &str, demand: usize| JobSpec {
+            name: name.to_string(),
+            model: ModelZoo::gpt2_355m(),
+            m_total: 512,
+            micro: 4,
+            weight: 1.0,
+            demand_gpus: demand,
+            floor_gpus: demand / 4,
+        };
+        FleetConfig::new(vec![job("a", 8), job("b", 8), job("c", 4)])
+            .with_policy(ProvisionPolicy::SpotOnly)
+    }
+
+    #[test]
+    fn chaos_bursts_leave_fleet_invariants_intact() {
+        let base = ClusterTrace::generate_spot_1gpu(16, 16, 2.0, 15.0, 3);
+        let run = run_fleet_chaos(&fleet(), &base, &ChaosConfig::from_seed(5)).unwrap();
+        assert!(run.is_clean(), "violations: {:?}", run.violations);
+        assert!(
+            !run.faults.is_empty(),
+            "the injector should schedule faults"
+        );
+    }
+
+    #[test]
+    fn fleet_chaos_is_deterministic_per_seed() {
+        let base = ClusterTrace::generate_spot_1gpu(12, 12, 1.5, 15.0, 9);
+        let chaos = ChaosConfig::from_seed(17);
+        let a = run_fleet_chaos(&fleet(), &base, &chaos).unwrap();
+        let b = run_fleet_chaos(&fleet(), &base, &chaos).unwrap();
+        assert_eq!(a.outcome.digest, b.outcome.digest);
+        assert_eq!(a.faults.len(), b.faults.len());
+    }
+}

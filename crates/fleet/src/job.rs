@@ -1,0 +1,114 @@
+//! Per-job fleet specifications.
+
+use serde::{Deserialize, Serialize};
+use varuna_models::TransformerConfig;
+
+use crate::error::FleetError;
+
+/// One training job submitted to the fleet.
+///
+/// The spec captures everything the arbiter needs to reason about the job
+/// without planning it: how much capacity it can use (`demand_gpus`), the
+/// minimum it needs to make acceptable progress (`floor_gpus`, the
+/// deadline / minimum-throughput floor expressed in GPUs), and its share
+/// `weight` relative to the rest of the fleet. The training shape itself
+/// (`model`, `m_total`, `micro`) is handed to the job's own
+/// [`varuna::Manager`], which keeps full authority over *how* the job runs
+/// on whatever capacity the arbiter grants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable job name (unique within the fleet).
+    pub name: String,
+    /// The model being trained.
+    pub model: TransformerConfig,
+    /// Fixed effective batch size (mini-batches preserve this across
+    /// morphs, paper §4.2).
+    pub m_total: usize,
+    /// Micro-batch size handed to the planner.
+    pub micro: usize,
+    /// Fair-share weight (> 0): a weight-2 job is entitled to twice the
+    /// capacity of a weight-1 job under contention.
+    pub weight: f64,
+    /// Maximum GPUs the job can productively use; the arbiter never
+    /// allocates beyond this.
+    pub demand_gpus: usize,
+    /// Minimum-throughput floor in GPUs. When the job's allocation sits
+    /// below this floor the job counts as starved: the arbiter boosts it
+    /// once the starvation bound expires, and the fallback provisioner
+    /// (under [`crate::ProvisionPolicy::SpotWithFallback`]) tops it up
+    /// with on-demand capacity. Zero disables the floor.
+    pub floor_gpus: usize,
+}
+
+impl JobSpec {
+    /// Validates the spec's static invariants.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if !(self.weight.is_finite() && self.weight > 0.0) {
+            return Err(FleetError::InvalidSpec {
+                job: self.name.clone(),
+                reason: format!("weight must be finite and positive, got {}", self.weight),
+            });
+        }
+        if self.demand_gpus == 0 {
+            return Err(FleetError::InvalidSpec {
+                job: self.name.clone(),
+                reason: "demand_gpus must be at least 1".to_string(),
+            });
+        }
+        if self.floor_gpus > self.demand_gpus {
+            return Err(FleetError::InvalidSpec {
+                job: self.name.clone(),
+                reason: format!(
+                    "floor_gpus ({}) exceeds demand_gpus ({})",
+                    self.floor_gpus, self.demand_gpus
+                ),
+            });
+        }
+        if self.m_total == 0 || self.micro == 0 {
+            return Err(FleetError::InvalidSpec {
+                job: self.name.clone(),
+                reason: "m_total and micro must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use varuna_models::ModelZoo;
+
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            name: "j0".to_string(),
+            model: ModelZoo::gpt2_2_5b(),
+            m_total: 8192,
+            micro: 4,
+            weight: 1.0,
+            demand_gpus: 32,
+            floor_gpus: 8,
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        assert!(spec().validate().is_ok());
+        let mut s = spec();
+        s.weight = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.weight = f64::NAN;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.demand_gpus = 0;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.floor_gpus = 64;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.micro = 0;
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Provisioning policy: where a job's GPUs may come from.
+
+use serde::{Deserialize, Serialize};
+
+/// How the fleet sources capacity for its jobs.
+///
+/// The cost story of the paper (Table 1: spot VMs are ~4-5x cheaper per
+/// GPU-hour than dedicated ones) plays out across these three policies:
+/// spot-only is cheapest per GPU-hour but loses goodput whenever the
+/// market starves a job below its floor; on-demand-only never starves but
+/// pays the dedicated rate for every GPU-hour; spot-with-fallback rides
+/// the spot market and tops jobs up to their floor with on-demand
+/// capacity only while the market leaves them short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProvisionPolicy {
+    /// Jobs run exclusively on arbitrated spot leases; a starved job
+    /// waits for the arbiter's starvation boost.
+    SpotOnly,
+    /// Jobs ignore the spot market entirely and run on dedicated
+    /// on-demand capacity sized to their full demand.
+    OnDemandOnly,
+    /// Jobs ride the spot market, and whenever a job's spot allocation
+    /// falls below its [`crate::JobSpec::floor_gpus`] the provisioner
+    /// rents just enough on-demand GPUs (at the dedicated rate) to reach
+    /// the floor, releasing them as soon as spot capacity recovers.
+    SpotWithFallback,
+}
+
+impl ProvisionPolicy {
+    /// Short lowercase label used in reports and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProvisionPolicy::SpotOnly => "spot_only",
+            ProvisionPolicy::OnDemandOnly => "on_demand_only",
+            ProvisionPolicy::SpotWithFallback => "spot_with_fallback",
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based fleet suite: whatever the market does, the arbiter
+//! must uphold the capacity and fair-share invariants, and the whole
+//! fleet loop must stay deterministic.
+
+use proptest::prelude::*;
+use varuna_cluster::trace::ClusterTrace;
+use varuna_fleet::{
+    fair_shares, run_fleet_traced, ArbiterConfig, FleetConfig, JobDemand, JobSpec, ProvisionPolicy,
+};
+use varuna_models::ModelZoo;
+use varuna_obs::EventKind;
+
+/// A seeded random fleet of 2-5 small jobs with varied weights, demands
+/// and floors. Small models keep planning cheap; the properties under
+/// test are about the arbiter, not the planner.
+fn fleet_from(seed: u64, jobs: usize) -> FleetConfig {
+    let job = |i: u64| {
+        // Cheap deterministic per-job parameter mixing.
+        let mix = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+        let demand = 4 + (mix % 9) as usize; // 4..=12
+        JobSpec {
+            name: format!("job-{i}"),
+            model: ModelZoo::gpt2_355m(),
+            m_total: 512,
+            micro: 4,
+            weight: 1.0 + (mix >> 8 & 3) as f64, // 1..=4
+            demand_gpus: demand,
+            floor_gpus: (mix >> 16) as usize % (demand / 2 + 1),
+        }
+    };
+    FleetConfig::new((0..jobs as u64).map(job).collect()).with_arbiter(ArbiterConfig {
+        starvation_bound_hours: 0.25,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite invariant (a): across every arbitration round of a
+    /// random contended market, the total GPUs leased to jobs never
+    /// exceed the market's instantaneous capacity, and the lease book
+    /// conserves VMs.
+    #[test]
+    fn leases_never_exceed_market_capacity(
+        seed in 0u64..1_000,
+        jobs in 2usize..5,
+        hosts in 4usize..20,
+    ) {
+        let market = ClusterTrace::generate_spot_1gpu(hosts, hosts, 2.0, 20.0, seed);
+        for policy in [
+            ProvisionPolicy::SpotOnly,
+            ProvisionPolicy::SpotWithFallback,
+            ProvisionPolicy::OnDemandOnly,
+        ] {
+            let cfg = fleet_from(seed, jobs).with_policy(policy);
+            let run = run_fleet_traced(&cfg, &market).expect("valid fleet");
+            prop_assert_eq!(
+                run.outcome.capacity_violations, 0,
+                "seed {} jobs {} hosts {} policy {:?} over-leased the market",
+                seed, jobs, hosts, policy
+            );
+            // The event stream agrees: no allocation snapshot shows more
+            // spot GPUs than the market held at that instant.
+            for e in &run.fleet_events {
+                if let EventKind::FleetAllocation { spot_gpus, market_gpus, .. } = e.kind {
+                    prop_assert!(spot_gpus <= market_gpus);
+                }
+            }
+        }
+    }
+
+    /// Satellite invariant (b): the arbiter only preempts the
+    /// preemptible. No job at or below its fair-share entitlement is
+    /// ever revoked by the arbiter while an over-share job holds
+    /// capacity — witnessed end-to-end by the in-loop fairness counter.
+    #[test]
+    fn arbiter_never_preempts_under_share_jobs(
+        seed in 0u64..1_000,
+        jobs in 2usize..5,
+        hosts in 4usize..20,
+    ) {
+        let market = ClusterTrace::generate_spot_1gpu(hosts, hosts, 2.0, 20.0, seed);
+        let cfg = fleet_from(seed, jobs).with_policy(ProvisionPolicy::SpotOnly);
+        let run = run_fleet_traced(&cfg, &market).expect("valid fleet");
+        prop_assert_eq!(
+            run.outcome.fairness_violations, 0,
+            "seed {}: an under-share job was preempted by the arbiter",
+            seed
+        );
+    }
+
+    /// Satellite invariant (c): same seed + same trace ⇒ byte-identical
+    /// fleet event streams and digests.
+    #[test]
+    fn same_seed_fleet_runs_are_byte_identical(
+        seed in 0u64..1_000,
+        jobs in 2usize..5,
+    ) {
+        let market = ClusterTrace::generate_spot_1gpu(10, 10, 1.5, 20.0, seed);
+        let cfg = fleet_from(seed, jobs);
+        let a = run_fleet_traced(&cfg, &market).expect("first run");
+        let b = run_fleet_traced(&cfg, &market).expect("second run");
+        prop_assert_eq!(a.outcome.digest, b.outcome.digest, "seed {} diverged", seed);
+        prop_assert_eq!(a.fleet_events, b.fleet_events);
+        prop_assert_eq!(a.job_events, b.job_events);
+    }
+
+    /// The arbiter's allocation function itself honors its contract on
+    /// arbitrary inputs: capacity respected, demands capped, boosted
+    /// floors seeded while capacity lasts.
+    #[test]
+    fn fair_shares_contract(
+        capacity in 0usize..200,
+        njobs in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let jobs: Vec<JobDemand> = (0..njobs as u64)
+            .map(|i| {
+                let mix = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i * 0x1234_5677);
+                let demand = (mix % 32) as usize;
+                JobDemand {
+                    weight: 1.0 + (mix >> 8 & 7) as f64,
+                    demand,
+                    floor: ((mix >> 16) as usize % 16).min(demand),
+                    boosted: mix >> 24 & 1 == 1,
+                }
+            })
+            .collect();
+        let shares = fair_shares(capacity, &jobs);
+        prop_assert_eq!(shares.len(), jobs.len());
+        prop_assert!(shares.iter().sum::<usize>() <= capacity);
+        for (s, j) in shares.iter().zip(jobs.iter()) {
+            prop_assert!(*s <= j.demand);
+        }
+        // If total demand saturates capacity, nothing is left stranded.
+        let total_demand: usize = jobs.iter().map(|j| j.demand).sum();
+        if total_demand >= capacity {
+            prop_assert_eq!(shares.iter().sum::<usize>(), capacity);
+        }
+    }
+}

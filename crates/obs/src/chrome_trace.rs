@@ -360,6 +360,59 @@ fn to_trace_event(e: &Event) -> Option<Value> {
                 ("vm".to_string(), Value::UInt(*vm)),
             ],
         )),
+        EventKind::FleetAllocation {
+            job,
+            spot_gpus,
+            on_demand_gpus,
+            market_gpus,
+        } => Some(instant(
+            format!("alloc job{job}"),
+            "fleet",
+            e.t_sim * US,
+            vec![
+                ("job".to_string(), Value::UInt(*job)),
+                ("spot_gpus".to_string(), Value::UInt(*spot_gpus as u64)),
+                (
+                    "on_demand_gpus".to_string(),
+                    Value::UInt(*on_demand_gpus as u64),
+                ),
+                ("market_gpus".to_string(), Value::UInt(*market_gpus as u64)),
+            ],
+        )),
+        EventKind::JobPreempted {
+            job,
+            gpus_revoked,
+            reason,
+        } => Some(instant(
+            format!("job-preempt job{job}"),
+            "fleet",
+            e.t_sim * US,
+            vec![
+                ("job".to_string(), Value::UInt(*job)),
+                (
+                    "gpus_revoked".to_string(),
+                    Value::UInt(*gpus_revoked as u64),
+                ),
+                ("reason".to_string(), Value::Str(reason.clone())),
+            ],
+        )),
+        EventKind::FallbackProvisioned {
+            job,
+            gpus,
+            total_on_demand,
+        } => Some(instant(
+            format!("fallback job{job}"),
+            "fleet",
+            e.t_sim * US,
+            vec![
+                ("job".to_string(), Value::UInt(*job)),
+                ("gpus".to_string(), Value::UInt(*gpus as u64)),
+                (
+                    "total_on_demand".to_string(),
+                    Value::UInt(*total_on_demand as u64),
+                ),
+            ],
+        )),
     }
 }
 

@@ -17,6 +17,8 @@ pub enum Source {
     Bench,
     /// The fault injector (`varuna-chaos`).
     Chaos,
+    /// The multi-job fleet control plane (`varuna-fleet`).
+    Fleet,
 }
 
 /// What happened, with the payload inline.
@@ -262,6 +264,40 @@ pub enum EventKind {
         /// or emulator error).
         analytic_fallbacks: u64,
     },
+    /// The fleet arbiter (re)allocated shared-market capacity to one job.
+    /// Emitted once per job per arbitration round, so the full allocation
+    /// vector can be rebuilt from the stream.
+    FleetAllocation {
+        /// The job the allocation applies to.
+        job: u64,
+        /// Spot GPUs leased to the job after this round.
+        spot_gpus: usize,
+        /// On-demand fallback GPUs provisioned for the job.
+        on_demand_gpus: usize,
+        /// Total spot GPUs the shared market held at this instant.
+        market_gpus: usize,
+    },
+    /// The arbiter revoked spot capacity from a job — preemption of the
+    /// preemptible, ahead of (and instead of) a market eviction.
+    JobPreempted {
+        /// The job losing capacity.
+        job: u64,
+        /// Spot GPUs revoked by this decision.
+        gpus_revoked: usize,
+        /// Short machine-readable reason (e.g. `"fair_share"`,
+        /// `"starvation_boost"`).
+        reason: String,
+    },
+    /// The provisioner topped a job up with on-demand capacity because its
+    /// throughput floor (or deadline) was at risk on spot alone.
+    FallbackProvisioned {
+        /// The job being topped up.
+        job: u64,
+        /// On-demand GPUs added by this decision.
+        gpus: usize,
+        /// On-demand GPUs the job holds after this decision.
+        total_on_demand: usize,
+    },
     /// The chaos harness injected a fault into a trace replay.
     FaultInjected {
         /// Short machine-readable fault label (e.g. `"preemption_burst"`).
@@ -324,6 +360,15 @@ impl Event {
         Event {
             t_sim,
             source: Source::Chaos,
+            kind,
+        }
+    }
+
+    /// An event from the fleet control plane.
+    pub fn fleet(t_sim: f64, kind: EventKind) -> Self {
+        Event {
+            t_sim,
+            source: Source::Fleet,
             kind,
         }
     }
@@ -460,6 +505,31 @@ mod tests {
                 EventKind::FaultInjected {
                     fault: "preemption_burst".into(),
                     vm: u64::MAX,
+                },
+            ),
+            Event::fleet(
+                22.5,
+                EventKind::FleetAllocation {
+                    job: 3,
+                    spot_gpus: 24,
+                    on_demand_gpus: 4,
+                    market_gpus: 120,
+                },
+            ),
+            Event::fleet(
+                22.6,
+                EventKind::JobPreempted {
+                    job: 7,
+                    gpus_revoked: 8,
+                    reason: "fair_share".into(),
+                },
+            ),
+            Event::fleet(
+                22.7,
+                EventKind::FallbackProvisioned {
+                    job: 3,
+                    gpus: 4,
+                    total_on_demand: 4,
                 },
             ),
             Event::manager(
