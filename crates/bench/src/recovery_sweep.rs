@@ -1,0 +1,227 @@
+//! Recovery sweep: kill the write-ahead-logged control plane and prove
+//! recovery is exact.
+//!
+//! Each seed derives a chaos schedule plus control-plane kills
+//! ([`ChaosConfig::recovery`]). The exhaustive mode ([`run`]) kills the
+//! manager at *every* WAL record boundary — and again mid-frame at every
+//! boundary, leaving a torn final frame — and recovers from the surviving
+//! bytes; the smoke mode ([`smoke`]) takes the single kill point the
+//! injector planned per seed. The headline claims: zero panics, zero
+//! kill-anywhere violations (recovered control digest and final WAL bytes
+//! identical to the uninterrupted run), and every torn tail detected.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use varuna::{Calibration, VarunaCluster};
+use varuna_chaos::{run_chaos_recovery, ChaosConfig, ChaosError, RecoveryHarness, RecoveryRun};
+use varuna_cluster::trace::ClusterTrace;
+use varuna_models::ModelZoo;
+use varuna_obs::BenchReport;
+
+/// One seed's aggregated kill-anywhere outcome.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The seed swept.
+    pub seed: u64,
+    /// Records in the uninterrupted run's complete log.
+    pub wal_records: usize,
+    /// Kill points checked (clean boundaries + torn frames).
+    pub kills: usize,
+    /// Kill points that additionally tore the next frame mid-write.
+    pub torn_kills: usize,
+    /// Torn tails recovery detected and truncated (must equal
+    /// `torn_kills`).
+    pub torn_detected: usize,
+    /// Records replayed across all recoveries.
+    pub replayed_records: usize,
+    /// Modeled replay cost priced as downtime across all recoveries,
+    /// seconds.
+    pub replay_seconds: f64,
+    /// Kill-anywhere invariant violations (must be 0).
+    pub violations: usize,
+    /// Control-event digest of the uninterrupted oracle run.
+    pub digest: u64,
+}
+
+/// Result of sweeping `seeds` kill schedules.
+#[derive(Debug, Clone)]
+pub struct RecoverySweep {
+    /// Per-seed outcomes, in seed order.
+    pub rows: Vec<SweepRow>,
+    /// Seeds whose recovery panicked (must be 0).
+    pub panics: usize,
+    /// Seeds whose harness errored before recovering (must be 0).
+    pub errors: usize,
+    /// Rendered failure artifacts for every dirty seed, in seed order.
+    pub failures: Vec<(u64, String)>,
+}
+
+impl RecoverySweep {
+    /// Total kill-anywhere violations across all seeds.
+    pub fn total_violations(&self) -> usize {
+        self.rows.iter().map(|r| r.violations).sum()
+    }
+
+    /// Total kill points checked across all seeds.
+    pub fn total_kills(&self) -> usize {
+        self.rows.iter().map(|r| r.kills).sum()
+    }
+
+    /// Total torn final frames injected across all seeds.
+    pub fn total_torn_kills(&self) -> usize {
+        self.rows.iter().map(|r| r.torn_kills).sum()
+    }
+
+    /// Whether every kill point recovered exactly, with no panics and
+    /// every torn tail detected.
+    pub fn is_clean(&self) -> bool {
+        self.panics == 0
+            && self.errors == 0
+            && self.total_violations() == 0
+            && self.rows.iter().all(|r| r.torn_detected == r.torn_kills)
+    }
+}
+
+/// The sweep's fixed workload: GPT-2 2.5B on a small contended 1-GPU
+/// spot pool, sized so the exhaustive O(boundaries²) sweep stays cheap.
+fn workload() -> (Calibration, ClusterTrace) {
+    let calib = Calibration::profile(&ModelZoo::gpt2_2_5b(), &VarunaCluster::commodity_1gpu(160));
+    let base = ClusterTrace::generate_spot_1gpu(16, 8, 2.0, 10.0, 7);
+    (calib, base)
+}
+
+fn aggregate(seed: u64, runs: &[RecoveryRun]) -> (SweepRow, String) {
+    let mut artifacts = String::new();
+    for r in runs.iter().filter(|r| !r.is_clean()) {
+        artifacts.push_str(&r.failure_artifacts());
+    }
+    let row = SweepRow {
+        seed,
+        wal_records: runs.first().map_or(0, |r| r.wal_records),
+        kills: runs.len(),
+        torn_kills: runs.iter().filter(|r| r.torn).count(),
+        torn_detected: runs.iter().filter(|r| r.torn_detected).count(),
+        replayed_records: runs.iter().map(|r| r.replayed_records).sum(),
+        replay_seconds: runs.iter().map(|r| r.replay_seconds).sum(),
+        violations: runs.iter().map(|r| r.violations.len()).sum(),
+        digest: runs.first().map_or(0, |r| r.digest_expected),
+    };
+    (row, artifacts)
+}
+
+/// Sweeps seeds `0..seeds` exhaustively: every WAL record boundary is a
+/// kill point, once cleanly truncated and once with a torn final frame.
+pub fn run(seeds: u64) -> RecoverySweep {
+    sweep(seeds, true)
+}
+
+/// Sweeps seeds `0..seeds` with one injector-planned kill each
+/// ([`run_chaos_recovery`]) — the cheap CI smoke gate.
+pub fn smoke(seeds: u64) -> RecoverySweep {
+    sweep(seeds, false)
+}
+
+fn sweep(seeds: u64, exhaustive: bool) -> RecoverySweep {
+    let (calib, base) = workload();
+    let mut rows = Vec::new();
+    let mut panics = 0;
+    let mut errors = 0;
+    let mut failures = Vec::new();
+    for seed in 0..seeds {
+        let cfg = ChaosConfig::recovery(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(
+            || -> Result<Vec<RecoveryRun>, ChaosError> {
+                if exhaustive {
+                    let h = RecoveryHarness::new(&calib, &base, &cfg)?;
+                    let n = h.wal_records();
+                    let mut runs = Vec::with_capacity(2 * n + 1);
+                    for boundary in 0..=n {
+                        runs.push(h.recover_at(boundary, false)?);
+                    }
+                    for boundary in 0..n {
+                        runs.push(h.recover_at(boundary, true)?);
+                    }
+                    Ok(runs)
+                } else {
+                    Ok(vec![run_chaos_recovery(&calib, &base, &cfg)?])
+                }
+            },
+        ));
+        match outcome {
+            Ok(Ok(runs)) => {
+                let (row, artifacts) = aggregate(seed, &runs);
+                if !artifacts.is_empty() {
+                    failures.push((seed, artifacts));
+                }
+                rows.push(row);
+            }
+            Ok(Err(_)) => errors += 1,
+            Err(_) => panics += 1,
+        }
+    }
+    RecoverySweep {
+        rows,
+        panics,
+        errors,
+        failures,
+    }
+}
+
+/// Packages a sweep as a [`BenchReport`] (`BENCH_recovery_sweep.json`).
+pub fn report(s: &RecoverySweep) -> BenchReport {
+    let kills = s.total_kills().max(1) as f64;
+    BenchReport::new("recovery_sweep")
+        .param("seeds", (s.rows.len() + s.panics + s.errors) as f64)
+        .result("panics", s.panics as f64)
+        .result("harness_errors", s.errors as f64)
+        .result("invariant_violations", s.total_violations() as f64)
+        .result("kill_points", s.total_kills() as f64)
+        .result("torn_kills", s.total_torn_kills() as f64)
+        .result(
+            "torn_detected",
+            s.rows.iter().map(|r| r.torn_detected).sum::<usize>() as f64,
+        )
+        .result(
+            "total_wal_records",
+            s.rows.iter().map(|r| r.wal_records).sum::<usize>() as f64,
+        )
+        .result(
+            "mean_replayed_records_per_kill",
+            s.rows
+                .iter()
+                .map(|r| r.replayed_records as f64)
+                .sum::<f64>()
+                / kills,
+        )
+        .result(
+            "mean_replay_seconds_per_kill",
+            s.rows.iter().map(|r| r.replay_seconds).sum::<f64>() / kills,
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_smoke_sweep_is_clean_and_reported() {
+        let s = smoke(2);
+        assert_eq!(s.rows.len(), 2);
+        assert!(s.is_clean(), "panics {}, rows {:?}", s.panics, s.rows);
+        let rep = report(&s);
+        assert!(rep.is_current_schema());
+        assert_eq!(rep.summary["panics"], 0.0);
+        assert_eq!(rep.summary["invariant_violations"], 0.0);
+    }
+
+    #[test]
+    fn an_exhaustive_seed_covers_every_boundary_twice() {
+        let s = run(1);
+        assert!(s.is_clean(), "failures: {:?}", s.failures);
+        let r = &s.rows[0];
+        assert!(r.wal_records > 0, "the schedule must log decisions");
+        assert_eq!(r.kills, 2 * r.wal_records + 1);
+        assert_eq!(r.torn_kills, r.wal_records);
+        assert_eq!(r.torn_detected, r.torn_kills);
+    }
+}

@@ -73,9 +73,19 @@ pub struct ChaosConfig {
     pub outage_minutes: f64,
     /// Stale/corrupt-checkpoint discoveries per hour.
     pub corrupt_rate_per_hour: f64,
+    /// Torn (partially written) checkpoint discoveries per hour.
+    pub torn_rate_per_hour: f64,
 
     /// Probability the run contains one total capacity collapse.
     pub collapse_prob: f64,
+
+    /// Probability the run contains one control-plane kill-and-recover.
+    /// The kill is planned from an RNG stream independent of the fault
+    /// schedule, so enabling it never perturbs the injected faults.
+    pub crash_prob: f64,
+    /// Probability a planned control-plane kill tears the WAL frame being
+    /// written (instead of dying cleanly at a record boundary).
+    pub crash_torn_prob: f64,
 }
 
 impl ChaosConfig {
@@ -102,7 +112,10 @@ impl ChaosConfig {
             outage_rate_per_hour: 0.2,
             outage_minutes: 20.0,
             corrupt_rate_per_hour: 0.1,
+            torn_rate_per_hour: 0.0,
             collapse_prob: 0.1,
+            crash_prob: 0.0,
+            crash_torn_prob: 0.0,
         }
     }
 
@@ -161,6 +174,21 @@ impl ChaosConfig {
         }
     }
 
+    /// A [`ChaosConfig::from_seed`] tuning with the control-plane fault
+    /// processes switched on: torn checkpoint writes, and a guaranteed
+    /// kill-and-recover of the manager (torn WAL tail on a quarter of the
+    /// kills). Because the kill plan draws from its own RNG stream and the
+    /// torn-write process only consumes RNG when its rate is nonzero, the
+    /// underlying fault schedule stays seed-compatible with `from_seed`.
+    pub fn recovery(seed: u64) -> Self {
+        ChaosConfig {
+            torn_rate_per_hour: 0.3,
+            crash_prob: 1.0,
+            crash_torn_prob: 0.25,
+            ..ChaosConfig::from_seed(seed)
+        }
+    }
+
     /// Checks every shape invariant.
     ///
     /// # Errors
@@ -177,6 +205,7 @@ impl ChaosConfig {
             ("stutter_rate_per_hour", self.stutter_rate_per_hour),
             ("outage_rate_per_hour", self.outage_rate_per_hour),
             ("corrupt_rate_per_hour", self.corrupt_rate_per_hour),
+            ("torn_rate_per_hour", self.torn_rate_per_hour),
         ];
         for (name, r) in rates {
             if !(r.is_finite() && r >= 0.0) {
@@ -188,6 +217,8 @@ impl ChaosConfig {
             ("eviction_notice_prob", self.eviction_notice_prob),
             ("flap_prob", self.flap_prob),
             ("collapse_prob", self.collapse_prob),
+            ("crash_prob", self.crash_prob),
+            ("crash_torn_prob", self.crash_torn_prob),
         ];
         for (name, p) in probs {
             if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
@@ -250,6 +281,7 @@ mod tests {
         assert!(ChaosConfig::default_tuning(1).validate().is_ok());
         assert!(ChaosConfig::quiet(1).validate().is_ok());
         assert!(ChaosConfig::harsh(1).validate().is_ok());
+        assert!(ChaosConfig::recovery(1).validate().is_ok());
         for seed in 0..200 {
             ChaosConfig::from_seed(seed)
                 .validate()
@@ -277,6 +309,9 @@ mod tests {
         bad(|c| c.burst_rate_per_hour = f64::NAN);
         bad(|c| c.burst_fraction = 1.5);
         bad(|c| c.collapse_prob = -0.1);
+        bad(|c| c.torn_rate_per_hour = -0.2);
+        bad(|c| c.crash_prob = 1.5);
+        bad(|c| c.crash_torn_prob = f64::NAN);
         bad(|c| c.tick_minutes = 0.0);
         bad(|c| c.silence_max_minutes = 0.5); // below silence_min_minutes
         bad(|c| c.stutter_factor_min = 1.0);

@@ -31,10 +31,23 @@ pub enum FaultKind {
     },
     /// The latest durable checkpoint turned out stale or corrupt.
     CheckpointCorrupt,
+    /// A checkpoint write died mid-flight, leaving a partial file on
+    /// durable storage (distinct from [`FaultKind::CheckpointCorrupt`]:
+    /// the bytes that landed are valid, there are just too few of them).
+    CheckpointTorn {
+        /// Fraction of the expected bytes that reached storage, in `[0, 1)`.
+        fraction: f64,
+    },
     /// Every live VM was preempted at once (planner-infeasible capacity).
     CapacityCollapse {
         /// VMs taken down by the collapse.
         victims: usize,
+    },
+    /// The manager process itself was killed and recovered from its
+    /// write-ahead log.
+    ControlPlaneCrash {
+        /// Whether the kill tore the WAL frame being written.
+        torn: bool,
     },
 }
 
@@ -54,7 +67,10 @@ impl FaultKind {
             } => "stutter",
             FaultKind::StorageOutage { .. } => "storage_outage",
             FaultKind::CheckpointCorrupt => "checkpoint_corrupt",
+            FaultKind::CheckpointTorn { .. } => "checkpoint_torn",
             FaultKind::CapacityCollapse { .. } => "capacity_collapse",
+            FaultKind::ControlPlaneCrash { torn: true } => "control_plane_crash_torn",
+            FaultKind::ControlPlaneCrash { torn: false } => "control_plane_crash",
         }
     }
 }
@@ -97,7 +113,10 @@ mod tests {
             },
             FaultKind::StorageOutage { minutes: 10.0 },
             FaultKind::CheckpointCorrupt,
+            FaultKind::CheckpointTorn { fraction: 0.4 },
             FaultKind::CapacityCollapse { victims: 8 },
+            FaultKind::ControlPlaneCrash { torn: true },
+            FaultKind::ControlPlaneCrash { torn: false },
         ];
         let labels: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len(), "labels must be unique");

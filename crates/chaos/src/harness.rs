@@ -1,9 +1,11 @@
 //! One-call chaos runs: inject, replay, verify, digest.
 
 use serde::{Deserialize, Serialize};
-use varuna::{Calibration, Manager, ManagerState};
+use varuna::{Calibration, Manager, ManagerState, ManagerWal};
 use varuna_cluster::trace::ClusterTrace;
-use varuna_obs::{profile, Event, EventBus, EventKind, ProfileReport, RingBufferSink, VecSink};
+use varuna_obs::{
+    profile, Event, EventBus, EventKind, ProfileReport, RingBufferSink, Source, VecSink,
+};
 
 use crate::config::{ChaosConfig, ChaosError};
 use crate::fault::InjectedFault;
@@ -192,6 +194,278 @@ pub fn run_chaos(
     })
 }
 
+/// FNV-1a digest of the control-decision stream only:
+/// [`Source::Recovery`]-tagged events (the replay announcements) are
+/// excluded, so an uninterrupted run and a kill-and-recover run of the
+/// same trace can be compared for the kill-anywhere invariant.
+pub fn digest_control_events(events: &[Event]) -> u64 {
+    let filtered: Vec<Event> = events
+        .iter()
+        .filter(|e| e.source != Source::Recovery)
+        .cloned()
+        .collect();
+    digest_events(&filtered)
+}
+
+/// The verdict of one control-plane kill-and-recover experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryRun {
+    /// The seed that produced the underlying chaos run.
+    pub seed: u64,
+    /// Clean WAL frames surviving the kill.
+    pub boundary: usize,
+    /// Records in the uninterrupted run's complete log.
+    pub wal_records: usize,
+    /// Whether the kill additionally tore frame `boundary` mid-write.
+    pub torn: bool,
+    /// Whether recovery detected (and truncated) a torn tail.
+    pub torn_detected: bool,
+    /// Bytes the torn-tail truncation dropped at load.
+    pub dropped_bytes: u64,
+    /// Records replayed from the surviving log prefix.
+    pub replayed_records: usize,
+    /// Modeled replay cost priced as downtime, seconds.
+    pub replay_seconds: f64,
+    /// Control-event digest of the uninterrupted run (the oracle).
+    pub digest_expected: u64,
+    /// Control-event digest of the recovered run.
+    pub digest_recovered: u64,
+    /// Whether the recovered run's final WAL bytes equal the
+    /// uninterrupted log byte-for-byte.
+    pub wal_bytes_identical: bool,
+    /// Invariant violations (empty = the kill-anywhere invariant held).
+    pub violations: Vec<String>,
+}
+
+impl RecoveryRun {
+    /// Whether the kill-anywhere invariant held for this kill point.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders a readable failure block for CI logs / artifact files.
+    /// Empty for a clean run.
+    pub fn failure_artifacts(&self) -> String {
+        if self.is_clean() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "recovery seed {} FAILED at boundary {}/{} (torn: {}): {} violation(s)\n",
+            self.seed,
+            self.boundary,
+            self.wal_records,
+            self.torn,
+            self.violations.len()
+        ));
+        for v in &self.violations {
+            out.push_str(&format!("  violation: {v}\n"));
+        }
+        out.push_str(&format!(
+            "digests: expected {:016x}, recovered {:016x}; replayed {} records \
+             ({:.3}s), dropped {} torn bytes, wal bytes identical: {}\n",
+            self.digest_expected,
+            self.digest_recovered,
+            self.replayed_records,
+            self.replay_seconds,
+            self.dropped_bytes,
+            self.wal_bytes_identical,
+        ));
+        out
+    }
+}
+
+/// One uninterrupted write-ahead-logged chaos run, cached so that many
+/// kill points can be probed against it without re-running the oracle.
+///
+/// `new` perturbs the base trace, drives the paper's 8192-minibatch job
+/// through [`Manager::replay_walled`] once, and captures the resulting
+/// control-event digest and complete WAL image. [`RecoveryHarness::recover_at`]
+/// then simulates a kill at any record boundary — optionally tearing the
+/// next frame mid-write — recovers a fresh manager from the surviving
+/// bytes, and checks the kill-anywhere invariant: byte-identical control
+/// digest and byte-identical final WAL.
+pub struct RecoveryHarness<'a> {
+    calib: &'a Calibration,
+    trace: ClusterTrace,
+    faults: Vec<InjectedFault>,
+    seed: u64,
+    wal: ManagerWal,
+    reference_digest: u64,
+    reference_bytes: Vec<u8>,
+}
+
+impl<'a> RecoveryHarness<'a> {
+    /// Runs the uninterrupted oracle for `(calib, base, cfg)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::InvalidConfig`] for a bad configuration and
+    /// [`ChaosError::Replay`] if the manager rejects the perturbed trace.
+    pub fn new(
+        calib: &'a Calibration,
+        base: &ClusterTrace,
+        cfg: &ChaosConfig,
+    ) -> Result<Self, ChaosError> {
+        let injector = ChaosInjector::new(cfg.clone())?;
+        let (trace, faults) = injector.perturb(base);
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        let mut wal = ManagerWal::new();
+        let mut mgr = Manager::new(calib, 8192, 4).with_fallback();
+        mgr.replay_walled(&trace, &mut bus, &mut wal)
+            .map_err(|e| ChaosError::Replay(e.to_string()))?;
+        let reference_digest = digest_control_events(&sink.take());
+        let reference_bytes = wal.to_bytes();
+        Ok(RecoveryHarness {
+            calib,
+            trace,
+            faults,
+            seed: cfg.seed,
+            wal,
+            reference_digest,
+            reference_bytes,
+        })
+    }
+
+    /// Records in the uninterrupted run's complete log; kill boundaries
+    /// range over `0..=wal_records()`.
+    pub fn wal_records(&self) -> usize {
+        self.wal.len()
+    }
+
+    /// The faults the injector scheduled for the underlying run.
+    pub fn faults(&self) -> &[InjectedFault] {
+        &self.faults
+    }
+
+    /// Kills the run after `boundary` clean frames (`torn` additionally
+    /// leaves half of frame `boundary` on disk), recovers a fresh manager
+    /// from the surviving bytes, and checks the kill-anywhere invariant.
+    ///
+    /// `boundary` is clamped to the log length; `torn` is ignored when no
+    /// frame follows the boundary (nothing was mid-write).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChaosError::Replay`] if the surviving bytes fail to load
+    /// or the recovered manager rejects the trace — both would be harness
+    /// bugs, not invariant violations.
+    pub fn recover_at(&self, boundary: usize, torn: bool) -> Result<RecoveryRun, ChaosError> {
+        let n = self.wal.len();
+        let boundary = boundary.min(n);
+        let torn = torn && boundary < n;
+        let bytes = if torn {
+            self.wal.torn_bytes(boundary, 0.5)
+        } else {
+            self.wal.truncated_bytes(boundary)
+        };
+        let mut wal = ManagerWal::from_bytes(&bytes)
+            .map_err(|e| ChaosError::Replay(format!("surviving WAL bytes failed to load: {e}")))?;
+        let sink = VecSink::new();
+        let mut bus = EventBus::with_sink(Box::new(sink.clone()));
+        let mut mgr = Manager::new(self.calib, 8192, 4).with_fallback();
+        let report = mgr
+            .recover_on_bus(&self.trace, &mut bus, &mut wal)
+            .map_err(|e| ChaosError::Replay(e.to_string()))?;
+        let events = sink.take();
+        let digest_recovered = digest_control_events(&events);
+
+        let mut violations = Vec::new();
+        if digest_recovered != self.reference_digest {
+            violations.push(format!(
+                "recovered control digest {digest_recovered:016x} != uninterrupted \
+                 {:016x} (killed at boundary {boundary}/{n}, torn {torn})",
+                self.reference_digest
+            ));
+        }
+        let control: Vec<Event> = events
+            .iter()
+            .filter(|e| e.source != Source::Recovery)
+            .cloned()
+            .collect();
+        for v in check_invariants(&control) {
+            violations.push(format!("recovered stream: {v}"));
+        }
+        if torn && report.torn.is_none() {
+            violations.push("kill tore the final frame but recovery detected no torn tail".into());
+        }
+        if !torn && report.torn.is_some() {
+            violations.push(format!(
+                "clean kill at boundary {boundary} but recovery reported a torn tail: {:?}",
+                report.torn
+            ));
+        }
+        let final_bytes = wal.to_bytes();
+        let wal_bytes_identical = final_bytes == self.reference_bytes;
+        if !wal_bytes_identical {
+            violations.push(format!(
+                "recovered WAL ({} bytes) diverges from the uninterrupted log ({} bytes)",
+                final_bytes.len(),
+                self.reference_bytes.len()
+            ));
+        }
+        Ok(RecoveryRun {
+            seed: self.seed,
+            boundary,
+            wal_records: n,
+            torn,
+            torn_detected: report.torn.is_some(),
+            dropped_bytes: report.dropped_bytes,
+            replayed_records: report.replayed_records,
+            replay_seconds: report.replay_seconds,
+            digest_expected: self.reference_digest,
+            digest_recovered,
+            wal_bytes_identical,
+            violations,
+        })
+    }
+}
+
+/// One kill-and-recover experiment at an explicit boundary: builds the
+/// [`RecoveryHarness`] oracle and probes a single kill point.
+///
+/// # Errors
+///
+/// Propagates [`RecoveryHarness::new`] / [`RecoveryHarness::recover_at`]
+/// errors.
+pub fn run_recovery_at(
+    calib: &Calibration,
+    base: &ClusterTrace,
+    cfg: &ChaosConfig,
+    boundary: usize,
+    torn: bool,
+) -> Result<RecoveryRun, ChaosError> {
+    RecoveryHarness::new(calib, base, cfg)?.recover_at(boundary, torn)
+}
+
+/// Runs the kill the injector planned for `cfg`
+/// ([`ChaosInjector::crash_plan`]): the plan's boundary fraction is mapped
+/// onto the concrete log and the recovered run is checked against the
+/// uninterrupted oracle. A configuration that plans no kill degenerates to
+/// a full-prefix replay check — recovering from the complete log must
+/// still reproduce the run exactly.
+///
+/// # Errors
+///
+/// Same contract as [`run_recovery_at`].
+pub fn run_chaos_recovery(
+    calib: &Calibration,
+    base: &ClusterTrace,
+    cfg: &ChaosConfig,
+) -> Result<RecoveryRun, ChaosError> {
+    let plan = ChaosInjector::new(cfg.clone())?.crash_plan();
+    let harness = RecoveryHarness::new(calib, base, cfg)?;
+    let n = harness.wal_records();
+    match plan {
+        Some(p) => {
+            let boundary = ((p.boundary_fraction * (n + 1) as f64) as usize).min(n);
+            harness.recover_at(boundary, p.torn)
+        }
+        None => harness.recover_at(n, false),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +483,25 @@ mod tests {
             "content must matter"
         );
         assert_eq!(digest_events(&[]), digest_events(&[]));
+    }
+
+    #[test]
+    fn control_digest_ignores_recovery_events() {
+        let a = Event::manager(1.0, EventKind::Preemption { vm: 1 });
+        let r = Event::recovery(
+            5.0,
+            EventKind::RecoveryReplay {
+                wal_records: 3,
+                torn: false,
+                dropped_bytes: 0,
+                replay_seconds: 0.006,
+            },
+        );
+        assert_eq!(
+            digest_control_events(&[r.clone(), a.clone()]),
+            digest_control_events(&[a.clone()]),
+            "recovery-sourced events must not affect the control digest"
+        );
+        assert_ne!(digest_events(&[r, a.clone()]), digest_events(&[a]));
     }
 }

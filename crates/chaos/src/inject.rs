@@ -10,6 +10,21 @@ use varuna_obs::{Event, EventBus, EventKind};
 use crate::config::{ChaosConfig, ChaosError};
 use crate::fault::{FaultKind, InjectedFault};
 
+/// A control-plane kill the injector scheduled.
+///
+/// The kill site is expressed as a fraction of write-ahead-log record
+/// boundaries because the injector cannot know how many records a run
+/// will write; the recovery harness maps the fraction onto the concrete
+/// log it captured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashPlan {
+    /// Where among the WAL record boundaries the manager dies, in `[0, 1)`.
+    pub boundary_fraction: f64,
+    /// Whether the kill tears the WAL frame being written (detected by
+    /// checksum at recovery and truncated away).
+    pub torn: bool,
+}
+
 /// Perturbs base cluster traces with a seeded fault schedule.
 ///
 /// The injector walks the base trace on a fixed tick grid, tracking which
@@ -62,6 +77,10 @@ impl ChaosInjector {
         // outage as a boolean, so nested Start/Start/End/End would end it
         // early.
         let mut outage_until = f64::NEG_INFINITY;
+        // The torn-write process draws from its own stream so switching it
+        // on (the recovery tuning) never shifts the pre-existing fault
+        // schedule of the same seed.
+        let mut torn_rng = StdRng::seed_from_u64(cfg.seed ^ 0x70C4_E77E);
         let mut j = 0;
 
         let p_of = |rate: f64| (rate * dt).min(1.0);
@@ -245,6 +264,21 @@ impl ChaosInjector {
                 });
             }
 
+            // Torn (partial) durable checkpoint write.
+            if cfg.torn_rate_per_hour > 0.0 && torn_rng.gen_bool(p_of(cfg.torn_rate_per_hour)) {
+                let fraction = uniform(&mut torn_rng, 0.05, 0.95);
+                injected.push(ClusterEvent {
+                    time_hours: t,
+                    vm: u64::MAX,
+                    kind: ClusterEventKind::CheckpointTorn { fraction },
+                });
+                faults.push(InjectedFault {
+                    time_hours: t,
+                    vm: u64::MAX,
+                    fault: FaultKind::CheckpointTorn { fraction },
+                });
+            }
+
             // Planner-infeasible capacity collapse.
             if let Some(at) = collapse_at {
                 if t >= at {
@@ -306,6 +340,28 @@ impl ChaosInjector {
             });
         }
         (trace, faults)
+    }
+
+    /// Draws the control-plane kill plan for this configuration, or
+    /// `None` when `crash_prob` draws no kill.
+    ///
+    /// The plan comes from an RNG stream keyed off `seed ^ 0x5EC0_7E55`,
+    /// fully independent of the fault schedule: enabling or disabling
+    /// crashes never shifts the perturbed trace.
+    pub fn crash_plan(&self) -> Option<CrashPlan> {
+        let cfg = &self.cfg;
+        if cfg.crash_prob <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EC0_7E55);
+        if !rng.gen_bool(cfg.crash_prob.min(1.0)) {
+            return None;
+        }
+        let torn = cfg.crash_torn_prob > 0.0 && rng.gen_bool(cfg.crash_torn_prob.min(1.0));
+        Some(CrashPlan {
+            boundary_fraction: rng.gen_range(0.0..1.0),
+            torn,
+        })
     }
 }
 
@@ -439,6 +495,31 @@ mod tests {
                 }
                 other => panic!("unexpected {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn recovery_tuning_adds_control_plane_faults_without_shifting_the_rest() {
+        for seed in 0..8 {
+            let plain = ChaosInjector::new(ChaosConfig::from_seed(seed)).unwrap();
+            let rec = ChaosInjector::new(ChaosConfig::recovery(seed)).unwrap();
+            let b = base();
+            let (_, f_plain) = plain.perturb(&b);
+            let (_, f_rec) = rec.perturb(&b);
+            // Dropping the torn-write faults recovers the plain schedule
+            // exactly: the new process consumes RNG only when it fires.
+            let without_torn: Vec<InjectedFault> = f_rec
+                .iter()
+                .copied()
+                .filter(|f| !matches!(f.fault, FaultKind::CheckpointTorn { .. }))
+                .collect();
+            assert_eq!(without_torn, f_plain, "seed {seed}");
+            // crash_prob = 1.0 guarantees a kill plan, independent of the
+            // fault schedule, and the plain tuning draws none.
+            let plan = rec.crash_plan().expect("recovery tuning plans a kill");
+            assert!((0.0..1.0).contains(&plan.boundary_fraction));
+            assert_eq!(rec.crash_plan(), Some(plan), "plan must be deterministic");
+            assert_eq!(plain.crash_plan(), None);
         }
     }
 

@@ -19,6 +19,12 @@
 //!   resume points (paper §4.5).
 //! - **Planner-infeasible capacity collapse** — everything preempted at
 //!   once, forcing the manager into its `Degraded` retry loop.
+//! - **Torn checkpoint writes** — a checkpoint killed mid-write, leaving
+//!   a partial file (distinct from corruption: the bytes are valid, there
+//!   are just too few of them).
+//! - **Control-plane kills** — the manager process itself dying at an
+//!   arbitrary write-ahead-log boundary (optionally tearing the frame
+//!   being written) and recovering by replaying the surviving log prefix.
 //!
 //! The pipeline is: [`ChaosConfig`] (seeded rates) → [`ChaosInjector`]
 //! (perturbs a base trace into a fault schedule) → `Manager::replay_on_bus`
@@ -28,6 +34,13 @@
 //!
 //! Everything is deterministic: the same seed produces the same fault
 //! schedule, the same event stream, and the same digest.
+//!
+//! Control-plane recovery runs through a second pipeline:
+//! [`RecoveryHarness`] captures one uninterrupted write-ahead-logged run
+//! as the oracle, then [`RecoveryHarness::recover_at`] kills it at any
+//! record boundary (or mid-frame) and asserts the *kill-anywhere
+//! invariant* — the recovered run's control-event digest and final WAL
+//! bytes equal the uninterrupted run's exactly.
 
 pub mod config;
 pub mod fault;
@@ -37,5 +50,8 @@ pub mod verify;
 
 pub use config::{ChaosConfig, ChaosError};
 pub use fault::{FaultKind, InjectedFault};
-pub use harness::{digest_events, run_chaos, ChaosRun, FLIGHT_RECORDER_EVENTS};
-pub use inject::ChaosInjector;
+pub use harness::{
+    digest_control_events, digest_events, run_chaos, run_chaos_recovery, run_recovery_at, ChaosRun,
+    RecoveryHarness, RecoveryRun, FLIGHT_RECORDER_EVENTS,
+};
+pub use inject::{ChaosInjector, CrashPlan};

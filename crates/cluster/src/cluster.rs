@@ -100,7 +100,8 @@ impl Cluster {
             | ClusterEventKind::SilenceEnd
             | ClusterEventKind::StorageOutageStart
             | ClusterEventKind::StorageOutageEnd
-            | ClusterEventKind::CheckpointCorrupt => {}
+            | ClusterEventKind::CheckpointCorrupt
+            | ClusterEventKind::CheckpointTorn { .. } => {}
         }
     }
 

@@ -54,6 +54,17 @@ pub enum ClusterEventKind {
     /// resume must fall back to the previous durable one. The `vm` field
     /// of the carrying event is ignored.
     CheckpointCorrupt,
+    /// The most recent checkpoint write stopped short mid-write (writer
+    /// died or its volume vanished): only `fraction` of the payload
+    /// landed. Distinct from [`ClusterEventKind::CheckpointCorrupt`] —
+    /// the bytes that landed are fine, there are just not enough of
+    /// them — but the consequence is the same fallback to the previous
+    /// durable checkpoint. The `vm` field of the carrying event is
+    /// ignored.
+    CheckpointTorn {
+        /// Fraction of the payload that landed, in `[0, 1)`.
+        fraction: f64,
+    },
 }
 
 /// One timestamped cluster event.

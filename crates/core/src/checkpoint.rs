@@ -8,9 +8,62 @@
 //! is sharded across data-parallel replicas since they hold identical
 //! state. This module prices that policy for the manager's timeline.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::VarunaError;
+
+/// A write that stopped short: fewer bytes landed than the payload
+/// needs. One vocabulary for every partial-write failure — a checkpoint
+/// torn by a mid-write crash and a write-ahead-log frame truncated by a
+/// control-plane kill both describe themselves with this struct.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartialWrite {
+    /// Bytes actually on disk.
+    pub bytes_written: u64,
+    /// Bytes the complete payload needs.
+    pub bytes_expected: u64,
+}
+
+impl PartialWrite {
+    /// Fraction of the payload that landed, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.bytes_expected == 0 {
+            return 1.0;
+        }
+        (self.bytes_written as f64 / self.bytes_expected as f64).clamp(0.0, 1.0)
+    }
+}
+
+impl fmt::Display for PartialWrite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} bytes written",
+            self.bytes_written, self.bytes_expected
+        )
+    }
+}
+
+/// Typed checkpoint validation failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointError {
+    /// The checkpoint on disk is shorter than a complete write: the
+    /// writer died (or its volume vanished) mid-write. Resume must fall
+    /// back to the previous durable checkpoint.
+    Torn(PartialWrite),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Torn(p) => write!(f, "torn checkpoint: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
 
 /// The checkpointing policy and its cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,6 +135,26 @@ impl CheckpointPolicy {
     /// last completed checkpoint).
     pub fn lost_minibatches(&self, step: u64) -> u64 {
         step % self.interval_minibatches
+    }
+
+    /// Validates a checkpoint's on-disk size at resume.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Torn`] when fewer bytes landed than a complete
+    /// write needs.
+    pub fn validate_write(
+        &self,
+        bytes_written: u64,
+        bytes_expected: u64,
+    ) -> Result<(), CheckpointError> {
+        if bytes_written < bytes_expected {
+            return Err(CheckpointError::Torn(PartialWrite {
+                bytes_written,
+                bytes_expected,
+            }));
+        }
+        Ok(())
     }
 }
 
@@ -160,6 +233,33 @@ mod tests {
         for s in 0..100 {
             assert!(p.lost_minibatches(s) < 16);
         }
+    }
+
+    #[test]
+    fn torn_writes_are_typed_errors() {
+        let p = CheckpointPolicy::default_tuning();
+        assert!(p.validate_write(400, 400).is_ok());
+        assert!(p.validate_write(500, 400).is_ok(), "overfull is complete");
+        let err = p.validate_write(100, 400).unwrap_err();
+        let CheckpointError::Torn(partial) = err;
+        assert_eq!(partial.bytes_written, 100);
+        assert_eq!(partial.bytes_expected, 400);
+        assert!((partial.fraction() - 0.25).abs() < 1e-12);
+        assert!(err.to_string().contains("torn checkpoint"));
+    }
+
+    #[test]
+    fn partial_write_fraction_is_clamped() {
+        let empty = PartialWrite {
+            bytes_written: 7,
+            bytes_expected: 0,
+        };
+        assert_eq!(empty.fraction(), 1.0);
+        let over = PartialWrite {
+            bytes_written: 10,
+            bytes_expected: 5,
+        };
+        assert_eq!(over.fraction(), 1.0);
     }
 
     #[test]

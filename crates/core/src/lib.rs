@@ -50,12 +50,14 @@ pub mod partition;
 pub mod planner;
 pub mod plansearch;
 pub mod simulator;
+pub mod wal;
 
 // The schedule enumerator and run-time policy moved to `varuna-sched`;
 // this alias keeps the historical `varuna::schedule::*` paths working.
 pub use varuna_sched::schedule;
 
 pub use calibrate::Calibration;
+pub use checkpoint::{CheckpointError, CheckpointPolicy, PartialWrite};
 pub use cutfinder::{find_cutpoints, CutReport};
 pub use error::VarunaError;
 pub use job::TrainingJob;
@@ -68,6 +70,7 @@ pub use planner::{Config, FallbackLevel, Planner};
 pub use plansearch::{ClusterTemplate, EvalPath, PlanBudget, PlanMetrics, SimSearch};
 pub use simulator::estimate_minibatch_time;
 pub use varuna_sched::schedule::{generate_schedule, StaticSchedule, VarunaPolicy};
+pub use wal::{ManagerWal, RecoveryReport, Wal, WalError, WalIo, WalRecord};
 
 /// The hardware environment a job runs in: a topology plus SKU metadata.
 #[derive(Debug, Clone)]

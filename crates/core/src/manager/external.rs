@@ -10,11 +10,11 @@
 //! collectors, the profiler, the chaos invariant checkers) cannot tell
 //! the two drivers apart.
 
-use varuna_obs::{Event, EventBus, EventKind};
+use varuna_obs::EventBus;
 
-use super::{Manager, ManagerState};
-use crate::error::VarunaError;
+use super::Manager;
 use crate::morph::MorphDecision;
+use crate::wal::{ManagerWal, WalIo};
 
 impl Manager<'_> {
     /// Applies an externally arbitrated capacity level of `gpus` at
@@ -25,10 +25,13 @@ impl Manager<'_> {
     ///
     /// Returns the morph decision when planning succeeded, `None` when
     /// the job is (still) degraded — infeasible capacity parks the job in
-    /// [`ManagerState::Degraded`] exactly like trace replay; the caller
-    /// retries by calling again at a later `t_hours`.
+    /// [`super::ManagerState::Degraded`] exactly like trace replay; the
+    /// caller retries by calling again at a later `t_hours`.
     ///
-    /// The method is deterministic: same call sequence, same events.
+    /// The method is deterministic: same call sequence, same events. Runs
+    /// against a throwaway write-ahead log; fleet control planes that
+    /// need crash recovery call
+    /// [`Manager::on_external_capacity_walled`] instead.
     pub fn on_external_capacity(
         &mut self,
         t_hours: f64,
@@ -37,107 +40,48 @@ impl Manager<'_> {
         durable_step: u64,
         bus: &mut EventBus,
     ) -> Option<MorphDecision> {
-        let t_sec = t_hours * 3600.0;
-        let planned = if gpus == 0 {
-            Err(VarunaError::NoFeasibleConfig {
-                gpus: 0,
-                reason: "arbiter allocated zero GPUs".to_string(),
-            })
-        } else {
-            self.morph
-                .on_resources_changed_from(gpus, step, durable_step)
-        };
-        match planned {
-            Ok(decision) => {
-                if let Some(since) = self.ext_degraded_since.take() {
-                    self.state = ManagerState::Running;
-                    self.backoff.reset();
-                    bus.emit_with(|| {
-                        Event::manager(
-                            t_sec,
-                            EventKind::DegradedExit {
-                                gpus,
-                                paused_seconds: (t_hours - since) * 3600.0,
-                            },
-                        )
-                    });
-                }
-                let lost = step.saturating_sub(durable_step);
-                if decision.reconfigured && lost > 0 {
-                    bus.emit_with(|| {
-                        Event::manager(
-                            t_sec,
-                            EventKind::LostWork {
-                                minibatches: lost,
-                                seconds: lost as f64 * decision.config.est_minibatch_time,
-                            },
-                        )
-                    });
-                }
-                if let Some(pm) = self.morph.take_last_plan_metrics() {
-                    bus.emit_with(|| {
-                        Event::manager(
-                            t_sec,
-                            EventKind::PlanSearch {
-                                candidates: pm.candidates,
-                                simulated: pm.simulated,
-                                memo_hits: pm.memo_hits,
-                                analytic_fallbacks: pm.analytic_fallbacks,
-                            },
-                        )
-                    });
-                }
-                let cfg = &decision.config;
-                bus.emit_with(|| {
-                    Event::manager(
-                        t_sec,
-                        EventKind::Morph {
-                            p: cfg.p,
-                            d: cfg.d,
-                            gpus_held: gpus,
-                            gpus_used: cfg.gpus_used(),
-                            examples_per_sec: cfg.throughput(),
-                            examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                            reconfigured: decision.reconfigured,
-                            restart_seconds: if decision.reconfigured {
-                                self.morph.restart_overhead
-                            } else {
-                                0.0
-                            },
-                        },
-                    )
-                });
-                Some(decision)
-            }
-            Err(e) => {
-                if self.ext_degraded_since.is_none() {
-                    self.ext_degraded_since = Some(t_hours);
-                    self.state = ManagerState::Degraded;
-                    self.morph.suspend();
-                    bus.emit_with(|| {
-                        Event::manager(
-                            t_sec,
-                            EventKind::DegradedEnter {
-                                gpus,
-                                reason: e.to_string(),
-                            },
-                        )
-                    });
-                }
-                let delay = self.backoff.next_delay();
-                bus.emit_with(|| {
-                    Event::manager(
-                        t_sec,
-                        EventKind::MorphRetry {
-                            attempt: self.backoff.attempts(),
-                            backoff_seconds: delay,
-                            gpus,
-                        },
-                    )
-                });
-                None
-            }
-        }
+        self.on_external_capacity_walled(
+            t_hours,
+            gpus,
+            step,
+            durable_step,
+            bus,
+            &mut ManagerWal::new(),
+        )
+    }
+
+    /// [`Manager::on_external_capacity`] driven through a write-ahead
+    /// log: pending plan-attempt records for this job replay from the log
+    /// (crash recovery), and fresh decisions are appended to it before
+    /// their events are emitted.
+    ///
+    /// `wal` is any [`WalIo`] view — a [`ManagerWal`] for a single job,
+    /// or a fleet log's per-job view that interleaves records from many
+    /// jobs into one shared sequence.
+    pub fn on_external_capacity_walled<W: WalIo>(
+        &mut self,
+        t_hours: f64,
+        gpus: usize,
+        step: u64,
+        durable_step: u64,
+        bus: &mut EventBus,
+        wal: &mut W,
+    ) -> Option<MorphDecision> {
+        // Take/put the episode marker so the walled step can hold it
+        // mutably alongside `self`.
+        let mut since = self.ext_degraded_since.take();
+        let attempt = self.walled_plan_attempt(
+            t_hours,
+            gpus,
+            step,
+            durable_step,
+            "arbiter allocated zero GPUs",
+            &mut since,
+            wal,
+            bus,
+        );
+        self.ext_degraded_since = since;
+        attempt.decision
     }
 }
 

@@ -48,6 +48,7 @@ mod replay;
 #[cfg(test)]
 mod tests;
 mod timeline;
+mod walled;
 
 pub use grace::GracePolicy;
 pub use timeline::{ManagerState, TimelineEvent, TimelinePoint};

@@ -1,12 +1,42 @@
 //! Discrete-event trace replay: morphing, checkpointing, and recovery.
+//!
+//! Every externally visible control decision flows through a
+//! [`ManagerWal`]: the record is appended (durably, in a real
+//! deployment) *before* its event is emitted, and
+//! [`Manager::recover_on_bus`] rebuilds a killed run by replaying the
+//! log prefix against the same trace — see DESIGN.md §6h.
 
 use std::collections::{BTreeMap, BTreeSet};
 use varuna_cluster::trace::{ClusterEventKind, ClusterTrace};
 use varuna_obs::{Event, EventBus, EventKind};
 
 use super::{Manager, ManagerState, TimelinePoint};
+use crate::checkpoint::{CheckpointError, PartialWrite};
 use crate::error::VarunaError;
 use crate::observe::TimelineCollector;
+use crate::wal::{ManagerWal, RecoveryReport, WalRecord, REPLAY_SECONDS_PER_RECORD};
+
+/// Replays the next pending WAL record at a decision site, or computes
+/// the decision live and logs it first. A pending record that fails
+/// `expect` means the deterministic decision loop diverged from the log
+/// — a bug, caught loudly in debug builds.
+fn wal_step(
+    wal: &mut ManagerWal,
+    expect: fn(&WalRecord) -> bool,
+    live: impl FnOnce() -> WalRecord,
+) -> WalRecord {
+    if let Some(rec) = wal.replay_next_if(expect) {
+        return rec;
+    }
+    debug_assert!(
+        !wal.replaying(),
+        "WAL replay diverged from the decision loop at {:?}",
+        wal.peek()
+    );
+    let rec = live();
+    wal.append(rec.clone());
+    rec
+}
 
 impl Manager<'_> {
     /// Foreground pause priced for one sharded checkpoint write under
@@ -40,10 +70,69 @@ impl Manager<'_> {
         Ok(collector.take())
     }
 
+    /// Replays a cluster trace against a fresh write-ahead log.
+    ///
+    /// Equivalent to [`Manager::replay_walled`] with an empty
+    /// [`ManagerWal`] that is discarded afterwards; use the walled
+    /// variant to keep the log for crash recovery.
+    ///
+    /// # Errors
+    ///
+    /// Infeasible capacity parks the manager in
+    /// [`ManagerState::Degraded`] rather than failing; errors are
+    /// reserved for invalid inputs.
+    pub fn replay_on_bus(
+        &mut self,
+        trace: &ClusterTrace,
+        bus: &mut EventBus,
+    ) -> Result<(), VarunaError> {
+        self.replay_walled(trace, bus, &mut ManagerWal::new())
+    }
+
+    /// Recovers a killed run from its write-ahead log.
+    ///
+    /// `wal` is the log as decoded by [`crate::wal::Wal::from_bytes`]
+    /// (a possibly torn tail already truncated at the last clean frame
+    /// boundary). The trace is re-run from the start with every logged
+    /// decision *replayed* rather than recomputed; once the log is
+    /// exhausted the run continues live, appending to the same log. For
+    /// a deterministic trace this reproduces the uninterrupted run's
+    /// control-event stream and WAL bytes exactly — the kill-anywhere
+    /// invariant enforced by `varuna-chaos`.
+    ///
+    /// A [`varuna_obs::Source::Recovery`]-tagged `RecoveryReplay` event
+    /// prices the replay itself (`REPLAY_SECONDS_PER_RECORD` per logged
+    /// record) as downtime for `varuna-profile`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Manager::replay_on_bus`].
+    pub fn recover_on_bus(
+        &mut self,
+        trace: &ClusterTrace,
+        bus: &mut EventBus,
+        wal: &mut ManagerWal,
+    ) -> Result<RecoveryReport, VarunaError> {
+        let report = RecoveryReport {
+            replayed_records: wal.remaining(),
+            torn: wal.torn(),
+            dropped_bytes: wal.dropped_bytes(),
+            replay_seconds: wal.remaining() as f64 * REPLAY_SECONDS_PER_RECORD,
+        };
+        self.replay_walled(trace, bus, wal)?;
+        Ok(report)
+    }
+
     /// Replays a cluster trace, reporting every preemption, fault, morph /
     /// replacement decision, recovery action, and periodic checkpoint
     /// through `bus` as [`varuna_obs::Event`]s (`t_sim` in seconds since
-    /// trace start).
+    /// trace start), logging each control decision to `wal` before its
+    /// event is emitted.
+    ///
+    /// When `wal` holds pending records (a recovery, see
+    /// [`Manager::recover_on_bus`]) those decisions are replayed from the
+    /// log instead of recomputed; a fresh log makes this identical to the
+    /// historical un-walled replay.
     ///
     /// Morph and checkpoint events are self-contained — they carry the
     /// held/used GPU counts and throughputs — so a [`TimelineCollector`]
@@ -60,11 +149,38 @@ impl Manager<'_> {
     /// Infeasible capacity parks the manager in
     /// [`ManagerState::Degraded`] rather than failing; errors are
     /// reserved for invalid inputs.
-    pub fn replay_on_bus(
+    pub fn replay_walled(
         &mut self,
         trace: &ClusterTrace,
         bus: &mut EventBus,
+        wal: &mut ManagerWal,
     ) -> Result<(), VarunaError> {
+        // Announce a recovery before re-running the trace: the replayed
+        // prefix is priced as control-plane downtime, tagged
+        // `Source::Recovery` so digests of the *decision* stream are
+        // unaffected.
+        let pending = wal.remaining();
+        if pending > 0 || wal.torn().is_some() {
+            let crash_t_sec = wal
+                .records()
+                .last()
+                .map(|r| r.t_hours() * 3600.0)
+                .unwrap_or(0.0);
+            let torn = wal.torn().is_some();
+            let dropped_bytes = wal.dropped_bytes();
+            bus.emit_with(|| {
+                Event::recovery(
+                    crash_t_sec,
+                    EventKind::RecoveryReplay {
+                        wal_records: pending as u64,
+                        torn,
+                        dropped_bytes,
+                        replay_seconds: pending as f64 * REPLAY_SECONDS_PER_RECORD,
+                    },
+                )
+            });
+        }
+
         let mut held: BTreeMap<u64, usize> = BTreeMap::new();
         let mut stuttering: BTreeSet<u64> = BTreeSet::new();
         // Silent-but-still-granted VMs and when their silence began.
@@ -121,32 +237,73 @@ impl Manager<'_> {
                             * ((last_ckpt_step as f64 - (step - steps_done))
                                 / steps_done.max(1e-9));
                     if storage_outage {
-                        bus.emit_with(|| {
-                            Event::manager(
-                                t_ckpt * 3600.0,
-                                EventKind::CheckpointWriteFailed {
-                                    step: last_ckpt_step,
-                                },
-                            )
-                        });
+                        let rec = wal_step(
+                            wal,
+                            |r| matches!(r, WalRecord::CheckpointFailed { .. }),
+                            || WalRecord::CheckpointFailed {
+                                t_hours: t_ckpt,
+                                step: last_ckpt_step,
+                            },
+                        );
+                        if let WalRecord::CheckpointFailed {
+                            t_hours: rt,
+                            step: s,
+                        } = rec
+                        {
+                            bus.emit_with(|| {
+                                Event::manager(
+                                    rt * 3600.0,
+                                    EventKind::CheckpointWriteFailed { step: s },
+                                )
+                            });
+                        }
                     } else {
-                        durable_step = durable_step.max(last_ckpt_step);
-                        let write_seconds = self.checkpoint_write_seconds(&cfg);
-                        bus.emit_with(|| {
-                            Event::manager(
-                                t_ckpt * 3600.0,
-                                EventKind::Checkpoint {
-                                    step: last_ckpt_step,
-                                    gpus_held: held.values().sum(),
-                                    gpus_used: cfg.gpus_used(),
-                                    p: cfg.p,
-                                    d: cfg.d,
-                                    examples_per_sec: cfg.throughput(),
-                                    examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                                    write_seconds,
-                                },
-                            )
-                        });
+                        let rec = wal_step(
+                            wal,
+                            |r| matches!(r, WalRecord::Checkpoint { .. }),
+                            || WalRecord::Checkpoint {
+                                t_hours: t_ckpt,
+                                step: last_ckpt_step,
+                                gpus_held: held.values().sum(),
+                                gpus_used: cfg.gpus_used(),
+                                p: cfg.p,
+                                d: cfg.d,
+                                examples_per_sec: cfg.throughput(),
+                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                write_seconds: self.checkpoint_write_seconds(&cfg),
+                                proactive: false,
+                            },
+                        );
+                        if let WalRecord::Checkpoint {
+                            t_hours: rt,
+                            step: s,
+                            gpus_held,
+                            gpus_used,
+                            p,
+                            d,
+                            examples_per_sec,
+                            examples_per_sec_per_gpu,
+                            write_seconds,
+                            ..
+                        } = rec
+                        {
+                            durable_step = durable_step.max(s);
+                            bus.emit_with(|| {
+                                Event::manager(
+                                    rt * 3600.0,
+                                    EventKind::Checkpoint {
+                                        step: s,
+                                        gpus_held,
+                                        gpus_used,
+                                        p,
+                                        d,
+                                        examples_per_sec,
+                                        examples_per_sec_per_gpu,
+                                        write_seconds,
+                                    },
+                                )
+                            });
+                        }
                     }
                 }
             }
@@ -202,23 +359,52 @@ impl Manager<'_> {
                             if let Some(cfg) = self.morph.current().cloned() {
                                 let at = step as u64;
                                 if at > durable_step {
-                                    durable_step = at;
-                                    let write_seconds = self.checkpoint_write_seconds(&cfg);
-                                    bus.emit_with(|| {
-                                        Event::manager(
-                                            t * 3600.0,
-                                            EventKind::Checkpoint {
-                                                step: at,
-                                                gpus_held: held_before,
-                                                gpus_used: cfg.gpus_used(),
-                                                p: cfg.p,
-                                                d: cfg.d,
-                                                examples_per_sec: cfg.throughput(),
-                                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                                                write_seconds,
-                                            },
-                                        )
-                                    });
+                                    let rec = wal_step(
+                                        wal,
+                                        |r| matches!(r, WalRecord::Checkpoint { .. }),
+                                        || WalRecord::Checkpoint {
+                                            t_hours: t,
+                                            step: at,
+                                            gpus_held: held_before,
+                                            gpus_used: cfg.gpus_used(),
+                                            p: cfg.p,
+                                            d: cfg.d,
+                                            examples_per_sec: cfg.throughput(),
+                                            examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                            write_seconds: self.checkpoint_write_seconds(&cfg),
+                                            proactive: true,
+                                        },
+                                    );
+                                    if let WalRecord::Checkpoint {
+                                        t_hours: rt,
+                                        step: s,
+                                        gpus_held,
+                                        gpus_used,
+                                        p,
+                                        d,
+                                        examples_per_sec,
+                                        examples_per_sec_per_gpu,
+                                        write_seconds,
+                                        ..
+                                    } = rec
+                                    {
+                                        durable_step = durable_step.max(s);
+                                        bus.emit_with(|| {
+                                            Event::manager(
+                                                rt * 3600.0,
+                                                EventKind::Checkpoint {
+                                                    step: s,
+                                                    gpus_held,
+                                                    gpus_used,
+                                                    p,
+                                                    d,
+                                                    examples_per_sec,
+                                                    examples_per_sec_per_gpu,
+                                                    write_seconds,
+                                                },
+                                            )
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -239,9 +425,19 @@ impl Manager<'_> {
                             Event::cluster(t * 3600.0, EventKind::SilenceEnd { vm: e.vm })
                         });
                         if lost_to_silence.remove(&e.vm) {
-                            bus.emit_with(|| {
-                                Event::manager(t * 3600.0, EventKind::VmReadmitted { vm: e.vm })
-                            });
+                            let rec = wal_step(
+                                wal,
+                                |r| matches!(r, WalRecord::VmReadmitted { .. }),
+                                || WalRecord::VmReadmitted {
+                                    t_hours: t,
+                                    vm: e.vm,
+                                },
+                            );
+                            if let WalRecord::VmReadmitted { t_hours: rt, vm } = rec {
+                                bus.emit_with(|| {
+                                    Event::manager(rt * 3600.0, EventKind::VmReadmitted { vm })
+                                });
+                            }
                         }
                     }
                     ClusterEventKind::StorageOutageStart => {
@@ -251,19 +447,102 @@ impl Manager<'_> {
                         storage_outage = false;
                     }
                     ClusterEventKind::CheckpointCorrupt => {
-                        let from = durable_step;
-                        durable_step =
-                            durable_step.saturating_sub(self.checkpoint.interval_minibatches);
-                        let to = durable_step;
-                        bus.emit_with(|| {
-                            Event::manager(
-                                t * 3600.0,
-                                EventKind::CheckpointFallback {
-                                    from_step: from,
-                                    to_step: to,
-                                },
-                            )
-                        });
+                        let rec = wal_step(
+                            wal,
+                            |r| matches!(r, WalRecord::CheckpointFallback { .. }),
+                            || WalRecord::CheckpointFallback {
+                                t_hours: t,
+                                from_step: durable_step,
+                                to_step: durable_step
+                                    .saturating_sub(self.checkpoint.interval_minibatches),
+                            },
+                        );
+                        if let WalRecord::CheckpointFallback {
+                            t_hours: rt,
+                            from_step,
+                            to_step,
+                        } = rec
+                        {
+                            durable_step = to_step;
+                            bus.emit_with(|| {
+                                Event::manager(
+                                    rt * 3600.0,
+                                    EventKind::CheckpointFallback { from_step, to_step },
+                                )
+                            });
+                        }
+                    }
+                    ClusterEventKind::CheckpointTorn { fraction } => {
+                        // The newest checkpoint stopped short mid-write:
+                        // surface the typed partial write, then fall back
+                        // one interval exactly like corruption.
+                        let rec = wal_step(
+                            wal,
+                            |r| matches!(r, WalRecord::CheckpointTorn { .. }),
+                            || {
+                                let expected = self
+                                    .morph
+                                    .calibration()
+                                    .model
+                                    .total_params()
+                                    .saturating_mul(16);
+                                let written = (expected as f64 * fraction.clamp(0.0, 1.0)) as u64;
+                                let partial =
+                                    match self.checkpoint.validate_write(written, expected) {
+                                        Err(CheckpointError::Torn(p)) => p,
+                                        Ok(()) => PartialWrite {
+                                            bytes_written: written,
+                                            bytes_expected: expected,
+                                        },
+                                    };
+                                WalRecord::CheckpointTorn {
+                                    t_hours: t,
+                                    step: durable_step,
+                                    partial,
+                                }
+                            },
+                        );
+                        if let WalRecord::CheckpointTorn {
+                            t_hours: rt,
+                            step: s,
+                            partial,
+                        } = rec
+                        {
+                            bus.emit_with(|| {
+                                Event::manager(
+                                    rt * 3600.0,
+                                    EventKind::CheckpointTorn {
+                                        step: s,
+                                        bytes_written: partial.bytes_written,
+                                        bytes_expected: partial.bytes_expected,
+                                    },
+                                )
+                            });
+                        }
+                        let rec = wal_step(
+                            wal,
+                            |r| matches!(r, WalRecord::CheckpointFallback { .. }),
+                            || WalRecord::CheckpointFallback {
+                                t_hours: t,
+                                from_step: durable_step,
+                                to_step: durable_step
+                                    .saturating_sub(self.checkpoint.interval_minibatches),
+                            },
+                        );
+                        if let WalRecord::CheckpointFallback {
+                            t_hours: rt,
+                            from_step,
+                            to_step,
+                        } = rec
+                        {
+                            durable_step = to_step;
+                            bus.emit_with(|| {
+                                Event::manager(
+                                    rt * 3600.0,
+                                    EventKind::CheckpointFallback { from_step, to_step },
+                                )
+                            });
+                        }
                     }
                 }
                 i += 1;
@@ -281,15 +560,31 @@ impl Manager<'_> {
             for vm in expired {
                 lost_to_silence.insert(vm);
                 newly_lost = true;
-                bus.emit_with(|| {
-                    Event::manager(
-                        t * 3600.0,
-                        EventKind::VmExcluded {
-                            vm,
-                            consecutive_misses: self.grace.exclude_after,
-                        },
-                    )
-                });
+                let rec = wal_step(
+                    wal,
+                    |r| matches!(r, WalRecord::VmExcluded { .. }),
+                    || WalRecord::VmExcluded {
+                        t_hours: t,
+                        vm,
+                        consecutive_misses: self.grace.exclude_after,
+                    },
+                );
+                if let WalRecord::VmExcluded {
+                    t_hours: rt,
+                    vm,
+                    consecutive_misses,
+                } = rec
+                {
+                    bus.emit_with(|| {
+                        Event::manager(
+                            rt * 3600.0,
+                            EventKind::VmExcluded {
+                                vm,
+                                consecutive_misses,
+                            },
+                        )
+                    });
+                }
             }
 
             let retry_due = matches!(next_retry_at, Some(r) if t >= r);
@@ -308,114 +603,22 @@ impl Manager<'_> {
                 .map(|(_, g)| *g)
                 .sum();
 
-            let planned = if gpus == 0 {
-                Err(VarunaError::NoFeasibleConfig {
-                    gpus: 0,
-                    reason: "no schedulable GPUs (preempted, silent, or stuttering)".to_string(),
-                })
-            } else {
-                self.morph
-                    .on_resources_changed_from(gpus, step as u64, durable_step)
-            };
-            match planned {
-                Ok(decision) => {
-                    if let Some(since) = degraded_since.take() {
-                        self.state = ManagerState::Running;
-                        self.backoff.reset();
-                        next_retry_at = None;
-                        bus.emit_with(|| {
-                            Event::manager(
-                                t * 3600.0,
-                                EventKind::DegradedExit {
-                                    gpus,
-                                    paused_seconds: (t - since) * 3600.0,
-                                },
-                            )
-                        });
-                    }
-                    // Work past the durable checkpoint is re-run on a
-                    // reconfiguration: price it, never roll progress back.
-                    let lost = (step as u64).saturating_sub(durable_step);
-                    if decision.reconfigured && lost > 0 {
-                        bus.emit_with(|| {
-                            Event::manager(
-                                t * 3600.0,
-                                EventKind::LostWork {
-                                    minibatches: lost,
-                                    seconds: lost as f64 * decision.config.est_minibatch_time,
-                                },
-                            )
-                        });
-                    }
-                    // On the simulator path, describe the search that
-                    // produced this decision (deterministic counters only
-                    // — never wall-clock latency, which would break
-                    // same-seed byte-identity of replays).
-                    if let Some(pm) = self.morph.take_last_plan_metrics() {
-                        bus.emit_with(|| {
-                            Event::manager(
-                                t * 3600.0,
-                                EventKind::PlanSearch {
-                                    candidates: pm.candidates,
-                                    simulated: pm.simulated,
-                                    memo_hits: pm.memo_hits,
-                                    analytic_fallbacks: pm.analytic_fallbacks,
-                                },
-                            )
-                        });
-                    }
-                    let cfg = &decision.config;
-                    bus.emit_with(|| {
-                        Event::manager(
-                            t * 3600.0,
-                            EventKind::Morph {
-                                p: cfg.p,
-                                d: cfg.d,
-                                gpus_held: gpus,
-                                gpus_used: cfg.gpus_used(),
-                                examples_per_sec: cfg.throughput(),
-                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                                reconfigured: decision.reconfigured,
-                                restart_seconds: if decision.reconfigured {
-                                    self.morph.restart_overhead
-                                } else {
-                                    0.0
-                                },
-                            },
-                        )
-                    });
-                }
-                Err(e) => {
-                    if degraded_since.is_none() {
-                        degraded_since = Some(t);
-                        self.state = ManagerState::Degraded;
-                        // Pause the job: no config means no progress and
-                        // no checkpoints until capacity returns.
-                        self.morph.suspend();
-                        bus.emit_with(|| {
-                            Event::manager(
-                                t * 3600.0,
-                                EventKind::DegradedEnter {
-                                    gpus,
-                                    reason: e.to_string(),
-                                },
-                            )
-                        });
-                    }
-                    let delay = self.backoff.next_delay();
-                    bus.emit_with(|| {
-                        Event::manager(
-                            t * 3600.0,
-                            EventKind::MorphRetry {
-                                attempt: self.backoff.attempts(),
-                                backoff_seconds: delay,
-                                gpus,
-                            },
-                        )
-                    });
-                    let at = t + delay / 3600.0;
-                    next_retry_at = if at <= duration { Some(at) } else { None };
-                }
+            let attempt = self.walled_plan_attempt(
+                t,
+                gpus,
+                step as u64,
+                durable_step,
+                "no schedulable GPUs (preempted, silent, or stuttering)",
+                &mut degraded_since,
+                wal,
+                bus,
+            );
+            if attempt.exited_degraded {
+                next_retry_at = None;
+            }
+            if let Some(delay) = attempt.retry_delay_seconds {
+                let at = t + delay / 3600.0;
+                next_retry_at = if at <= duration { Some(at) } else { None };
             }
         }
         Ok(())

@@ -1,0 +1,336 @@
+//! The write-ahead-logged plan/degrade/recover step.
+//!
+//! Both drivers of the manager's decision machine — trace replay
+//! ([`Manager::replay_on_bus`]) and the fleet-arbiter hook
+//! ([`Manager::on_external_capacity`]) — funnel every planning attempt
+//! through [`Manager::walled_plan_attempt`]. The step first *consumes*
+//! any plan-attempt records pending replay in the WAL (crash recovery:
+//! state restored and events re-emitted from the log, no oracle calls),
+//! then completes the attempt live — appending each fresh decision to
+//! the log before its event is emitted. A crash that lands mid-attempt
+//! is therefore harmless: recovery replays the logged half and
+//! recomputes the rest, deterministically reproducing the decisions the
+//! uninterrupted run would have made.
+//!
+//! One caveat, documented in DESIGN.md §6h: the simulator-in-the-loop
+//! oracle's memo table is not rebuilt from the log (its `PlanSearch`
+//! counters are logged, so the replayed *prefix* is exact), so plan
+//! attempts *after* the log runs out may search against a cold memo
+//! table. The analytic oracle — the default everywhere the kill-anywhere
+//! digest invariant is enforced — is exact at every boundary.
+
+use varuna_obs::{Event, EventBus, EventKind};
+
+use super::{Manager, ManagerState};
+use crate::error::VarunaError;
+use crate::morph::MorphDecision;
+use crate::wal::{WalIo, WalRecord};
+
+/// What one walled plan attempt decided.
+pub(crate) struct PlanAttempt {
+    /// The committed morph decision, when planning succeeded.
+    pub decision: Option<MorphDecision>,
+    /// Seconds until the next retry, when planning failed.
+    pub retry_delay_seconds: Option<f64>,
+    /// Whether this attempt closed a degraded episode.
+    pub exited_degraded: bool,
+}
+
+impl Manager<'_> {
+    /// Emits the self-contained `Morph` event for a committed decision.
+    fn emit_morph(&self, bus: &mut EventBus, t_sec: f64, gpus_held: usize, d: &MorphDecision) {
+        let cfg = &d.config;
+        let reconfigured = d.reconfigured;
+        let restart_seconds = if reconfigured {
+            self.morph.restart_overhead
+        } else {
+            0.0
+        };
+        bus.emit_with(|| {
+            Event::manager(
+                t_sec,
+                EventKind::Morph {
+                    p: cfg.p,
+                    d: cfg.d,
+                    gpus_held,
+                    gpus_used: cfg.gpus_used(),
+                    examples_per_sec: cfg.throughput(),
+                    examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                    reconfigured,
+                    restart_seconds,
+                },
+            )
+        });
+    }
+
+    /// One plan/degrade/recover attempt at `t_hours` against `gpus`
+    /// schedulable GPUs, driven through `wal`: pending plan-attempt
+    /// records replay first (restoring controller/backoff state and
+    /// re-emitting their events verbatim), then the attempt completes
+    /// live, logging each decision before emitting it. `zero_reason` is
+    /// the driver-specific diagnostic for `gpus == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn walled_plan_attempt<W: WalIo>(
+        &mut self,
+        t_hours: f64,
+        gpus: usize,
+        step: u64,
+        durable_step: u64,
+        zero_reason: &str,
+        degraded_since: &mut Option<f64>,
+        wal: &mut W,
+        bus: &mut EventBus,
+    ) -> PlanAttempt {
+        let mut exited = false;
+        let mut lost_replayed = false;
+        let mut search_replayed = false;
+
+        // Recovery: consume this attempt's logged records. `Morph` and
+        // `MorphRetry` are terminal — the attempt ended there.
+        while let Some(rec) = wal.replay_next_attempt() {
+            match rec {
+                WalRecord::DegradedExit {
+                    t_hours: rt,
+                    gpus: g,
+                    paused_seconds,
+                } => {
+                    exited = true;
+                    *degraded_since = None;
+                    self.state = ManagerState::Running;
+                    self.backoff.reset();
+                    bus.emit_with(|| {
+                        Event::manager(
+                            rt * 3600.0,
+                            EventKind::DegradedExit {
+                                gpus: g,
+                                paused_seconds,
+                            },
+                        )
+                    });
+                }
+                WalRecord::LostWork {
+                    t_hours: rt,
+                    minibatches,
+                    seconds,
+                } => {
+                    lost_replayed = true;
+                    bus.emit_with(|| {
+                        Event::manager(
+                            rt * 3600.0,
+                            EventKind::LostWork {
+                                minibatches,
+                                seconds,
+                            },
+                        )
+                    });
+                }
+                WalRecord::PlanSearch {
+                    t_hours: rt,
+                    candidates,
+                    simulated,
+                    memo_hits,
+                    analytic_fallbacks,
+                } => {
+                    search_replayed = true;
+                    bus.emit_with(|| {
+                        Event::manager(
+                            rt * 3600.0,
+                            EventKind::PlanSearch {
+                                candidates,
+                                simulated,
+                                memo_hits,
+                                analytic_fallbacks,
+                            },
+                        )
+                    });
+                }
+                WalRecord::Morph {
+                    t_hours: rt,
+                    gpus_held,
+                    decision,
+                } => {
+                    self.morph.restore_plan(gpus_held, &decision);
+                    self.emit_morph(bus, rt * 3600.0, gpus_held, &decision);
+                    return PlanAttempt {
+                        decision: Some(decision),
+                        retry_delay_seconds: None,
+                        exited_degraded: exited,
+                    };
+                }
+                WalRecord::DegradedEnter {
+                    t_hours: rt,
+                    gpus: g,
+                    reason,
+                } => {
+                    *degraded_since = Some(rt);
+                    self.state = ManagerState::Degraded;
+                    self.morph.suspend();
+                    bus.emit_with(|| {
+                        Event::manager(rt * 3600.0, EventKind::DegradedEnter { gpus: g, reason })
+                    });
+                }
+                WalRecord::MorphRetry {
+                    t_hours: rt,
+                    attempt,
+                    backoff_seconds,
+                    gpus: g,
+                } => {
+                    self.backoff.restore_attempts(attempt);
+                    bus.emit_with(|| {
+                        Event::manager(
+                            rt * 3600.0,
+                            EventKind::MorphRetry {
+                                attempt,
+                                backoff_seconds,
+                                gpus: g,
+                            },
+                        )
+                    });
+                    return PlanAttempt {
+                        decision: None,
+                        retry_delay_seconds: Some(backoff_seconds),
+                        exited_degraded: exited,
+                    };
+                }
+                other => {
+                    unreachable!("replay_next_attempt yielded a non-attempt record: {other:?}")
+                }
+            }
+        }
+
+        // Live completion — possibly of a half-replayed attempt, whose
+        // already-emitted sub-decisions the flags above skip.
+        let t_sec = t_hours * 3600.0;
+        let planned = if gpus == 0 {
+            Err(VarunaError::NoFeasibleConfig {
+                gpus: 0,
+                reason: zero_reason.to_string(),
+            })
+        } else {
+            self.morph
+                .on_resources_changed_from(gpus, step, durable_step)
+        };
+        match planned {
+            Ok(decision) => {
+                if !exited {
+                    if let Some(since) = degraded_since.take() {
+                        exited = true;
+                        self.state = ManagerState::Running;
+                        self.backoff.reset();
+                        let paused_seconds = (t_hours - since) * 3600.0;
+                        wal.append_record(WalRecord::DegradedExit {
+                            t_hours,
+                            gpus,
+                            paused_seconds,
+                        });
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t_sec,
+                                EventKind::DegradedExit {
+                                    gpus,
+                                    paused_seconds,
+                                },
+                            )
+                        });
+                    }
+                }
+                // Work past the durable checkpoint is re-run on a
+                // reconfiguration: price it, never roll progress back.
+                let lost = step.saturating_sub(durable_step);
+                if !lost_replayed && decision.reconfigured && lost > 0 {
+                    let seconds = lost as f64 * decision.config.est_minibatch_time;
+                    wal.append_record(WalRecord::LostWork {
+                        t_hours,
+                        minibatches: lost,
+                        seconds,
+                    });
+                    bus.emit_with(|| {
+                        Event::manager(
+                            t_sec,
+                            EventKind::LostWork {
+                                minibatches: lost,
+                                seconds,
+                            },
+                        )
+                    });
+                }
+                // On the simulator path, describe the search that
+                // produced this decision (deterministic counters only).
+                if let Some(pm) = self.morph.take_last_plan_metrics() {
+                    if !search_replayed {
+                        wal.append_record(WalRecord::PlanSearch {
+                            t_hours,
+                            candidates: pm.candidates,
+                            simulated: pm.simulated,
+                            memo_hits: pm.memo_hits,
+                            analytic_fallbacks: pm.analytic_fallbacks,
+                        });
+                        bus.emit_with(|| {
+                            Event::manager(
+                                t_sec,
+                                EventKind::PlanSearch {
+                                    candidates: pm.candidates,
+                                    simulated: pm.simulated,
+                                    memo_hits: pm.memo_hits,
+                                    analytic_fallbacks: pm.analytic_fallbacks,
+                                },
+                            )
+                        });
+                    }
+                }
+                wal.append_record(WalRecord::Morph {
+                    t_hours,
+                    gpus_held: gpus,
+                    decision: decision.clone(),
+                });
+                self.emit_morph(bus, t_sec, gpus, &decision);
+                PlanAttempt {
+                    decision: Some(decision),
+                    retry_delay_seconds: None,
+                    exited_degraded: exited,
+                }
+            }
+            Err(e) => {
+                if degraded_since.is_none() {
+                    *degraded_since = Some(t_hours);
+                    self.state = ManagerState::Degraded;
+                    // Pause the job: no config means no progress and no
+                    // checkpoints until capacity returns.
+                    self.morph.suspend();
+                    let reason = e.to_string();
+                    wal.append_record(WalRecord::DegradedEnter {
+                        t_hours,
+                        gpus,
+                        reason: reason.clone(),
+                    });
+                    bus.emit_with(|| {
+                        Event::manager(t_sec, EventKind::DegradedEnter { gpus, reason })
+                    });
+                }
+                let delay = self.backoff.next_delay();
+                let attempt = self.backoff.attempts();
+                wal.append_record(WalRecord::MorphRetry {
+                    t_hours,
+                    attempt,
+                    backoff_seconds: delay,
+                    gpus,
+                });
+                bus.emit_with(|| {
+                    Event::manager(
+                        t_sec,
+                        EventKind::MorphRetry {
+                            attempt,
+                            backoff_seconds: delay,
+                            gpus,
+                        },
+                    )
+                });
+                PlanAttempt {
+                    decision: None,
+                    retry_delay_seconds: Some(delay),
+                    exited_degraded: exited,
+                }
+            }
+        }
+    }
+}

@@ -91,6 +91,14 @@ impl MorphBackoff {
     pub fn reset(&mut self) {
         self.attempts = 0;
     }
+
+    /// Restores the consecutive-failure streak to the value a logged
+    /// retry reported — WAL recovery replays a `MorphRetry` record by
+    /// setting the streak where the live run left it, so the *next*
+    /// live failure computes the same delay the uninterrupted run would.
+    pub fn restore_attempts(&mut self, attempts: u32) {
+        self.attempts = attempts;
+    }
 }
 
 /// A morphing decision.
@@ -263,6 +271,25 @@ impl<'a> MorphController<'a> {
             self.plan_cache.insert(gpus, planned.clone());
         }
         Ok(planned)
+    }
+
+    /// Reinstates a previously committed morph decision without
+    /// re-planning — the WAL recovery path. The decision's configuration
+    /// becomes current, and on cacheable (analytic) oracles the
+    /// capacity-keyed plan cache is fed exactly as the live plan would
+    /// have fed it, so cache counters and later live plans match the
+    /// uninterrupted run.
+    pub fn restore_plan(&mut self, gpus: usize, decision: &MorphDecision) {
+        if self.oracle.cacheable() {
+            if self.plan_cache.contains_key(&gpus) {
+                self.cache_hits += 1;
+            } else {
+                self.cache_misses += 1;
+                self.plan_cache
+                    .insert(gpus, (decision.config.clone(), decision.fallback));
+            }
+        }
+        self.current = Some(decision.config.clone());
     }
 
     /// Re-plans for `gpus` available GPUs at training `step`.

@@ -12,8 +12,10 @@
 
 use varuna_chaos::{ChaosConfig, ChaosError, ChaosInjector, InjectedFault};
 use varuna_cluster::trace::ClusterTrace;
+use varuna_obs::EventKind;
 
 use crate::error::FleetError;
+use crate::policy::ProvisionPolicy;
 use crate::sim::{run_fleet_traced, FleetConfig, FleetOutcome};
 
 /// One fleet chaos run's verdict.
@@ -42,7 +44,11 @@ impl FleetChaosRun {
 /// - no round leased more GPUs than the market held,
 /// - no arbiter revocation hit a job at or below its entitlement,
 /// - every aggregate number came out finite,
-/// - per-job degraded time never exceeds the trace duration.
+/// - per-job degraded time never exceeds the trace duration,
+/// - fallback provisioning is honest: no on-demand top-up under
+///   [`ProvisionPolicy::SpotOnly`], and under
+///   [`ProvisionPolicy::SpotWithFallback`] no fault burst ever pushes a
+///   job's on-demand capacity past its floor.
 pub fn run_fleet_chaos(
     cfg: &FleetConfig,
     base_market: &ClusterTrace,
@@ -54,9 +60,33 @@ pub fn run_fleet_chaos(
         })?;
     let (market, faults) = injector.perturb(base_market);
     let run = run_fleet_traced(cfg, &market)?;
-    let o = run.outcome;
 
     let mut violations = Vec::new();
+    // Fallback honesty, checked on what was actually emitted: on-demand
+    // top-ups exist only where the policy allows and are bounded by the
+    // per-job floor (SpotWithFallback) or demand (OnDemandOnly).
+    for e in &run.fleet_events {
+        if let EventKind::FallbackProvisioned {
+            job,
+            total_on_demand,
+            ..
+        } = e.kind
+        {
+            let bound = match cfg.policy {
+                ProvisionPolicy::SpotOnly => 0,
+                ProvisionPolicy::SpotWithFallback => cfg.jobs[job as usize].floor_gpus,
+                ProvisionPolicy::OnDemandOnly => cfg.jobs[job as usize].demand_gpus,
+            };
+            if total_on_demand > bound {
+                violations.push(format!(
+                    "job {job} holds {total_on_demand} on-demand GPUs, bound {bound} \
+                     under {:?}",
+                    cfg.policy
+                ));
+            }
+        }
+    }
+    let o = run.outcome;
     if o.capacity_violations > 0 {
         violations.push(format!(
             "{} rounds leased beyond market capacity",
@@ -134,5 +164,40 @@ mod tests {
         let b = run_fleet_chaos(&fleet(), &base, &chaos).unwrap();
         assert_eq!(a.outcome.digest, b.outcome.digest);
         assert_eq!(a.faults.len(), b.faults.len());
+    }
+
+    #[test]
+    fn fallback_fleets_survive_bursts_without_exceeding_floors() {
+        // An adversarial burst schedule under SpotWithFallback: fallback
+        // provisioning must kick in (the bursts strip jobs below their
+        // floors) yet never push any job past its floor.
+        let base = ClusterTrace::generate_spot_1gpu(16, 16, 2.0, 15.0, 3);
+        let cfg = fleet().with_policy(ProvisionPolicy::SpotWithFallback);
+        let chaos = ChaosConfig {
+            burst_rate_per_hour: 2.0,
+            burst_fraction: 0.6,
+            ..ChaosConfig::from_seed(5)
+        };
+        let run = run_fleet_chaos(&cfg, &base, &chaos).unwrap();
+        assert!(run.is_clean(), "violations: {:?}", run.violations);
+        assert!(
+            run.outcome
+                .per_job
+                .iter()
+                .any(|j| j.on_demand_gpu_hours > 0.0),
+            "bursts below the floor must trigger fallback: {:?}",
+            run.outcome.per_job
+        );
+    }
+
+    #[test]
+    fn fallback_chaos_is_deterministic_per_seed() {
+        let base = ClusterTrace::generate_spot_1gpu(12, 12, 1.5, 15.0, 9);
+        let cfg = fleet().with_policy(ProvisionPolicy::SpotWithFallback);
+        let chaos = ChaosConfig::from_seed(17);
+        let a = run_fleet_chaos(&cfg, &base, &chaos).unwrap();
+        let b = run_fleet_chaos(&cfg, &base, &chaos).unwrap();
+        assert!(a.is_clean(), "violations: {:?}", a.violations);
+        assert_eq!(a.outcome.digest, b.outcome.digest);
     }
 }

@@ -19,7 +19,11 @@
 //!   manager through [`varuna::Manager::on_external_capacity`],
 //! - [`chaos`] — fleet-level fault scenarios (correlated preemption
 //!   bursts across jobs) reusing the `varuna-chaos` injector on the
-//!   shared market.
+//!   shared market,
+//! - [`wal`] — the combined write-ahead log: fleet allocation decisions
+//!   and every job manager's plan-attempt records in one shared,
+//!   sequence-numbered stream, so [`sim::recover_fleet`] rebuilds a
+//!   killed control plane exactly from the surviving log prefix.
 //!
 //! Everything is deterministic: same fleet config + same market trace ⇒
 //! byte-identical event streams and digests, so fleet runs regress like
@@ -55,10 +59,15 @@ pub mod error;
 pub mod job;
 pub mod policy;
 pub mod sim;
+pub mod wal;
 
 pub use arbiter::{fair_shares, ArbiterConfig, JobDemand};
 pub use chaos::{run_fleet_chaos, FleetChaosRun};
 pub use error::FleetError;
 pub use job::JobSpec;
 pub use policy::ProvisionPolicy;
-pub use sim::{run_fleet, run_fleet_traced, FleetConfig, FleetOutcome, FleetRun, JobOutcome};
+pub use sim::{
+    recover_fleet, run_fleet, run_fleet_traced, run_fleet_walled, FleetConfig, FleetOutcome,
+    FleetRun, JobOutcome,
+};
+pub use wal::{FleetWal, FleetWalRecord, JobWalView};

@@ -20,8 +20,9 @@
 
 use std::collections::BTreeMap;
 
-use varuna::{Calibration, Manager, ManagerState, Oracle, VarunaCluster};
-use varuna_chaos::digest_events;
+use varuna::wal::REPLAY_SECONDS_PER_RECORD;
+use varuna::{Calibration, Manager, ManagerState, Oracle, RecoveryReport, VarunaCluster};
+use varuna_chaos::{digest_control_events, digest_events};
 use varuna_cluster::trace::{ClusterEventKind, ClusterTrace};
 use varuna_cluster::{LeaseBook, VmSku};
 use varuna_obs::{Event, EventBus, EventKind, VecSink};
@@ -30,6 +31,7 @@ use crate::arbiter::{fair_shares, ArbiterConfig, JobDemand};
 use crate::error::FleetError;
 use crate::job::JobSpec;
 use crate::policy::ProvisionPolicy;
+use crate::wal::{FleetWal, FleetWalRecord, JobWalView};
 
 /// A fleet: the jobs, how capacity is sourced, and how it is arbitrated.
 #[derive(Debug, Clone)]
@@ -241,6 +243,91 @@ fn advance_progress(
     }
 }
 
+/// Replay-or-log one fleet decision: a pending record replays (crash
+/// recovery), a live decision is computed and logged before its event is
+/// emitted. The loop is deterministic, so during recovery the cursor is
+/// always exactly at the expected record; the `debug_assert` pins that.
+fn fleet_step(
+    wal: &mut FleetWal,
+    expect: impl FnOnce(&FleetWalRecord) -> bool,
+    live: impl FnOnce() -> FleetWalRecord,
+) -> FleetWalRecord {
+    if let Some(rec) = wal.replay_next_if(expect) {
+        return rec;
+    }
+    debug_assert!(
+        !wal.replaying(),
+        "fleet WAL cursor diverged from the deterministic replay"
+    );
+    let rec = live();
+    wal.append(rec.clone());
+    rec
+}
+
+/// Emits the fleet event a logged decision stands for.
+fn emit_fleet_record(bus: &mut EventBus, rec: &FleetWalRecord) {
+    let t_sec = rec.t_hours() * 3600.0;
+    match rec {
+        FleetWalRecord::Allocation {
+            job,
+            spot_gpus,
+            on_demand_gpus,
+            market_gpus,
+            ..
+        } => {
+            let (job, spot, od, market) = (*job, *spot_gpus, *on_demand_gpus, *market_gpus);
+            bus.emit_with(|| {
+                Event::fleet(
+                    t_sec,
+                    EventKind::FleetAllocation {
+                        job,
+                        spot_gpus: spot,
+                        on_demand_gpus: od,
+                        market_gpus: market,
+                    },
+                )
+            });
+        }
+        FleetWalRecord::Preempted {
+            job,
+            gpus_revoked,
+            reason,
+            ..
+        } => {
+            let (job, revoked, reason) = (*job, *gpus_revoked, reason.clone());
+            bus.emit_with(move || {
+                Event::fleet(
+                    t_sec,
+                    EventKind::JobPreempted {
+                        job,
+                        gpus_revoked: revoked,
+                        reason,
+                    },
+                )
+            });
+        }
+        FleetWalRecord::Fallback {
+            job,
+            gpus,
+            total_on_demand,
+            ..
+        } => {
+            let (job, gpus, total) = (*job, *gpus, *total_on_demand);
+            bus.emit_with(|| {
+                Event::fleet(
+                    t_sec,
+                    EventKind::FallbackProvisioned {
+                        job,
+                        gpus,
+                        total_on_demand: total,
+                    },
+                )
+            });
+        }
+        FleetWalRecord::Job { .. } => unreachable!("job records are emitted by the manager"),
+    }
+}
+
 /// One arbitration round at `t` hours: entitlements, lease
 /// reconciliation, fallback provisioning, manager driving, invariants.
 #[allow(clippy::too_many_arguments)]
@@ -254,9 +341,9 @@ fn arbitrate_round(
     fleet_bus: &mut EventBus,
     job_buses: &mut [EventBus],
     counters: &mut Counters,
+    wal: &mut FleetWal,
 ) {
     let n = cfg.jobs.len();
-    let t_sec = t * 3600.0;
     let capacity = book.capacity_gpus();
     counters.peak_market_gpus = counters.peak_market_gpus.max(capacity);
 
@@ -311,16 +398,17 @@ fn arbitrate_round(
             } else {
                 "fair_share"
             };
-            fleet_bus.emit_with(|| {
-                Event::fleet(
-                    t_sec,
-                    EventKind::JobPreempted {
-                        job,
-                        gpus_revoked: revoked,
-                        reason: reason.to_string(),
-                    },
-                )
-            });
+            let rec = fleet_step(
+                wal,
+                |r| matches!(r, FleetWalRecord::Preempted { job: rj, .. } if *rj == job),
+                || FleetWalRecord::Preempted {
+                    t_hours: t,
+                    job,
+                    gpus_revoked: revoked,
+                    reason: reason.to_string(),
+                },
+            );
+            emit_fleet_record(fleet_bus, &rec);
         }
     }
     // Preemption-of-the-preemptible: only jobs strictly above their
@@ -361,16 +449,18 @@ fn arbitrate_round(
         };
         if od > st[j].od {
             let added = od - st[j].od;
-            fleet_bus.emit_with(|| {
-                Event::fleet(
-                    t_sec,
-                    EventKind::FallbackProvisioned {
-                        job: j as u64,
-                        gpus: added,
-                        total_on_demand: od,
-                    },
-                )
-            });
+            let job = j as u64;
+            let rec = fleet_step(
+                wal,
+                |r| matches!(r, FleetWalRecord::Fallback { job: rj, .. } if *rj == job),
+                || FleetWalRecord::Fallback {
+                    t_hours: t,
+                    job,
+                    gpus: added,
+                    total_on_demand: od,
+                },
+            );
+            emit_fleet_record(fleet_bus, &rec);
         }
         st[j].od = od;
 
@@ -381,9 +471,15 @@ fn arbitrate_round(
         if st[j].last_total != Some(total) || mgrs[j].state() == ManagerState::Degraded {
             let step = st[j].step_f as u64;
             let durable = step - mgrs[j].checkpoint_policy().lost_minibatches(step);
-            if let Some(d) =
-                mgrs[j].on_external_capacity(t, total, step, durable, &mut job_buses[j])
-            {
+            let mut view = JobWalView { wal, job: j as u64 };
+            if let Some(d) = mgrs[j].on_external_capacity_walled(
+                t,
+                total,
+                step,
+                durable,
+                &mut job_buses[j],
+                &mut view,
+            ) {
                 if d.reconfigured {
                     st[j].morphs += 1;
                 }
@@ -400,17 +496,19 @@ fn arbitrate_round(
         }
 
         if st[j].last_emitted != Some((spot, od)) {
-            fleet_bus.emit_with(|| {
-                Event::fleet(
-                    t_sec,
-                    EventKind::FleetAllocation {
-                        job: j as u64,
-                        spot_gpus: spot,
-                        on_demand_gpus: od,
-                        market_gpus: capacity,
-                    },
-                )
-            });
+            let job = j as u64;
+            let rec = fleet_step(
+                wal,
+                |r| matches!(r, FleetWalRecord::Allocation { job: rj, .. } if *rj == job),
+                || FleetWalRecord::Allocation {
+                    t_hours: t,
+                    job,
+                    spot_gpus: spot,
+                    on_demand_gpus: od,
+                    market_gpus: capacity,
+                },
+            );
+            emit_fleet_record(fleet_bus, &rec);
             st[j].last_emitted = Some((spot, od));
         }
     }
@@ -429,7 +527,58 @@ pub fn run_fleet(cfg: &FleetConfig, market: &ClusterTrace) -> Result<FleetOutcom
 
 /// Runs the fleet over a shared market trace, keeping the fleet-level
 /// and per-job event streams.
+///
+/// Equivalent to [`run_fleet_walled`] with a fresh write-ahead log that
+/// is discarded afterwards; use the walled variant to keep the log for
+/// crash recovery.
 pub fn run_fleet_traced(cfg: &FleetConfig, market: &ClusterTrace) -> Result<FleetRun, FleetError> {
+    run_fleet_walled(cfg, market, &mut FleetWal::new())
+}
+
+/// Recovers a killed fleet run from its write-ahead log.
+///
+/// `wal` is the log as decoded by [`FleetWal::from_bytes`] (a possibly
+/// torn tail already truncated at the last clean frame boundary). The
+/// market trace is re-run from the start with every logged decision —
+/// fleet allocations and per-job plan attempts alike — *replayed* rather
+/// than recomputed; once the log is exhausted the run continues live,
+/// appending to the same log. A `RecoveryReplay` event on the fleet
+/// stream prices the replay as downtime.
+///
+/// # Errors
+///
+/// Same contract as [`run_fleet_traced`].
+pub fn recover_fleet(
+    cfg: &FleetConfig,
+    market: &ClusterTrace,
+    wal: &mut FleetWal,
+) -> Result<(FleetRun, RecoveryReport), FleetError> {
+    let report = RecoveryReport {
+        replayed_records: wal.remaining(),
+        torn: wal.torn(),
+        dropped_bytes: wal.dropped_bytes(),
+        replay_seconds: wal.remaining() as f64 * REPLAY_SECONDS_PER_RECORD,
+    };
+    let run = run_fleet_walled(cfg, market, wal)?;
+    Ok((run, report))
+}
+
+/// Runs the fleet through a write-ahead log: every fleet control decision
+/// (allocation, preemption, fallback) and every job manager's
+/// plan-attempt record is logged to one shared sequence *before* its
+/// event is emitted, and pending records (crash recovery) replay instead
+/// of recomputing. A fresh log makes this identical to
+/// [`run_fleet_traced`].
+///
+/// # Errors
+///
+/// Returns [`FleetError::InvalidConfig`] for an empty fleet or duplicate
+/// job names.
+pub fn run_fleet_walled(
+    cfg: &FleetConfig,
+    market: &ClusterTrace,
+    wal: &mut FleetWal,
+) -> Result<FleetRun, FleetError> {
     cfg.validate()?;
     let n = cfg.jobs.len();
 
@@ -464,6 +613,26 @@ pub fn run_fleet_traced(cfg: &FleetConfig, market: &ClusterTrace) -> Result<Flee
     let mut vm_gpus: BTreeMap<u64, usize> = BTreeMap::new();
     let mut counters = Counters::default();
 
+    // A pending log means this run is a recovery: announce (and price)
+    // the replay before re-driving the loop.
+    if wal.remaining() > 0 || wal.torn().is_some() {
+        let crash_t_sec = wal.records().last().map_or(0.0, |r| r.t_hours()) * 3600.0;
+        let pending = wal.remaining() as u64;
+        let torn = wal.torn().is_some();
+        let dropped_bytes = wal.dropped_bytes();
+        fleet_bus.emit_with(|| {
+            Event::recovery(
+                crash_t_sec,
+                EventKind::RecoveryReplay {
+                    wal_records: pending,
+                    torn,
+                    dropped_bytes,
+                    replay_seconds: pending as f64 * REPLAY_SECONDS_PER_RECORD,
+                },
+            )
+        });
+    }
+
     // Bootstrap round: on-demand fleets provision before any market
     // event, and an empty market parks every spot job as degraded.
     arbitrate_round(
@@ -476,6 +645,7 @@ pub fn run_fleet_traced(cfg: &FleetConfig, market: &ClusterTrace) -> Result<Flee
         &mut fleet_bus,
         &mut job_buses,
         &mut counters,
+        wal,
     );
 
     let mut t_prev = 0.0f64;
@@ -498,16 +668,17 @@ pub fn run_fleet_traced(cfg: &FleetConfig, market: &ClusterTrace) -> Result<Flee
                     if let Some(job) = book.preempt(e.vm) {
                         st[job as usize].preemptions += 1;
                         let revoked = vm_gpus.get(&e.vm).copied().unwrap_or(1);
-                        fleet_bus.emit_with(|| {
-                            Event::fleet(
-                                t * 3600.0,
-                                EventKind::JobPreempted {
-                                    job,
-                                    gpus_revoked: revoked,
-                                    reason: "market".to_string(),
-                                },
-                            )
-                        });
+                        let rec = fleet_step(
+                            wal,
+                            |r| matches!(r, FleetWalRecord::Preempted { job: rj, .. } if *rj == job),
+                            || FleetWalRecord::Preempted {
+                                t_hours: t,
+                                job,
+                                gpus_revoked: revoked,
+                                reason: "market".to_string(),
+                            },
+                        );
+                        emit_fleet_record(&mut fleet_bus, &rec);
                     }
                     vm_gpus.remove(&e.vm);
                 }
@@ -528,6 +699,7 @@ pub fn run_fleet_traced(cfg: &FleetConfig, market: &ClusterTrace) -> Result<Flee
             &mut fleet_bus,
             &mut job_buses,
             &mut counters,
+            wal,
         );
         t_prev = t;
     }
@@ -584,8 +756,10 @@ pub fn run_fleet_traced(cfg: &FleetConfig, market: &ClusterTrace) -> Result<Flee
     };
 
     // Fold per-job stream digests into the fleet stream digest (FNV
-    // combine, job order) so one u64 certifies the whole run.
-    let mut digest = digest_events(&fleet_events);
+    // combine, job order) so one u64 certifies the whole run. Recovery
+    // replay announcements are excluded so a kill-and-recover run can be
+    // compared digest-for-digest against its uninterrupted twin.
+    let mut digest = digest_control_events(&fleet_events);
     for o in &per_job {
         digest = digest.wrapping_mul(0x0000_0100_0000_01B3) ^ o.digest;
     }

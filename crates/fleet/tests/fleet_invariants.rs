@@ -3,9 +3,11 @@
 //! fleet loop must stay deterministic.
 
 use proptest::prelude::*;
-use varuna_cluster::trace::ClusterTrace;
+use varuna_chaos::verify::check_invariants;
+use varuna_cluster::trace::{ClusterEvent, ClusterEventKind, ClusterTrace};
 use varuna_fleet::{
-    fair_shares, run_fleet_traced, ArbiterConfig, FleetConfig, JobDemand, JobSpec, ProvisionPolicy,
+    fair_shares, recover_fleet, run_fleet_traced, run_fleet_walled, ArbiterConfig, FleetConfig,
+    FleetWal, JobDemand, JobSpec, ProvisionPolicy,
 };
 use varuna_models::ModelZoo;
 use varuna_obs::EventKind;
@@ -105,6 +107,123 @@ proptest! {
         prop_assert_eq!(a.job_events, b.job_events);
     }
 
+    /// Satellite: capacity flapping at fleet scale. A market that rapidly
+    /// grants and revokes the same VMs drives jobs through repeated
+    /// degraded/readmit cycles; every per-job stream must keep the
+    /// single-job invariants (strict degraded alternation — the fleet
+    /// analogue of never-double-excluded — monotone time, priced lost
+    /// work), and once the flapping settles every job converges to
+    /// exactly its arbiter entitlement.
+    #[test]
+    fn flapping_capacity_converges_to_entitlements(
+        seed in 0u64..500,
+        jobs in 2usize..4,
+        cycles in 2usize..6,
+    ) {
+        let hosts = 8u64;
+        let mut events: Vec<ClusterEvent> = (0..hosts)
+            .map(|vm| ClusterEvent {
+                time_hours: 0.0,
+                vm,
+                kind: ClusterEventKind::Granted { gpus: 1 },
+            })
+            .collect();
+        // Flap half the hosts on a fast revoke/re-grant cycle, then leave
+        // a stable tail for convergence.
+        let mut t = 0.5;
+        for _ in 0..cycles {
+            for vm in 0..hosts / 2 {
+                events.push(ClusterEvent { time_hours: t, vm, kind: ClusterEventKind::Preempted });
+            }
+            t += 0.25;
+            for vm in 0..hosts / 2 {
+                events.push(ClusterEvent {
+                    time_hours: t,
+                    vm,
+                    kind: ClusterEventKind::Granted { gpus: 1 },
+                });
+            }
+            t += 0.25;
+        }
+        let market = ClusterTrace { events, duration_hours: t + 2.0 };
+
+        // Floors stay 0 so no starvation boost perturbs the entitlement
+        // we check convergence against.
+        let mut cfg = fleet_from(seed, jobs).with_policy(ProvisionPolicy::SpotOnly);
+        for j in &mut cfg.jobs {
+            j.floor_gpus = 0;
+        }
+        let run = run_fleet_traced(&cfg, &market).expect("valid fleet");
+
+        for (j, ev) in run.job_events.iter().enumerate() {
+            let v = check_invariants(ev);
+            prop_assert!(v.is_empty(), "seed {} job {}: {:?}", seed, j, v);
+        }
+
+        // Determinism under flapping.
+        let again = run_fleet_traced(&cfg, &market).expect("valid fleet");
+        prop_assert_eq!(run.outcome.digest, again.outcome.digest);
+
+        // Convergence: the final allocation snapshot of every job equals
+        // its fair-share entitlement at full (re-admitted) capacity.
+        let demands: Vec<JobDemand> = cfg.jobs.iter().map(|j| JobDemand {
+            weight: j.weight,
+            demand: j.demand_gpus,
+            floor: j.floor_gpus,
+            boosted: false,
+        }).collect();
+        let entitlements = fair_shares(hosts as usize, &demands);
+        for (j, want) in entitlements.iter().enumerate() {
+            let last = run.fleet_events.iter().rev().find_map(|e| match e.kind {
+                EventKind::FleetAllocation { job, spot_gpus, on_demand_gpus, .. }
+                    if job == j as u64 => Some((spot_gpus, on_demand_gpus)),
+                _ => None,
+            });
+            prop_assert_eq!(
+                last, Some((*want, 0)),
+                "seed {} job {} did not converge to its entitlement {}",
+                seed, j, want
+            );
+        }
+    }
+
+    /// Tentpole at fleet scale: a random kill point in the combined
+    /// write-ahead log recovers to the uninterrupted run's digest and
+    /// final WAL bytes, torn tail or not.
+    #[test]
+    fn fleet_recovers_exactly_from_random_kill_points(
+        seed in 0u64..200,
+        frac in 0.0f64..1.0,
+        torn in any::<bool>(),
+    ) {
+        let market = ClusterTrace::generate_spot_1gpu(8, 4, 2.0, 15.0, seed);
+        let mut cfg = fleet_from(seed, 2);
+        cfg.jobs.truncate(2);
+        let mut wal = FleetWal::new();
+        let reference = run_fleet_walled(&cfg, &market, &mut wal).expect("oracle run");
+        let n = wal.len();
+        let boundary = ((frac * (n + 1) as f64) as usize).min(n);
+        let torn = torn && boundary < n;
+        let bytes = if torn {
+            wal.torn_bytes(boundary, 0.5)
+        } else {
+            wal.truncated_bytes(boundary)
+        };
+        let mut recovered = FleetWal::from_bytes(&bytes).expect("surviving prefix loads");
+        let (run, report) = recover_fleet(&cfg, &market, &mut recovered).expect("recovery");
+        prop_assert_eq!(report.replayed_records, boundary);
+        prop_assert_eq!(report.torn.is_some(), torn);
+        prop_assert_eq!(
+            run.outcome.digest, reference.outcome.digest,
+            "seed {} boundary {}/{} torn {} diverged", seed, boundary, n, torn
+        );
+        prop_assert_eq!(&run.job_events, &reference.job_events);
+        prop_assert_eq!(
+            recovered.to_bytes(), wal.to_bytes(),
+            "seed {}: recovered WAL bytes diverged", seed
+        );
+    }
+
     /// The arbiter's allocation function itself honors its contract on
     /// arbitrary inputs: capacity respected, demands capped, boosted
     /// floors seeded while capacity lasts.
@@ -136,6 +255,45 @@ proptest! {
         let total_demand: usize = jobs.iter().map(|j| j.demand).sum();
         if total_demand >= capacity {
             prop_assert_eq!(shares.iter().sum::<usize>(), capacity);
+        }
+    }
+}
+
+#[test]
+fn fleet_kill_at_every_boundary_recovers_exactly() {
+    // Exhaustive sweep of one small fleet: every record boundary of the
+    // combined WAL, clean and torn, reproduces the uninterrupted run.
+    let market = ClusterTrace::generate_spot_1gpu(6, 3, 2.0, 12.0, 13);
+    let mut cfg = fleet_from(13, 2);
+    for j in &mut cfg.jobs {
+        j.demand_gpus = j.demand_gpus.min(6);
+    }
+    let mut wal = FleetWal::new();
+    let reference = run_fleet_walled(&cfg, &market, &mut wal).expect("oracle run");
+    let n = wal.len();
+    assert!(n > 0, "the fleet must log decisions");
+    let full_bytes = wal.to_bytes();
+    for boundary in 0..=n {
+        for torn in [false, true] {
+            let torn = torn && boundary < n;
+            let bytes = if torn {
+                wal.torn_bytes(boundary, 0.4)
+            } else {
+                wal.truncated_bytes(boundary)
+            };
+            let mut recovered = FleetWal::from_bytes(&bytes).expect("prefix loads");
+            let (run, report) = recover_fleet(&cfg, &market, &mut recovered).expect("recovery");
+            assert_eq!(report.replayed_records, boundary, "boundary {boundary}");
+            assert_eq!(
+                run.outcome.digest, reference.outcome.digest,
+                "boundary {boundary}/{n} torn {torn} diverged"
+            );
+            assert_eq!(run.job_events, reference.job_events, "boundary {boundary}");
+            assert_eq!(
+                recovered.to_bytes(),
+                full_bytes,
+                "boundary {boundary}: WAL bytes diverged"
+            );
         }
     }
 }

@@ -180,6 +180,10 @@ pub struct DowntimeProfile {
     pub checkpoints: usize,
     /// Checkpoint writes that failed (storage outage).
     pub checkpoint_write_failures: usize,
+    /// Checkpoints found torn (partial write) at resume validation.
+    pub checkpoints_torn: usize,
+    /// Control-plane recoveries (WAL replays) observed.
+    pub recovery_replays: usize,
     /// VM preemptions observed.
     pub preemptions: usize,
     /// Degraded episodes entered.
@@ -198,6 +202,9 @@ pub struct DowntimeProfile {
     pub checkpoint_write_seconds: f64,
     /// Seconds of re-run work priced by `LostWork` events.
     pub lost_work_seconds: f64,
+    /// Seconds spent replaying the control plane's write-ahead log after
+    /// a crash (`RecoveryReplay` events).
+    pub recovery_replay_seconds: f64,
     /// The stream window minus every priced component above.
     pub useful_seconds: f64,
 }
@@ -209,6 +216,7 @@ impl DowntimeProfile {
             + self.morph_restart_seconds
             + self.checkpoint_write_seconds
             + self.lost_work_seconds
+            + self.recovery_replay_seconds
     }
 }
 
@@ -220,6 +228,8 @@ pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
         reconfigurations: 0,
         checkpoints: 0,
         checkpoint_write_failures: 0,
+        checkpoints_torn: 0,
+        recovery_replays: 0,
         preemptions: 0,
         degraded_episodes: 0,
         faults_injected: 0,
@@ -228,6 +238,7 @@ pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
         morph_restart_seconds: 0.0,
         checkpoint_write_seconds: 0.0,
         lost_work_seconds: 0.0,
+        recovery_replay_seconds: 0.0,
         useful_seconds: 0.0,
     };
     let mut open_degraded: Option<f64> = None;
@@ -250,6 +261,13 @@ pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
             }
             EventKind::CheckpointWriteFailed { .. } => {
                 d.checkpoint_write_failures += 1;
+            }
+            EventKind::CheckpointTorn { .. } => {
+                d.checkpoints_torn += 1;
+            }
+            EventKind::RecoveryReplay { replay_seconds, .. } => {
+                d.recovery_replays += 1;
+                d.recovery_replay_seconds += replay_seconds;
             }
             EventKind::Preemption { .. } => {
                 d.preemptions += 1;
@@ -435,6 +453,35 @@ mod tests {
         assert_eq!(d.lost_work_seconds, 50.0);
         assert_eq!(d.downtime_seconds(), 212.5);
         assert_eq!(d.useful_seconds, 787.5);
+        assert!((d.useful_seconds + d.downtime_seconds() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_replay_is_priced_as_downtime() {
+        let events = vec![
+            Event::manager(
+                50.0,
+                EventKind::CheckpointTorn {
+                    step: 32,
+                    bytes_written: 100,
+                    bytes_expected: 400,
+                },
+            ),
+            Event::recovery(
+                500.0,
+                EventKind::RecoveryReplay {
+                    wal_records: 120,
+                    torn: false,
+                    dropped_bytes: 0,
+                    replay_seconds: 0.24,
+                },
+            ),
+        ];
+        let d = downtime(&events, 1000.0);
+        assert_eq!(d.checkpoints_torn, 1);
+        assert_eq!(d.recovery_replays, 1);
+        assert!((d.recovery_replay_seconds - 0.24).abs() < 1e-12);
+        assert!((d.downtime_seconds() - 0.24).abs() < 1e-12);
         assert!((d.useful_seconds + d.downtime_seconds() - 1000.0).abs() < 1e-9);
     }
 

@@ -96,6 +96,12 @@ fn main() -> ExitCode {
             dt.lost_work_seconds,
             dt.lost_minibatches
         );
+        if dt.recovery_replays > 0 {
+            println!(
+                "          {:.3}s control-plane recovery ({} WAL replays)",
+                dt.recovery_replay_seconds, dt.recovery_replays
+            );
+        }
     }
     println!();
     print!("{}", report.stage_table());

@@ -351,6 +351,36 @@ fn to_trace_event(e: &Event) -> Option<Value> {
                 ),
             ],
         )),
+        EventKind::CheckpointTorn {
+            step,
+            bytes_written,
+            bytes_expected,
+        } => Some(instant(
+            format!("checkpoint-torn @{step}"),
+            "manager",
+            e.t_sim * US,
+            vec![
+                ("step".to_string(), Value::UInt(*step)),
+                ("bytes_written".to_string(), Value::UInt(*bytes_written)),
+                ("bytes_expected".to_string(), Value::UInt(*bytes_expected)),
+            ],
+        )),
+        EventKind::RecoveryReplay {
+            wal_records,
+            torn,
+            dropped_bytes,
+            replay_seconds,
+        } => Some(instant(
+            format!("recovery-replay {wal_records}rec"),
+            "recovery",
+            e.t_sim * US,
+            vec![
+                ("wal_records".to_string(), Value::UInt(*wal_records)),
+                ("torn".to_string(), Value::Bool(*torn)),
+                ("dropped_bytes".to_string(), Value::UInt(*dropped_bytes)),
+                ("replay_seconds".to_string(), Value::Float(*replay_seconds)),
+            ],
+        )),
         EventKind::FaultInjected { fault, vm } => Some(instant(
             format!("fault {fault}"),
             "chaos",

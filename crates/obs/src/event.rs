@@ -19,6 +19,9 @@ pub enum Source {
     Chaos,
     /// The multi-job fleet control plane (`varuna-fleet`).
     Fleet,
+    /// Control-plane crash recovery (WAL replay in `varuna` core /
+    /// `varuna-fleet`).
+    Recovery,
 }
 
 /// What happened, with the payload inline.
@@ -298,6 +301,34 @@ pub enum EventKind {
         /// On-demand GPUs the job holds after this decision.
         total_on_demand: usize,
     },
+    /// A checkpoint write was torn: the process died (or the volume
+    /// vanished) mid-write, leaving fewer bytes on disk than the full
+    /// state needs. Distinct from `CheckpointWriteFailed` (nothing
+    /// written, durable point simply does not advance) and from a later
+    /// corruption — a torn write is detected at resume validation and
+    /// forces a `CheckpointFallback` to the previous durable step.
+    CheckpointTorn {
+        /// The durable step whose checkpoint proved torn.
+        step: u64,
+        /// Bytes actually on disk.
+        bytes_written: u64,
+        /// Bytes a complete checkpoint needs.
+        bytes_expected: u64,
+    },
+    /// The control plane restarted and rebuilt its state by replaying a
+    /// write-ahead log prefix. `t_sim` is the crash point; the replay
+    /// itself is priced as downtime (`replay_seconds`).
+    RecoveryReplay {
+        /// WAL records replayed to rebuild state.
+        wal_records: u64,
+        /// Whether the log ended in a torn (checksum-failing) frame that
+        /// recovery truncated.
+        torn: bool,
+        /// Bytes dropped by torn-frame truncation.
+        dropped_bytes: u64,
+        /// Modeled wall-clock cost of the replay, seconds.
+        replay_seconds: f64,
+    },
     /// The chaos harness injected a fault into a trace replay.
     FaultInjected {
         /// Short machine-readable fault label (e.g. `"preemption_burst"`).
@@ -369,6 +400,15 @@ impl Event {
         Event {
             t_sim,
             source: Source::Fleet,
+            kind,
+        }
+    }
+
+    /// An event from control-plane crash recovery.
+    pub fn recovery(t_sim: f64, kind: EventKind) -> Self {
+        Event {
+            t_sim,
+            source: Source::Recovery,
             kind,
         }
     }
@@ -530,6 +570,23 @@ mod tests {
                     job: 3,
                     gpus: 4,
                     total_on_demand: 4,
+                },
+            ),
+            Event::manager(
+                23.0,
+                EventKind::CheckpointTorn {
+                    step: 48,
+                    bytes_written: 1_000,
+                    bytes_expected: 4_000,
+                },
+            ),
+            Event::recovery(
+                24.0,
+                EventKind::RecoveryReplay {
+                    wal_records: 37,
+                    torn: true,
+                    dropped_bytes: 11,
+                    replay_seconds: 0.074,
                 },
             ),
             Event::manager(
