@@ -75,6 +75,19 @@ pub struct ChaosConfig {
     pub corrupt_rate_per_hour: f64,
     /// Torn (partially written) checkpoint discoveries per hour.
     pub torn_rate_per_hour: f64,
+    /// Torn *delta*-checkpoint discoveries per hour. Draws from its own
+    /// RNG stream, consumed only when the rate is nonzero, so enabling
+    /// it never shifts the other fault schedules.
+    pub delta_torn_rate_per_hour: f64,
+
+    /// Probability each same-shape replacement's live migration is
+    /// killed mid-stream (the morph then falls back to a restart).
+    /// Draws from its own RNG stream, consumed only when nonzero.
+    pub migration_kill_prob: f64,
+    /// Run the manager with [`varuna::Manager::with_zero_downtime`]:
+    /// delta checkpoints, overlapped writes, pre-morph delta flushes,
+    /// and live stage migration.
+    pub zero_downtime: bool,
 
     /// Probability the run contains one total capacity collapse.
     pub collapse_prob: f64,
@@ -113,6 +126,9 @@ impl ChaosConfig {
             outage_minutes: 20.0,
             corrupt_rate_per_hour: 0.1,
             torn_rate_per_hour: 0.0,
+            delta_torn_rate_per_hour: 0.0,
+            migration_kill_prob: 0.0,
+            zero_downtime: false,
             collapse_prob: 0.1,
             crash_prob: 0.0,
             crash_torn_prob: 0.0,
@@ -189,6 +205,21 @@ impl ChaosConfig {
         }
     }
 
+    /// A [`ChaosConfig::recovery`] tuning that additionally runs the
+    /// manager in zero-downtime mode and turns on the zero-downtime
+    /// fault processes: torn delta frames and migration kills. Both new
+    /// processes draw from their own RNG streams (consumed only because
+    /// their rates are nonzero), so the underlying fault schedule stays
+    /// seed-compatible with `recovery` and `from_seed`.
+    pub fn zero_downtime(seed: u64) -> Self {
+        ChaosConfig {
+            delta_torn_rate_per_hour: 0.3,
+            migration_kill_prob: 0.25,
+            zero_downtime: true,
+            ..ChaosConfig::recovery(seed)
+        }
+    }
+
     /// Checks every shape invariant.
     ///
     /// # Errors
@@ -206,6 +237,7 @@ impl ChaosConfig {
             ("outage_rate_per_hour", self.outage_rate_per_hour),
             ("corrupt_rate_per_hour", self.corrupt_rate_per_hour),
             ("torn_rate_per_hour", self.torn_rate_per_hour),
+            ("delta_torn_rate_per_hour", self.delta_torn_rate_per_hour),
         ];
         for (name, r) in rates {
             if !(r.is_finite() && r >= 0.0) {
@@ -219,6 +251,7 @@ impl ChaosConfig {
             ("collapse_prob", self.collapse_prob),
             ("crash_prob", self.crash_prob),
             ("crash_torn_prob", self.crash_torn_prob),
+            ("migration_kill_prob", self.migration_kill_prob),
         ];
         for (name, p) in probs {
             if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
@@ -282,6 +315,7 @@ mod tests {
         assert!(ChaosConfig::quiet(1).validate().is_ok());
         assert!(ChaosConfig::harsh(1).validate().is_ok());
         assert!(ChaosConfig::recovery(1).validate().is_ok());
+        assert!(ChaosConfig::zero_downtime(1).validate().is_ok());
         for seed in 0..200 {
             ChaosConfig::from_seed(seed)
                 .validate()
@@ -310,6 +344,8 @@ mod tests {
         bad(|c| c.burst_fraction = 1.5);
         bad(|c| c.collapse_prob = -0.1);
         bad(|c| c.torn_rate_per_hour = -0.2);
+        bad(|c| c.delta_torn_rate_per_hour = f64::INFINITY);
+        bad(|c| c.migration_kill_prob = -0.5);
         bad(|c| c.crash_prob = 1.5);
         bad(|c| c.crash_torn_prob = f64::NAN);
         bad(|c| c.tick_minutes = 0.0);

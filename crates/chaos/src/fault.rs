@@ -38,6 +38,20 @@ pub enum FaultKind {
         /// Fraction of the expected bytes that reached storage, in `[0, 1)`.
         fraction: f64,
     },
+    /// A *delta* checkpoint write died mid-flight, leaving a partial
+    /// delta frame: the chain back to the anchoring full checkpoint is
+    /// broken and the durable point falls back to that full, never to a
+    /// silently-restored torn frame. Only meaningful under a
+    /// delta-checkpointing (zero-downtime) policy.
+    TornDelta {
+        /// Fraction of the delta's bytes that reached storage, in `[0, 1)`.
+        fraction: f64,
+    },
+    /// A VM was replaced while its stage state was being live-migrated
+    /// to the replacement: the migration aborts and that morph falls
+    /// back to a priced restart. Only meaningful under a zero-downtime
+    /// policy.
+    KilledDuringMigration,
     /// Every live VM was preempted at once (planner-infeasible capacity).
     CapacityCollapse {
         /// VMs taken down by the collapse.
@@ -68,6 +82,8 @@ impl FaultKind {
             FaultKind::StorageOutage { .. } => "storage_outage",
             FaultKind::CheckpointCorrupt => "checkpoint_corrupt",
             FaultKind::CheckpointTorn { .. } => "checkpoint_torn",
+            FaultKind::TornDelta { .. } => "torn_delta",
+            FaultKind::KilledDuringMigration => "killed_during_migration",
             FaultKind::CapacityCollapse { .. } => "capacity_collapse",
             FaultKind::ControlPlaneCrash { torn: true } => "control_plane_crash_torn",
             FaultKind::ControlPlaneCrash { torn: false } => "control_plane_crash",
@@ -114,6 +130,8 @@ mod tests {
             FaultKind::StorageOutage { minutes: 10.0 },
             FaultKind::CheckpointCorrupt,
             FaultKind::CheckpointTorn { fraction: 0.4 },
+            FaultKind::TornDelta { fraction: 0.4 },
+            FaultKind::KilledDuringMigration,
             FaultKind::CapacityCollapse { victims: 8 },
             FaultKind::ControlPlaneCrash { torn: true },
             FaultKind::ControlPlaneCrash { torn: false },

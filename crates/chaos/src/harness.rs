@@ -1,14 +1,14 @@
 //! One-call chaos runs: inject, replay, verify, digest.
 
 use serde::{Deserialize, Serialize};
-use varuna::{Calibration, Manager, ManagerState, ManagerWal};
+use varuna::{Calibration, Manager, ManagerState, ManagerWal, WalRecord};
 use varuna_cluster::trace::ClusterTrace;
 use varuna_obs::{
     profile, Event, EventBus, EventKind, ProfileReport, RingBufferSink, Source, VecSink,
 };
 
 use crate::config::{ChaosConfig, ChaosError};
-use crate::fault::InjectedFault;
+use crate::fault::{FaultKind, InjectedFault};
 use crate::inject::ChaosInjector;
 use crate::verify::check_invariants;
 
@@ -101,6 +101,19 @@ impl ChaosRun {
     }
 }
 
+/// Builds the manager every chaos experiment drives: the paper's
+/// 8192-minibatch job at micro-batch 4 with fallback enabled, switched to
+/// the zero-downtime policy (delta checkpoints, overlapped writes, live
+/// migration) when the configuration asks for it.
+fn build_manager<'a>(calib: &'a Calibration, cfg: &ChaosConfig) -> Manager<'a> {
+    let mgr = Manager::new(calib, 8192, 4).with_fallback();
+    if cfg.zero_downtime {
+        mgr.with_zero_downtime()
+    } else {
+        mgr
+    }
+}
+
 /// FNV-1a over the debug rendering of each event: a cheap, dependency-free
 /// fingerprint that changes if any field of any event changes.
 pub fn digest_events(events: &[Event]) -> u64 {
@@ -135,7 +148,7 @@ pub fn run_chaos(
     let mut bus = EventBus::with_sink(Box::new(sink.clone()));
     bus.add_sink(Box::new(recorder.clone()));
     let (trace, faults) = injector.perturb_observed(base, &mut bus);
-    let mut mgr = Manager::new(calib, 8192, 4).with_fallback();
+    let mut mgr = build_manager(calib, cfg);
     mgr.replay_on_bus(&trace, &mut bus)
         .map_err(|e| ChaosError::Replay(e.to_string()))?;
     let events = sink.take();
@@ -287,6 +300,7 @@ impl RecoveryRun {
 /// digest and byte-identical final WAL.
 pub struct RecoveryHarness<'a> {
     calib: &'a Calibration,
+    cfg: ChaosConfig,
     trace: ClusterTrace,
     faults: Vec<InjectedFault>,
     seed: u64,
@@ -312,13 +326,14 @@ impl<'a> RecoveryHarness<'a> {
         let sink = VecSink::new();
         let mut bus = EventBus::with_sink(Box::new(sink.clone()));
         let mut wal = ManagerWal::new();
-        let mut mgr = Manager::new(calib, 8192, 4).with_fallback();
+        let mut mgr = build_manager(calib, cfg);
         mgr.replay_walled(&trace, &mut bus, &mut wal)
             .map_err(|e| ChaosError::Replay(e.to_string()))?;
         let reference_digest = digest_control_events(&sink.take());
         let reference_bytes = wal.to_bytes();
         Ok(RecoveryHarness {
             calib,
+            cfg: cfg.clone(),
             trace,
             faults,
             seed: cfg.seed,
@@ -337,6 +352,29 @@ impl<'a> RecoveryHarness<'a> {
     /// The faults the injector scheduled for the underlying run.
     pub fn faults(&self) -> &[InjectedFault] {
         &self.faults
+    }
+
+    /// Indices of WAL records that committed a *live migration* — a
+    /// same-shape replacement priced as `migration_seconds` instead of a
+    /// restart. Tearing one of these frames mid-write is the chaos
+    /// suite's "killed during migration" fault: the control plane dies
+    /// while the migration decision is being logged, and recovery must
+    /// still reproduce the uninterrupted run byte-for-byte.
+    pub fn migration_boundaries(&self) -> Vec<usize> {
+        self.wal
+            .records()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                WalRecord::Morph { decision, .. } if decision.migration_seconds > 0.0 => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Decision time (hours) of WAL record `idx`.
+    pub fn record_t_hours(&self, idx: usize) -> f64 {
+        self.wal.records()[idx].t_hours()
     }
 
     /// Kills the run after `boundary` clean frames (`torn` additionally
@@ -364,7 +402,7 @@ impl<'a> RecoveryHarness<'a> {
             .map_err(|e| ChaosError::Replay(format!("surviving WAL bytes failed to load: {e}")))?;
         let sink = VecSink::new();
         let mut bus = EventBus::with_sink(Box::new(sink.clone()));
-        let mut mgr = Manager::new(self.calib, 8192, 4).with_fallback();
+        let mut mgr = build_manager(self.calib, &self.cfg);
         let report = mgr
             .recover_on_bus(&self.trace, &mut bus, &mut wal)
             .map_err(|e| ChaosError::Replay(e.to_string()))?;
@@ -464,6 +502,39 @@ pub fn run_chaos_recovery(
         }
         None => harness.recover_at(n, false),
     }
+}
+
+/// Runs the injector's "killed during migration" plan, if it rolled one:
+/// the control plane is killed while a live-migration Morph frame is
+/// mid-write (the frame is torn), a fresh manager recovers from the
+/// surviving prefix, and the kill-anywhere invariant is checked. Returns
+/// `Ok(None)` when the configuration disables migration kills, the roll
+/// came up clean, or the run performed no live migrations (e.g. the
+/// zero-downtime policy is off).
+///
+/// # Errors
+///
+/// Same contract as [`run_recovery_at`].
+pub fn run_migration_kill_recovery(
+    calib: &Calibration,
+    base: &ClusterTrace,
+    cfg: &ChaosConfig,
+) -> Result<Option<(InjectedFault, RecoveryRun)>, ChaosError> {
+    let Some(pick) = ChaosInjector::new(cfg.clone())?.migration_kill() else {
+        return Ok(None);
+    };
+    let harness = RecoveryHarness::new(calib, base, cfg)?;
+    let migrations = harness.migration_boundaries();
+    if migrations.is_empty() {
+        return Ok(None);
+    }
+    let idx = migrations[((pick * migrations.len() as f64) as usize).min(migrations.len() - 1)];
+    let fault = InjectedFault {
+        time_hours: harness.record_t_hours(idx),
+        vm: u64::MAX,
+        fault: FaultKind::KilledDuringMigration,
+    };
+    Ok(Some((fault, harness.recover_at(idx, true)?)))
 }
 
 #[cfg(test)]

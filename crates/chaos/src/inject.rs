@@ -81,6 +81,9 @@ impl ChaosInjector {
         // on (the recovery tuning) never shifts the pre-existing fault
         // schedule of the same seed.
         let mut torn_rng = StdRng::seed_from_u64(cfg.seed ^ 0x70C4_E77E);
+        // Torn *delta* frames likewise get their own stream, so the
+        // zero-downtime tuning stays seed-compatible with `recovery`.
+        let mut delta_rng = StdRng::seed_from_u64(cfg.seed ^ 0xDE17_A70F);
         let mut j = 0;
 
         let p_of = |rate: f64| (rate * dt).min(1.0);
@@ -279,6 +282,23 @@ impl ChaosInjector {
                 });
             }
 
+            // Torn (partial) delta-checkpoint write.
+            if cfg.delta_torn_rate_per_hour > 0.0
+                && delta_rng.gen_bool(p_of(cfg.delta_torn_rate_per_hour))
+            {
+                let fraction = uniform(&mut delta_rng, 0.05, 0.95);
+                injected.push(ClusterEvent {
+                    time_hours: t,
+                    vm: u64::MAX,
+                    kind: ClusterEventKind::DeltaTorn { fraction },
+                });
+                faults.push(InjectedFault {
+                    time_hours: t,
+                    vm: u64::MAX,
+                    fault: FaultKind::TornDelta { fraction },
+                });
+            }
+
             // Planner-infeasible capacity collapse.
             if let Some(at) = collapse_at {
                 if t >= at {
@@ -362,6 +382,28 @@ impl ChaosInjector {
             boundary_fraction: rng.gen_range(0.0..1.0),
             torn,
         })
+    }
+
+    /// Draws the "killed during migration" plan for this configuration:
+    /// `Some(pick)` kills the control plane while a live-migration WAL
+    /// frame is mid-write, with `pick` in `[0, 1)` selecting which of the
+    /// run's migrations gets torn (the recovery harness maps the fraction
+    /// onto the concrete migration list it captured). `None` when
+    /// `migration_kill_prob` draws no kill.
+    ///
+    /// The draw comes from an RNG stream keyed off `seed ^ 0x4B17_7D4D`,
+    /// fully independent of the fault schedule and the crash plan:
+    /// enabling migration kills never shifts either.
+    pub fn migration_kill(&self) -> Option<f64> {
+        let cfg = &self.cfg;
+        if cfg.migration_kill_prob <= 0.0 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4B17_7D4D);
+        if !rng.gen_bool(cfg.migration_kill_prob.min(1.0)) {
+            return None;
+        }
+        Some(rng.gen_range(0.0..1.0))
     }
 }
 
@@ -521,6 +563,51 @@ mod tests {
             assert_eq!(rec.crash_plan(), Some(plan), "plan must be deterministic");
             assert_eq!(plain.crash_plan(), None);
         }
+    }
+
+    #[test]
+    fn zero_downtime_tuning_adds_delta_faults_without_shifting_the_rest() {
+        let mut any_migration_kill = false;
+        for seed in 0..8 {
+            let rec = ChaosInjector::new(ChaosConfig::recovery(seed)).unwrap();
+            let zd = ChaosInjector::new(ChaosConfig::zero_downtime(seed)).unwrap();
+            let b = base();
+            let (_, f_rec) = rec.perturb(&b);
+            let (_, f_zd) = zd.perturb(&b);
+            // Dropping the torn-delta faults recovers the recovery-tuning
+            // schedule exactly: the delta process has its own RNG stream.
+            let without_delta: Vec<InjectedFault> = f_zd
+                .iter()
+                .copied()
+                .filter(|f| !matches!(f.fault, FaultKind::TornDelta { .. }))
+                .collect();
+            assert_eq!(without_delta, f_rec, "seed {seed}");
+            assert!(
+                f_zd.iter()
+                    .any(|f| matches!(f.fault, FaultKind::TornDelta { .. })),
+                "seed {seed} drew no torn delta at rate 0.3/h over 60h"
+            );
+            // The migration-kill roll is deterministic, in range, and
+            // absent from tunings that disable it.
+            let roll = zd.migration_kill();
+            assert_eq!(zd.migration_kill(), roll, "roll must be deterministic");
+            if let Some(pick) = roll {
+                assert!((0.0..1.0).contains(&pick));
+            }
+            assert_eq!(rec.migration_kill(), None);
+        }
+        // The roll is keyed off its own stream, so which seeds fire is
+        // fixed; sweep enough of them to see the process alive at 0.25.
+        for seed in 0..32 {
+            let zd = ChaosInjector::new(ChaosConfig::zero_downtime(seed)).unwrap();
+            if zd.migration_kill().is_some() {
+                any_migration_kill = true;
+            }
+        }
+        assert!(
+            any_migration_kill,
+            "no seed in 0..32 rolled a migration kill at prob 0.25"
+        );
     }
 
     #[test]

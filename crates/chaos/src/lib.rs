@@ -25,6 +25,13 @@
 //! - **Control-plane kills** — the manager process itself dying at an
 //!   arbitrary write-ahead-log boundary (optionally tearing the frame
 //!   being written) and recovering by replaying the surviving log prefix.
+//! - **Torn delta frames** — an incremental (delta) checkpoint killed
+//!   mid-write under the zero-downtime policy; the chain back to the
+//!   anchoring full checkpoint is broken and restore must fall back to
+//!   that full, never to a silently-truncated delta.
+//! - **Kills during live migration** — the control plane dying while a
+//!   live-migration morph frame is mid-write
+//!   ([`harness::run_migration_kill_recovery`]).
 //!
 //! The pipeline is: [`ChaosConfig`] (seeded rates) → [`ChaosInjector`]
 //! (perturbs a base trace into a fault schedule) → `Manager::replay_on_bus`
@@ -51,7 +58,8 @@ pub mod verify;
 pub use config::{ChaosConfig, ChaosError};
 pub use fault::{FaultKind, InjectedFault};
 pub use harness::{
-    digest_control_events, digest_events, run_chaos, run_chaos_recovery, run_recovery_at, ChaosRun,
-    RecoveryHarness, RecoveryRun, FLIGHT_RECORDER_EVENTS,
+    digest_control_events, digest_events, run_chaos, run_chaos_recovery,
+    run_migration_kill_recovery, run_recovery_at, ChaosRun, RecoveryHarness, RecoveryRun,
+    FLIGHT_RECORDER_EVENTS,
 };
 pub use inject::{ChaosInjector, CrashPlan};

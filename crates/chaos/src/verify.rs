@@ -24,8 +24,10 @@ use varuna_obs::{Event, EventKind};
 ///    alternate, and every exit prices a non-negative pause.
 /// 5. **Capacity honesty** — every `Morph` and `Checkpoint` uses at most
 ///    the GPUs it holds, with finite non-negative throughputs; downtime
-///    pricing is honest too (finite non-negative restart / write
-///    seconds, and only actual reconfigurations price a restart).
+///    pricing is honest too (finite non-negative restart / migration /
+///    write / overlapped seconds, a morph never prices both a restart
+///    and a migration, and live migration only applies to same-shape
+///    replacements — a real reconfiguration must restart).
 /// 6. **Priced lost work** — every `LostWork` event carries a positive
 ///    cost and is attached to a reconfiguration (a `Morph` at the same
 ///    `t_sim`): work is conserved *modulo explicitly-priced loss*.
@@ -64,6 +66,7 @@ pub fn check_invariants(events: &[Event]) -> Vec<String> {
                 gpus_used,
                 examples_per_sec,
                 write_seconds,
+                overlapped_seconds,
                 ..
             } => {
                 if *step < last_ckpt_step {
@@ -87,6 +90,11 @@ pub fn check_invariants(events: &[Event]) -> Vec<String> {
                         "event {i}: bad checkpoint write_seconds {write_seconds}"
                     ));
                 }
+                if !(overlapped_seconds.is_finite() && *overlapped_seconds >= 0.0) {
+                    violations.push(format!(
+                        "event {i}: bad checkpoint overlapped_seconds {overlapped_seconds}"
+                    ));
+                }
             }
             EventKind::Morph {
                 gpus_held,
@@ -94,6 +102,7 @@ pub fn check_invariants(events: &[Event]) -> Vec<String> {
                 examples_per_sec,
                 reconfigured,
                 restart_seconds,
+                migration_seconds,
                 ..
             } => {
                 if gpus_used > gpus_held {
@@ -111,10 +120,21 @@ pub fn check_invariants(events: &[Event]) -> Vec<String> {
                         "event {i}: bad morph restart_seconds {restart_seconds}"
                     ));
                 }
-                if !reconfigured && *restart_seconds != 0.0 {
+                if !(migration_seconds.is_finite() && *migration_seconds >= 0.0) {
                     violations.push(format!(
-                        "event {i}: same-shape replacement priced a restart \
-                         ({restart_seconds}s)"
+                        "event {i}: bad morph migration_seconds {migration_seconds}"
+                    ));
+                }
+                if *restart_seconds > 0.0 && *migration_seconds > 0.0 {
+                    violations.push(format!(
+                        "event {i}: morph prices both a restart ({restart_seconds}s) \
+                         and a migration ({migration_seconds}s)"
+                    ));
+                }
+                if *reconfigured && *migration_seconds > 0.0 {
+                    violations.push(format!(
+                        "event {i}: reconfiguration priced as a live migration \
+                         ({migration_seconds}s)"
                     ));
                 }
             }
@@ -237,6 +257,8 @@ mod tests {
                     examples_per_sec: 10.0,
                     examples_per_sec_per_gpu: 2.5,
                     write_seconds: 0.5,
+                    overlapped_seconds: 0.0,
+                    full: true,
                 },
             )
         };
@@ -300,6 +322,7 @@ mod tests {
                 examples_per_sec_per_gpu: 1.25,
                 reconfigured: true,
                 restart_seconds: 60.0,
+                migration_seconds: 0.0,
             },
         )]);
         assert!(v.iter().any(|s| s.contains("uses 8 GPUs")), "{v:?}");
@@ -307,22 +330,36 @@ mod tests {
 
     #[test]
     fn dishonest_downtime_pricing_is_flagged() {
-        // A same-shape replacement must not price a restart, and
-        // checkpoint writes must price a finite non-negative pause.
-        let v = check_invariants(&[Event::manager(
-            1.0,
-            EventKind::Morph {
-                p: 4,
-                d: 2,
-                gpus_held: 8,
-                gpus_used: 8,
-                examples_per_sec: 10.0,
-                examples_per_sec_per_gpu: 1.25,
-                reconfigured: false,
-                restart_seconds: 60.0,
-            },
-        )]);
-        assert!(v.iter().any(|s| s.contains("priced a restart")), "{v:?}");
+        // A real reconfiguration must restart, not migrate; a morph never
+        // prices both; and checkpoint writes must price a finite
+        // non-negative pause.
+        let morph = |reconfigured: bool, restart_seconds: f64, migration_seconds: f64| {
+            Event::manager(
+                1.0,
+                EventKind::Morph {
+                    p: 4,
+                    d: 2,
+                    gpus_held: 8,
+                    gpus_used: 8,
+                    examples_per_sec: 10.0,
+                    examples_per_sec_per_gpu: 1.25,
+                    reconfigured,
+                    restart_seconds,
+                    migration_seconds,
+                },
+            )
+        };
+        let v = check_invariants(&[morph(true, 0.0, 1.5)]);
+        assert!(
+            v.iter().any(|s| s.contains("priced as a live migration")),
+            "{v:?}"
+        );
+        let v = check_invariants(&[morph(false, 60.0, 1.5)]);
+        assert!(v.iter().any(|s| s.contains("both a restart")), "{v:?}");
+        // Baseline replacements legitimately price a restart, and
+        // zero-downtime replacements a migration: both are clean.
+        assert!(check_invariants(&[morph(false, 60.0, 0.0)]).is_empty());
+        assert!(check_invariants(&[morph(false, 0.0, 1.5)]).is_empty());
         let v = check_invariants(&[Event::manager(
             1.0,
             EventKind::Checkpoint {
@@ -334,9 +371,12 @@ mod tests {
                 examples_per_sec: 10.0,
                 examples_per_sec_per_gpu: 1.25,
                 write_seconds: f64::NAN,
+                overlapped_seconds: -1.0,
+                full: true,
             },
         )]);
         assert!(v.iter().any(|s| s.contains("write_seconds")), "{v:?}");
+        assert!(v.iter().any(|s| s.contains("overlapped_seconds")), "{v:?}");
     }
 
     #[test]

@@ -7,7 +7,10 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 use varuna::{Calibration, VarunaCluster};
-use varuna_chaos::{run_chaos, run_chaos_recovery, ChaosConfig, FaultKind, RecoveryHarness};
+use varuna_chaos::{
+    run_chaos, run_chaos_recovery, run_migration_kill_recovery, ChaosConfig, FaultKind,
+    RecoveryHarness,
+};
 use varuna_cluster::trace::ClusterTrace;
 use varuna_models::ModelZoo;
 
@@ -101,6 +104,91 @@ fn torn_checkpoint_writes_fall_back_and_stay_clean() {
     );
 }
 
+#[test]
+fn zero_downtime_kill_at_every_boundary_recovers_exactly() {
+    // The tentpole's kill-anywhere sweep: under the zero-downtime policy
+    // the log additionally carries delta flushes, overlapped checkpoint
+    // writes, and live-migration morphs — killing at any boundary must
+    // still recover byte-identically.
+    let cfg = ChaosConfig::zero_downtime(3);
+    let h = RecoveryHarness::new(calib(), small_base(), &cfg).expect("oracle run");
+    let n = h.wal_records();
+    assert!(n > 0, "the oracle run must log decisions");
+    for boundary in 0..=n {
+        let run = h.recover_at(boundary, false).expect("recovery run");
+        assert!(
+            run.is_clean(),
+            "clean kill at boundary {boundary}/{n}:\n{}",
+            run.failure_artifacts()
+        );
+        assert_eq!(run.replayed_records, boundary);
+    }
+}
+
+#[test]
+fn killed_during_migration_at_every_migration_recovers_exactly() {
+    // Tearing a live-migration morph frame mid-write is the
+    // KilledDuringMigration fault; recovery must detect the torn tail,
+    // re-decide the identical migration, and converge to the same WAL.
+    let cfg = ChaosConfig::zero_downtime(5);
+    let h = RecoveryHarness::new(calib(), small_base(), &cfg).expect("oracle run");
+    let migrations = h.migration_boundaries();
+    assert!(
+        !migrations.is_empty(),
+        "the zero-downtime oracle must perform at least one live migration"
+    );
+    for boundary in migrations {
+        let run = h.recover_at(boundary, true).expect("recovery run");
+        assert!(
+            run.is_clean(),
+            "kill during migration at boundary {boundary}:\n{}",
+            run.failure_artifacts()
+        );
+        assert!(run.torn_detected, "boundary {boundary}: torn frame missed");
+    }
+}
+
+#[test]
+fn migration_kill_plans_recover_exactly() {
+    // The injector-driven form: a seed whose migration-kill roll fires
+    // (8 and 18 do, at prob 0.25 on the dedicated stream) tears the
+    // selected migration frame and must recover byte-identically; a seed
+    // whose roll stays clean (3) must plan nothing.
+    for seed in [8, 18] {
+        let cfg = ChaosConfig::zero_downtime(seed);
+        let (fault, run) = run_migration_kill_recovery(calib(), small_base(), &cfg)
+            .expect("migration kill run")
+            .unwrap_or_else(|| panic!("seed {seed} must plan a migration kill"));
+        assert!(matches!(fault.fault, FaultKind::KilledDuringMigration));
+        assert!(fault.time_hours >= 0.0);
+        assert!(run.is_clean(), "seed {seed}:\n{}", run.failure_artifacts());
+        assert!(run.torn_detected, "seed {seed}: torn frame missed");
+    }
+    let clean = run_migration_kill_recovery(calib(), small_base(), &ChaosConfig::zero_downtime(3))
+        .expect("clean-roll run");
+    assert!(clean.is_none(), "seed 3's roll must stay clean");
+}
+
+#[test]
+fn torn_delta_frames_fall_back_to_the_anchoring_full_and_stay_clean() {
+    // A torn *delta* frame breaks the chain back to the last full
+    // checkpoint: the run must surface the typed fault, keep every stream
+    // invariant, and never silently restore the torn frame.
+    let cfg = ChaosConfig {
+        delta_torn_rate_per_hour: 2.0,
+        ..ChaosConfig::zero_downtime(77)
+    };
+    let run = run_chaos(calib(), small_base(), &cfg).expect("torn delta run");
+    assert!(run.violations.is_empty(), "{:?}", run.violations);
+    assert!(
+        run.faults
+            .iter()
+            .any(|f| matches!(f.fault, FaultKind::TornDelta { .. })),
+        "2/hour over the trace must tear at least one delta: {:?}",
+        run.faults
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -111,8 +199,14 @@ proptest! {
         seed in 0u64..64,
         frac in 0.0f64..1.0,
         torn in any::<bool>(),
+        zero_downtime in any::<bool>(),
     ) {
-        let h = RecoveryHarness::new(calib(), small_base(), &ChaosConfig::recovery(seed))
+        let cfg = if zero_downtime {
+            ChaosConfig::zero_downtime(seed)
+        } else {
+            ChaosConfig::recovery(seed)
+        };
+        let h = RecoveryHarness::new(calib(), small_base(), &cfg)
             .expect("oracle run");
         let n = h.wal_records();
         let boundary = ((frac * (n + 1) as f64) as usize).min(n);

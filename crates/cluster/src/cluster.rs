@@ -101,7 +101,8 @@ impl Cluster {
             | ClusterEventKind::StorageOutageStart
             | ClusterEventKind::StorageOutageEnd
             | ClusterEventKind::CheckpointCorrupt
-            | ClusterEventKind::CheckpointTorn { .. } => {}
+            | ClusterEventKind::CheckpointTorn { .. }
+            | ClusterEventKind::DeltaTorn { .. } => {}
         }
     }
 

@@ -65,6 +65,15 @@ pub enum ClusterEventKind {
         /// Fraction of the payload that landed, in `[0, 1)`.
         fraction: f64,
     },
+    /// The newest *delta* checkpoint stopped short mid-write. Only
+    /// meaningful under a delta-checkpointing policy: the torn frame is
+    /// detected (never silently restored) and the durable point falls
+    /// back to the delta's anchoring full checkpoint, not a whole
+    /// interval. The `vm` field of the carrying event is ignored.
+    DeltaTorn {
+        /// Fraction of the delta payload that landed, in `[0, 1)`.
+        fraction: f64,
+    },
 }
 
 /// One timestamped cluster event.

@@ -53,17 +53,79 @@ pub enum CheckpointError {
     /// writer died (or its volume vanished) mid-write. Resume must fall
     /// back to the previous durable checkpoint.
     Torn(PartialWrite),
+    /// A delta frame whose chain is unusable: its anchoring full
+    /// checkpoint is missing, out of order, or does not match the
+    /// `base_step` the delta was written against. The frame's own bytes
+    /// are intact — it is the *chain* that cannot restore.
+    BrokenChain {
+        /// Step of the frame that broke the chain.
+        step: u64,
+        /// The full-checkpoint step the frame claims as its base.
+        base_step: u64,
+    },
 }
 
 impl fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckpointError::Torn(p) => write!(f, "torn checkpoint: {p}"),
+            CheckpointError::BrokenChain { step, base_step } => write!(
+                f,
+                "broken checkpoint chain: frame at step {step} anchors to \
+                 missing or mismatched full checkpoint at step {base_step}"
+            ),
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
+
+/// What a checkpoint write contains: complete state, or the increment
+/// since the anchoring full checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CheckpointKind {
+    /// Complete model state — restorable on its own.
+    Full,
+    /// Per-stage incremental state relative to the full checkpoint at
+    /// `base_step`; restoring requires that anchor to be intact.
+    Delta {
+        /// Step of the full checkpoint this delta applies on top of.
+        base_step: u64,
+    },
+}
+
+impl CheckpointKind {
+    /// Whether this checkpoint restores without a chain.
+    pub fn is_full(&self) -> bool {
+        matches!(self, CheckpointKind::Full)
+    }
+}
+
+/// One on-disk frame of a full+delta checkpoint chain, as seen at
+/// resume validation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainFrame {
+    /// The mini-batch step the frame covers.
+    pub step: u64,
+    /// Full state or a delta against an earlier full frame.
+    pub kind: CheckpointKind,
+    /// Bytes actually on disk.
+    pub bytes_written: u64,
+    /// Bytes a complete write needs.
+    pub bytes_expected: u64,
+}
+
+/// How a validated chain restores: which full frame anchors the resume
+/// and how many deltas apply on top.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RestorePlan {
+    /// The newest step the chain restores (the last frame's step).
+    pub restore_step: u64,
+    /// Step of the anchoring full checkpoint.
+    pub full_step: u64,
+    /// Delta frames applied on top of the anchor.
+    pub deltas_applied: usize,
+}
 
 /// The checkpointing policy and its cost model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,16 +137,144 @@ pub struct CheckpointPolicy {
     /// Background cloud-upload bandwidth, bytes/s (does not stall
     /// training; bounds how stale the cloud copy can be).
     pub cloud_bandwidth: f64,
+    /// Every `full_every`-th committed checkpoint writes full state; the
+    /// ones in between write per-stage deltas against the last full.
+    /// `<= 1` means every checkpoint is full — the legacy policy.
+    pub full_every: u64,
+    /// Bytes a delta writes relative to a full checkpoint, in `(0, 1]`.
+    /// Only meaningful when [`CheckpointPolicy::full_every`] enables
+    /// deltas.
+    pub delta_fraction: f64,
+    /// Whether checkpoint writes run on a background lane concurrent
+    /// with compute: the foreground pays only the lane's back-pressure
+    /// (a previous write still in flight), not the write itself.
+    pub overlap_writes: bool,
 }
 
 impl CheckpointPolicy {
-    /// Default tuning: every 16 mini-batches, 1 GB/s SSD, 200 MB/s cloud.
+    /// Default tuning: every 16 mini-batches, 1 GB/s SSD, 200 MB/s
+    /// cloud, every checkpoint full and written in the foreground — the
+    /// policy the full-restart baseline has always priced.
     pub fn default_tuning() -> Self {
         CheckpointPolicy {
             interval_minibatches: 16,
             ssd_bandwidth: 1.0e9,
             cloud_bandwidth: 200.0e6,
+            full_every: 1,
+            delta_fraction: 1.0,
+            overlap_writes: false,
         }
+    }
+
+    /// The zero-downtime tuning: one full checkpoint anchors seven
+    /// deltas (each ~15% of a full write), and writes overlap compute
+    /// on a background lane.
+    pub fn zero_downtime_tuning() -> Self {
+        CheckpointPolicy {
+            full_every: 8,
+            delta_fraction: 0.15,
+            overlap_writes: true,
+            ..CheckpointPolicy::default_tuning()
+        }
+    }
+
+    /// Whether this policy writes delta checkpoints at all.
+    pub fn delta_enabled(&self) -> bool {
+        self.full_every > 1
+    }
+
+    /// The kind the `ordinal`-th committed checkpoint writes (1-based
+    /// count over *successful* writes), anchored at `last_full_step` —
+    /// the first checkpoint and every `full_every`-th after it are full.
+    pub fn kind_for(&self, ordinal: u64, last_full_step: u64) -> CheckpointKind {
+        if self.full_every <= 1 || ordinal == 0 || (ordinal - 1).is_multiple_of(self.full_every) {
+            CheckpointKind::Full
+        } else {
+            CheckpointKind::Delta {
+                base_step: last_full_step,
+            }
+        }
+    }
+
+    /// Fraction of a full write's bytes (and therefore pause) `kind`
+    /// actually writes.
+    pub fn write_fraction(&self, kind: CheckpointKind) -> f64 {
+        match kind {
+            CheckpointKind::Full => 1.0,
+            CheckpointKind::Delta { .. } => {
+                if self.delta_fraction.is_finite() && self.delta_fraction > 0.0 {
+                    self.delta_fraction.min(1.0)
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Validates a full+delta chain at resume, oldest frame first.
+    ///
+    /// Every frame's on-disk size must be complete — a torn frame is
+    /// *detected* ([`CheckpointError::Torn`]), never silently restored —
+    /// the first frame must be full, steps must be strictly increasing,
+    /// and every delta must anchor to the most recent full frame.
+    /// Returns the restore plan for the newest frame (`None` for an
+    /// empty chain).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Torn`] on the first incomplete frame;
+    /// [`CheckpointError::BrokenChain`] on ordering or anchoring
+    /// violations.
+    pub fn validate_chain(
+        &self,
+        frames: &[ChainFrame],
+    ) -> Result<Option<RestorePlan>, CheckpointError> {
+        let mut full_step: Option<u64> = None;
+        let mut deltas_applied = 0usize;
+        let mut prev_step: Option<u64> = None;
+        for f in frames {
+            if let Some(p) = prev_step {
+                if f.step <= p {
+                    return Err(CheckpointError::BrokenChain {
+                        step: f.step,
+                        base_step: p,
+                    });
+                }
+            }
+            prev_step = Some(f.step);
+            self.validate_write(f.bytes_written, f.bytes_expected)?;
+            match f.kind {
+                CheckpointKind::Full => {
+                    full_step = Some(f.step);
+                    deltas_applied = 0;
+                }
+                CheckpointKind::Delta { base_step } => {
+                    if full_step != Some(base_step) {
+                        return Err(CheckpointError::BrokenChain {
+                            step: f.step,
+                            base_step,
+                        });
+                    }
+                    deltas_applied += 1;
+                }
+            }
+        }
+        let Some(last) = frames.last() else {
+            return Ok(None);
+        };
+        let Some(full_step) = full_step else {
+            // Non-empty chain with no full frame: the first frame was a
+            // delta (caught above) — unreachable, but stay total.
+            return Err(CheckpointError::BrokenChain {
+                step: last.step,
+                base_step: 0,
+            });
+        };
+        Ok(Some(RestorePlan {
+            restore_step: last.step,
+            full_step,
+            deltas_applied,
+        }))
     }
 
     /// Foreground pause per checkpoint: each GPU writes its stage's
@@ -241,7 +431,9 @@ mod tests {
         assert!(p.validate_write(400, 400).is_ok());
         assert!(p.validate_write(500, 400).is_ok(), "overfull is complete");
         let err = p.validate_write(100, 400).unwrap_err();
-        let CheckpointError::Torn(partial) = err;
+        let CheckpointError::Torn(partial) = err else {
+            panic!("short write must surface as Torn, got {err:?}");
+        };
         assert_eq!(partial.bytes_written, 100);
         assert_eq!(partial.bytes_expected, 400);
         assert!((partial.fraction() - 0.25).abs() < 1e-12);
@@ -268,5 +460,190 @@ mod tests {
         assert!(
             p.upload_seconds(1_000_000_000).unwrap() > p.pause_seconds(1_000_000_000, 1).unwrap()
         );
+    }
+
+    #[test]
+    fn step_zero_is_never_a_checkpoint_and_loses_nothing() {
+        for interval in [1u64, 4, 16, 1000] {
+            let p = CheckpointPolicy {
+                interval_minibatches: interval,
+                ..CheckpointPolicy::default_tuning()
+            };
+            assert!(!p.is_checkpoint_step(0), "interval {interval}");
+            assert_eq!(p.lost_minibatches(0), 0, "interval {interval}");
+        }
+    }
+
+    #[test]
+    fn exact_interval_boundaries_checkpoint_and_lose_nothing() {
+        let p = CheckpointPolicy {
+            interval_minibatches: 16,
+            ..CheckpointPolicy::default_tuning()
+        };
+        for k in 1..=8u64 {
+            let s = 16 * k;
+            assert!(p.is_checkpoint_step(s), "boundary {s}");
+            assert_eq!(p.lost_minibatches(s), 0, "boundary {s}");
+            // One step past a boundary puts exactly one mini-batch at
+            // risk; one step short puts interval-1.
+            assert!(!p.is_checkpoint_step(s + 1));
+            assert_eq!(p.lost_minibatches(s + 1), 1);
+            assert_eq!(p.lost_minibatches(s - 1), 15);
+        }
+    }
+
+    #[test]
+    fn interval_one_checkpoints_every_step_after_zero() {
+        let p = CheckpointPolicy {
+            interval_minibatches: 1,
+            ..CheckpointPolicy::default_tuning()
+        };
+        for s in 1..100u64 {
+            assert!(p.is_checkpoint_step(s), "step {s}");
+            assert_eq!(p.lost_minibatches(s), 0, "step {s}");
+        }
+        assert!(!p.is_checkpoint_step(0));
+    }
+
+    #[test]
+    fn default_tuning_writes_only_full_checkpoints() {
+        let p = CheckpointPolicy::default_tuning();
+        assert!(!p.delta_enabled());
+        for ordinal in 1..20u64 {
+            assert_eq!(p.kind_for(ordinal, 16), CheckpointKind::Full);
+        }
+        assert_eq!(p.write_fraction(CheckpointKind::Full), 1.0);
+    }
+
+    #[test]
+    fn zero_downtime_tuning_anchors_deltas_on_every_eighth_full() {
+        let p = CheckpointPolicy::zero_downtime_tuning();
+        assert!(p.delta_enabled());
+        assert_eq!(p.kind_for(1, 0), CheckpointKind::Full);
+        for ordinal in 2..=8u64 {
+            assert_eq!(
+                p.kind_for(ordinal, 16),
+                CheckpointKind::Delta { base_step: 16 },
+                "ordinal {ordinal}"
+            );
+        }
+        assert_eq!(p.kind_for(9, 128), CheckpointKind::Full);
+        // A delta writes the delta fraction; a degenerate fraction falls
+        // back to a full-sized write rather than a free one.
+        let frac = p.write_fraction(CheckpointKind::Delta { base_step: 16 });
+        assert!((frac - 0.15).abs() < 1e-12);
+        let broken = CheckpointPolicy {
+            delta_fraction: f64::NAN,
+            ..p
+        };
+        assert_eq!(
+            broken.write_fraction(CheckpointKind::Delta { base_step: 16 }),
+            1.0
+        );
+    }
+
+    #[test]
+    fn a_clean_delta_chain_restores_the_newest_step() {
+        let p = CheckpointPolicy::zero_downtime_tuning();
+        let frame = |step, kind| ChainFrame {
+            step,
+            kind,
+            bytes_written: 400,
+            bytes_expected: 400,
+        };
+        let chain = vec![
+            frame(16, CheckpointKind::Full),
+            frame(32, CheckpointKind::Delta { base_step: 16 }),
+            frame(48, CheckpointKind::Delta { base_step: 16 }),
+        ];
+        let plan = p.validate_chain(&chain).unwrap().unwrap();
+        assert_eq!(plan.restore_step, 48);
+        assert_eq!(plan.full_step, 16);
+        assert_eq!(plan.deltas_applied, 2);
+        // A later full frame re-anchors the chain.
+        let mut longer = chain.clone();
+        longer.push(frame(64, CheckpointKind::Full));
+        let plan = p.validate_chain(&longer).unwrap().unwrap();
+        assert_eq!(plan.full_step, 64);
+        assert_eq!(plan.deltas_applied, 0);
+        assert!(p.validate_chain(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_and_orphaned_chain_frames_are_detected() {
+        let p = CheckpointPolicy::zero_downtime_tuning();
+        let torn_chain = vec![
+            ChainFrame {
+                step: 16,
+                kind: CheckpointKind::Full,
+                bytes_written: 400,
+                bytes_expected: 400,
+            },
+            ChainFrame {
+                step: 32,
+                kind: CheckpointKind::Delta { base_step: 16 },
+                bytes_written: 100,
+                bytes_expected: 400,
+            },
+        ];
+        assert!(matches!(
+            p.validate_chain(&torn_chain),
+            Err(CheckpointError::Torn(partial)) if partial.bytes_written == 100
+        ));
+        // A delta whose anchor is absent (chain starts mid-window).
+        let orphan = vec![ChainFrame {
+            step: 32,
+            kind: CheckpointKind::Delta { base_step: 16 },
+            bytes_written: 400,
+            bytes_expected: 400,
+        }];
+        assert!(matches!(
+            p.validate_chain(&orphan),
+            Err(CheckpointError::BrokenChain {
+                step: 32,
+                base_step: 16
+            })
+        ));
+        // A delta anchored to the wrong full.
+        let mismatched = vec![
+            ChainFrame {
+                step: 16,
+                kind: CheckpointKind::Full,
+                bytes_written: 400,
+                bytes_expected: 400,
+            },
+            ChainFrame {
+                step: 32,
+                kind: CheckpointKind::Delta { base_step: 8 },
+                bytes_written: 400,
+                bytes_expected: 400,
+            },
+        ];
+        assert!(matches!(
+            p.validate_chain(&mismatched),
+            Err(CheckpointError::BrokenChain {
+                step: 32,
+                base_step: 8
+            })
+        ));
+        // Out-of-order frames break the chain before anything restores.
+        let unordered = vec![
+            ChainFrame {
+                step: 32,
+                kind: CheckpointKind::Full,
+                bytes_written: 400,
+                bytes_expected: 400,
+            },
+            ChainFrame {
+                step: 16,
+                kind: CheckpointKind::Full,
+                bytes_written: 400,
+                bytes_expected: 400,
+            },
+        ];
+        assert!(matches!(
+            p.validate_chain(&unordered),
+            Err(CheckpointError::BrokenChain { .. })
+        ));
     }
 }

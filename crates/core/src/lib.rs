@@ -57,7 +57,9 @@ pub mod wal;
 pub use varuna_sched::schedule;
 
 pub use calibrate::Calibration;
-pub use checkpoint::{CheckpointError, CheckpointPolicy, PartialWrite};
+pub use checkpoint::{
+    ChainFrame, CheckpointError, CheckpointKind, CheckpointPolicy, PartialWrite, RestorePlan,
+};
 pub use cutfinder::{find_cutpoints, CutReport};
 pub use error::VarunaError;
 pub use job::TrainingJob;

@@ -118,6 +118,27 @@ impl<'a> Manager<'a> {
         self.checkpoint
     }
 
+    /// Switches the manager to the zero-downtime morphing stack: delta
+    /// checkpoints anchored on periodic fulls
+    /// ([`CheckpointPolicy::zero_downtime_tuning`]), checkpoint writes
+    /// overlapped with compute, a delta flush gating every capacity
+    /// change (so reconfigurations lose no work), and live stage
+    /// migration for same-shape VM replacements.
+    pub fn with_zero_downtime(mut self) -> Self {
+        self.checkpoint = CheckpointPolicy::zero_downtime_tuning();
+        self.morph = self
+            .morph
+            .with_live_migration(MorphController::DEFAULT_MIGRATION_BANDWIDTH)
+            .expect("default migration bandwidth is valid");
+        self
+    }
+
+    /// Whether [`Manager::with_zero_downtime`] is active (live migration
+    /// enabled on the morph controller).
+    pub fn zero_downtime(&self) -> bool {
+        self.morph.live_migration_enabled()
+    }
+
     /// Enables the planner's recovery ladder (reduced micro-batch, then
     /// offload) when the preferred configuration stops fitting.
     pub fn with_fallback(mut self) -> Self {

@@ -10,8 +10,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use varuna_cluster::trace::{ClusterEventKind, ClusterTrace};
 use varuna_obs::{Event, EventBus, EventKind};
 
+use varuna_exec::{BackgroundLane, LaneCharge};
+
 use super::{Manager, ManagerState, TimelinePoint};
-use crate::checkpoint::{CheckpointError, PartialWrite};
+use crate::checkpoint::{CheckpointError, CheckpointKind, PartialWrite};
 use crate::error::VarunaError;
 use crate::observe::TimelineCollector;
 use crate::wal::{ManagerWal, RecoveryReport, WalRecord, REPLAY_SECONDS_PER_RECORD};
@@ -193,6 +195,17 @@ impl Manager<'_> {
         let mut last_ckpt_step: u64 = 0;
         // The step a resume would actually restart from.
         let mut durable_step: u64 = 0;
+        // 1-based ordinal of the next periodic/proactive write, input to
+        // `CheckpointPolicy::kind_for`'s full/delta cadence.
+        let mut ckpt_ordinal: u64 = 0;
+        // Step of the newest durable *full* checkpoint — the anchor every
+        // delta chains to, and the fallback for a torn delta.
+        let mut last_full_step: u64 = 0;
+        // Overlapped-write lane (paper §4.5): with `overlap_writes` the
+        // foreground pays only the backpressure stall; the write itself
+        // drains behind compute. Restored identically from replayed
+        // records, so recovery preserves the lane horizon.
+        let mut lane = BackgroundLane::new();
         let mut last_t = 0.0f64;
         let mut degraded_since: Option<f64> = None;
         let mut next_retry_at: Option<f64> = None;
@@ -261,17 +274,32 @@ impl Manager<'_> {
                         let rec = wal_step(
                             wal,
                             |r| matches!(r, WalRecord::Checkpoint { .. }),
-                            || WalRecord::Checkpoint {
-                                t_hours: t_ckpt,
-                                step: last_ckpt_step,
-                                gpus_held: held.values().sum(),
-                                gpus_used: cfg.gpus_used(),
-                                p: cfg.p,
-                                d: cfg.d,
-                                examples_per_sec: cfg.throughput(),
-                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                                write_seconds: self.checkpoint_write_seconds(&cfg),
-                                proactive: false,
+                            || {
+                                let kind =
+                                    self.checkpoint.kind_for(ckpt_ordinal + 1, last_full_step);
+                                let cost = self.checkpoint_write_seconds(&cfg)
+                                    * self.checkpoint.write_fraction(kind);
+                                let (write_seconds, overlapped_seconds) =
+                                    if self.checkpoint.overlap_writes {
+                                        let c = lane.submit(t_ckpt * 3600.0, cost);
+                                        (c.stall_seconds, c.overlapped_seconds)
+                                    } else {
+                                        (cost, 0.0)
+                                    };
+                                WalRecord::Checkpoint {
+                                    t_hours: t_ckpt,
+                                    step: last_ckpt_step,
+                                    gpus_held: held.values().sum(),
+                                    gpus_used: cfg.gpus_used(),
+                                    p: cfg.p,
+                                    d: cfg.d,
+                                    examples_per_sec: cfg.throughput(),
+                                    examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                    write_seconds,
+                                    overlapped_seconds,
+                                    kind,
+                                    proactive: false,
+                                }
                             },
                         );
                         if let WalRecord::Checkpoint {
@@ -284,10 +312,26 @@ impl Manager<'_> {
                             examples_per_sec,
                             examples_per_sec_per_gpu,
                             write_seconds,
+                            overlapped_seconds,
+                            kind,
                             ..
                         } = rec
                         {
                             durable_step = durable_step.max(s);
+                            ckpt_ordinal += 1;
+                            if kind.is_full() {
+                                last_full_step = last_full_step.max(s);
+                            }
+                            // Idempotent with the live `submit` above:
+                            // either path leaves the lane draining at
+                            // `t + stall + overlapped`.
+                            lane.restore(
+                                rt * 3600.0,
+                                LaneCharge {
+                                    stall_seconds: write_seconds,
+                                    overlapped_seconds,
+                                },
+                            );
                             bus.emit_with(|| {
                                 Event::manager(
                                     rt * 3600.0,
@@ -300,6 +344,8 @@ impl Manager<'_> {
                                         examples_per_sec,
                                         examples_per_sec_per_gpu,
                                         write_seconds,
+                                        overlapped_seconds,
+                                        full: kind.is_full(),
                                     },
                                 )
                             });
@@ -362,17 +408,33 @@ impl Manager<'_> {
                                     let rec = wal_step(
                                         wal,
                                         |r| matches!(r, WalRecord::Checkpoint { .. }),
-                                        || WalRecord::Checkpoint {
-                                            t_hours: t,
-                                            step: at,
-                                            gpus_held: held_before,
-                                            gpus_used: cfg.gpus_used(),
-                                            p: cfg.p,
-                                            d: cfg.d,
-                                            examples_per_sec: cfg.throughput(),
-                                            examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                                            write_seconds: self.checkpoint_write_seconds(&cfg),
-                                            proactive: true,
+                                        || {
+                                            let kind = self
+                                                .checkpoint
+                                                .kind_for(ckpt_ordinal + 1, last_full_step);
+                                            let cost = self.checkpoint_write_seconds(&cfg)
+                                                * self.checkpoint.write_fraction(kind);
+                                            let (write_seconds, overlapped_seconds) =
+                                                if self.checkpoint.overlap_writes {
+                                                    let c = lane.submit(t * 3600.0, cost);
+                                                    (c.stall_seconds, c.overlapped_seconds)
+                                                } else {
+                                                    (cost, 0.0)
+                                                };
+                                            WalRecord::Checkpoint {
+                                                t_hours: t,
+                                                step: at,
+                                                gpus_held: held_before,
+                                                gpus_used: cfg.gpus_used(),
+                                                p: cfg.p,
+                                                d: cfg.d,
+                                                examples_per_sec: cfg.throughput(),
+                                                examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                                                write_seconds,
+                                                overlapped_seconds,
+                                                kind,
+                                                proactive: true,
+                                            }
                                         },
                                     );
                                     if let WalRecord::Checkpoint {
@@ -385,10 +447,23 @@ impl Manager<'_> {
                                         examples_per_sec,
                                         examples_per_sec_per_gpu,
                                         write_seconds,
+                                        overlapped_seconds,
+                                        kind,
                                         ..
                                     } = rec
                                     {
                                         durable_step = durable_step.max(s);
+                                        ckpt_ordinal += 1;
+                                        if kind.is_full() {
+                                            last_full_step = last_full_step.max(s);
+                                        }
+                                        lane.restore(
+                                            rt * 3600.0,
+                                            LaneCharge {
+                                                stall_seconds: write_seconds,
+                                                overlapped_seconds,
+                                            },
+                                        );
                                         bus.emit_with(|| {
                                             Event::manager(
                                                 rt * 3600.0,
@@ -401,6 +476,8 @@ impl Manager<'_> {
                                                     examples_per_sec,
                                                     examples_per_sec_per_gpu,
                                                     write_seconds,
+                                                    overlapped_seconds,
+                                                    full: kind.is_full(),
                                                 },
                                             )
                                         });
@@ -490,7 +567,7 @@ impl Manager<'_> {
                                 let partial =
                                     match self.checkpoint.validate_write(written, expected) {
                                         Err(CheckpointError::Torn(p)) => p,
-                                        Ok(()) => PartialWrite {
+                                        _ => PartialWrite {
                                             bytes_written: written,
                                             bytes_expected: expected,
                                         },
@@ -527,6 +604,83 @@ impl Manager<'_> {
                                 from_step: durable_step,
                                 to_step: durable_step
                                     .saturating_sub(self.checkpoint.interval_minibatches),
+                            },
+                        );
+                        if let WalRecord::CheckpointFallback {
+                            t_hours: rt,
+                            from_step,
+                            to_step,
+                        } = rec
+                        {
+                            durable_step = to_step;
+                            bus.emit_with(|| {
+                                Event::manager(
+                                    rt * 3600.0,
+                                    EventKind::CheckpointFallback { from_step, to_step },
+                                )
+                            });
+                        }
+                    }
+                    ClusterEventKind::DeltaTorn { fraction } => {
+                        // A torn *delta* frame. Detection is identical to
+                        // a torn full write, but the broken chain only
+                        // invalidates the frames past the anchor: the
+                        // durable point falls back to the newest full
+                        // checkpoint, not a whole interval back.
+                        let rec = wal_step(
+                            wal,
+                            |r| matches!(r, WalRecord::CheckpointTorn { .. }),
+                            || {
+                                let full = self
+                                    .morph
+                                    .calibration()
+                                    .model
+                                    .total_params()
+                                    .saturating_mul(16);
+                                let expected = (full as f64
+                                    * self.checkpoint.write_fraction(CheckpointKind::Delta {
+                                        base_step: last_full_step,
+                                    })) as u64;
+                                let written = (expected as f64 * fraction.clamp(0.0, 1.0)) as u64;
+                                let partial =
+                                    match self.checkpoint.validate_write(written, expected) {
+                                        Err(CheckpointError::Torn(p)) => p,
+                                        _ => PartialWrite {
+                                            bytes_written: written,
+                                            bytes_expected: expected,
+                                        },
+                                    };
+                                WalRecord::CheckpointTorn {
+                                    t_hours: t,
+                                    step: durable_step,
+                                    partial,
+                                }
+                            },
+                        );
+                        if let WalRecord::CheckpointTorn {
+                            t_hours: rt,
+                            step: s,
+                            partial,
+                        } = rec
+                        {
+                            bus.emit_with(|| {
+                                Event::manager(
+                                    rt * 3600.0,
+                                    EventKind::CheckpointTorn {
+                                        step: s,
+                                        bytes_written: partial.bytes_written,
+                                        bytes_expected: partial.bytes_expected,
+                                    },
+                                )
+                            });
+                        }
+                        let rec = wal_step(
+                            wal,
+                            |r| matches!(r, WalRecord::CheckpointFallback { .. }),
+                            || WalRecord::CheckpointFallback {
+                                t_hours: t,
+                                from_step: durable_step,
+                                to_step: last_full_step.min(durable_step),
                             },
                         );
                         if let WalRecord::CheckpointFallback {
@@ -602,6 +756,68 @@ impl Manager<'_> {
                 .filter(|(vm, _)| !stuttering.contains(*vm) && !lost_to_silence.contains(*vm))
                 .map(|(_, g)| *g)
                 .sum();
+
+            // Zero-downtime morphing: before any replanning, the running
+            // processes flush a delta so the durable point catches up to
+            // "now" — a reshape then restarts with (almost) no lost work
+            // (DESIGN.md §6i). The flush gates the morph, so it is never
+            // overlapped; it is skipped during a storage outage, exactly
+            // like a periodic write.
+            if self.checkpoint.delta_enabled() && !storage_outage && (step as u64) > durable_step {
+                if let Some(cfg) = self.morph.current().cloned() {
+                    let rec = wal_step(
+                        wal,
+                        |r| matches!(r, WalRecord::DeltaFlush { .. }),
+                        || WalRecord::DeltaFlush {
+                            t_hours: t,
+                            step: step as u64,
+                            base_step: last_full_step,
+                            gpus_held: held_before,
+                            gpus_used: cfg.gpus_used(),
+                            p: cfg.p,
+                            d: cfg.d,
+                            examples_per_sec: cfg.throughput(),
+                            examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
+                            write_seconds: self.checkpoint_write_seconds(&cfg)
+                                * self.checkpoint.write_fraction(CheckpointKind::Delta {
+                                    base_step: last_full_step,
+                                }),
+                        },
+                    );
+                    if let WalRecord::DeltaFlush {
+                        t_hours: rt,
+                        step: s,
+                        gpus_held,
+                        gpus_used,
+                        p,
+                        d,
+                        examples_per_sec,
+                        examples_per_sec_per_gpu,
+                        write_seconds,
+                        ..
+                    } = rec
+                    {
+                        durable_step = durable_step.max(s);
+                        bus.emit_with(|| {
+                            Event::manager(
+                                rt * 3600.0,
+                                EventKind::Checkpoint {
+                                    step: s,
+                                    gpus_held,
+                                    gpus_used,
+                                    p,
+                                    d,
+                                    examples_per_sec,
+                                    examples_per_sec_per_gpu,
+                                    write_seconds,
+                                    overlapped_seconds: 0.0,
+                                    full: false,
+                                },
+                            )
+                        });
+                    }
+                }
+            }
 
             let attempt = self.walled_plan_attempt(
                 t,

@@ -38,14 +38,10 @@ pub(crate) struct PlanAttempt {
 
 impl Manager<'_> {
     /// Emits the self-contained `Morph` event for a committed decision.
+    /// The restart/migration pricing travels inside the decision (and so
+    /// inside its WAL record), so replayed morphs price identically.
     fn emit_morph(&self, bus: &mut EventBus, t_sec: f64, gpus_held: usize, d: &MorphDecision) {
         let cfg = &d.config;
-        let reconfigured = d.reconfigured;
-        let restart_seconds = if reconfigured {
-            self.morph.restart_overhead
-        } else {
-            0.0
-        };
         bus.emit_with(|| {
             Event::manager(
                 t_sec,
@@ -56,8 +52,9 @@ impl Manager<'_> {
                     gpus_used: cfg.gpus_used(),
                     examples_per_sec: cfg.throughput(),
                     examples_per_sec_per_gpu: cfg.throughput_per_gpu(),
-                    reconfigured,
-                    restart_seconds,
+                    reconfigured: d.reconfigured,
+                    restart_seconds: d.restart_seconds,
+                    migration_seconds: d.migration_seconds,
                 },
             )
         });
@@ -234,10 +231,13 @@ impl Manager<'_> {
                         });
                     }
                 }
-                // Work past the durable checkpoint is re-run on a
-                // reconfiguration: price it, never roll progress back.
+                // Work past the durable checkpoint is re-run whenever the
+                // processes restart — any reshape, and also same-shape
+                // replacements in the full-restart baseline. A live
+                // migration streams that state instead, so it loses
+                // nothing. Price the loss, never roll progress back.
                 let lost = step.saturating_sub(durable_step);
-                if !lost_replayed && decision.reconfigured && lost > 0 {
+                if !lost_replayed && decision.migration_seconds == 0.0 && lost > 0 {
                     let seconds = lost as f64 * decision.config.est_minibatch_time;
                     wal.append_record(WalRecord::LostWork {
                         t_hours,

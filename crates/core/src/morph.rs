@@ -111,6 +111,15 @@ pub struct MorphDecision {
     pub reconfigured: bool,
     /// Estimated seconds of downtime for the transition.
     pub downtime: f64,
+    /// Fixed restart overhead this transition pays (process restart,
+    /// NCCL re-setup, resume), seconds. Zero when the transition is a
+    /// live stage migration instead of a restart.
+    pub restart_seconds: f64,
+    /// Seconds spent streaming one stage's state to a replacement VM
+    /// while the rest of the pipeline drains in place. Non-zero only for
+    /// a same-shape replacement under live migration, and exclusive with
+    /// [`MorphDecision::restart_seconds`].
+    pub migration_seconds: f64,
     /// How far down the planner's recovery ladder this plan sits
     /// ([`FallbackLevel::None`] unless fallback is enabled and needed).
     pub fallback: FallbackLevel,
@@ -125,6 +134,10 @@ pub struct MorphController<'a> {
     checkpoint: CheckpointPolicy,
     /// Fixed per-morph overhead: process restart, NCCL re-setup, resume.
     pub restart_overhead: f64,
+    /// When set, same-shape replacements stream the affected stage's
+    /// state to the replacement VM at this bandwidth (bytes/s) while the
+    /// pipeline drains in place, instead of restarting every process.
+    migration_bandwidth: Option<f64>,
     /// Whether planning failures walk the planner's recovery ladder
     /// (reduced micro-batch, then offload) before giving up.
     fallback: bool,
@@ -154,6 +167,7 @@ impl<'a> MorphController<'a> {
             micro_override: None,
             checkpoint: CheckpointPolicy::default_tuning(),
             restart_overhead: 60.0,
+            migration_bandwidth: None,
             fallback: false,
             current: None,
             plan_cache: std::collections::HashMap::new(),
@@ -180,6 +194,47 @@ impl<'a> MorphController<'a> {
         self.fallback = true;
         self.plan_cache.clear();
         self
+    }
+
+    /// Default stage-streaming bandwidth for live migration, bytes/s —
+    /// a conservative intra-datacenter 5 GB/s.
+    pub const DEFAULT_MIGRATION_BANDWIDTH: f64 = 5.0e9;
+
+    /// Enables live stage migration: a same-shape replacement streams
+    /// the affected stage's state (`total_params * 16 / p` bytes) to the
+    /// replacement VM at `bandwidth` bytes/s while the rest of the
+    /// pipeline drains in place — no restart, no lost work. Shape
+    /// changes still restart.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive or non-finite bandwidth.
+    pub fn with_live_migration(mut self, bandwidth: f64) -> Result<Self, VarunaError> {
+        if !(bandwidth > 0.0 && bandwidth.is_finite()) {
+            return Err(VarunaError::InvalidConfig(format!(
+                "migration bandwidth must be positive and finite, got {bandwidth}"
+            )));
+        }
+        self.migration_bandwidth = Some(bandwidth);
+        Ok(self)
+    }
+
+    /// Whether live stage migration is enabled.
+    pub fn live_migration_enabled(&self) -> bool {
+        self.migration_bandwidth.is_some()
+    }
+
+    /// Seconds to stream one stage's state at depth `p` under the
+    /// configured migration bandwidth (zero when migration is off).
+    pub fn migration_seconds(&self, p: usize) -> f64 {
+        match self.migration_bandwidth {
+            Some(bw) => {
+                let stage_bytes =
+                    self.calib.model.total_params().saturating_mul(16) / p.max(1) as u64;
+                stage_bytes as f64 / bw
+            }
+            None => 0.0,
+        }
     }
 
     /// Enables simulator-in-the-loop re-planning under `budget`: every
@@ -327,15 +382,28 @@ impl<'a> MorphController<'a> {
             Some(c) => c.p != config.p || c.d != config.d,
             None => true,
         };
-        // Downtime: restart + re-run of work lost since the durable
-        // checkpoint.
+        // Any resource change restarts every process in the baseline
+        // model: downtime is the fixed restart plus re-run of work lost
+        // since the durable checkpoint. With live migration enabled, a
+        // same-shape replacement instead streams the affected stage's
+        // state while the pipeline drains in place — nothing restarts
+        // and no work is lost.
         let lost = step.saturating_sub(durable_step) as f64;
-        let downtime = self.restart_overhead + lost * config.est_minibatch_time;
+        let migrate = !reconfigured && self.migration_bandwidth.is_some();
+        let (restart_seconds, migration_seconds, downtime) = if migrate {
+            let m = self.migration_seconds(config.p);
+            (0.0, m, m)
+        } else {
+            let r = self.restart_overhead;
+            (r, 0.0, r + lost * config.est_minibatch_time)
+        };
         self.current = Some(config.clone());
         Ok(MorphDecision {
             config,
             reconfigured,
             downtime,
+            restart_seconds,
+            migration_seconds,
             fallback,
         })
     }
@@ -554,5 +622,54 @@ mod tests {
         assert!(stale.downtime > scheduled.downtime);
         let expected = ctl.restart_overhead + 20.0 * stale.config.est_minibatch_time;
         assert!((stale.downtime - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replacements_restart_in_the_baseline_and_migrate_under_zero_downtime() {
+        let c = calib();
+        let mut base = MorphController::new(&c, 8192).micro_batch(4);
+        let mut live = MorphController::new(&c, 8192)
+            .micro_batch(4)
+            .with_live_migration(MorphController::DEFAULT_MIGRATION_BANDWIDTH)
+            .unwrap();
+        assert!(live.live_migration_enabled());
+        let b0 = base.on_resources_changed(72, 0).unwrap();
+        let l0 = live.on_resources_changed(72, 0).unwrap();
+        // The first plan is a reconfiguration in both modes: full restart.
+        assert!(b0.reconfigured && l0.reconfigured);
+        assert_eq!(b0.restart_seconds, base.restart_overhead);
+        assert_eq!(l0.restart_seconds, live.restart_overhead);
+        assert_eq!(l0.migration_seconds, 0.0);
+        // A same-shape replacement: the baseline restarts (and pays lost
+        // work), zero-downtime streams one stage instead.
+        let b1 = base.on_resources_changed(72, 5).unwrap();
+        let l1 = live.on_resources_changed(72, 5).unwrap();
+        assert!(!b1.reconfigured && !l1.reconfigured);
+        assert_eq!(b1.restart_seconds, base.restart_overhead);
+        assert_eq!(b1.migration_seconds, 0.0);
+        let expected_base = base.restart_overhead + 5.0 * b1.config.est_minibatch_time;
+        assert!((b1.downtime - expected_base).abs() < 1e-9);
+        assert_eq!(l1.restart_seconds, 0.0);
+        assert!(l1.migration_seconds > 0.0);
+        assert!((l1.migration_seconds - live.migration_seconds(l1.config.p)).abs() < 1e-12);
+        assert!((l1.downtime - l1.migration_seconds).abs() < 1e-12);
+        assert!(
+            l1.downtime < b1.downtime,
+            "streaming one stage must beat a full restart"
+        );
+    }
+
+    #[test]
+    fn migration_bandwidth_is_validated() {
+        let c = calib();
+        assert!(MorphController::new(&c, 8192)
+            .with_live_migration(0.0)
+            .is_err());
+        assert!(MorphController::new(&c, 8192)
+            .with_live_migration(f64::NAN)
+            .is_err());
+        assert!(MorphController::new(&c, 8192)
+            .with_live_migration(-5.0e9)
+            .is_err());
     }
 }

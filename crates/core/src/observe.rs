@@ -121,6 +121,7 @@ mod tests {
                 examples_per_sec_per_gpu: 20.0 / 35.0,
                 reconfigured: true,
                 restart_seconds: 60.0,
+                migration_seconds: 0.0,
             },
         ));
         bus.emit(Event::manager(
@@ -134,6 +135,7 @@ mod tests {
                 examples_per_sec_per_gpu: 20.0 / 35.0,
                 reconfigured: false,
                 restart_seconds: 0.0,
+                migration_seconds: 1.0,
             },
         ));
         bus.emit(Event::manager(
@@ -147,6 +149,8 @@ mod tests {
                 examples_per_sec: 20.0,
                 examples_per_sec_per_gpu: 20.0 / 35.0,
                 write_seconds: 0.5,
+                overlapped_seconds: 0.0,
+                full: true,
             },
         ));
         let timeline = collector.take();

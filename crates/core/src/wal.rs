@@ -37,7 +37,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::checkpoint::PartialWrite;
+use crate::checkpoint::{CheckpointKind, PartialWrite};
 use crate::morph::MorphDecision;
 
 /// Bytes of framing ahead of each record payload: sequence number (8),
@@ -387,11 +387,44 @@ pub enum WalRecord {
         examples_per_sec: f64,
         /// Per-GPU throughput.
         examples_per_sec_per_gpu: f64,
-        /// Foreground write pause, seconds.
+        /// Foreground write pause, seconds. Under overlapped writes this
+        /// is only the background lane's back-pressure; the write itself
+        /// is `overlapped_seconds`.
         write_seconds: f64,
+        /// Seconds of the write hidden behind compute on the background
+        /// lane (zero when writes are foreground-only).
+        overlapped_seconds: f64,
+        /// Full state or a delta against the last full checkpoint.
+        kind: CheckpointKind,
         /// Whether an eviction notice (not the periodic schedule)
         /// triggered the write.
         proactive: bool,
+    },
+    /// A delta checkpoint flushed ahead of a planning attempt so a
+    /// reconfiguration restarts from "now" instead of re-running work
+    /// since the periodic schedule's last write (zero-downtime morphing).
+    DeltaFlush {
+        /// Decision time, hours.
+        t_hours: f64,
+        /// The mini-batch step made durable.
+        step: u64,
+        /// Step of the full checkpoint the delta applies on top of.
+        base_step: u64,
+        /// GPUs granted at the decision.
+        gpus_held: usize,
+        /// GPUs the active configuration uses.
+        gpus_used: usize,
+        /// Active pipeline depth.
+        p: usize,
+        /// Active data-parallel width.
+        d: usize,
+        /// Active throughput, examples/sec.
+        examples_per_sec: f64,
+        /// Per-GPU throughput.
+        examples_per_sec_per_gpu: f64,
+        /// Foreground write pause, seconds (the flush gates the morph,
+        /// so it is never overlapped).
+        write_seconds: f64,
     },
     /// A periodic checkpoint write failed (storage outage); the durable
     /// step did not advance.
@@ -506,6 +539,7 @@ impl WalRecord {
     pub fn t_hours(&self) -> f64 {
         match self {
             WalRecord::Checkpoint { t_hours, .. }
+            | WalRecord::DeltaFlush { t_hours, .. }
             | WalRecord::CheckpointFailed { t_hours, .. }
             | WalRecord::CheckpointTorn { t_hours, .. }
             | WalRecord::CheckpointFallback { t_hours, .. }
@@ -579,6 +613,8 @@ mod tests {
                 examples_per_sec: 120.5,
                 examples_per_sec_per_gpu: 3.35,
                 write_seconds: 0.44,
+                overlapped_seconds: 0.0,
+                kind: crate::checkpoint::CheckpointKind::Full,
                 proactive: i % 3 == 0,
             });
         }

@@ -1,0 +1,135 @@
+//! A single-server background I/O lane for overlapped checkpoint writes.
+//!
+//! Varuna §4.5 streams checkpoint shards to remote storage *while the
+//! pipeline keeps computing*: the write only stalls training when a new
+//! write is issued before the previous one has drained (backpressure).
+//! [`BackgroundLane`] models that as a one-server queue over simulated
+//! time: submitting a write at time `t` charges the caller only the
+//! backpressure stall (the foreground seconds the trainer actually
+//! pauses), while the write itself occupies the lane in the background.
+//!
+//! The lane is deliberately tiny and deterministic so the WAL-replay
+//! path can reconstruct it exactly: a replayed `(stall, overlapped)`
+//! pair restores the same `busy_until` horizon a fresh submission would
+//! have produced (see [`BackgroundLane::restore`]).
+
+/// One-server background write lane over simulated seconds.
+///
+/// All times are absolute simulated seconds on the caller's clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BackgroundLane {
+    /// Absolute time at which the lane drains (all submitted writes done).
+    busy_until: f64,
+}
+
+/// What one background submission cost the foreground.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneCharge {
+    /// Foreground stall: seconds the trainer pauses before the write can
+    /// be handed to the lane (backpressure from the previous write).
+    pub stall_seconds: f64,
+    /// Seconds of the write hidden behind compute (the whole write).
+    pub overlapped_seconds: f64,
+}
+
+impl BackgroundLane {
+    /// An idle lane.
+    pub fn new() -> Self {
+        BackgroundLane::default()
+    }
+
+    /// When the lane next drains, in absolute simulated seconds.
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until
+    }
+
+    /// Whether the lane is still draining a write at time `t`.
+    pub fn is_busy_at(&self, t: f64) -> bool {
+        self.busy_until > t
+    }
+
+    /// Submits a `write_seconds`-long write at absolute time `t`.
+    ///
+    /// The foreground is charged only the backpressure stall — the wait
+    /// until the previous write drains — and the write itself then runs
+    /// hidden behind compute. Returns the split; `stall_seconds +`
+    /// nothing else is foreground downtime.
+    pub fn submit(&mut self, t: f64, write_seconds: f64) -> LaneCharge {
+        let stall = (self.busy_until - t).max(0.0);
+        self.busy_until = self.busy_until.max(t) + write_seconds.max(0.0);
+        LaneCharge {
+            stall_seconds: stall,
+            overlapped_seconds: write_seconds.max(0.0),
+        }
+    }
+
+    /// Replays a submission from its logged charge, restoring the same
+    /// horizon [`submit`](Self::submit) would have produced at time `t`:
+    /// the write started after the stall and ran for its overlapped
+    /// seconds, so the lane drains at `t + stall + overlapped`.
+    pub fn restore(&mut self, t: f64, charge: LaneCharge) {
+        self.busy_until = t + charge.stall_seconds + charge.overlapped_seconds;
+    }
+
+    /// Forgets any in-flight write (e.g. the writer's VM was preempted);
+    /// the lane is idle again immediately.
+    pub fn reset(&mut self) {
+        self.busy_until = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_idle_lane_charges_no_stall() {
+        let mut lane = BackgroundLane::new();
+        let c = lane.submit(100.0, 4.0);
+        assert_eq!(c.stall_seconds, 0.0);
+        assert_eq!(c.overlapped_seconds, 4.0);
+        assert_eq!(lane.busy_until(), 104.0);
+        assert!(lane.is_busy_at(103.0));
+        assert!(!lane.is_busy_at(104.0));
+    }
+
+    #[test]
+    fn backpressure_charges_only_the_residual_wait() {
+        let mut lane = BackgroundLane::new();
+        lane.submit(100.0, 10.0); // drains at 110
+        let c = lane.submit(104.0, 3.0);
+        assert_eq!(c.stall_seconds, 6.0);
+        assert_eq!(c.overlapped_seconds, 3.0);
+        // The second write starts at 110 once the first drains.
+        assert_eq!(lane.busy_until(), 113.0);
+    }
+
+    #[test]
+    fn widely_spaced_writes_never_stall() {
+        let mut lane = BackgroundLane::new();
+        for i in 0..16 {
+            let t = 1000.0 * i as f64;
+            let c = lane.submit(t, 5.0);
+            assert_eq!(c.stall_seconds, 0.0, "write {i}");
+        }
+    }
+
+    #[test]
+    fn restore_reproduces_the_submit_horizon() {
+        let mut live = BackgroundLane::new();
+        let mut replayed = BackgroundLane::new();
+        for (t, w) in [(10.0, 4.0), (12.0, 6.0), (40.0, 1.0)] {
+            let c = live.submit(t, w);
+            replayed.restore(t, c);
+            assert_eq!(live.busy_until(), replayed.busy_until(), "at t={t}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_the_backlog() {
+        let mut lane = BackgroundLane::new();
+        lane.submit(0.0, 1.0e6);
+        lane.reset();
+        assert_eq!(lane.submit(1.0, 2.0).stall_seconds, 0.0);
+    }
+}

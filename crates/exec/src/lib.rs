@@ -27,7 +27,9 @@
 //! - [`gantt`]: ASCII Gantt charts (paper Figure 7).
 //! - [`metrics`]: throughput and TFLOP/s summaries.
 //! - [`observe`]: adapters between the emulator and the `varuna-obs` bus.
+//! - [`background`]: the overlapped checkpoint-write lane (paper §4.5).
 
+pub mod background;
 pub mod engine;
 pub mod gantt;
 pub mod job;
@@ -42,6 +44,7 @@ pub mod placement;
 // working for downstream crates.
 pub use varuna_sched::{op, policy};
 
+pub use background::{BackgroundLane, LaneCharge};
 pub use job::{PlacedJob, StageSpec};
 pub use metrics::Throughput;
 pub use observe::SpanCollector;

@@ -163,21 +163,29 @@ pub fn critical_path(spans: &[ProfileSpan]) -> Option<CriticalPath> {
 
 /// Priced downtime over a manager / spot-trace event stream.
 ///
-/// The four priced components come from disjoint event fields —
+/// The priced components come from disjoint event fields —
 /// `DegradedExit::paused_seconds` (plus any still-open episode at stream
-/// end), `Morph::restart_seconds`, `Checkpoint::write_seconds`, and
-/// `LostWork::seconds` — so their sum never double-counts.
-/// `useful_seconds` is the remainder of the stream window, making
-/// `useful + degraded + restart + checkpoint + lost == makespan` an
-/// identity the chaos tests pin.
+/// end), `Morph::restart_seconds`, `Morph::migration_seconds`,
+/// `Checkpoint::write_seconds`, and `LostWork::seconds` — so their sum
+/// never double-counts. Seconds a checkpoint write spent hidden behind
+/// compute (`Checkpoint::overlapped_seconds`) are tracked but *not*
+/// priced: they are compute time, not downtime. `useful_seconds` is the
+/// remainder of the stream window, making
+/// `useful + degraded + restart + migration + checkpoint + lost ==
+/// makespan` an identity the chaos tests pin.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DowntimeProfile {
     /// Morph / replacement decisions observed.
     pub morphs: usize,
     /// Morphs that actually changed the `P x D` shape.
     pub reconfigurations: usize,
+    /// Same-shape replacements handled by live stage migration instead
+    /// of a restart.
+    pub migrations: usize,
     /// Successful checkpoints observed.
     pub checkpoints: usize,
+    /// Checkpoints that wrote a delta against the last full checkpoint.
+    pub delta_checkpoints: usize,
     /// Checkpoint writes that failed (storage outage).
     pub checkpoint_write_failures: usize,
     /// Checkpoints found torn (partial write) at resume validation.
@@ -198,8 +206,14 @@ pub struct DowntimeProfile {
     pub degraded_seconds: f64,
     /// Seconds of fixed morph restart overhead.
     pub morph_restart_seconds: f64,
+    /// Seconds spent streaming stage state for live migrations.
+    pub migration_seconds: f64,
     /// Seconds of foreground checkpoint write stalls.
     pub checkpoint_write_seconds: f64,
+    /// Seconds of checkpoint writes hidden behind compute on the
+    /// background lane — informational, never part of
+    /// [`DowntimeProfile::downtime_seconds`].
+    pub checkpoint_overlapped_seconds: f64,
     /// Seconds of re-run work priced by `LostWork` events.
     pub lost_work_seconds: f64,
     /// Seconds spent replaying the control plane's write-ahead log after
@@ -214,6 +228,7 @@ impl DowntimeProfile {
     pub fn downtime_seconds(&self) -> f64 {
         self.degraded_seconds
             + self.morph_restart_seconds
+            + self.migration_seconds
             + self.checkpoint_write_seconds
             + self.lost_work_seconds
             + self.recovery_replay_seconds
@@ -226,7 +241,9 @@ pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
     let mut d = DowntimeProfile {
         morphs: 0,
         reconfigurations: 0,
+        migrations: 0,
         checkpoints: 0,
+        delta_checkpoints: 0,
         checkpoint_write_failures: 0,
         checkpoints_torn: 0,
         recovery_replays: 0,
@@ -236,7 +253,9 @@ pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
         lost_minibatches: 0,
         degraded_seconds: 0.0,
         morph_restart_seconds: 0.0,
+        migration_seconds: 0.0,
         checkpoint_write_seconds: 0.0,
+        checkpoint_overlapped_seconds: 0.0,
         lost_work_seconds: 0.0,
         recovery_replay_seconds: 0.0,
         useful_seconds: 0.0,
@@ -247,17 +266,31 @@ pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
             EventKind::Morph {
                 reconfigured,
                 restart_seconds,
+                migration_seconds,
                 ..
             } => {
                 d.morphs += 1;
                 if *reconfigured {
                     d.reconfigurations += 1;
                 }
+                if *migration_seconds > 0.0 {
+                    d.migrations += 1;
+                }
                 d.morph_restart_seconds += restart_seconds;
+                d.migration_seconds += migration_seconds;
             }
-            EventKind::Checkpoint { write_seconds, .. } => {
+            EventKind::Checkpoint {
+                write_seconds,
+                overlapped_seconds,
+                full,
+                ..
+            } => {
                 d.checkpoints += 1;
+                if !full {
+                    d.delta_checkpoints += 1;
+                }
                 d.checkpoint_write_seconds += write_seconds;
+                d.checkpoint_overlapped_seconds += overlapped_seconds;
             }
             EventKind::CheckpointWriteFailed { .. } => {
                 d.checkpoint_write_failures += 1;
@@ -411,6 +444,21 @@ mod tests {
                     examples_per_sec_per_gpu: 1.25,
                     reconfigured: true,
                     restart_seconds: 60.0,
+                    migration_seconds: 0.0,
+                },
+            ),
+            Event::manager(
+                150.0,
+                EventKind::Morph {
+                    p: 4,
+                    d: 2,
+                    gpus_held: 8,
+                    gpus_used: 8,
+                    examples_per_sec: 10.0,
+                    examples_per_sec_per_gpu: 1.25,
+                    reconfigured: false,
+                    restart_seconds: 0.0,
+                    migration_seconds: 1.5,
                 },
             ),
             Event::manager(
@@ -424,6 +472,8 @@ mod tests {
                     examples_per_sec: 10.0,
                     examples_per_sec_per_gpu: 1.25,
                     write_seconds: 2.5,
+                    overlapped_seconds: 4.0,
+                    full: false,
                 },
             ),
             Event::manager(
@@ -442,17 +492,23 @@ mod tests {
             ),
         ];
         let d = downtime(&events, 1000.0);
-        assert_eq!(d.morphs, 1);
+        assert_eq!(d.morphs, 2);
         assert_eq!(d.reconfigurations, 1);
+        assert_eq!(d.migrations, 1);
         assert_eq!(d.checkpoints, 1);
+        assert_eq!(d.delta_checkpoints, 1);
         assert_eq!(d.lost_minibatches, 5);
         assert_eq!(d.degraded_episodes, 1);
         assert_eq!(d.degraded_seconds, 100.0);
         assert_eq!(d.morph_restart_seconds, 60.0);
+        assert_eq!(d.migration_seconds, 1.5);
         assert_eq!(d.checkpoint_write_seconds, 2.5);
+        // Overlapped write time is informational only: it is hidden behind
+        // compute and must never be priced as downtime.
+        assert_eq!(d.checkpoint_overlapped_seconds, 4.0);
         assert_eq!(d.lost_work_seconds, 50.0);
-        assert_eq!(d.downtime_seconds(), 212.5);
-        assert_eq!(d.useful_seconds, 787.5);
+        assert_eq!(d.downtime_seconds(), 214.0);
+        assert_eq!(d.useful_seconds, 786.0);
         assert!((d.useful_seconds + d.downtime_seconds() - 1000.0).abs() < 1e-9);
     }
 

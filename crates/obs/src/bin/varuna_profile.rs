@@ -96,6 +96,19 @@ fn main() -> ExitCode {
             dt.lost_work_seconds,
             dt.lost_minibatches
         );
+        if dt.migrations > 0 {
+            println!(
+                "          {:.1}s live stage migration ({} migrations)",
+                dt.migration_seconds, dt.migrations
+            );
+        }
+        if dt.checkpoint_overlapped_seconds > 0.0 || dt.delta_checkpoints > 0 {
+            println!(
+                "          {:.1}s checkpoint writes hidden behind compute \
+                 ({} delta checkpoints) — not priced",
+                dt.checkpoint_overlapped_seconds, dt.delta_checkpoints
+            );
+        }
         if dt.recovery_replays > 0 {
             println!(
                 "          {:.3}s control-plane recovery ({} WAL replays)",

@@ -664,6 +664,7 @@ mod tests {
                     examples_per_sec_per_gpu: 1.4,
                     reconfigured: true,
                     restart_seconds: 60.0,
+                    migration_seconds: 0.0,
                 },
             ),
             Event::cluster(7300.0, EventKind::Preemption { vm: 3 }),

@@ -127,10 +127,16 @@ pub enum EventKind {
         /// same-shape replacement (the paper's `p` markers).
         reconfigured: bool,
         /// Fixed restart overhead charged for this transition (process
-        /// restart, NCCL re-setup, resume), seconds. Zero for a
-        /// same-shape replacement. Lost work is priced separately by the
-        /// accompanying `LostWork` event, so the two never double-count.
+        /// restart, NCCL re-setup, resume), seconds. Zero when the
+        /// transition is a live stage migration. Lost work is priced
+        /// separately by the accompanying `LostWork` event, so the two
+        /// never double-count.
         restart_seconds: f64,
+        /// Seconds spent streaming one stage's state to a replacement VM
+        /// while the rest of the pipeline drains in place. Non-zero only
+        /// for a same-shape replacement under live migration, and
+        /// exclusive with `restart_seconds`.
+        migration_seconds: f64,
     },
     /// A periodic checkpoint completed (paper §4.5).
     Checkpoint {
@@ -149,8 +155,16 @@ pub enum EventKind {
         /// Per-GPU throughput over the GPUs in use.
         examples_per_sec_per_gpu: f64,
         /// Foreground pause for the sharded local-SSD write, seconds
-        /// (the checkpoint policy's cost model).
+        /// (the checkpoint policy's cost model). Under overlapped writes
+        /// this is only the background lane's back-pressure.
         write_seconds: f64,
+        /// Seconds of the write hidden behind compute on the background
+        /// lane — informational, never priced as downtime (zero when
+        /// writes are foreground-only).
+        overlapped_seconds: f64,
+        /// Whether the write carried full state (`false` for a delta
+        /// against the last full checkpoint).
+        full: bool,
     },
     /// A configuration was rejected because a stage does not fit GPU
     /// memory.
@@ -452,6 +466,7 @@ mod tests {
                     examples_per_sec_per_gpu: 1.67,
                     reconfigured: true,
                     restart_seconds: 60.0,
+                    migration_seconds: 0.0,
                 },
             ),
             Event::manager(
@@ -465,6 +480,8 @@ mod tests {
                     examples_per_sec: 120.5,
                     examples_per_sec_per_gpu: 1.67,
                     write_seconds: 0.55,
+                    overlapped_seconds: 0.12,
+                    full: true,
                 },
             ),
             Event::train(

@@ -14,7 +14,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use varuna_obs::{profile, Event, EventKind};
+use varuna_obs::{downtime, profile, Event, EventKind};
 
 /// Stages never exceed this, so duration vectors are drawn at this
 /// length and sliced to the drawn `p`.
@@ -76,8 +76,163 @@ fn gpipe_events(p: usize, d: usize, n_micro: usize, fwd: &[f64], bwd: &[f64]) ->
     events
 }
 
+/// One random manager-stream atom for the downtime generator below:
+/// `choice` selects the event class, `a`/`b` supply its priced fields.
+fn downtime_events(atoms: &[(f64, u32, f64, f64)]) -> (Vec<Event>, f64) {
+    let mut t = 0.0f64;
+    let mut events = Vec::new();
+    for &(dt, choice, a, b) in atoms {
+        t += dt;
+        match choice % 5 {
+            0 => {
+                // A morph: reconfigurations price a restart, same-shape
+                // replacements a live migration — never both.
+                let reconfigured = choice >= 5;
+                events.push(Event::manager(
+                    t,
+                    EventKind::Morph {
+                        p: 4,
+                        d: 2,
+                        gpus_held: 8,
+                        gpus_used: 8,
+                        examples_per_sec: 10.0,
+                        examples_per_sec_per_gpu: 1.25,
+                        reconfigured,
+                        restart_seconds: if reconfigured { a } else { 0.0 },
+                        migration_seconds: if reconfigured { 0.0 } else { b },
+                    },
+                ));
+            }
+            1 => {
+                // A checkpoint: `a` stalls the pipeline, `b` rides the
+                // background lane hidden behind compute.
+                events.push(Event::manager(
+                    t,
+                    EventKind::Checkpoint {
+                        step: 16,
+                        gpus_held: 8,
+                        gpus_used: 8,
+                        p: 4,
+                        d: 2,
+                        examples_per_sec: 10.0,
+                        examples_per_sec_per_gpu: 1.25,
+                        write_seconds: a,
+                        overlapped_seconds: b,
+                        full: choice >= 5,
+                    },
+                ));
+            }
+            2 => {
+                events.push(Event::manager(
+                    t,
+                    EventKind::DegradedEnter {
+                        gpus: 0,
+                        reason: "chaos".into(),
+                    },
+                ));
+                t += a;
+                events.push(Event::manager(
+                    t,
+                    EventKind::DegradedExit {
+                        gpus: 8,
+                        paused_seconds: a,
+                    },
+                ));
+            }
+            3 => {
+                events.push(Event::manager(
+                    t,
+                    EventKind::LostWork {
+                        minibatches: 3,
+                        seconds: a,
+                    },
+                ));
+            }
+            _ => {
+                events.push(Event::recovery(
+                    t,
+                    EventKind::RecoveryReplay {
+                        wal_records: 12,
+                        torn: false,
+                        dropped_bytes: 0,
+                        replay_seconds: a * 0.01,
+                    },
+                ));
+            }
+        }
+    }
+    (events, t + 10.0)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random manager streams mixing restarts, live migrations, and
+    /// overlapped checkpoint writes: the priced components re-derived
+    /// independently must match the profiler term by term, sum with
+    /// useful time to the makespan, and stay byte-identical when every
+    /// overlapped second is zeroed out — overlapped writes are hidden
+    /// behind compute and must never leak into the priced total.
+    #[test]
+    fn downtime_identity_holds_with_overlap_and_migrations(
+        n in 0usize..40,
+        dts in vec(0.1f64..100.0, 40..41),
+        choices in vec(0u32..10, 40..41),
+        avals in vec(0.0f64..50.0, 40..41),
+        bvals in vec(0.0f64..50.0, 40..41),
+    ) {
+        let atoms: Vec<(f64, u32, f64, f64)> = (0..n)
+            .map(|i| (dts[i], choices[i], avals[i], bvals[i]))
+            .collect();
+        let (events, makespan) = downtime_events(&atoms);
+        let d = downtime(&events, makespan);
+
+        let mut restarts = 0.0;
+        let mut migrations = 0.0;
+        let mut writes = 0.0;
+        let mut overlapped = 0.0;
+        for e in &events {
+            match &e.kind {
+                EventKind::Morph { restart_seconds, migration_seconds, .. } => {
+                    restarts += restart_seconds;
+                    migrations += migration_seconds;
+                }
+                EventKind::Checkpoint { write_seconds, overlapped_seconds, .. } => {
+                    writes += write_seconds;
+                    overlapped += overlapped_seconds;
+                }
+                _ => {}
+            }
+        }
+        prop_assert!((d.morph_restart_seconds - restarts).abs() < 1e-9);
+        prop_assert!((d.migration_seconds - migrations).abs() < 1e-9);
+        prop_assert!((d.checkpoint_write_seconds - writes).abs() < 1e-9);
+        prop_assert!((d.checkpoint_overlapped_seconds - overlapped).abs() < 1e-9);
+        prop_assert!(
+            (d.useful_seconds + d.downtime_seconds() - makespan).abs()
+                <= 1e-9 * makespan.max(1.0),
+            "useful {} + downtime {} != makespan {}",
+            d.useful_seconds, d.downtime_seconds(), makespan
+        );
+
+        // Zeroing the overlapped seconds changes nothing priced: the
+        // same stream with all background-lane time erased produces the
+        // identical downtime total and useful remainder.
+        let erased: Vec<Event> = events
+            .iter()
+            .cloned()
+            .map(|mut e| {
+                if let EventKind::Checkpoint { overlapped_seconds, .. } = &mut e.kind {
+                    *overlapped_seconds = 0.0;
+                }
+                e
+            })
+            .collect();
+        let d0 = downtime(&erased, makespan);
+        prop_assert_eq!(d0.checkpoint_overlapped_seconds, 0.0);
+        prop_assert!((d0.downtime_seconds() - d.downtime_seconds()).abs() < 1e-12);
+        prop_assert!((d0.useful_seconds - d.useful_seconds).abs() < 1e-12);
+    }
 
     #[test]
     fn components_sum_to_the_makespan(

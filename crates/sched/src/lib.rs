@@ -30,10 +30,12 @@
 //! Table 7), and final weights can be shown schedule-invariant on real
 //! numerics.
 
+pub mod drain;
 pub mod op;
 pub mod policy;
 pub mod schedule;
 
+pub use drain::{boundary_drain_legal, drain_in_place_legal};
 pub use op::{Op, OpKind, OpSpan};
 pub use policy::{GreedyPolicy, PolicyFactory, SchedulePolicy, StageView};
 pub use schedule::{

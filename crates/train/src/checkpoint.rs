@@ -6,6 +6,18 @@
 //! manifest, and support sharding the write across data-parallel replicas —
 //! "since data-parallel replicas have the same model state, we shard the
 //! checkpointing across replicas for performance".
+//!
+//! **Delta checkpoints** ([`save_delta`] / [`load_delta_chain`]) store a
+//! frame of XOR bit patterns against an anchoring *full* checkpoint: each
+//! `f32` of every parameter (weights and gradient accumulators alike) is
+//! XORed bit-for-bit with the base, so applying the delta to the base
+//! reconstructs the later state *exactly* — restore-from-(full + delta)
+//! is bit-identical to restore-from-full, the property the differential
+//! suite in `tests/delta_restore_equivalence.rs` pins. Every delta
+//! anchors directly at its full (no delta-of-delta), matching the
+//! manager's chain model, and the manifest records the payload's exact
+//! byte length so a torn (partially written) frame is detected before it
+//! can be silently restored.
 
 use std::fs;
 use std::io;
@@ -127,6 +139,199 @@ pub fn load(dir: &Path) -> io::Result<(MiniGpt, u64)> {
     ))
 }
 
+/// Manifest of one delta frame: the step it captures, the full
+/// checkpoint it anchors at, and the exact size of the payload file (the
+/// torn-write detector).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaManifest {
+    /// Model configuration (must match the anchoring full's).
+    pub cfg: ModelConfig,
+    /// Mini-batches completed when the delta was taken.
+    pub step: u64,
+    /// Step of the full checkpoint this delta is XORed against.
+    pub base_step: u64,
+    /// `u32` XOR words in the payload.
+    pub words: usize,
+    /// Exact byte length of `delta_payload.json` when fully written; a
+    /// shorter file on disk is a torn frame.
+    pub payload_bytes: u64,
+}
+
+/// Flattens every parameter of `model` (weights then gradient
+/// accumulators, in the optimizer's stable order) to raw `f32` bit
+/// patterns.
+fn flat_bits(model: &MiniGpt) -> Vec<u32> {
+    let mut m = model.clone();
+    let mut out = Vec::new();
+    for p in m.params_mut() {
+        out.extend(p.w.data.iter().map(|v| v.to_bits()));
+        out.extend(p.g.data.iter().map(|v| v.to_bits()));
+    }
+    out
+}
+
+/// Applies `words` as XOR bit patterns onto `model` in the same stable
+/// order [`flat_bits`] uses.
+///
+/// # Errors
+///
+/// `InvalidData` if the word count does not match the model's parameter
+/// count.
+fn apply_bits(model: &mut MiniGpt, words: &[u32]) -> io::Result<()> {
+    let mut it = words.iter();
+    for p in model.params_mut() {
+        for v in p.w.data.iter_mut().chain(p.g.data.iter_mut()) {
+            let x = it.next().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "delta payload too short for model",
+                )
+            })?;
+            *v = f32::from_bits(v.to_bits() ^ x);
+        }
+    }
+    if it.next().is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "delta payload longer than model",
+        ));
+    }
+    Ok(())
+}
+
+/// Saves a delta frame for `model` at training `step` into `dir`,
+/// anchored at `(base, base_step)` — the state a [`load`] of the full
+/// checkpoint reproduces. The payload is written before the manifest, so
+/// a frame whose manifest exists but whose payload is short is
+/// detectably torn rather than silently wrong.
+///
+/// # Panics
+///
+/// Panics if `base` has a different configuration than `model` (a delta
+/// across shapes is meaningless).
+pub fn save_delta(
+    model: &MiniGpt,
+    step: u64,
+    base: &MiniGpt,
+    base_step: u64,
+    dir: &Path,
+) -> io::Result<()> {
+    assert_eq!(model.cfg, base.cfg, "delta across model shapes");
+    fs::create_dir_all(dir)?;
+    let new = flat_bits(model);
+    let old = flat_bits(base);
+    assert_eq!(new.len(), old.len(), "same cfg must mean same param count");
+    let words: Vec<u32> = new.iter().zip(&old).map(|(a, b)| a ^ b).collect();
+    let payload = serde_json::to_string(&words)?;
+    fs::write(dir.join("delta_payload.json"), &payload)?;
+    fs::write(
+        dir.join("delta_manifest.json"),
+        serde_json::to_string(&DeltaManifest {
+            cfg: model.cfg,
+            step,
+            base_step,
+            words: words.len(),
+            payload_bytes: payload.len() as u64,
+        })?,
+    )?;
+    Ok(())
+}
+
+/// Reads and validates one delta frame without applying it.
+///
+/// # Errors
+///
+/// `InvalidData` with a "torn delta frame" message when the payload file
+/// is shorter (or longer) than the manifest promised, and parse errors
+/// for malformed JSON.
+fn read_delta(dir: &Path) -> io::Result<(DeltaManifest, Vec<u32>)> {
+    let manifest: DeltaManifest =
+        serde_json::from_str(&fs::read_to_string(dir.join("delta_manifest.json"))?)?;
+    let payload = fs::read_to_string(dir.join("delta_payload.json"))?;
+    if payload.len() as u64 != manifest.payload_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "torn delta frame in {}: {} of {} payload bytes on disk",
+                dir.display(),
+                payload.len(),
+                manifest.payload_bytes
+            ),
+        ));
+    }
+    let words: Vec<u32> = serde_json::from_str(&payload)?;
+    if words.len() != manifest.words {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "torn delta frame in {}: {} of {} words decoded",
+                dir.display(),
+                words.len(),
+                manifest.words
+            ),
+        ));
+    }
+    Ok((manifest, words))
+}
+
+/// Restores from a full checkpoint plus a chain of delta frames, all
+/// anchored at that full, returning the model and step of the *latest*
+/// frame. An empty chain degenerates to [`load`].
+///
+/// Every frame is validated — ascending steps, matching configuration,
+/// `base_step` equal to the full's step, payload exactly as long as its
+/// manifest promises — before anything is applied, so a chain truncated
+/// mid-write (a torn frame anywhere in it) is an error, never a silent
+/// restore of stale or garbled state.
+///
+/// # Errors
+///
+/// `InvalidData` for torn frames, broken anchoring, out-of-order steps,
+/// or a payload that does not match the model's parameter count; plus
+/// any I/O error loading the full checkpoint.
+pub fn load_delta_chain(base_dir: &Path, deltas: &[&Path]) -> io::Result<(MiniGpt, u64)> {
+    let (mut model, base_step) = load(base_dir)?;
+    let mut frames = Vec::with_capacity(deltas.len());
+    let mut prev_step = base_step;
+    for dir in deltas {
+        let (manifest, words) = read_delta(dir)?;
+        if manifest.base_step != base_step {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "broken delta chain: frame at step {} anchors at {} but the full is at {}",
+                    manifest.step, manifest.base_step, base_step
+                ),
+            ));
+        }
+        if manifest.cfg != model.cfg {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "broken delta chain: configuration mismatch",
+            ));
+        }
+        if manifest.step <= prev_step {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "broken delta chain: step {} does not advance past {}",
+                    manifest.step, prev_step
+                ),
+            ));
+        }
+        prev_step = manifest.step;
+        frames.push((manifest, words));
+    }
+    // Each delta is XORed directly against the full, so only the newest
+    // valid frame needs applying — but only after the whole chain
+    // validated above.
+    if let Some((manifest, words)) = frames.pop() {
+        apply_bits(&mut model, &words)?;
+        return Ok((model, manifest.step));
+    }
+    Ok((model, base_step))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +391,78 @@ mod tests {
         // Only shard 0 of 3 written: blocks 1 and 2 are missing.
         save_sharded(&m, 1, &dir, 0, 3).unwrap();
         assert!(load(&dir).is_err(), "partial checkpoint must not load");
+    }
+
+    #[test]
+    fn delta_round_trip_is_bit_exact() {
+        let base = MiniGpt::new(cfg());
+        let mut later = base.clone();
+        // Perturb a few weights, including to values a lossy encoding
+        // would mangle.
+        later.wte.w.data[0] = f32::MIN_POSITIVE;
+        later.wte.w.data[1] = -0.0;
+        later.blocks[2].ln1.gain.w.data[3] = 1.000_000_1;
+        let full_dir = tempdir("delta-full");
+        let delta_dir = tempdir("delta-frame");
+        save(&base, 10, &full_dir).unwrap();
+        save_delta(&later, 12, &base, 10, &delta_dir).unwrap();
+        let (back, step) = load_delta_chain(&full_dir, &[&delta_dir]).unwrap();
+        assert_eq!(step, 12);
+        let mut a = later.clone();
+        let mut b = back.clone();
+        for (x, y) in a.params_mut().iter().zip(b.params_mut().iter()) {
+            for (u, v) in x.w.data.iter().zip(y.w.data.iter()) {
+                assert_eq!(u.to_bits(), v.to_bits(), "{}: weight bits differ", x.name);
+            }
+            for (u, v) in x.g.data.iter().zip(y.g.data.iter()) {
+                assert_eq!(u.to_bits(), v.to_bits(), "{}: grad bits differ", x.name);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_delta_chain_degenerates_to_the_full() {
+        let m = MiniGpt::new(cfg());
+        let dir = tempdir("delta-empty");
+        save(&m, 7, &dir).unwrap();
+        let (_, step) = load_delta_chain(&dir, &[]).unwrap();
+        assert_eq!(step, 7);
+    }
+
+    #[test]
+    fn torn_delta_payload_is_detected_not_restored() {
+        let base = MiniGpt::new(cfg());
+        let mut later = base.clone();
+        later.wpe.w.data[0] += 1.0;
+        let full_dir = tempdir("delta-torn-full");
+        let delta_dir = tempdir("delta-torn-frame");
+        save(&base, 10, &full_dir).unwrap();
+        save_delta(&later, 12, &base, 10, &delta_dir).unwrap();
+        let payload = delta_dir.join("delta_payload.json");
+        let bytes = fs::read(&payload).unwrap();
+        fs::write(&payload, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_delta_chain(&full_dir, &[&delta_dir]).unwrap_err();
+        assert!(
+            err.to_string().contains("torn delta frame"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn delta_anchored_at_the_wrong_full_is_rejected() {
+        let base = MiniGpt::new(cfg());
+        let mut later = base.clone();
+        later.wpe.w.data[0] += 1.0;
+        let full_dir = tempdir("delta-anchor-full");
+        let delta_dir = tempdir("delta-anchor-frame");
+        save(&base, 20, &full_dir).unwrap();
+        // The delta claims to anchor at step 10, but the full is at 20.
+        save_delta(&later, 22, &base, 10, &delta_dir).unwrap();
+        let err = load_delta_chain(&full_dir, &[&delta_dir]).unwrap_err();
+        assert!(
+            err.to_string().contains("broken delta chain"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

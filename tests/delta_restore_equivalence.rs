@@ -1,0 +1,239 @@
+//! Differential locking of delta-chain restore against full-checkpoint
+//! restore, across pipeline disciplines.
+//!
+//! Zero-downtime morphing only works if the incremental path is *exactly*
+//! the full path: a job that checkpoints a full frame, trains on while
+//! streaming delta frames in the background, and later restores from
+//! (full + chain) must land bit-for-bit where a job that wrote a full
+//! checkpoint at the same step would. This suite pins that equivalence on
+//! real numerics for every strict discipline the trainer supports —
+//! GPipe, 1F1B, and the strict Varuna static schedule (the same policy
+//! machinery `schedule_equivalence.rs` cross-validates against the
+//! emulator) — comparing raw `f32` bit patterns of both weights and
+//! gradient accumulators.
+//!
+//! The flip side is torn-frame safety: a chain with a partially written
+//! frame anywhere in it must be *detected*, never silently restored as
+//! stale or garbled state. The proptest truncates a random frame's
+//! payload at a random fraction and asserts `load_delta_chain` always
+//! errors with a torn-frame diagnosis.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use varuna_baselines::{GPipePolicy, OneF1BPolicy};
+use varuna_sched::schedule::{generate_schedule, VarunaPolicy};
+use varuna_sched::PolicyFactory;
+use varuna_train::checkpoint::{load, load_delta_chain, save, save_delta};
+use varuna_train::data::{Corpus, VOCAB};
+use varuna_train::model::{MiniGpt, ModelConfig};
+use varuna_train::pipeline::PipelineTrainer;
+
+const P: usize = 4;
+const N_MICRO: usize = 6;
+
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        vocab: VOCAB,
+        seq: 8,
+        dim: 16,
+        heads: 2,
+        layers: 4,
+        tied: true,
+        seed: 5,
+    }
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("varuna-delta-eq-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+/// Asserts two models carry identical `f32` bit patterns in every
+/// parameter's weights *and* gradient accumulators — equality stronger
+/// than `==` on floats (it distinguishes `-0.0` and preserves NaN
+/// payloads).
+fn assert_bit_identical(a: &MiniGpt, b: &MiniGpt, ctx: &str) {
+    let mut x = a.clone();
+    let mut y = b.clone();
+    let xp = x.params_mut();
+    let yp = y.params_mut();
+    assert_eq!(xp.len(), yp.len(), "{ctx}: parameter count");
+    for (p, q) in xp.into_iter().zip(yp) {
+        assert_eq!(p.name, q.name, "{ctx}: parameter order");
+        let wa: Vec<u32> = p.w.data.iter().map(|v| v.to_bits()).collect();
+        let wb: Vec<u32> = q.w.data.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(wa, wb, "{ctx}: weights of {} differ", p.name);
+        let ga: Vec<u32> = p.g.data.iter().map(|v| v.to_bits()).collect();
+        let gb: Vec<u32> = q.g.data.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ga, gb, "{ctx}: gradient accumulators of {} differ", p.name);
+    }
+}
+
+/// Trains `discipline` for two mini-batches, drops a full checkpoint,
+/// trains two more while writing a delta frame after each, then checks
+/// restore-from-(full + chain) against both an oracle full checkpoint
+/// written at the final step and the live in-memory model.
+fn chain_matches_oracle(name: &str, factory: &PolicyFactory<'_>, window: usize) {
+    let corpus = Corpus::synthetic(3000, 23);
+    let mut pipe = PipelineTrainer::new(cfg(), corpus, 0.1, N_MICRO, P, 1, 1)
+        .with_window(window)
+        .with_recompute(true);
+    pipe.train_minibatch_with(factory);
+    pipe.train_minibatch_with(factory);
+
+    let base = pipe.reassemble();
+    let base_step = pipe.step;
+    let full_dir = tempdir(&format!("{name}-full"));
+    save(&base, base_step, &full_dir).expect("full checkpoint writes");
+
+    pipe.train_minibatch_with(factory);
+    let d1 = tempdir(&format!("{name}-d1"));
+    save_delta(&pipe.reassemble(), pipe.step, &base, base_step, &d1).expect("delta 1 writes");
+
+    pipe.train_minibatch_with(factory);
+    let final_model = pipe.reassemble();
+    let final_step = pipe.step;
+    let d2 = tempdir(&format!("{name}-d2"));
+    save_delta(&final_model, final_step, &base, base_step, &d2).expect("delta 2 writes");
+    let oracle_dir = tempdir(&format!("{name}-oracle"));
+    save(&final_model, final_step, &oracle_dir).expect("oracle checkpoint writes");
+
+    let (from_chain, chain_step) =
+        load_delta_chain(&full_dir, &[&d1, &d2]).expect("chain restores");
+    let (from_full, oracle_step) = load(&oracle_dir).expect("oracle restores");
+    assert_eq!(
+        chain_step, final_step,
+        "{name}: chain restores the latest step"
+    );
+    assert_eq!(oracle_step, final_step, "{name}: oracle step");
+    assert_bit_identical(
+        &from_chain,
+        &from_full,
+        &format!("{name}: chain vs oracle full"),
+    );
+    assert_bit_identical(
+        &from_chain,
+        &final_model,
+        &format!("{name}: chain vs live model"),
+    );
+
+    for d in [&full_dir, &d1, &d2, &oracle_dir] {
+        let _ = fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn gpipe_delta_chain_restore_is_bit_identical_to_full_restore() {
+    chain_matches_oracle("gpipe", &|_, _| Box::new(GPipePolicy), usize::MAX);
+}
+
+#[test]
+fn onef1b_delta_chain_restore_is_bit_identical_to_full_restore() {
+    chain_matches_oracle("1f1b", &|_, _| Box::new(OneF1BPolicy), usize::MAX);
+}
+
+#[test]
+fn strict_varuna_delta_chain_restore_is_bit_identical_to_full_restore() {
+    // Tight stash window: the enumerator interleaves backwards early, the
+    // op order differs from GPipe's, and the restored bits must not care.
+    let window = 2;
+    let sched = generate_schedule(P, N_MICRO, window);
+    chain_matches_oracle(
+        "varuna-strict",
+        &|s, _| Box::new(VarunaPolicy::strict_for_stage(&sched, s)),
+        window,
+    );
+}
+
+/// A full checkpoint plus a two-frame delta chain, built once (training
+/// is the expensive part) and shared read-only by the torn-frame cases.
+fn pinned_chain() -> &'static (PathBuf, PathBuf, PathBuf) {
+    static CHAIN: OnceLock<(PathBuf, PathBuf, PathBuf)> = OnceLock::new();
+    CHAIN.get_or_init(|| {
+        let factory: &PolicyFactory<'_> = &|_, _| Box::new(GPipePolicy);
+        let corpus = Corpus::synthetic(3000, 23);
+        let mut pipe = PipelineTrainer::new(cfg(), corpus, 0.1, N_MICRO, P, 1, 1)
+            .with_window(usize::MAX)
+            .with_recompute(true);
+        pipe.train_minibatch_with(factory);
+        let base = pipe.reassemble();
+        let base_step = pipe.step;
+        let full_dir = tempdir("torn-full");
+        save(&base, base_step, &full_dir).expect("full checkpoint writes");
+        let d1 = tempdir("torn-d1");
+        pipe.train_minibatch_with(factory);
+        save_delta(&pipe.reassemble(), pipe.step, &base, base_step, &d1).expect("delta 1 writes");
+        let d2 = tempdir("torn-d2");
+        pipe.train_minibatch_with(factory);
+        save_delta(&pipe.reassemble(), pipe.step, &base, base_step, &d2).expect("delta 2 writes");
+        (full_dir, d1, d2)
+    })
+}
+
+/// Copies a delta frame and truncates its payload to `fraction` of its
+/// bytes — the on-disk shape of a write killed mid-frame.
+fn torn_copy(src: &Path, fraction: f64) -> PathBuf {
+    static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+    let dst = tempdir(&format!(
+        "torn-case-{}",
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dst).expect("scratch dir");
+    fs::copy(
+        src.join("delta_manifest.json"),
+        dst.join("delta_manifest.json"),
+    )
+    .expect("manifest copies");
+    let payload = fs::read(src.join("delta_payload.json")).expect("payload reads");
+    let keep = (payload.len() as f64 * fraction) as usize;
+    fs::write(dst.join("delta_payload.json"), &payload[..keep]).expect("torn payload writes");
+    dst
+}
+
+#[test]
+fn a_torn_middle_frame_fails_the_whole_chain_not_just_its_own_restore() {
+    // The newest frame is intact and would restore fine on its own; a
+    // torn frame *earlier* in the chain must still fail the restore —
+    // skipping it silently would hide that the background writer died.
+    let (full, d1, d2) = pinned_chain();
+    let torn = torn_copy(d1, 0.5);
+    let err = load_delta_chain(full, &[&torn, d2]).expect_err("torn middle frame must fail");
+    assert!(
+        err.to_string().contains("torn delta frame"),
+        "wrong diagnosis: {err}"
+    );
+    let _ = fs::remove_dir_all(&torn);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any delta chain truncated at a torn frame is detected, never
+    /// silently restored: whichever frame is torn and wherever the write
+    /// stopped, `load_delta_chain` errors with a torn-frame diagnosis.
+    #[test]
+    fn any_truncated_frame_is_detected_never_silently_restored(
+        frame in 0u32..2,
+        fraction in 0.0f64..0.95,
+    ) {
+        let (full, d1, d2) = pinned_chain();
+        let torn = torn_copy(if frame == 0 { d1 } else { d2 }, fraction);
+        let chain: [&Path; 2] = if frame == 0 {
+            [torn.as_path(), d2.as_path()]
+        } else {
+            [d1.as_path(), torn.as_path()]
+        };
+        let result = load_delta_chain(full, &chain);
+        let err = result.expect_err("a torn frame anywhere in the chain must fail the restore");
+        prop_assert!(
+            err.to_string().contains("torn delta frame"),
+            "wrong diagnosis: {}", err
+        );
+        let _ = fs::remove_dir_all(&torn);
+    }
+}
