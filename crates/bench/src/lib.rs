@@ -19,6 +19,7 @@ pub mod fig9_fig10;
 pub mod fleet_sweep;
 pub mod plan_latency;
 pub mod profile;
+pub mod profile_stream;
 pub mod recovery_sweep;
 pub mod table3;
 pub mod table4;

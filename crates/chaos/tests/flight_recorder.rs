@@ -1,0 +1,82 @@
+//! Property pin for the always-on flight recorder: after any stream, the
+//! ring buffer holds *exactly* the newest [`FLIGHT_RECORDER_EVENTS`]
+//! events, oldest first — wraparound never reorders, drops a newer event,
+//! or resurrects an evicted one.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use varuna_chaos::FLIGHT_RECORDER_EVENTS;
+use varuna_obs::{Event, EventBus, EventKind, RingBufferSink};
+
+/// Builds a distinguishable event for slot `i`: the payload encodes the
+/// index so the snapshot can be matched positionally.
+fn tagged(i: usize, t: f64) -> Event {
+    Event::manager(
+        t,
+        EventKind::LostWork {
+            minibatches: i as u64,
+            seconds: t,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_buffer_keeps_exactly_the_newest_events_in_order(
+        // Below, at, and well past the wraparound boundary, including
+        // multiple full laps of the ring.
+        n in 0usize..(3 * FLIGHT_RECORDER_EVENTS + 7),
+        times in vec(0.0f64..1e6, (3 * FLIGHT_RECORDER_EVENTS + 7)..(3 * FLIGHT_RECORDER_EVENTS + 8)),
+    ) {
+        let recorder = RingBufferSink::new(FLIGHT_RECORDER_EVENTS);
+        let mut bus = EventBus::with_sink(Box::new(recorder.clone()));
+        let events: Vec<Event> = (0..n).map(|i| tagged(i, times[i])).collect();
+        for e in &events {
+            bus.emit(e.clone());
+        }
+        bus.flush();
+
+        let snap = recorder.snapshot();
+        let expect_len = n.min(FLIGHT_RECORDER_EVENTS);
+        prop_assert_eq!(snap.len(), expect_len);
+        prop_assert_eq!(recorder.len(), expect_len);
+        // Snapshot is the stream's suffix, oldest first, byte for byte.
+        let tail = &events[n - expect_len..];
+        for (got, want) in snap.iter().zip(tail.iter()) {
+            prop_assert_eq!(
+                format!("{got:?}"),
+                format!("{want:?}"),
+                "wraparound must preserve the newest events in arrival order"
+            );
+        }
+    }
+
+    /// A second snapshot is identical (snapshot is non-draining), and
+    /// pushing one more event after a full lap evicts exactly the oldest.
+    #[test]
+    fn snapshot_is_stable_and_eviction_is_fifo(
+        extra in 1usize..40,
+    ) {
+        let recorder = RingBufferSink::new(FLIGHT_RECORDER_EVENTS);
+        let mut bus = EventBus::with_sink(Box::new(recorder.clone()));
+        let total = FLIGHT_RECORDER_EVENTS + extra;
+        for i in 0..total {
+            bus.emit(tagged(i, i as f64));
+        }
+        let a = recorder.snapshot();
+        let b = recorder.snapshot();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        // The oldest surviving event is `extra` (0..extra were evicted).
+        match &a[0].kind {
+            EventKind::LostWork { minibatches, .. } => {
+                prop_assert_eq!(*minibatches as usize, extra)
+            }
+            other => prop_assert!(false, "unexpected event kind {:?}", other),
+        }
+    }
+}

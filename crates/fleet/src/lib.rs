@@ -68,6 +68,6 @@ pub use job::JobSpec;
 pub use policy::ProvisionPolicy;
 pub use sim::{
     recover_fleet, run_fleet, run_fleet_traced, run_fleet_walled, FleetConfig, FleetOutcome,
-    FleetRun, JobOutcome,
+    FleetRun, FleetStreamCheck, JobOutcome, StreamCheck,
 };
 pub use wal::{FleetWal, FleetWalRecord, JobWalView};

@@ -25,7 +25,9 @@ use varuna::{Calibration, Manager, ManagerState, Oracle, RecoveryReport, VarunaC
 use varuna_chaos::{digest_control_events, digest_events};
 use varuna_cluster::trace::{ClusterEventKind, ClusterTrace};
 use varuna_cluster::{LeaseBook, VmSku};
-use varuna_obs::{Event, EventBus, EventKind, VecSink};
+use varuna_obs::{
+    profile, Event, EventBus, EventKind, PartialReport, StreamConfig, StreamSink, VecSink,
+};
 
 use crate::arbiter::{fair_shares, ArbiterConfig, JobDemand};
 use crate::error::FleetError;
@@ -169,6 +171,62 @@ pub struct FleetRun {
     pub fleet_events: Vec<Event>,
     /// Each job's manager event stream, in submission order.
     pub job_events: Vec<Vec<Event>>,
+    /// Per-bus streaming-vs-post-hoc accounting checks.
+    pub stream: FleetStreamCheck,
+}
+
+/// Result of folding one bus's events through the streaming profiler
+/// while the run was live, then comparing its sealed report against the
+/// post-hoc `profile()` of the same stream.
+///
+/// Each bus carries one logical event lane (one manager, or the fleet
+/// control plane), so every per-bus report is exact; cross-bus partials
+/// are intentionally *not* merged here — separate jobs are separate
+/// timelines, and merging them would sum unrelated makespans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamCheck {
+    /// Whether the streamed report equals the post-hoc one byte-for-byte.
+    pub matches_posthoc: bool,
+    /// `StreamCounters::violations()` for the live fold. Must be 0.
+    pub violations: usize,
+    /// Peak resident entries the streaming profiler held.
+    pub peak_resident: usize,
+    /// Events the live fold observed.
+    pub events: usize,
+}
+
+/// The fleet bus check plus one check per job bus, in submission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStreamCheck {
+    /// The fleet control-plane bus.
+    pub fleet: StreamCheck,
+    /// Each job manager's bus.
+    pub jobs: Vec<StreamCheck>,
+}
+
+impl FleetStreamCheck {
+    /// True when every bus streamed cleanly: byte-identical reports and
+    /// zero accounting violations everywhere.
+    pub fn all_clean(&self) -> bool {
+        std::iter::once(&self.fleet)
+            .chain(self.jobs.iter())
+            .all(|c| c.matches_posthoc && c.violations == 0)
+    }
+}
+
+/// Seals a live partial and scores it against the post-hoc profile of
+/// the same event stream.
+fn check_stream(partial: PartialReport, events: &[Event]) -> StreamCheck {
+    let violations = partial.counters().violations();
+    let peak_resident = partial.counters().peak_resident;
+    let seen = partial.events();
+    let matches = partial.into_report().to_json() == profile(events).to_json();
+    StreamCheck {
+        matches_posthoc: matches,
+        violations,
+        peak_resident,
+        events: seen,
+    }
 }
 
 /// Per-job mutable loop state.
@@ -601,11 +659,21 @@ pub fn run_fleet_walled(
         .collect();
 
     let fleet_sink = VecSink::new();
+    let fleet_stream = StreamSink::new(StreamConfig::default());
     let mut fleet_bus = EventBus::with_sink(Box::new(fleet_sink.clone()));
+    fleet_bus.add_sink(Box::new(fleet_stream.clone()));
     let job_sinks: Vec<VecSink> = (0..n).map(|_| VecSink::new()).collect();
+    let job_streams: Vec<StreamSink> = (0..n)
+        .map(|_| StreamSink::new(StreamConfig::default()))
+        .collect();
     let mut job_buses: Vec<EventBus> = job_sinks
         .iter()
-        .map(|s| EventBus::with_sink(Box::new(s.clone())))
+        .zip(job_streams.iter())
+        .map(|(s, live)| {
+            let mut bus = EventBus::with_sink(Box::new(s.clone()));
+            bus.add_sink(Box::new(live.clone()));
+            bus
+        })
         .collect();
 
     let mut st: Vec<JobState> = (0..n).map(|_| JobState::new()).collect();
@@ -787,10 +855,19 @@ pub fn run_fleet_walled(
         digest,
         per_job,
     };
+    let stream = FleetStreamCheck {
+        fleet: check_stream(fleet_stream.take_partial(), &fleet_events),
+        jobs: job_streams
+            .iter()
+            .zip(job_events.iter())
+            .map(|(live, ev)| check_stream(live.take_partial(), ev))
+            .collect(),
+    };
     Ok(FleetRun {
         outcome,
         fleet_events,
         job_events,
+        stream,
     })
 }
 
@@ -932,6 +1009,35 @@ mod tests {
         assert_eq!(a.fleet_events, b.fleet_events);
         assert_eq!(a.job_events, b.job_events);
         assert_eq!(a.outcome, b.outcome);
+    }
+
+    #[test]
+    fn every_bus_streams_byte_identical_to_posthoc_under_churn() {
+        let market = ClusterTrace::generate_spot_1gpu(12, 12, 2.0, 15.0, 11);
+        let cfg = FleetConfig::new(vec![
+            small_job("a", 2.0, 8, 2),
+            small_job("b", 1.0, 6, 2),
+            small_job("c", 1.0, 6, 0),
+        ]);
+        let run = run_fleet_traced(&cfg, &market).unwrap();
+        assert!(
+            run.stream.all_clean(),
+            "live streamed accounting diverged: {:?}",
+            run.stream
+        );
+        assert_eq!(run.stream.jobs.len(), 3);
+        assert_eq!(run.stream.fleet.events, run.fleet_events.len());
+        for (check, events) in run.stream.jobs.iter().zip(run.job_events.iter()) {
+            assert_eq!(check.events, events.len());
+            // Control-plane streams fold as they arrive: resident state
+            // stays far below the stream length.
+            assert!(
+                check.peak_resident <= events.len(),
+                "resident {} vs {} events",
+                check.peak_resident,
+                events.len()
+            );
+        }
     }
 
     #[test]

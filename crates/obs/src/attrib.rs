@@ -41,6 +41,106 @@ pub struct CriticalPath {
     pub stage_seconds: Vec<f64>,
 }
 
+/// Running decomposition of one dependency chain, folded op by op in
+/// *chain order* (chain start first).
+///
+/// Both the post-hoc [`critical_path`] walk and the streaming profiler's
+/// incremental pass build their sums through this one type, in the same
+/// canonical order, so the two paths produce byte-identical `f64`s — the
+/// property the streamed-equals-posthoc proptests pin.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ChainSummary {
+    /// End time of the chain's latest op, seconds.
+    pub end: f64,
+    /// Compute seconds summed along the chain, in chain order.
+    pub compute: f64,
+    /// Wait seconds (initial warmup + inter-op gaps), in chain order.
+    pub wait: f64,
+    /// Ops on the chain.
+    pub ops: usize,
+    /// Per-stage compute seconds (grown on demand; padded at finish).
+    pub stage_seconds: Vec<f64>,
+}
+
+impl ChainSummary {
+    /// A one-op chain starting from scratch: the op's start time is
+    /// charged as initial wait.
+    pub fn leaf(s: &ProfileSpan) -> Self {
+        let mut c = ChainSummary {
+            end: s.end,
+            compute: 0.0,
+            wait: s.start.max(0.0),
+            ops: 0,
+            stage_seconds: Vec::new(),
+        };
+        c.charge(s);
+        c
+    }
+
+    /// A one-op chain whose true predecessor was lost (the post-hoc
+    /// walk's iteration bound was exhausted): no initial wait is charged.
+    pub fn leaf_truncated(s: &ProfileSpan) -> Self {
+        let mut c = ChainSummary {
+            end: s.end,
+            compute: 0.0,
+            wait: 0.0,
+            ops: 0,
+            stage_seconds: Vec::new(),
+        };
+        c.charge(s);
+        c
+    }
+
+    /// Extends the chain by one dependent op: the gap since the chain's
+    /// previous end is charged as wait, the op's duration as compute.
+    pub fn extend(&self, s: &ProfileSpan) -> Self {
+        let mut c = self.clone();
+        c.wait += (s.start - self.end).max(0.0);
+        c.end = s.end;
+        c.charge(s);
+        c
+    }
+
+    fn charge(&mut self, s: &ProfileSpan) {
+        let dur = s.duration();
+        self.compute += dur;
+        if self.stage_seconds.len() <= s.stage {
+            self.stage_seconds.resize(s.stage + 1, 0.0);
+        }
+        self.stage_seconds[s.stage] += dur;
+        self.ops += 1;
+    }
+}
+
+/// Turns a finished chain into a [`CriticalPath`], padding the per-stage
+/// vector to `max_stage` (the highest stage over *all* spans, on or off
+/// the path) and naming the bottleneck.
+pub(crate) fn finish_critical_path(
+    chain: ChainSummary,
+    length: f64,
+    max_stage: usize,
+) -> CriticalPath {
+    let mut stage_seconds = chain.stage_seconds;
+    if stage_seconds.len() <= max_stage {
+        stage_seconds.resize(max_stage + 1, 0.0);
+    }
+    // Strict `>` keeps the first (lowest) stage on ties.
+    let mut bottleneck_stage = 0;
+    for (s, &v) in stage_seconds.iter().enumerate() {
+        if v > stage_seconds[bottleneck_stage] {
+            bottleneck_stage = s;
+        }
+    }
+    CriticalPath {
+        length,
+        compute_seconds: chain.compute,
+        wait_seconds: chain.wait,
+        ops: chain.ops,
+        bottleneck_stage,
+        stage_seconds,
+    }
+}
+
 /// Extracts the critical path from op spans (`None` when empty).
 ///
 /// The dependency model matches the emulator: an op waits on the
@@ -91,20 +191,19 @@ pub fn critical_path(spans: &[ProfileSpan]) -> Option<CriticalPath> {
     }
 
     let length = spans[cur].end;
-    let mut compute = 0.0f64;
-    let mut wait = 0.0f64;
-    let mut ops = 0usize;
     let max_stage = spans.iter().map(|s| s.stage).max().unwrap_or(0);
-    let mut stage_seconds = vec![0.0f64; max_stage + 1];
     let eps = 1e-9;
 
     // Bounded walk: each step moves to an op ending at or before the
-    // current op's start, so `spans.len()` steps always suffice.
+    // current op's start, so `spans.len()` steps always suffice. The
+    // path is only *collected* here — sums are folded afterwards in
+    // forward (chain) order through `ChainSummary`, the same order the
+    // streaming profiler uses, so both produce byte-identical `f64`s.
+    let mut path: Vec<usize> = Vec::new();
+    let mut rooted = false;
     for _ in 0..=spans.len() {
         let s = spans[cur];
-        compute += s.duration();
-        stage_seconds[s.stage] += s.duration();
-        ops += 1;
+        path.push(cur);
 
         let mut candidates: Vec<usize> = Vec::with_capacity(3);
         if let Some(pos) = lane_pos.get(&cur) {
@@ -134,31 +233,27 @@ pub fn critical_path(spans: &[ProfileSpan]) -> Option<CriticalPath> {
             });
         match pred {
             Some(p) => {
-                wait += (s.start - spans[p].end).max(0.0);
                 cur = p;
             }
             None => {
-                wait += s.start.max(0.0);
+                rooted = true;
                 break;
             }
         }
     }
 
-    // Strict `>` keeps the first (lowest) stage on ties.
-    let mut bottleneck_stage = 0;
-    for (s, &v) in stage_seconds.iter().enumerate() {
-        if v > stage_seconds[bottleneck_stage] {
-            bottleneck_stage = s;
-        }
+    path.reverse();
+    let mut it = path.iter();
+    let first = *it.next().expect("path has at least the terminal op");
+    let mut chain = if rooted {
+        ChainSummary::leaf(&spans[first])
+    } else {
+        ChainSummary::leaf_truncated(&spans[first])
+    };
+    for &i in it {
+        chain = chain.extend(&spans[i]);
     }
-    Some(CriticalPath {
-        length,
-        compute_seconds: compute,
-        wait_seconds: wait,
-        ops,
-        bottleneck_stage,
-        stage_seconds,
-    })
+    Some(finish_critical_path(chain, length, max_stage))
 }
 
 /// Priced downtime over a manager / spot-trace event stream.
@@ -173,7 +268,7 @@ pub fn critical_path(spans: &[ProfileSpan]) -> Option<CriticalPath> {
 /// remainder of the stream window, making
 /// `useful + degraded + restart + migration + checkpoint + lost ==
 /// makespan` an identity the chaos tests pin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct DowntimeProfile {
     /// Morph / replacement decisions observed.
     pub morphs: usize,
@@ -235,33 +330,23 @@ impl DowntimeProfile {
     }
 }
 
-/// Computes the [`DowntimeProfile`] of a stream whose window is
-/// `[0, makespan]`.
-pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
-    let mut d = DowntimeProfile {
-        morphs: 0,
-        reconfigurations: 0,
-        migrations: 0,
-        checkpoints: 0,
-        delta_checkpoints: 0,
-        checkpoint_write_failures: 0,
-        checkpoints_torn: 0,
-        recovery_replays: 0,
-        preemptions: 0,
-        degraded_episodes: 0,
-        faults_injected: 0,
-        lost_minibatches: 0,
-        degraded_seconds: 0.0,
-        morph_restart_seconds: 0.0,
-        migration_seconds: 0.0,
-        checkpoint_write_seconds: 0.0,
-        checkpoint_overlapped_seconds: 0.0,
-        lost_work_seconds: 0.0,
-        recovery_replay_seconds: 0.0,
-        useful_seconds: 0.0,
-    };
-    let mut open_degraded: Option<f64> = None;
-    for e in events {
+/// Incremental [`DowntimeProfile`] accumulator — the single place the
+/// per-event pricing rules live. Both the post-hoc [`downtime`] scan and
+/// the streaming profiler feed events through `observe` one at a time
+/// (in the same order), so both produce byte-identical sums.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct DowntimeAcc {
+    /// The profile under construction (`useful_seconds` unset until
+    /// [`DowntimeAcc::finish`]).
+    pub d: DowntimeProfile,
+    /// Enter time of a degraded episode not yet closed by an exit.
+    pub open_degraded: Option<f64>,
+}
+
+impl DowntimeAcc {
+    /// Folds one event into the profile.
+    pub fn observe(&mut self, e: &Event) {
+        let d = &mut self.d;
         match &e.kind {
             EventKind::Morph {
                 reconfigured,
@@ -310,10 +395,10 @@ pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
             }
             EventKind::DegradedEnter { .. } => {
                 d.degraded_episodes += 1;
-                open_degraded = Some(e.t_sim);
+                self.open_degraded = Some(e.t_sim);
             }
             EventKind::DegradedExit { paused_seconds, .. } => {
-                open_degraded = None;
+                self.open_degraded = None;
                 d.degraded_seconds += paused_seconds;
             }
             EventKind::LostWork {
@@ -326,11 +411,26 @@ pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
             _ => {}
         }
     }
-    if let Some(since) = open_degraded {
-        d.degraded_seconds += (makespan - since).max(0.0);
+
+    /// Closes the stream window at `makespan`: a still-open degraded
+    /// episode is charged up to it and `useful_seconds` is set.
+    pub fn finish(mut self, makespan: f64) -> DowntimeProfile {
+        if let Some(since) = self.open_degraded {
+            self.d.degraded_seconds += (makespan - since).max(0.0);
+        }
+        self.d.useful_seconds = makespan - self.d.downtime_seconds();
+        self.d
     }
-    d.useful_seconds = makespan - d.downtime_seconds();
-    d
+}
+
+/// Computes the [`DowntimeProfile`] of a stream whose window is
+/// `[0, makespan]`.
+pub fn downtime(events: &[Event], makespan: f64) -> DowntimeProfile {
+    let mut acc = DowntimeAcc::default();
+    for e in events {
+        acc.observe(e);
+    }
+    acc.finish(makespan)
 }
 
 #[cfg(test)]

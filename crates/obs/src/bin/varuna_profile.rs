@@ -7,71 +7,114 @@
 //! utilization table, and optionally writes the full `ProfileReport` JSON:
 //!
 //! ```text
-//! varuna-profile <capture.{jsonl,json}> [--out report.json]
+//! varuna-profile <capture.{jsonl,json} | -> [--out report.json] [--top N]
+//! ```
+//!
+//! With `--follow` the input is a *growing* JSONL capture: the file is
+//! tailed incrementally through the streaming profiler (bounded memory,
+//! byte-identical attribution), a one-line status is printed as the
+//! stream grows, and `--serve ADDR` exposes the live report over HTTP
+//! (`/report`, `/downtime`, `/counters`, `/healthz`):
+//!
+//! ```text
+//! varuna-profile events.jsonl --follow --serve 127.0.0.1:7777
 //! ```
 
+use std::io::{BufRead, Read, Seek, SeekFrom};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use varuna_obs::{events_from_chrome_trace, events_from_jsonl, profile};
+use varuna_obs::{
+    events_from_chrome_trace, events_from_jsonl, profile, spawn_http, Event, PartialReport,
+    ProfileReport, StreamConfig, StreamingProfiler,
+};
+
+const USAGE: &str = "usage: varuna-profile <capture.{jsonl,json} | -> [options]
+  --out FILE        write the full ProfileReport JSON to FILE on exit
+  --top N           show only the N busiest stages in the utilization table
+  --follow          tail a growing JSONL capture incrementally
+  --poll-ms MS      polling interval in follow mode (default 200)
+  --idle-exit SECS  in follow mode, exit after SECS with no new data (0 = never)
+  --serve ADDR      in follow mode, serve the live report over HTTP on ADDR
+  --window SECS     streaming reorder window (default: unbounded/exact)";
+
+struct Opts {
+    input: String,
+    out: Option<String>,
+    top: Option<usize>,
+    follow: bool,
+    poll_ms: u64,
+    idle_exit: f64,
+    serve: Option<String>,
+    window: f64,
+}
 
 fn usage() -> ExitCode {
-    eprintln!("usage: varuna-profile <capture.{{jsonl,json}}> [--out report.json]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+fn parse_opts(argv: &[String]) -> Result<Option<Opts>, ExitCode> {
     let mut input: Option<String> = None;
-    let mut out: Option<String> = None;
+    let mut opts = Opts {
+        input: String::new(),
+        out: None,
+        top: None,
+        follow: false,
+        poll_ms: 200,
+        idle_exit: 0.0,
+        serve: None,
+        window: f64::INFINITY,
+    };
     let mut i = 0;
+    let take_value = |i: &mut usize| -> Result<String, ExitCode> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or_else(usage)
+    };
     while i < argv.len() {
         match argv[i].as_str() {
-            "--out" => {
-                if i + 1 >= argv.len() {
-                    return usage();
-                }
-                out = Some(argv[i + 1].clone());
-                i += 2;
+            "--out" => opts.out = Some(take_value(&mut i)?),
+            "--top" => {
+                opts.top = Some(take_value(&mut i)?.parse().map_err(|_| usage())?);
+            }
+            "--follow" => opts.follow = true,
+            "--poll-ms" => {
+                opts.poll_ms = take_value(&mut i)?.parse().map_err(|_| usage())?;
+            }
+            "--idle-exit" => {
+                opts.idle_exit = take_value(&mut i)?.parse().map_err(|_| usage())?;
+            }
+            "--serve" => opts.serve = Some(take_value(&mut i)?),
+            "--window" => {
+                opts.window = take_value(&mut i)?.parse().map_err(|_| usage())?;
             }
             "--help" | "-h" => {
-                println!("usage: varuna-profile <capture.{{jsonl,json}}> [--out report.json]");
-                return ExitCode::SUCCESS;
+                println!("{USAGE}");
+                return Ok(None);
             }
-            arg if arg.starts_with("--") => return usage(),
+            arg if arg.starts_with("--") => return Err(usage()),
             arg => {
                 if input.is_some() {
-                    return usage();
+                    return Err(usage());
                 }
                 input = Some(arg.to_string());
-                i += 1;
             }
         }
+        i += 1;
     }
-    let Some(path) = input else { return usage() };
+    let Some(input) = input else {
+        return Err(usage());
+    };
+    if opts.serve.is_some() && !opts.follow {
+        eprintln!("varuna-profile: --serve requires --follow");
+        return Err(ExitCode::from(2));
+    }
+    opts.input = input;
+    Ok(Some(opts))
+}
 
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("varuna-profile: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    // A chrome trace is one JSON document with a `traceEvents` array; a
-    // JSonlSink capture is one event object per line.
-    let parsed = if text.contains("\"traceEvents\"") {
-        events_from_chrome_trace(&text)
-    } else {
-        events_from_jsonl(&text)
-    };
-    let events = match parsed {
-        Ok(events) => events,
-        Err(e) => {
-            eprintln!("varuna-profile: {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let report = profile(&events);
+fn print_report(report: &ProfileReport, top: Option<usize>) {
     println!(
         "{} events, makespan {:.3}s, bubble fraction {:.4}",
         report.events, report.makespan, report.bubble_fraction
@@ -117,14 +160,245 @@ fn main() -> ExitCode {
         }
     }
     println!();
-    print!("{}", report.stage_table());
+    print!("{}", report.stage_table_top(top));
+}
 
+fn write_out(report: &ProfileReport, out: &Option<String>) -> Result<(), ExitCode> {
     if let Some(out_path) = out {
-        if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        if let Err(e) = std::fs::write(out_path, report.to_json()) {
             eprintln!("varuna-profile: cannot write {out_path}: {e}");
-            return ExitCode::FAILURE;
+            return Err(ExitCode::FAILURE);
         }
         println!("\nreport written to {out_path}");
     }
+    Ok(())
+}
+
+/// One-shot mode: read the whole capture (file or stdin), attribute
+/// post-hoc, print, optionally write the JSON report.
+fn run_oneshot(opts: &Opts) -> ExitCode {
+    let (text, label) = if opts.input == "-" {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("varuna-profile: cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        (text, "<stdin>".to_string())
+    } else {
+        match std::fs::read_to_string(&opts.input) {
+            Ok(t) => (t, opts.input.clone()),
+            Err(e) => {
+                eprintln!("varuna-profile: cannot read {}: {e}", opts.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    // A chrome trace is one JSON document with a `traceEvents` array; a
+    // JsonlSink capture is one event object per line.
+    let parsed = if text.contains("\"traceEvents\"") {
+        events_from_chrome_trace(&text)
+    } else {
+        events_from_jsonl(&text)
+    };
+    let events = match parsed {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("varuna-profile: {label}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = profile(&events);
+    print_report(&report, opts.top);
+    if let Err(code) = write_out(&report, &opts.out) {
+        return code;
+    }
     ExitCode::SUCCESS
+}
+
+/// Shared live state between the tail loop and the HTTP threads.
+struct Follow {
+    profiler: StreamingProfiler,
+    served: Arc<Mutex<PartialReport>>,
+    lines: u64,
+}
+
+impl Follow {
+    fn ingest(&mut self, chunk: &str) -> Result<usize, String> {
+        let mut fresh = 0;
+        for line in chunk.lines() {
+            self.lines += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: Event =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {e}", self.lines))?;
+            self.profiler.observe(&event);
+            fresh += 1;
+        }
+        if fresh > 0 {
+            *self.served.lock().expect("serve lock") = self.profiler.snapshot();
+        }
+        Ok(fresh)
+    }
+
+    fn status(&self) -> String {
+        let c = self.profiler.counters();
+        format!(
+            "{} events, makespan {:.3}s, resident {} entries{}",
+            c.events,
+            self.profiler.snapshot().makespan(),
+            self.profiler.resident(),
+            if c.violations() > 0 {
+                format!(", {} attribution violations", c.violations())
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// Follow mode: tail the growing JSONL capture through the streaming
+/// profiler. Only complete lines are consumed — a partially written
+/// trailing line stays buffered until its newline arrives.
+fn run_follow(opts: &Opts) -> ExitCode {
+    let cfg = if opts.window.is_finite() {
+        StreamConfig::windowed(opts.window, usize::MAX)
+    } else {
+        StreamConfig::default()
+    };
+    let mut follow = Follow {
+        profiler: StreamingProfiler::new(cfg),
+        served: Arc::new(Mutex::new(StreamingProfiler::new(cfg).snapshot())),
+        lines: 0,
+    };
+
+    if let Some(addr) = &opts.serve {
+        match spawn_http(addr, Arc::clone(&follow.served)) {
+            Ok(bound) => {
+                println!("serving on http://{bound}");
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("varuna-profile: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.input == "-" {
+        // Stdin follows itself: blocking reads until EOF.
+        let stdin = std::io::stdin();
+        let mut reader = stdin.lock();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    if let Err(e) = follow.ingest(&line) {
+                        eprintln!("varuna-profile: <stdin>: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("varuna-profile: cannot read stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    } else {
+        let mut offset: u64 = 0;
+        let mut tail = String::new();
+        let mut last_growth = Instant::now();
+        loop {
+            let grew = match tail_chunk(&opts.input, &mut offset) {
+                Ok(Some(chunk)) => {
+                    tail.push_str(&chunk);
+                    // Consume only complete lines; keep the partial tail.
+                    let consumable = match tail.rfind('\n') {
+                        Some(pos) => tail.drain(..=pos).collect::<String>(),
+                        None => String::new(),
+                    };
+                    if consumable.is_empty() {
+                        false
+                    } else {
+                        match follow.ingest(&consumable) {
+                            Ok(fresh) => {
+                                if fresh > 0 {
+                                    println!("{}", follow.status());
+                                }
+                                fresh > 0
+                            }
+                            Err(e) => {
+                                eprintln!("varuna-profile: {}: {e}", opts.input);
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                }
+                Ok(None) => false,
+                Err(e) => {
+                    eprintln!("varuna-profile: cannot read {}: {e}", opts.input);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if grew {
+                last_growth = Instant::now();
+            } else {
+                if opts.idle_exit > 0.0
+                    && last_growth.elapsed() >= Duration::from_secs_f64(opts.idle_exit)
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(opts.poll_ms.max(1)));
+            }
+        }
+    }
+
+    let report = follow.profiler.snapshot().into_report();
+    println!();
+    print_report(&report, opts.top);
+    if let Err(code) = write_out(&report, &opts.out) {
+        return code;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Reads whatever the file has grown beyond `offset`. Returns `None`
+/// when there is nothing new; resets to the start if the file shrank
+/// (rotation/truncation).
+fn tail_chunk(path: &str, offset: &mut u64) -> std::io::Result<Option<String>> {
+    let mut f = match std::fs::File::open(path) {
+        Ok(f) => f,
+        // The capture may not exist yet when --follow starts first.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let len = f.metadata()?.len();
+    if len < *offset {
+        *offset = 0;
+    }
+    if len == *offset {
+        return Ok(None);
+    }
+    f.seek(SeekFrom::Start(*offset))?;
+    let mut buf = Vec::with_capacity((len - *offset) as usize);
+    f.take(len - *offset).read_to_end(&mut buf)?;
+    *offset += buf.len() as u64;
+    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&argv) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(code) => return code,
+    };
+    if opts.follow {
+        run_follow(&opts)
+    } else {
+        run_oneshot(&opts)
+    }
 }

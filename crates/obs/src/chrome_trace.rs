@@ -193,7 +193,15 @@ fn to_trace_event(e: &Event) -> Option<Value> {
             vec![("vm".to_string(), Value::UInt(*vm))],
         )),
         EventKind::Morph {
-            p, d, reconfigured, ..
+            p,
+            d,
+            gpus_held,
+            gpus_used,
+            examples_per_sec,
+            examples_per_sec_per_gpu,
+            reconfigured,
+            restart_seconds,
+            migration_seconds,
         } => Some(instant(
             if *reconfigured {
                 format!("morph {p}x{d}")
@@ -205,25 +213,96 @@ fn to_trace_event(e: &Event) -> Option<Value> {
             vec![
                 ("p".to_string(), Value::UInt(*p as u64)),
                 ("d".to_string(), Value::UInt(*d as u64)),
+                ("gpus_held".to_string(), Value::UInt(*gpus_held as u64)),
+                ("gpus_used".to_string(), Value::UInt(*gpus_used as u64)),
+                (
+                    "examples_per_sec".to_string(),
+                    Value::Float(*examples_per_sec),
+                ),
+                (
+                    "examples_per_sec_per_gpu".to_string(),
+                    Value::Float(*examples_per_sec_per_gpu),
+                ),
+                ("reconfigured".to_string(), Value::Bool(*reconfigured)),
+                (
+                    "restart_seconds".to_string(),
+                    Value::Float(*restart_seconds),
+                ),
+                (
+                    "migration_seconds".to_string(),
+                    Value::Float(*migration_seconds),
+                ),
             ],
         )),
-        EventKind::Checkpoint { step, .. } => Some(instant(
+        EventKind::Checkpoint {
+            step,
+            gpus_held,
+            gpus_used,
+            p,
+            d,
+            examples_per_sec,
+            examples_per_sec_per_gpu,
+            write_seconds,
+            overlapped_seconds,
+            full,
+        } => Some(instant(
             format!("checkpoint @{step}"),
             "manager",
             e.t_sim * US,
-            vec![("step".to_string(), Value::UInt(*step))],
+            vec![
+                ("step".to_string(), Value::UInt(*step)),
+                ("gpus_held".to_string(), Value::UInt(*gpus_held as u64)),
+                ("gpus_used".to_string(), Value::UInt(*gpus_used as u64)),
+                ("p".to_string(), Value::UInt(*p as u64)),
+                ("d".to_string(), Value::UInt(*d as u64)),
+                (
+                    "examples_per_sec".to_string(),
+                    Value::Float(*examples_per_sec),
+                ),
+                (
+                    "examples_per_sec_per_gpu".to_string(),
+                    Value::Float(*examples_per_sec_per_gpu),
+                ),
+                ("write_seconds".to_string(), Value::Float(*write_seconds)),
+                (
+                    "overlapped_seconds".to_string(),
+                    Value::Float(*overlapped_seconds),
+                ),
+                ("full".to_string(), Value::Bool(*full)),
+            ],
         )),
-        EventKind::OomKill { what, .. } => Some(instant(
+        EventKind::OomKill {
+            stage,
+            needed_bytes,
+            capacity_bytes,
+            what,
+        } => Some(instant(
             "oom-kill".to_string(),
             "manager",
             e.t_sim * US,
-            vec![("what".to_string(), Value::Str(what.clone()))],
+            vec![
+                ("stage".to_string(), Value::UInt(*stage as u64)),
+                ("needed_bytes".to_string(), Value::Float(*needed_bytes)),
+                ("capacity_bytes".to_string(), Value::Float(*capacity_bytes)),
+                ("what".to_string(), Value::Str(what.clone())),
+            ],
         )),
-        EventKind::EpochLoss { step, loss, .. } => Some(instant(
+        EventKind::EpochLoss {
+            step,
+            loss,
+            examples_per_sec,
+        } => Some(instant(
             format!("loss @{step}"),
             "train",
             e.t_sim * US,
-            vec![("loss".to_string(), Value::Float(*loss))],
+            vec![
+                ("step".to_string(), Value::UInt(*step)),
+                ("loss".to_string(), Value::Float(*loss)),
+                (
+                    "examples_per_sec".to_string(),
+                    Value::Float(*examples_per_sec),
+                ),
+            ],
         )),
         EventKind::EvictionNotice { vm, lead_seconds } => Some(instant(
             format!("eviction-notice vm{vm}"),
@@ -497,13 +576,188 @@ fn slice_field_f64(s: &Value, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("trace slice missing numeric `{key}`"))
 }
 
-/// Recovers the data-plane [`Event`]s from a chrome trace document (the
-/// inverse of [`chrome_trace_json`] for `"ph": "X"` slices).
-///
-/// Instant markers carry no duration and are skipped, so a trace
-/// round-tripped through this importer profiles identically on the
-/// compute/comms/bubble axes but loses control-plane downtime pricing —
-/// feed the profiler a `JsonlSink` capture when that matters.
+/// Rebuilds a control-plane instant marker into its original event.
+/// Dispatches on the marker name (each exporter name is distinctive);
+/// every field the exporter serializes into `args` is recovered, and the
+/// category names the emitting [`Source`](crate::Source).
+fn instant_to_event(name: &str, cat: &str, ts: f64, s: &Value) -> Option<Event> {
+    let arg_u64 = |key: &str| {
+        s.get("args")
+            .and_then(|a| a.get(key))
+            .and_then(num_u64)
+            .unwrap_or(0)
+    };
+    let arg_f64 = |key: &str| {
+        s.get("args")
+            .and_then(|a| a.get(key))
+            .and_then(num_f64)
+            .unwrap_or(0.0)
+    };
+    let arg_str = |key: &str| match s.get("args").and_then(|a| a.get(key)) {
+        Some(Value::Str(v)) => v.clone(),
+        _ => String::new(),
+    };
+    let arg_bool = |key: &str| {
+        matches!(
+            s.get("args").and_then(|a| a.get(key)),
+            Some(Value::Bool(true))
+        )
+    };
+
+    // Longer prefixes first where names share a stem ("morph-retry" vs
+    // "morph 4x2", the four "checkpoint*" markers).
+    let kind = if name.starts_with("morph-retry") {
+        EventKind::MorphRetry {
+            attempt: arg_u64("attempt") as u32,
+            backoff_seconds: arg_f64("backoff_seconds"),
+            gpus: arg_u64("gpus") as usize,
+        }
+    } else if name.starts_with("morph ") || name == "replacement" {
+        EventKind::Morph {
+            p: arg_u64("p") as usize,
+            d: arg_u64("d") as usize,
+            gpus_held: arg_u64("gpus_held") as usize,
+            gpus_used: arg_u64("gpus_used") as usize,
+            examples_per_sec: arg_f64("examples_per_sec"),
+            examples_per_sec_per_gpu: arg_f64("examples_per_sec_per_gpu"),
+            reconfigured: arg_bool("reconfigured"),
+            restart_seconds: arg_f64("restart_seconds"),
+            migration_seconds: arg_f64("migration_seconds"),
+        }
+    } else if name.starts_with("checkpoint-failed") {
+        EventKind::CheckpointWriteFailed {
+            step: arg_u64("step"),
+        }
+    } else if name.starts_with("checkpoint-fallback") {
+        EventKind::CheckpointFallback {
+            from_step: arg_u64("from_step"),
+            to_step: arg_u64("to_step"),
+        }
+    } else if name.starts_with("checkpoint-torn") {
+        EventKind::CheckpointTorn {
+            step: arg_u64("step"),
+            bytes_written: arg_u64("bytes_written"),
+            bytes_expected: arg_u64("bytes_expected"),
+        }
+    } else if name.starts_with("checkpoint @") {
+        EventKind::Checkpoint {
+            step: arg_u64("step"),
+            gpus_held: arg_u64("gpus_held") as usize,
+            gpus_used: arg_u64("gpus_used") as usize,
+            p: arg_u64("p") as usize,
+            d: arg_u64("d") as usize,
+            examples_per_sec: arg_f64("examples_per_sec"),
+            examples_per_sec_per_gpu: arg_f64("examples_per_sec_per_gpu"),
+            write_seconds: arg_f64("write_seconds"),
+            overlapped_seconds: arg_f64("overlapped_seconds"),
+            full: arg_bool("full"),
+        }
+    } else if name == "oom-kill" {
+        EventKind::OomKill {
+            stage: arg_u64("stage") as usize,
+            needed_bytes: arg_f64("needed_bytes"),
+            capacity_bytes: arg_f64("capacity_bytes"),
+            what: arg_str("what"),
+        }
+    } else if name.starts_with("loss @") {
+        EventKind::EpochLoss {
+            step: arg_u64("step"),
+            loss: arg_f64("loss"),
+            examples_per_sec: arg_f64("examples_per_sec"),
+        }
+    } else if name.starts_with("preempt vm") {
+        EventKind::Preemption { vm: arg_u64("vm") }
+    } else if name.starts_with("heartbeat-miss") {
+        EventKind::HeartbeatMiss { vm: arg_u64("vm") }
+    } else if name.starts_with("eviction-notice") {
+        EventKind::EvictionNotice {
+            vm: arg_u64("vm"),
+            lead_seconds: arg_f64("lead_seconds"),
+        }
+    } else if name.starts_with("silence-start") {
+        EventKind::SilenceStart { vm: arg_u64("vm") }
+    } else if name.starts_with("silence-end") {
+        EventKind::SilenceEnd { vm: arg_u64("vm") }
+    } else if name.starts_with("vm-excluded") {
+        EventKind::VmExcluded {
+            vm: arg_u64("vm"),
+            consecutive_misses: arg_u64("consecutive_misses") as u32,
+        }
+    } else if name.starts_with("vm-readmitted") {
+        EventKind::VmReadmitted { vm: arg_u64("vm") }
+    } else if name == "degraded-enter" {
+        EventKind::DegradedEnter {
+            gpus: arg_u64("gpus") as usize,
+            reason: arg_str("reason"),
+        }
+    } else if name == "degraded-exit" {
+        EventKind::DegradedExit {
+            gpus: arg_u64("gpus") as usize,
+            paused_seconds: arg_f64("paused_seconds"),
+        }
+    } else if name.starts_with("lost-work") {
+        EventKind::LostWork {
+            minibatches: arg_u64("minibatches"),
+            seconds: arg_f64("seconds"),
+        }
+    } else if name.starts_with("plan-search") {
+        EventKind::PlanSearch {
+            candidates: arg_u64("candidates"),
+            simulated: arg_u64("simulated"),
+            memo_hits: arg_u64("memo_hits"),
+            analytic_fallbacks: arg_u64("analytic_fallbacks"),
+        }
+    } else if name.starts_with("recovery-replay") {
+        EventKind::RecoveryReplay {
+            wal_records: arg_u64("wal_records"),
+            torn: arg_bool("torn"),
+            dropped_bytes: arg_u64("dropped_bytes"),
+            replay_seconds: arg_f64("replay_seconds"),
+        }
+    } else if name.starts_with("fault ") {
+        EventKind::FaultInjected {
+            fault: arg_str("fault"),
+            vm: arg_u64("vm"),
+        }
+    } else if name.starts_with("alloc job") {
+        EventKind::FleetAllocation {
+            job: arg_u64("job"),
+            spot_gpus: arg_u64("spot_gpus") as usize,
+            on_demand_gpus: arg_u64("on_demand_gpus") as usize,
+            market_gpus: arg_u64("market_gpus") as usize,
+        }
+    } else if name.starts_with("job-preempt") {
+        EventKind::JobPreempted {
+            job: arg_u64("job"),
+            gpus_revoked: arg_u64("gpus_revoked") as usize,
+            reason: arg_str("reason"),
+        }
+    } else if name.starts_with("fallback job") {
+        EventKind::FallbackProvisioned {
+            job: arg_u64("job"),
+            gpus: arg_u64("gpus") as usize,
+            total_on_demand: arg_u64("total_on_demand") as usize,
+        }
+    } else {
+        return None;
+    };
+    Some(match cat {
+        "cluster" => Event::cluster(ts, kind),
+        "train" => Event::train(ts, kind),
+        "chaos" => Event::chaos(ts, kind),
+        "fleet" => Event::fleet(ts, kind),
+        "recovery" => Event::recovery(ts, kind),
+        _ => Event::manager(ts, kind),
+    })
+}
+
+/// Recovers the [`Event`]s from a chrome trace document (the inverse of
+/// [`chrome_trace_json`]): `"ph": "X"` slices become the data-plane
+/// events, `"ph": "i"` markers the control-plane ones, so a trace
+/// round-tripped through this importer profiles identically — downtime
+/// pricing included. `OpStart` events are not emitted (the exporter
+/// collapses each op into its `OpEnd` slice) and data-plane sources
+/// normalize to `Exec`; neither affects profiling or re-export.
 pub fn events_from_chrome_trace(text: &str) -> Result<Vec<Event>, String> {
     let doc = serde_json::parse_value(text).map_err(|e| format!("not valid JSON: {e}"))?;
     let slices = doc
@@ -513,6 +767,21 @@ pub fn events_from_chrome_trace(text: &str) -> Result<Vec<Event>, String> {
         .map_err(|e| e.to_string())?;
     let mut events = Vec::new();
     for s in slices {
+        if s.get("ph") == Some(&Value::Str("i".to_string())) {
+            let name = match s.get("name") {
+                Some(Value::Str(n)) => n.clone(),
+                _ => continue,
+            };
+            let cat = match s.get("cat") {
+                Some(Value::Str(c)) => c.clone(),
+                _ => continue,
+            };
+            let ts = slice_field_f64(s, "ts")? / US;
+            if let Some(e) = instant_to_event(&name, &cat, ts, s) {
+                events.push(e);
+            }
+            continue;
+        }
         if s.get("ph") != Some(&Value::Str("X".to_string())) {
             continue;
         }
@@ -817,17 +1086,216 @@ mod tests {
                     seconds: 0.75,
                 },
             ),
-            // Instants are skipped by the importer.
+            // Instants round-trip too, source included.
             Event::cluster(4.0, EventKind::Preemption { vm: 0 }),
         ];
         let back = events_from_chrome_trace(&chrome_trace_json(&events)).unwrap();
-        assert_eq!(back.len(), 4);
+        assert_eq!(back.len(), 5);
         assert_eq!(back[0].kind, events[0].kind);
         assert_eq!(back[0].t_sim, 1.0);
         assert_eq!(back[1].kind, events[1].kind);
         assert_eq!(back[2].kind, events[2].kind);
         assert_eq!(back[3].kind, events[3].kind);
         assert_eq!(back[3].t_sim, 3.0);
+        assert_eq!(back[4], events[4], "instant keeps kind, time, and source");
+    }
+
+    /// Every control-plane kind grown in PRs 6–8 (fleet arbitration,
+    /// zero-downtime morphing, crash recovery) must survive
+    /// export → import → export byte-for-byte, and import back to the
+    /// original events — fields, timestamp, and source included.
+    /// Timestamps are dyadic (multiples of 1/64 s) so the µs scaling in
+    /// the trace format is float-exact.
+    #[test]
+    fn fleet_and_zero_downtime_trace_round_trips_byte_for_byte() {
+        let dy = |k: u64| k as f64 / 64.0;
+        let events = vec![
+            Event::exec(
+                dy(64),
+                EventKind::OpEnd {
+                    stage: 0,
+                    replica: 0,
+                    op: 'F',
+                    micro: 0,
+                    start: dy(32),
+                },
+            ),
+            Event::fleet(
+                dy(128),
+                EventKind::FleetAllocation {
+                    job: 1,
+                    spot_gpus: 48,
+                    on_demand_gpus: 4,
+                    market_gpus: 96,
+                },
+            ),
+            Event::fleet(
+                dy(160),
+                EventKind::JobPreempted {
+                    job: 2,
+                    gpus_revoked: 8,
+                    reason: "fair_share".to_string(),
+                },
+            ),
+            Event::fleet(
+                dy(192),
+                EventKind::FallbackProvisioned {
+                    job: 2,
+                    gpus: 8,
+                    total_on_demand: 12,
+                },
+            ),
+            Event::manager(
+                dy(256),
+                EventKind::Morph {
+                    p: 4,
+                    d: 12,
+                    gpus_held: 50,
+                    gpus_used: 48,
+                    examples_per_sec: 125.5,
+                    examples_per_sec_per_gpu: 2.615,
+                    reconfigured: false,
+                    restart_seconds: 0.0,
+                    migration_seconds: 11.25,
+                },
+            ),
+            Event::manager(
+                dy(320),
+                EventKind::Checkpoint {
+                    step: 700,
+                    gpus_held: 50,
+                    gpus_used: 48,
+                    p: 4,
+                    d: 12,
+                    examples_per_sec: 125.5,
+                    examples_per_sec_per_gpu: 2.615,
+                    write_seconds: 1.5,
+                    overlapped_seconds: 38.5,
+                    full: false,
+                },
+            ),
+            Event::manager(
+                dy(352),
+                EventKind::CheckpointTorn {
+                    step: 700,
+                    bytes_written: 1024,
+                    bytes_expected: 4096,
+                },
+            ),
+            Event::recovery(
+                dy(384),
+                EventKind::RecoveryReplay {
+                    wal_records: 512,
+                    torn: true,
+                    dropped_bytes: 96,
+                    replay_seconds: 0.75,
+                },
+            ),
+            Event::manager(
+                dy(416),
+                EventKind::DegradedEnter {
+                    gpus: 3,
+                    reason: "below min config".to_string(),
+                },
+            ),
+            Event::manager(
+                dy(448),
+                EventKind::DegradedExit {
+                    gpus: 16,
+                    paused_seconds: 0.5,
+                },
+            ),
+            Event::manager(
+                dy(480),
+                EventKind::LostWork {
+                    minibatches: 3,
+                    seconds: 2.25,
+                },
+            ),
+            Event::chaos(
+                dy(512),
+                EventKind::FaultInjected {
+                    fault: "preemption_burst".to_string(),
+                    vm: 7,
+                },
+            ),
+        ];
+        let t1 = chrome_trace_json(&events);
+        let back = events_from_chrome_trace(&t1).unwrap();
+        assert_eq!(back, events, "import must invert export exactly");
+        let t2 = chrome_trace_json(&back);
+        assert_eq!(t1, t2, "export -> import -> export must be byte-stable");
+    }
+
+    /// The remaining manager/cluster/train instants (pre-PR-6 schema)
+    /// also import back to their original events.
+    #[test]
+    fn remaining_instants_import_back_exactly() {
+        let dy = |k: u64| k as f64 / 64.0;
+        let events = vec![
+            Event::cluster(dy(64), EventKind::HeartbeatMiss { vm: 9 }),
+            Event::cluster(
+                dy(96),
+                EventKind::EvictionNotice {
+                    vm: 9,
+                    lead_seconds: 30.0,
+                },
+            ),
+            Event::cluster(dy(128), EventKind::SilenceStart { vm: 9 }),
+            Event::cluster(dy(160), EventKind::SilenceEnd { vm: 9 }),
+            Event::manager(dy(192), EventKind::CheckpointWriteFailed { step: 41 }),
+            Event::manager(
+                dy(224),
+                EventKind::CheckpointFallback {
+                    from_step: 41,
+                    to_step: 40,
+                },
+            ),
+            Event::manager(
+                dy(256),
+                EventKind::VmExcluded {
+                    vm: 9,
+                    consecutive_misses: 3,
+                },
+            ),
+            Event::manager(dy(288), EventKind::VmReadmitted { vm: 9 }),
+            Event::manager(
+                dy(320),
+                EventKind::MorphRetry {
+                    attempt: 2,
+                    backoff_seconds: 4.0,
+                    gpus: 14,
+                },
+            ),
+            Event::manager(
+                dy(352),
+                EventKind::OomKill {
+                    stage: 5,
+                    needed_bytes: 17.5e9,
+                    capacity_bytes: 16.0e9,
+                    what: "stage 5 of 4x12".to_string(),
+                },
+            ),
+            Event::manager(
+                dy(384),
+                EventKind::PlanSearch {
+                    candidates: 24,
+                    simulated: 10,
+                    memo_hits: 12,
+                    analytic_fallbacks: 2,
+                },
+            ),
+            Event::train(
+                dy(416),
+                EventKind::EpochLoss {
+                    step: 12,
+                    loss: 2.125,
+                    examples_per_sec: 96.0,
+                },
+            ),
+        ];
+        let back = events_from_chrome_trace(&chrome_trace_json(&events)).unwrap();
+        assert_eq!(back, events);
     }
 
     #[test]

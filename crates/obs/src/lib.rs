@@ -33,9 +33,13 @@ pub mod event;
 pub mod metrics;
 pub mod profile;
 pub mod report;
+pub mod stream;
 
 pub use attrib::{critical_path, downtime, CriticalPath, DowntimeProfile};
-pub use bus::{EventBus, EventSink, JsonlSink, NullSink, RingBufferSink, VecSink};
+pub use bus::{
+    allreduce_owner, shard_route, EventBus, EventSink, JsonlSink, NullSink, OverflowPolicy,
+    RingBufferSink, ShardRoute, ShardedSink, VecSink,
+};
 pub use chrome_trace::{chrome_trace_json, events_from_chrome_trace};
 pub use event::{Event, EventKind, Source};
 pub use metrics::{Histogram, MetricsRegistry};
@@ -44,3 +48,7 @@ pub use profile::{
     PROFILE_SCHEMA,
 };
 pub use report::{BenchReport, REPORT_SCHEMA};
+pub use stream::{
+    merge_partials, spawn_http, PartialReport, StreamConfig, StreamCounters, StreamSink,
+    StreamingProfiler,
+};

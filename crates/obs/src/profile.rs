@@ -240,6 +240,29 @@ impl ProfileReport {
     /// A per-stage utilization summary table (the `varuna-profile` CLI
     /// output), aligned, one row per stage.
     pub fn stage_table(&self) -> String {
+        self.stage_table_top(None)
+    }
+
+    /// Like [`ProfileReport::stage_table`] but truncated to the `top`
+    /// busiest stages (by `busy_mean`) when `top` is `Some` — the CLI's
+    /// `--top N`. Rows keep stage order; a trailing line notes how many
+    /// stages were elided.
+    pub fn stage_table_top(&self, top: Option<usize>) -> String {
+        let keep: Vec<&StageProfile> = match top {
+            Some(n) if n < self.stages.len() => {
+                let mut by_busy: Vec<&StageProfile> = self.stages.iter().collect();
+                by_busy.sort_by(|a, b| {
+                    b.busy_mean
+                        .total_cmp(&a.busy_mean)
+                        .then(a.stage.cmp(&b.stage))
+                });
+                let mut keep: Vec<&StageProfile> = by_busy.into_iter().take(n).collect();
+                keep.sort_by_key(|s| s.stage);
+                keep
+            }
+            _ => self.stages.iter().collect(),
+        };
+        let elided = self.stages.len() - keep.len();
         let mut out = String::new();
         out.push_str(&format!(
             "{:>5} {:>4} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9}\n",
@@ -254,7 +277,7 @@ impl ProfileReport {
             "util",
             "straggler"
         ));
-        for s in &self.stages {
+        for s in keep {
             out.push_str(&format!(
                 "{:>5} {:>4} {:>12.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>7.1}% {:>9.3}\n",
                 s.stage,
@@ -269,18 +292,200 @@ impl ProfileReport {
                 s.straggler
             ));
         }
+        if elided > 0 {
+            out.push_str(&format!("... {elided} more stage(s) elided\n"));
+        }
         out
     }
 }
 
 /// What a busy interval was doing, for attribution.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum BusyKind {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BusyKind {
+    /// Forward op compute.
     Forward,
+    /// Recompute (activation rematerialization).
     Recompute,
+    /// Backward op compute.
     Backward,
+    /// Sender-blocked serialization.
     Send,
+    /// Data-parallel gradient allreduce.
     Allreduce,
+}
+
+/// Incremental cursor sweep over one lane's busy intervals — the single
+/// implementation of the lane decomposition, shared by the post-hoc
+/// [`profile`] and the streaming profiler so both produce byte-identical
+/// `f64`s.
+///
+/// Intervals must be pushed in `(start, end)` order (the post-hoc path
+/// sorts first; the streaming path drains its pending buffer in key
+/// order). The post-hoc path clips each interval to the (already-known)
+/// makespan; the streaming path passes `f64::INFINITY` — exact all the
+/// same, because every interval's end is itself a makespan candidate, so
+/// `end.min(makespan) == end` whenever the interval is well-formed.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LaneFold {
+    /// Seconds attributed to forward ops so far.
+    pub forward: f64,
+    /// Seconds attributed to recompute ops so far.
+    pub recompute: f64,
+    /// Seconds attributed to backward ops so far.
+    pub backward: f64,
+    /// Seconds attributed to blocked sends so far.
+    pub send: f64,
+    /// Seconds attributed to allreduces so far.
+    pub allreduce: f64,
+    /// Idle seconds before the first busy interval.
+    pub warmup: f64,
+    /// Idle seconds between busy intervals.
+    pub stall: f64,
+    /// Sweep cursor: the latest attributed instant.
+    pub cursor: f64,
+    /// True until the first interval is pushed (gap → warmup).
+    pub first: bool,
+    /// Intervals pushed (used by the streaming merge to pick between
+    /// redundant synthetic-lane copies).
+    pub pushes: usize,
+}
+
+impl Default for LaneFold {
+    fn default() -> Self {
+        LaneFold {
+            forward: 0.0,
+            recompute: 0.0,
+            backward: 0.0,
+            send: 0.0,
+            allreduce: 0.0,
+            warmup: 0.0,
+            stall: 0.0,
+            cursor: 0.0,
+            first: true,
+            pushes: 0,
+        }
+    }
+}
+
+impl LaneFold {
+    /// Folds the next busy interval (in sorted order), clipping its end
+    /// to `clip` and its start to the cursor so overlaps never
+    /// double-count.
+    pub fn push_clipped(&mut self, start: f64, end: f64, kind: BusyKind, clip: f64) {
+        let gap = start - self.cursor;
+        if gap > 0.0 {
+            if self.first {
+                self.warmup += gap;
+            } else {
+                self.stall += gap;
+            }
+            self.cursor = start;
+        }
+        self.first = false;
+        let contrib = end.min(clip) - start.max(self.cursor);
+        if contrib > 0.0 {
+            match kind {
+                BusyKind::Forward => self.forward += contrib,
+                BusyKind::Recompute => self.recompute += contrib,
+                BusyKind::Backward => self.backward += contrib,
+                BusyKind::Send => self.send += contrib,
+                BusyKind::Allreduce => self.allreduce += contrib,
+            }
+        }
+        self.cursor = self.cursor.max(end.min(clip));
+        self.pushes += 1;
+    }
+
+    /// Closes the sweep at `makespan`: everything after the cursor is
+    /// drain.
+    pub fn finish(&self, stage: usize, replica: usize, ops: usize, makespan: f64) -> LaneProfile {
+        LaneProfile {
+            stage,
+            replica,
+            forward: self.forward,
+            recompute: self.recompute,
+            backward: self.backward,
+            send: self.send,
+            allreduce: self.allreduce,
+            warmup: self.warmup,
+            stall: self.stall,
+            drain: (makespan - self.cursor).max(0.0),
+            ops,
+        }
+    }
+}
+
+/// Assembles finished lanes into a [`ProfileReport`]: per-stage
+/// aggregation, straggler scores, and the bubble fraction. One
+/// implementation shared by [`profile`] and the streaming finish so the
+/// aggregation sums run in the same (lane-sorted) order on both paths.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_report(
+    events: usize,
+    makespan: f64,
+    pipeline_end: f64,
+    lanes: Vec<LaneProfile>,
+    transfer_seconds: f64,
+    transfer_out: &std::collections::BTreeMap<usize, f64>,
+    critical_path: Option<CriticalPath>,
+    downtime: DowntimeProfile,
+) -> ProfileReport {
+    let mut stages: Vec<StageProfile> = Vec::new();
+    let mut i = 0;
+    while i < lanes.len() {
+        let stage = lanes[i].stage;
+        let mut j = i;
+        while j < lanes.len() && lanes[j].stage == stage {
+            j += 1;
+        }
+        let group = &lanes[i..j];
+        let n = group.len() as f64;
+        let busy_mean = group.iter().map(|l| l.busy()).sum::<f64>() / n;
+        let busy_max = group.iter().map(|l| l.busy()).fold(0.0f64, f64::max);
+        stages.push(StageProfile {
+            stage,
+            replicas: group.len(),
+            compute: group.iter().map(|l| l.compute()).sum::<f64>() / n,
+            send: group.iter().map(|l| l.send).sum::<f64>() / n,
+            allreduce: group.iter().map(|l| l.allreduce).sum::<f64>() / n,
+            warmup: group.iter().map(|l| l.warmup).sum::<f64>() / n,
+            stall: group.iter().map(|l| l.stall).sum::<f64>() / n,
+            drain: group.iter().map(|l| l.drain).sum::<f64>() / n,
+            transfer_out: transfer_out.get(&stage).copied().unwrap_or(0.0),
+            busy_mean,
+            busy_max,
+            straggler: if busy_mean > 0.0 {
+                busy_max / busy_mean
+            } else {
+                0.0
+            },
+            utilization: if makespan > 0.0 {
+                busy_mean / makespan
+            } else {
+                0.0
+            },
+        });
+        i = j;
+    }
+
+    let bubble_fraction = if !lanes.is_empty() && makespan > 0.0 {
+        lanes.iter().map(|l| l.bubble()).sum::<f64>() / (lanes.len() as f64 * makespan)
+    } else {
+        0.0
+    };
+
+    ProfileReport {
+        schema: PROFILE_SCHEMA.to_string(),
+        events,
+        makespan,
+        pipeline_end,
+        lanes,
+        stages,
+        bubble_fraction,
+        transfer_seconds,
+        critical_path,
+        downtime,
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -404,106 +609,25 @@ pub fn profile(events: &[Event]) -> ProfileReport {
     let mut lanes: Vec<LaneProfile> = Vec::with_capacity(lanes_map.len());
     for ((stage, replica), mut intervals) in lanes_map {
         intervals.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.end.total_cmp(&b.end)));
-        let mut lane = LaneProfile {
-            stage,
-            replica,
-            forward: 0.0,
-            recompute: 0.0,
-            backward: 0.0,
-            send: 0.0,
-            allreduce: 0.0,
-            warmup: 0.0,
-            stall: 0.0,
-            drain: 0.0,
-            ops: lane_ops.get(&(stage, replica)).copied().unwrap_or(0),
-        };
-        let mut cursor = 0.0f64;
-        let mut first = true;
+        let mut fold = LaneFold::default();
         for iv in intervals {
-            let gap = iv.start - cursor;
-            if gap > 0.0 {
-                if first {
-                    lane.warmup += gap;
-                } else {
-                    lane.stall += gap;
-                }
-                cursor = iv.start;
-            }
-            first = false;
-            let contrib = iv.end.min(makespan) - iv.start.max(cursor);
-            if contrib > 0.0 {
-                match iv.kind {
-                    BusyKind::Forward => lane.forward += contrib,
-                    BusyKind::Recompute => lane.recompute += contrib,
-                    BusyKind::Backward => lane.backward += contrib,
-                    BusyKind::Send => lane.send += contrib,
-                    BusyKind::Allreduce => lane.allreduce += contrib,
-                }
-            }
-            cursor = cursor.max(iv.end.min(makespan));
+            fold.push_clipped(iv.start, iv.end, iv.kind, makespan);
         }
-        lane.drain = (makespan - cursor).max(0.0);
-        lanes.push(lane);
+        let ops = lane_ops.get(&(stage, replica)).copied().unwrap_or(0);
+        lanes.push(fold.finish(stage, replica, ops, makespan));
     }
-
-    // Per-stage aggregation and straggler scores.
-    let mut stages: Vec<StageProfile> = Vec::new();
-    let mut i = 0;
-    while i < lanes.len() {
-        let stage = lanes[i].stage;
-        let mut j = i;
-        while j < lanes.len() && lanes[j].stage == stage {
-            j += 1;
-        }
-        let group = &lanes[i..j];
-        let n = group.len() as f64;
-        let busy_mean = group.iter().map(|l| l.busy()).sum::<f64>() / n;
-        let busy_max = group.iter().map(|l| l.busy()).fold(0.0f64, f64::max);
-        stages.push(StageProfile {
-            stage,
-            replicas: group.len(),
-            compute: group.iter().map(|l| l.compute()).sum::<f64>() / n,
-            send: group.iter().map(|l| l.send).sum::<f64>() / n,
-            allreduce: group.iter().map(|l| l.allreduce).sum::<f64>() / n,
-            warmup: group.iter().map(|l| l.warmup).sum::<f64>() / n,
-            stall: group.iter().map(|l| l.stall).sum::<f64>() / n,
-            drain: group.iter().map(|l| l.drain).sum::<f64>() / n,
-            transfer_out: transfer_out.get(&stage).copied().unwrap_or(0.0),
-            busy_mean,
-            busy_max,
-            straggler: if busy_mean > 0.0 {
-                busy_max / busy_mean
-            } else {
-                0.0
-            },
-            utilization: if makespan > 0.0 {
-                busy_mean / makespan
-            } else {
-                0.0
-            },
-        });
-        i = j;
-    }
-
-    let bubble_fraction = if !lanes.is_empty() && makespan > 0.0 {
-        lanes.iter().map(|l| l.bubble()).sum::<f64>() / (lanes.len() as f64 * makespan)
-    } else {
-        0.0
-    };
 
     let op_spans = spans(events);
-    ProfileReport {
-        schema: PROFILE_SCHEMA.to_string(),
-        events: events.len(),
+    assemble_report(
+        events.len(),
         makespan,
         pipeline_end,
         lanes,
-        stages,
-        bubble_fraction,
         transfer_seconds,
-        critical_path: attrib::critical_path(&op_spans),
-        downtime: attrib::downtime(events, makespan),
-    }
+        &transfer_out,
+        attrib::critical_path(&op_spans),
+        attrib::downtime(events, makespan),
+    )
 }
 
 /// Parses a JSONL capture (one `Event` per line, as written by
